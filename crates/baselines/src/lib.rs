@@ -1,0 +1,232 @@
+//! Heuristic layout baselines.
+//!
+//! The CLIP paper compares against the commercial **Virtuoso Layout
+//! Synthesizer**, "a heuristic tool that yields non-optimal layouts even
+//! for small cells". Virtuoso is proprietary; this crate provides the
+//! substitute comparators used by our reproduction of Tables 3 and 4:
+//!
+//! * [`greedy2d`] — a greedy 2-D placer (multi-start chain growth +
+//!   orientation DP + balanced split + hill climbing), the primary
+//!   Virtuoso stand-in;
+//! * [`euler_1d`] — the classic 1-D style: one row, nearest-neighbour
+//!   chaining (Uehara–VanCleemput-flavoured heuristic);
+//! * [`oned::optimal_1d`] — *exact* 1-D width via Held–Karp DP (the
+//!   Maziasz–Hayes exact-1-D reference of the paper's introduction);
+//! * [`random_placement`] — a seeded random placement, the floor any
+//!   heuristic must beat (used by the figure ablations).
+//!
+//! Every baseline returns a [`BaselineResult`] with the same geometric
+//! metrics the optimizer reports, so comparisons are apples-to-apples.
+//!
+//! # Example
+//!
+//! ```
+//! use clip_baselines::greedy2d;
+//! use clip_core::share::ShareArray;
+//! use clip_core::unit::UnitSet;
+//! use clip_netlist::library;
+//!
+//! let units = UnitSet::flat(library::mux21().into_paired()?);
+//! let share = ShareArray::new(&units);
+//! let result = greedy2d(&units, &share, 2).expect("2 rows fit 7 pairs");
+//! assert!(result.width >= 4); // the verified 2-row optimum
+//! # Ok::<(), clip_netlist::PairCircuitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oned;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use clip_core::exhaustive::placement_from_order;
+use clip_core::generator::{evaluate_order, greedy_placement_with};
+use clip_core::share::ShareArray;
+use clip_core::solution::Placement;
+use clip_core::unit::UnitSet;
+use clip_route::density::{cell_height, CellRouting, HeightParams};
+
+/// A baseline layout and its metrics.
+#[derive(Clone, Debug)]
+pub struct BaselineResult {
+    /// The placement produced.
+    pub placement: Placement,
+    /// Cell width in transistor pitches.
+    pub width: usize,
+    /// Total routing tracks (all channels).
+    pub tracks: usize,
+    /// Cell height (tracks + default overheads).
+    pub height: usize,
+}
+
+impl BaselineResult {
+    fn from_placement(units: &UnitSet, placement: Placement) -> Self {
+        let routing: CellRouting = placement.routing(units);
+        BaselineResult {
+            width: routing.cell_width(),
+            tracks: routing.total_tracks(),
+            height: cell_height(&routing, HeightParams::default()),
+            placement,
+        }
+    }
+}
+
+/// The greedy 2-D heuristic placer — our Virtuoso substitute.
+///
+/// Uses the same machinery as the ILP's warm start: multi-start
+/// nearest-neighbour chains over the share graph, an orientation DP, an
+/// exact min-max row split, and pairwise-swap hill climbing. Good but not
+/// optimal: on cells where sharing choices interact it is typically one or
+/// two pitches wider than CLIP-W (the shape of the paper's comparison).
+///
+/// Returns `None` if `rows` is zero or exceeds the unit count.
+pub fn greedy2d(units: &UnitSet, share: &ShareArray, rows: usize) -> Option<BaselineResult> {
+    // Deliberately NOT the exhaustive-small variant: this is the honest
+    // heuristic comparator (see `greedy_placement_with`).
+    let placement = greedy_placement_with(units, share, rows, false)?;
+    Some(BaselineResult::from_placement(units, placement))
+}
+
+/// The classic 1-D style: all pairs in a single row, chained greedily.
+///
+/// Unlike [`greedy2d`] this deliberately skips the hill-climbing pass —
+/// it reproduces the flavour of first-generation one-dimensional cell
+/// compilers (SOLO, GENAC) that CLIP's introduction contrasts against.
+pub fn euler_1d(units: &UnitSet, share: &ShareArray) -> Option<BaselineResult> {
+    if units.is_empty() {
+        return None;
+    }
+    // Single nearest-neighbour chain from unit 0, orientation DP, no
+    // improvement passes.
+    let n = units.len();
+    let mut remaining: Vec<usize> = (1..n).collect();
+    let mut order = vec![0usize];
+    while !remaining.is_empty() {
+        let last = *order.last().expect("order non-empty");
+        let pick = remaining.iter().position(|&cand| {
+            units.units()[last].orients().iter().any(|&oi| {
+                units.units()[cand]
+                    .orients()
+                    .iter()
+                    .any(|&oj| share.shares(last, oi, cand, oj))
+            })
+        });
+        let unit = remaining.remove(pick.unwrap_or(0));
+        order.push(unit);
+    }
+    let (_, placement) = evaluate_order(units, share, &order, 1);
+    Some(BaselineResult::from_placement(units, placement))
+}
+
+/// A seeded random placement: random order, random orientations, greedy
+/// merges, contiguous split into `rows` equal-count segments.
+///
+/// Returns `None` if `rows` is zero or exceeds the unit count.
+pub fn random_placement(
+    units: &UnitSet,
+    share: &ShareArray,
+    rows: usize,
+    seed: u64,
+) -> Option<BaselineResult> {
+    let n = units.len();
+    if rows == 0 || rows > n {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+    let orients: Vec<_> = order
+        .iter()
+        .map(|&u| {
+            *units.units()[u]
+                .orients()
+                .choose(&mut rng)
+                .expect("units have orientations")
+        })
+        .collect();
+    // Equal-count contiguous cuts.
+    let cuts: Vec<usize> = (1..rows).map(|r| r * n / rows).collect();
+    let (_, placement) = placement_from_order(units, share, &order, &orients, &cuts);
+    Some(BaselineResult::from_placement(units, placement))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_core::verify::check_placement;
+    use clip_netlist::library;
+
+    fn setup(circuit: clip_netlist::Circuit) -> (UnitSet, ShareArray) {
+        let units = UnitSet::flat(circuit.into_paired().unwrap());
+        let share = ShareArray::new(&units);
+        (units, share)
+    }
+
+    #[test]
+    fn greedy2d_produces_legal_layouts() {
+        for rows in 1..=3 {
+            let (units, share) = setup(library::mux21());
+            let result = greedy2d(&units, &share, rows).unwrap();
+            check_placement(&units, &result.placement)
+                .unwrap_or_else(|e| panic!("rows={rows}: {e}"));
+            assert_eq!(result.placement.rows.len(), rows);
+            assert!(result.width >= units.total_width().div_ceil(rows));
+            assert!(result.height > result.tracks);
+        }
+    }
+
+    #[test]
+    fn greedy2d_rejects_bad_row_counts() {
+        let (units, share) = setup(library::nand2());
+        assert!(greedy2d(&units, &share, 0).is_none());
+        assert!(greedy2d(&units, &share, 3).is_none());
+    }
+
+    #[test]
+    fn euler_1d_is_single_row() {
+        let (units, share) = setup(library::xor2());
+        let result = euler_1d(&units, &share).unwrap();
+        assert_eq!(result.placement.rows.len(), 1);
+        check_placement(&units, &result.placement).unwrap();
+        // Heuristic is never better than the verified 1-row optimum (6).
+        assert!(result.width >= 6);
+    }
+
+    #[test]
+    fn random_placement_is_legal_and_seeded() {
+        let (units, share) = setup(library::two_level_z());
+        let a = random_placement(&units, &share, 2, 42).unwrap();
+        let b = random_placement(&units, &share, 2, 42).unwrap();
+        let c = random_placement(&units, &share, 2, 43).unwrap();
+        assert_eq!(a.placement, b.placement, "same seed, same layout");
+        check_placement(&units, &a.placement).unwrap();
+        check_placement(&units, &c.placement).unwrap();
+    }
+
+    #[test]
+    fn greedy_beats_random_on_average() {
+        let (units, share) = setup(library::mux21());
+        let greedy = greedy2d(&units, &share, 2).unwrap();
+        let avg_random: f64 = (0..20)
+            .map(|s| random_placement(&units, &share, 2, s).unwrap().width as f64)
+            .sum::<f64>()
+            / 20.0;
+        assert!(
+            (greedy.width as f64) <= avg_random,
+            "greedy {} vs random avg {avg_random}",
+            greedy.width
+        );
+    }
+
+    #[test]
+    fn two_d_beats_one_d_in_width() {
+        // The paper's headline: the 2-D style narrows cells dramatically.
+        let (units, share) = setup(library::mux21());
+        let oned = euler_1d(&units, &share).unwrap();
+        let twod = greedy2d(&units, &share, 3).unwrap();
+        assert!(twod.width < oned.width);
+    }
+}

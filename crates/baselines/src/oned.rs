@@ -1,0 +1,190 @@
+//! Exact 1-D width optimization via Held–Karp dynamic programming.
+//!
+//! For a single row, the minimum-width chaining problem has optimal
+//! substructure over (set of placed units, last unit, last orientation):
+//! the classic bitmask DP. It is exact up to ~16 units — far beyond the
+//! factorial exhaustive oracle — and serves two roles here:
+//!
+//! * an independent cross-check of CLIP-W's single-row optima (the ILP and
+//!   the DP must agree exactly);
+//! * the "exact 1-D" reference of the paper's introduction (Maziasz–Hayes
+//!   \[15\] solve this problem with specialized methods; our DP plays that
+//!   part).
+
+use clip_core::orient::Orient;
+use clip_core::share::ShareArray;
+use clip_core::solution::{PlacedUnit, Placement};
+use clip_core::unit::UnitSet;
+
+/// Hard cap: 2^n × n × 4 states must stay reasonable.
+const MAX_UNITS: usize = 16;
+
+/// Computes the exact minimum single-row width and a witnessing placement.
+///
+/// Returns `None` for empty unit sets or more than 16 units.
+pub fn optimal_1d(units: &UnitSet, share: &ShareArray) -> Option<(usize, Placement)> {
+    let n = units.len();
+    if n == 0 || n > MAX_UNITS {
+        return None;
+    }
+    let orients: Vec<Vec<Orient>> = units.units().iter().map(|u| u.orients()).collect();
+    let widths: Vec<usize> = units.units().iter().map(|u| u.width).collect();
+    let max_orients = 4usize;
+
+    // dp[mask][last][o] = minimal width of a chain placing `mask`, ending
+    // with `last` in orientation index `o`.
+    let full = 1usize << n;
+    let inf = usize::MAX / 2;
+    let idx = |mask: usize, last: usize, o: usize| (mask * n + last) * max_orients + o;
+    let mut dp = vec![inf; full * n * max_orients];
+    let mut parent: Vec<u32> = vec![u32::MAX; full * n * max_orients];
+
+    for u in 0..n {
+        for (oi, _) in orients[u].iter().enumerate() {
+            dp[idx(1 << u, u, oi)] = widths[u];
+        }
+    }
+    for mask in 1..full {
+        for last in 0..n {
+            if mask & (1 << last) == 0 {
+                continue;
+            }
+            for (oi, &o_last) in orients[last].iter().enumerate() {
+                let cur = dp[idx(mask, last, oi)];
+                if cur >= inf {
+                    continue;
+                }
+                for next in 0..n {
+                    if mask & (1 << next) != 0 {
+                        continue;
+                    }
+                    let nmask = mask | (1 << next);
+                    for (oj, &o_next) in orients[next].iter().enumerate() {
+                        let gap = usize::from(!share.shares(last, o_last, next, o_next));
+                        let w = cur + widths[next] + gap;
+                        let slot = idx(nmask, next, oj);
+                        if w < dp[slot] {
+                            dp[slot] = w;
+                            parent[slot] = idx(mask, last, oi) as u32;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Best final state.
+    let mut best: Option<(usize, usize, usize)> = None; // (width, last, o)
+    for last in 0..n {
+        for (oi, _) in orients[last].iter().enumerate() {
+            let w = dp[idx(full - 1, last, oi)];
+            if w < inf && best.is_none_or(|(bw, _, _)| w < bw) {
+                best = Some((w, last, oi));
+            }
+        }
+    }
+    let (width, mut last, mut oi) = best?;
+
+    // Reconstruct the chain right-to-left.
+    let mut rev: Vec<(usize, Orient)> = Vec::with_capacity(n);
+    let mut mask = full - 1;
+    loop {
+        rev.push((last, orients[last][oi]));
+        let p = parent[idx(mask, last, oi)];
+        if p == u32::MAX {
+            break;
+        }
+        let p = p as usize;
+        let o = p % max_orients;
+        let rest = p / max_orients;
+        let l = rest % n;
+        let m = rest / n;
+        mask = m;
+        last = l;
+        oi = o;
+    }
+    rev.reverse();
+
+    let row: Vec<PlacedUnit> = rev
+        .iter()
+        .enumerate()
+        .map(|(k, &(u, o))| PlacedUnit {
+            unit: u,
+            orient: o,
+            merged_with_next: k + 1 < rev.len()
+                && share.shares(u, o, rev[k + 1].0, rev[k + 1].1),
+        })
+        .collect();
+    Some((width, Placement { rows: vec![row] }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_core::exhaustive;
+    use clip_core::verify::check_width;
+    use clip_netlist::library;
+
+    fn setup(circuit: clip_netlist::Circuit) -> (UnitSet, ShareArray) {
+        let units = UnitSet::flat(circuit.into_paired().unwrap());
+        let share = ShareArray::new(&units);
+        (units, share)
+    }
+
+    #[test]
+    fn matches_exhaustive_on_small_cells() {
+        for circuit in [library::nand2(), library::aoi21(), library::aoi22()] {
+            let name = circuit.name().to_owned();
+            let (units, share) = setup(circuit);
+            let (dp, placement) = optimal_1d(&units, &share).unwrap();
+            let brute = exhaustive::optimal_width(&units, &share, 1).unwrap();
+            assert_eq!(dp, brute, "{name}");
+            check_width(&units, &placement, dp).unwrap();
+        }
+    }
+
+    #[test]
+    fn confirms_the_single_row_optima_of_the_suite() {
+        // Independent confirmation of the Table 3 single-row widths.
+        for (circuit, expected) in [
+            (library::xor2(), 6),
+            (library::bridge(), 7),
+            (library::two_level_z(), 7),
+            (library::mux21(), 9),
+            (library::dlatch(), 7),
+        ] {
+            let name = circuit.name().to_owned();
+            let (units, share) = setup(circuit);
+            let (w, placement) = optimal_1d(&units, &share).unwrap();
+            assert_eq!(w, expected, "{name}");
+            check_width(&units, &placement, w).unwrap();
+        }
+    }
+
+    #[test]
+    fn handles_stacked_units() {
+        let units = clip_core::cluster::cluster_and_stacks(
+            library::full_adder().into_paired().unwrap(),
+        );
+        let share = ShareArray::new(&units);
+        let (w, placement) = optimal_1d(&units, &share).unwrap();
+        // Width at least the total transistor columns.
+        assert!(w >= units.total_width());
+        check_width(&units, &placement, w).unwrap();
+    }
+
+    #[test]
+    fn rejects_oversized_inputs() {
+        let (units, share) = setup(library::mux41()); // 21 pairs
+        assert!(optimal_1d(&units, &share).is_none());
+    }
+
+    #[test]
+    fn single_unit_is_its_own_width() {
+        let (units, share) = setup(library::inverter());
+        let (w, placement) = optimal_1d(&units, &share).unwrap();
+        assert_eq!(w, 1);
+        assert_eq!(placement.rows.len(), 1);
+        assert_eq!(placement.rows[0].len(), 1);
+    }
+}

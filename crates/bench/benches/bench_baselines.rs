@@ -1,0 +1,67 @@
+//! Baseline bench: the Virtuoso-substitute heuristics against which the
+//! tables compare (greedy 2-D, 1-D chaining, random), plus the routing
+//! substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clip_baselines as baselines;
+use clip_core::share::ShareArray;
+use clip_core::unit::UnitSet;
+use clip_netlist::library;
+use clip_route::density::CellRouting;
+
+fn setup(build: fn() -> clip_netlist::Circuit) -> (UnitSet, ShareArray) {
+    let units = UnitSet::flat(build().into_paired().expect("pairs"));
+    let share = ShareArray::new(&units);
+    (units, share)
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_greedy2d");
+    for (name, build, rows) in [
+        ("mux21x2", library::mux21 as fn() -> clip_netlist::Circuit, 2usize),
+        ("full_adderx3", library::full_adder, 3),
+    ] {
+        let (units, share) = setup(build);
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| baselines::greedy2d(&units, &share, rows).expect("legal").width)
+        });
+    }
+    group.finish();
+}
+
+fn bench_euler(c: &mut Criterion) {
+    let (units, share) = setup(library::mux21);
+    c.bench_function("baseline_euler_1d/mux21", |b| {
+        b.iter(|| baselines::euler_1d(&units, &share).expect("legal").width)
+    });
+}
+
+fn bench_random(c: &mut Criterion) {
+    let (units, share) = setup(library::mux21);
+    c.bench_function("baseline_random/mux21x2", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            baselines::random_placement(&units, &share, 2, seed)
+                .expect("legal")
+                .width
+        })
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    // Track-density computation on a realized placement — the geometric
+    // oracle behind every height number in the tables.
+    let (units, share) = setup(library::full_adder);
+    let placement = baselines::greedy2d(&units, &share, 3).expect("legal").placement;
+    c.bench_function("routing_density/full_adderx3", |b| {
+        b.iter(|| {
+            let routing: CellRouting = placement.routing(&units);
+            routing.total_tracks()
+        })
+    });
+}
+
+criterion_group!(benches, bench_greedy, bench_euler, bench_random, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Table 4 bench: CLIP-WH (width + height) solves on small cells.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clip_core::generator::{CellGenerator, GenOptions};
+use clip_netlist::library;
+
+fn bench_wh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cliph_solve");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let cases: Vec<(&str, fn() -> clip_netlist::Circuit, usize)> = vec![
+        ("nand2x1", library::nand2, 1),
+        ("nor3x1", library::nor3, 1),
+        ("aoi22x1", library::aoi22, 1),
+        ("aoi21x2", library::aoi21, 2),
+    ];
+    for (name, build, rows) in cases {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let cell = CellGenerator::new(
+                    GenOptions::rows(rows)
+                        .with_height()
+                        .with_time_limit(Duration::from_secs(30)),
+                )
+                .generate(build())
+                .expect("generates");
+                (cell.width, cell.tracks.iter().sum::<usize>())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_wh_vs_w(c: &mut Criterion) {
+    // The ablation behind the area discussion: W-only vs W+H on one cell.
+    let mut group = c.benchmark_group("cliph_vs_clipw");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.bench_function("aoi22_w_only", |b| {
+        b.iter(|| {
+            CellGenerator::new(GenOptions::rows(1))
+                .generate(library::aoi22())
+                .expect("generates")
+                .width
+        })
+    });
+    group.bench_function("aoi22_w_and_h", |b| {
+        b.iter(|| {
+            CellGenerator::new(
+                GenOptions::rows(1)
+                    .with_height()
+                    .with_time_limit(Duration::from_secs(30)),
+            )
+            .generate(library::aoi22())
+            .expect("generates")
+            .width
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wh, bench_wh_vs_w);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Table 3 bench: CLIP-W model construction and optimal solve per circuit
+//! and row count (flat and HCLIP-stacked).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clip_core::clipw::{ClipW, ClipWOptions};
+use clip_core::generator::{CellGenerator, GenOptions};
+use clip_core::share::ShareArray;
+use clip_core::unit::UnitSet;
+use clip_netlist::library;
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clipw_solve");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    // Instances that solve optimally in well under a second.
+    let cases: Vec<(&str, fn() -> clip_netlist::Circuit, usize)> = vec![
+        ("nand2x1", library::nand2, 1),
+        ("xor2x1", library::xor2, 1),
+        ("xor2x2", library::xor2, 2),
+        ("bridgex2", library::bridge, 2),
+        ("two_level_zx2", library::two_level_z, 2),
+        ("mux21x3", library::mux21, 3),
+    ];
+    for (name, build, rows) in cases {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let cell = CellGenerator::new(
+                    GenOptions::rows(rows).with_time_limit(Duration::from_secs(30)),
+                )
+                .generate(build())
+                .expect("generates");
+                assert!(cell.width > 0);
+                cell.width
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stacking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clipw_hclip");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for (name, rows) in [("full_adder_stacked_x2", 2), ("full_adder_stacked_x3", 3)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                CellGenerator::new(
+                    GenOptions::rows(rows)
+                        .with_stacking()
+                        .with_time_limit(Duration::from_secs(30)),
+                )
+                .generate(library::full_adder())
+                .expect("generates")
+                .width
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clipw_build");
+    for rows in [1usize, 3] {
+        let units = UnitSet::flat(library::mux21().into_paired().expect("pairs"));
+        let share = ShareArray::new(&units);
+        group.bench_function(BenchmarkId::from_parameter(format!("mux21x{rows}")), |b| {
+            b.iter(|| {
+                ClipW::build(&units, &share, &ClipWOptions::new(rows))
+                    .expect("builds")
+                    .model()
+                    .num_constraints()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solve, bench_stacking, bench_model_build);
+criterion_main!(benches);

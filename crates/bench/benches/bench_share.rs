@@ -1,0 +1,79 @@
+//! Model-construction bench (Tables 1/2): pairing, clustering, the share
+//! array, and CLIP-W model generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clip_core::cluster;
+use clip_core::clipw::{ClipW, ClipWOptions};
+use clip_core::share::ShareArray;
+use clip_core::unit::UnitSet;
+use clip_netlist::library;
+
+fn bench_pairing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairing");
+    for (name, build) in [
+        ("mux21", library::mux21 as fn() -> clip_netlist::Circuit),
+        ("full_adder", library::full_adder),
+        ("mux41", library::mux41),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| build().into_paired().expect("pairs").len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    for (name, build) in [
+        ("full_adder", library::full_adder as fn() -> clip_netlist::Circuit),
+        ("mux41", library::mux41),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                cluster::cluster_and_stacks(build().into_paired().expect("pairs")).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_share_array(c: &mut Criterion) {
+    let mut group = c.benchmark_group("share_array");
+    for (name, build) in [
+        ("mux21", library::mux21 as fn() -> clip_netlist::Circuit),
+        ("full_adder", library::full_adder),
+    ] {
+        let units = UnitSet::flat(build().into_paired().expect("pairs"));
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| ShareArray::new(&units).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_generation");
+    let units = UnitSet::flat(library::full_adder().into_paired().expect("pairs"));
+    let share = ShareArray::new(&units);
+    for rows in [2usize, 3] {
+        group.bench_function(BenchmarkId::from_parameter(format!("full_adder_x{rows}")), |b| {
+            b.iter(|| {
+                ClipW::build(&units, &share, &ClipWOptions::new(rows))
+                    .expect("builds")
+                    .model()
+                    .num_vars()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pairing,
+    bench_clustering,
+    bench_share_array,
+    bench_model_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Solver ablation bench: search strategy × branching heuristic on a fixed
+//! CLIP-W model (the OPBDP `-h103` discussion of the paper).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use clip_core::clipw::{ClipW, ClipWOptions};
+use clip_core::share::ShareArray;
+use clip_core::unit::UnitSet;
+use clip_netlist::library;
+use clip_pb::{BranchHeuristic, SearchStrategy, Solver, SolverConfig};
+
+fn reference_model() -> (UnitSet, ShareArray) {
+    let units = UnitSet::flat(library::xor2().into_paired().expect("pairs"));
+    let share = ShareArray::new(&units);
+    (units, share)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let (units, share) = reference_model();
+    let clipw = ClipW::build(&units, &share, &ClipWOptions::new(2)).expect("builds");
+    let mut group = c.benchmark_group("solver_strategy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for strategy in [SearchStrategy::Cbj, SearchStrategy::Cdcl] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{strategy:?}")), |b| {
+            b.iter(|| {
+                let out = Solver::with_config(
+                    clipw.model(),
+                    SolverConfig {
+                        strategy,
+                        brancher: Some(clipw.brancher()),
+                        ..Default::default()
+                    },
+                )
+                .run();
+                assert!(out.is_optimal());
+                out.best().expect("optimal").objective
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let (units, share) = reference_model();
+    let clipw = ClipW::build(&units, &share, &ClipWOptions::new(2)).expect("builds");
+    let mut group = c.benchmark_group("solver_heuristic");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for heuristic in [
+        BranchHeuristic::InputOrder,
+        BranchHeuristic::MostConstrained,
+        BranchHeuristic::ObjectiveFirst,
+        BranchHeuristic::DynamicScore,
+    ] {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{heuristic:?}")),
+            |b| {
+                b.iter(|| {
+                    let out = Solver::with_config(
+                        clipw.model(),
+                        SolverConfig {
+                            heuristic,
+                            ..Default::default()
+                        },
+                    )
+                    .run();
+                    assert!(out.is_optimal());
+                    out.best().expect("optimal").objective
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_structured_brancher(c: &mut Criterion) {
+    let (units, share) = reference_model();
+    let clipw = ClipW::build(&units, &share, &ClipWOptions::new(2)).expect("builds");
+    let mut group = c.benchmark_group("solver_brancher");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for structured in [true, false] {
+        let name = if structured { "structured" } else { "generic" };
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let out = Solver::with_config(
+                    clipw.model(),
+                    SolverConfig {
+                        brancher: structured.then(|| clipw.brancher()),
+                        ..Default::default()
+                    },
+                )
+                .run();
+                assert!(out.is_optimal());
+                out.best().expect("optimal").objective
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_heuristics,
+    bench_structured_brancher
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p clip-bench --bin experiments -- all
+//! cargo run --release -p clip-bench --bin experiments -- table3 --limit 60
+//! ```
+//!
+//! Targets: `table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 sweep
+//! ablate whverify all`.
+
+use std::time::Duration;
+
+use clip_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut targets: Vec<String> = Vec::new();
+    let mut limit = Duration::from_secs(60);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--limit" => {
+                i += 1;
+                let secs: u64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                limit = Duration::from_secs(secs);
+            }
+            other => targets.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if targets.is_empty() {
+        usage();
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = [
+            "table1", "table2", "table3", "table4", "fig1", "fig2", "fig3", "fig4", "fig5",
+            "sweep", "ablate", "whverify", "hier", "folding", "scaling",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+    for t in &targets {
+        let text = match t.as_str() {
+            "table1" => experiments::table1(limit),
+            "table2" => experiments::table2(),
+            "table3" => experiments::table3(limit),
+            "table4" => experiments::table4(limit),
+            "fig1" => experiments::fig1(limit),
+            "fig2" => experiments::fig2(),
+            "fig3" => experiments::fig3(limit),
+            "fig4" => experiments::fig4(),
+            "fig5" => experiments::fig5(),
+            "sweep" => experiments::sweep(limit),
+            "ablate" => experiments::ablation(limit),
+            "whverify" => experiments::wh_verification(limit),
+            "hier" => experiments::hier(limit),
+            "folding" => experiments::folding(limit),
+            "scaling" => experiments::scaling(limit),
+            other => {
+                eprintln!("unknown target {other}");
+                usage()
+            }
+        };
+        println!("{text}");
+        println!("{}", "=".repeat(78));
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments [--limit SECS] <table1|table2|table3|table4|fig1..fig5|sweep|ablate|whverify|hier|folding|scaling|all>..."
+    );
+    std::process::exit(2)
+}

@@ -1,0 +1,10 @@
+use clip_core::cluster;
+use clip_core::generator::greedy_placement;
+use clip_core::share::ShareArray;
+use clip_netlist::library;
+fn main() {
+    let units = cluster::cluster_and_stacks(library::full_adder().into_paired().unwrap());
+    let share = ShareArray::new(&units);
+    let p = greedy_placement(&units, &share, 2).unwrap();
+    println!("greedy width = {}", p.cell_width(&units));
+}

@@ -1,0 +1,103 @@
+//! Diagnostic probe: solve CLIP-W for a library cell and print solver
+//! statistics. Used while tuning the solver; kept as a handy profiling
+//! entry point.
+
+use std::time::Instant;
+
+use clip_core::clipw::{ClipW, ClipWOptions};
+use clip_core::generator::greedy_placement;
+use clip_core::share::ShareArray;
+use clip_core::unit::UnitSet;
+use clip_netlist::library;
+use clip_pb::{Solver, SolverConfig};
+
+fn permute(order: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == order.len() {
+        f(order);
+        return;
+    }
+    for i in k..order.len() {
+        order.swap(k, i);
+        permute(order, k + 1, f);
+        order.swap(k, i);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("mux21");
+    let rows: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let warm = args.get(3).map(String::as_str) != Some("cold");
+
+    let circuit = match name {
+        "xor2" => library::xor2(),
+        "bridge" => library::bridge(),
+        "two_level_z" => library::two_level_z(),
+        "mux21" => library::mux21(),
+        "dlatch" => library::dlatch(),
+        "full_adder" => library::full_adder(),
+        _ => library::mux21(),
+    };
+    let units = UnitSet::flat(circuit.into_paired().unwrap());
+    let share = ShareArray::new(&units);
+
+    if args.get(3).map(String::as_str) == Some("exh") {
+        // Exact optimum over all permutations (orientation DP per order is
+        // exact for the width metric).
+        let n = units.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut best = usize::MAX;
+        permute(&mut perm, 0, &mut |p| {
+            let (w, _) = clip_core::generator::evaluate_order(&units, &share, p, rows);
+            best = best.min(w);
+        });
+        println!("exhaustive optimum (rows={rows}): {best}");
+        return;
+    }
+
+    let t0 = Instant::now();
+    let clipw = ClipW::build(&units, &share, &ClipWOptions::new(rows)).unwrap();
+    println!(
+        "model: {} vars, {} constraints, built in {:?}",
+        clipw.model().num_vars(),
+        clipw.model().num_constraints(),
+        t0.elapsed()
+    );
+    let warm_start = warm
+        .then(|| {
+            greedy_placement(&units, &share, rows)
+                .and_then(|p| clipw.warm_assignment(&units, &p))
+        })
+        .flatten();
+    println!("warm start: {}", warm_start.is_some());
+    let t1 = Instant::now();
+    let strategy = if args.iter().any(|a| a == "cdcl") {
+        clip_pb::SearchStrategy::Cdcl
+    } else {
+        clip_pb::SearchStrategy::Cbj
+    };
+    let out = Solver::with_config(
+        clipw.model(),
+        SolverConfig {
+            strategy,
+            brancher: Some(clipw.brancher()),
+            warm_start,
+            time_limit: Some(std::time::Duration::from_secs(30)),
+            ..Default::default()
+        },
+    )
+    .run();
+    let stats = out.stats();
+    println!(
+        "solved in {:?}: optimal={} nodes={} conflicts={} propagations={}",
+        t1.elapsed(),
+        out.is_optimal(),
+        stats.nodes,
+        stats.conflicts,
+        stats.propagations
+    );
+    println!("incumbents: {:?}", stats.incumbents);
+    if let Some(sol) = out.best() {
+        println!("width = {}", clipw.width_of(sol));
+    }
+}

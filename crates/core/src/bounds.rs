@@ -1,0 +1,182 @@
+//! Combinatorial width lower bounds.
+//!
+//! The unary width counter's floor matters twice: fewer bits make the
+//! model smaller, and a floor that already equals the optimum turns the
+//! solver's refutation phase into a root-level proof.
+//!
+//! Two valid bounds are combined:
+//!
+//! * **Packing bound** — `⌈total_width / rows⌉` (and at least the widest
+//!   unit): some row holds at least the average width.
+//! * **Matching bound** — every diffusion merge consumes one unit's right
+//!   side and another's left side, so the total number of merges in *any*
+//!   placement (across all rows) is at most the maximum bipartite matching
+//!   between right-sides and left-sides of the `share`-compatibility
+//!   relation. A placement into `R` rows has `n − R` adjacencies, hence at
+//!   least `max(0, (n − R) − M)` gaps in total, and
+//!   `max_r W_r ≥ ⌈(total_width + gaps_min) / R⌉`.
+//!
+//! The matching relaxes the real problem in two ways — it ignores that
+//! merges must form chains consistent with *single* orientation choices
+//! per unit, and that chain edges must agree on the shared orientation —
+//! so it never exceeds the achievable merge count: the bound is safe.
+
+use crate::share::ShareArray;
+use crate::unit::UnitSet;
+
+/// A safe lower bound on `max_r W_r` for placements of `units` into
+/// `rows` non-empty rows. Returns `None` if `rows` is 0 or exceeds the
+/// unit count (no placement exists).
+pub fn width_lower_bound(units: &UnitSet, share: &ShareArray, rows: usize) -> Option<usize> {
+    let n = units.len();
+    if rows == 0 || rows > n {
+        return None;
+    }
+    let total = units.total_width();
+    let widest = units.units().iter().map(|u| u.width).max().unwrap_or(1);
+    let packing = total.div_ceil(rows).max(widest);
+
+    let merges = max_merge_matching(units, share);
+    let adjacencies = n - rows;
+    let min_gaps = adjacencies.saturating_sub(merges);
+    let matching_bound = (total + min_gaps).div_ceil(rows);
+
+    Some(packing.max(matching_bound))
+}
+
+/// Maximum bipartite matching between unit right-sides and left-sides
+/// under the share relation (Hopcroft–Karp-style augmenting paths; the
+/// graphs here are tiny, so simple augmentation suffices).
+pub fn max_merge_matching(units: &UnitSet, share: &ShareArray) -> usize {
+    let n = units.len();
+    // adj[i] = units j that can sit immediately right of i under some
+    // orientation pair.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, j) in share.mergeable_pairs() {
+        adj[i].push(j);
+    }
+    let mut match_left: Vec<Option<usize>> = vec![None; n]; // right-side i -> j
+    let mut match_right: Vec<Option<usize>> = vec![None; n]; // left-side j -> i
+
+    fn augment(
+        i: usize,
+        adj: &[Vec<usize>],
+        match_left: &mut [Option<usize>],
+        match_right: &mut [Option<usize>],
+        visited: &mut [bool],
+    ) -> bool {
+        for &j in &adj[i] {
+            if visited[j] {
+                continue;
+            }
+            visited[j] = true;
+            let free = match match_right[j] {
+                None => true,
+                Some(other) => augment(other, adj, match_left, match_right, visited),
+            };
+            if free {
+                match_left[i] = Some(j);
+                match_right[j] = Some(i);
+                return true;
+            }
+        }
+        false
+    }
+
+    let mut matching = 0;
+    for i in 0..n {
+        let mut visited = vec![false; n];
+        if augment(i, &adj, &mut match_left, &mut match_right, &mut visited) {
+            matching += 1;
+        }
+    }
+    matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive;
+    use clip_netlist::library;
+
+    fn setup(circuit: clip_netlist::Circuit) -> (UnitSet, ShareArray) {
+        let units = UnitSet::flat(circuit.into_paired().unwrap());
+        let share = ShareArray::new(&units);
+        (units, share)
+    }
+
+    #[test]
+    fn bounds_never_exceed_true_optima() {
+        for circuit in [
+            library::nand2(),
+            library::nor3(),
+            library::aoi21(),
+            library::aoi22(),
+            library::xor2(),
+        ] {
+            let name = circuit.name().to_owned();
+            let (units, share) = setup(circuit);
+            for rows in 1..=2usize.min(units.len()) {
+                let lb = width_lower_bound(&units, &share, rows).unwrap();
+                let opt = exhaustive::optimal_width(&units, &share, rows).unwrap();
+                assert!(lb <= opt, "{name}x{rows}: lb {lb} > optimum {opt}");
+            }
+        }
+    }
+
+    #[test]
+    fn matching_bound_tightens_unmergeable_circuits() {
+        // Two pairs with fully disjoint, rail-free diffusion nets can
+        // never abut: the matching bound sees the forced gap, the packing
+        // bound does not.
+        use clip_netlist::{Circuit, DeviceKind};
+        let mut b = Circuit::builder("disjoint");
+        let nets: Vec<_> = ["g1", "g2", "p1", "p2", "p3", "p4", "n1", "n2", "n3", "n4"]
+            .iter()
+            .map(|n| b.net(n))
+            .collect();
+        b.device(DeviceKind::P, nets[0], nets[2], nets[3]);
+        b.device(DeviceKind::N, nets[0], nets[6], nets[7]);
+        b.device(DeviceKind::P, nets[1], nets[4], nets[5]);
+        b.device(DeviceKind::N, nets[1], nets[8], nets[9]);
+        let (units, share) = setup(b.build());
+        assert_eq!(max_merge_matching(&units, &share), 0);
+        assert_eq!(width_lower_bound(&units, &share, 1), Some(3)); // 2 + 1 gap
+        assert_eq!(width_lower_bound(&units, &share, 2), Some(1));
+    }
+
+    #[test]
+    fn dense_share_graphs_fall_back_to_packing() {
+        // The mux's share graph is dense enough for a near-perfect
+        // matching (orientation consistency, which the relaxation drops,
+        // is what actually limits its chains), so the bound equals the
+        // packing floor — and stays safe.
+        let (units, share) = setup(library::mux21());
+        let lb = width_lower_bound(&units, &share, 1).unwrap();
+        assert_eq!(lb, 7);
+    }
+
+    #[test]
+    fn fully_mergeable_cells_keep_the_packing_bound() {
+        let (units, share) = setup(library::nand2());
+        assert_eq!(width_lower_bound(&units, &share, 1), Some(2));
+        assert_eq!(width_lower_bound(&units, &share, 2), Some(1));
+    }
+
+    #[test]
+    fn invalid_row_counts_return_none() {
+        let (units, share) = setup(library::nand2());
+        assert_eq!(width_lower_bound(&units, &share, 0), None);
+        assert_eq!(width_lower_bound(&units, &share, 3), None);
+    }
+
+    #[test]
+    fn matching_is_a_true_matching() {
+        let (units, share) = setup(library::xor2());
+        let m = max_merge_matching(&units, &share);
+        // A matching never exceeds the vertex count on either side.
+        assert!(m <= units.len());
+        // And never exceeds the number of mergeable ordered pairs.
+        assert!(m <= share.mergeable_pairs().len());
+    }
+}

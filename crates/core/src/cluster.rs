@@ -1,0 +1,515 @@
+//! HCLIP and-stack clustering (paper Sec. 7).
+//!
+//! An *and-stack* of size `n` is a group of `n ≥ 2` transistors connected
+//! in series — the pull-down of a NAND, the pull-up of a NOR, the series
+//! chains inside complex gates. Because a series chain is internally fully
+//! diffusion-shared and its complementary partners are parallel between
+//! two fixed nets, the whole group can be pre-placed internally and handed
+//! to CLIP-W as a single rigid super-pair of width `n`. This shrinks the
+//! ILP dramatically (the paper: "HCLIP extends our technique to circuits
+//! with over 30 transistors while yielding layouts that are at or near the
+//! optimum") at the cost of exploring fewer arrangements — HCLIP is a
+//! heuristic.
+//!
+//! Detection: an internal chain net is a non-rail, non-I/O net touching
+//! exactly two diffusion terminals, both on devices of the chain polarity,
+//! and gating nothing. Maximal chains through such nets whose partner
+//! devices are all parallel between one common net pair become stacks;
+//! chains whose partners differ are split into maximal qualifying
+//! segments.
+
+use std::collections::HashMap;
+
+use clip_netlist::{DeviceId, DeviceKind, NetId, PairId, PairedCircuit};
+use clip_route::row::SlotNets;
+
+use crate::unit::{Unit, UnitSet};
+
+/// Clusters a paired circuit into and-stack super-pairs plus leftover
+/// single-pair units.
+///
+/// Stacks are searched on both polarities: series-N chains (NAND-like) and
+/// series-P chains (NOR-like). A pair joins at most one stack.
+pub fn cluster_and_stacks(paired: PairedCircuit) -> UnitSet {
+    let chains = find_stacks(&paired);
+    let mut in_stack = vec![false; paired.len()];
+    let mut units = Vec::new();
+    for chain in &chains {
+        for &p in &chain.members {
+            in_stack[p.index()] = true;
+        }
+        units.push(build_stack_unit(&paired, chain));
+    }
+    for (id, _) in paired.iter_pairs() {
+        if !in_stack[id.index()] {
+            units.push(Unit::single(&paired, id));
+        }
+    }
+    // Deterministic order: sort by first member.
+    units.sort_by_key(|u| u.members[0]);
+    UnitSet::from_units(paired, units)
+}
+
+/// A detected and-stack: the member pairs in chain order, the chain
+/// polarity, and the parallel strip's net pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stack {
+    /// Member pairs, in series-chain order.
+    pub members: Vec<PairId>,
+    /// Which network the series chain lives in.
+    pub chain_kind: DeviceKind,
+    /// Diffusion node sequence of the chain (`members.len() + 1` nets).
+    pub chain_nodes: Vec<NetId>,
+    /// The two nets of the parallel partner strip.
+    pub parallel_nets: (NetId, NetId),
+}
+
+/// Finds all and-stacks of both polarities. Stacks never overlap.
+pub fn find_stacks(paired: &PairedCircuit) -> Vec<Stack> {
+    let mut claimed = vec![false; paired.len()];
+    let mut out = Vec::new();
+    for kind in [DeviceKind::N, DeviceKind::P] {
+        for chain in device_chains(paired, kind) {
+            out.extend(qualify_segments(paired, kind, &chain, &mut claimed));
+        }
+    }
+    out
+}
+
+/// A raw series chain of devices of one polarity: `(devices, node nets)`.
+type RawChain = (Vec<DeviceId>, Vec<NetId>);
+
+/// Finds maximal series chains of `kind` devices through internal nets.
+fn device_chains(paired: &PairedCircuit, kind: DeviceKind) -> Vec<RawChain> {
+    let circuit = paired.circuit();
+    let nets = circuit.nets();
+    let n_nets = nets.len();
+
+    // Diffusion fan-in per net, plus polarity purity and gate usage.
+    let mut diff_count = vec![0usize; n_nets];
+    let mut kind_count = vec![0usize; n_nets];
+    let mut gated = vec![false; n_nets];
+    for d in circuit.devices() {
+        diff_count[d.source.index()] += 1;
+        diff_count[d.drain.index()] += 1;
+        if d.kind == kind {
+            kind_count[d.source.index()] += 1;
+            kind_count[d.drain.index()] += 1;
+        }
+        gated[d.gate.index()] = true;
+    }
+    let is_io = |n: NetId| circuit.inputs().contains(&n) || circuit.outputs().contains(&n);
+    let internal = |n: NetId| {
+        !nets.is_rail(n)
+            && !is_io(n)
+            && !gated[n.index()]
+            && diff_count[n.index()] == 2
+            && kind_count[n.index()] == 2
+    };
+
+    // Adjacency: internal nets link exactly two same-kind devices.
+    let mut by_net: HashMap<NetId, Vec<DeviceId>> = HashMap::new();
+    for (id, d) in circuit.iter_devices() {
+        if d.kind == kind {
+            for t in [d.source, d.drain] {
+                if internal(t) {
+                    by_net.entry(t).or_default().push(id);
+                }
+            }
+        }
+    }
+
+    // Walk maximal chains: start from devices with at most one internal
+    // terminal (chain ends).
+    let mut visited = vec![false; circuit.devices().len()];
+    let mut chains = Vec::new();
+    for (start, d) in circuit.iter_devices() {
+        if d.kind != kind || visited[start.index()] {
+            continue;
+        }
+        let internal_terms: Vec<NetId> = [d.source, d.drain]
+            .into_iter()
+            .filter(|&t| internal(t))
+            .collect();
+        if internal_terms.len() != 1 {
+            continue; // not a chain end (isolated or mid-chain)
+        }
+        // Walk from the external end.
+        let mut devices = vec![start];
+        let mut node_seq = vec![d.other_diffusion(internal_terms[0]).expect("diffusion")];
+        visited[start.index()] = true;
+        let mut cur = start;
+        let mut link = internal_terms[0];
+        loop {
+            node_seq.push(link);
+            let next = by_net[&link]
+                .iter()
+                .copied()
+                .find(|&x| x != cur && !visited[x.index()]);
+            let Some(next) = next else { break };
+            visited[next.index()] = true;
+            devices.push(next);
+            let nd = circuit.device(next);
+            let far = nd.other_diffusion(link).expect("chain continues");
+            if internal(far) {
+                cur = next;
+                link = far;
+            } else {
+                node_seq.push(far);
+                break;
+            }
+        }
+        if devices.len() >= 2 {
+            chains.push((devices, node_seq));
+        }
+    }
+    chains
+}
+
+/// Splits a raw chain into maximal segments whose partner devices are
+/// parallel between one common net pair, skipping already-claimed pairs.
+fn qualify_segments(
+    paired: &PairedCircuit,
+    kind: DeviceKind,
+    chain: &RawChain,
+    claimed: &mut [bool],
+) -> Vec<Stack> {
+    let (devices, nodes) = chain;
+    let circuit = paired.circuit();
+    // Map device -> its pair.
+    let pair_of: HashMap<DeviceId, PairId> = paired
+        .iter_pairs()
+        .flat_map(|(id, pr)| [(pr.p, id), (pr.n, id)])
+        .collect();
+
+    let mut out = Vec::new();
+    let mut seg: Vec<(PairId, usize)> = Vec::new(); // (pair, index in chain)
+    let mut seg_nets: Option<(NetId, NetId)> = None;
+
+    let flush = |seg: &mut Vec<(PairId, usize)>,
+                 seg_nets: &mut Option<(NetId, NetId)>,
+                 out: &mut Vec<Stack>,
+                 claimed: &mut [bool]| {
+        if seg.len() >= 2 {
+            let members: Vec<PairId> = seg.iter().map(|&(p, _)| p).collect();
+            for &m in &members {
+                claimed[m.index()] = true;
+            }
+            let lo = seg[0].1;
+            let hi = seg[seg.len() - 1].1;
+            out.push(Stack {
+                members,
+                chain_kind: kind,
+                chain_nodes: nodes[lo..=hi + 1].to_vec(),
+                parallel_nets: seg_nets.expect("segment has nets"),
+            });
+        }
+        seg.clear();
+        *seg_nets = None;
+    };
+
+    for (k, &dev) in devices.iter().enumerate() {
+        let pair = pair_of[&dev];
+        let partner = match kind {
+            DeviceKind::N => paired.pair(pair).p,
+            DeviceKind::P => paired.pair(pair).n,
+        };
+        let pd = circuit.device(partner);
+        let pnets = normalize(pd.source, pd.drain);
+        // A break in chain position also breaks the segment (the walk is
+        // contiguous, so consecutive accepted devices sit at consecutive
+        // positions by construction).
+        let ok = !claimed[pair.index()]
+            && seg.iter().all(|&(p, _)| p != pair)
+            && seg.last().is_none_or(|&(_, kk)| kk + 1 == k)
+            && match seg_nets {
+                None => true,
+                Some(nets) => nets == pnets,
+            };
+        if ok {
+            if seg_nets.is_none() {
+                seg_nets = Some(pnets);
+            }
+            seg.push((pair, k));
+        } else {
+            flush(&mut seg, &mut seg_nets, &mut out, claimed);
+            if !claimed[pair.index()] {
+                seg_nets = Some(pnets);
+                seg.push((pair, k));
+            }
+        }
+    }
+    flush(&mut seg, &mut seg_nets, &mut out, claimed);
+    out
+}
+
+fn normalize(a: NetId, b: NetId) -> (NetId, NetId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Builds the super-pair unit for one stack, with both alternation phases
+/// of the parallel strip exposed as extra orientations.
+fn build_stack_unit(paired: &PairedCircuit, stack: &Stack) -> Unit {
+    let (u, v) = stack.parallel_nets;
+    let phase = |start: NetId| -> Vec<SlotNets> {
+        let other = |n: NetId| if n == u { v } else { u };
+        let mut cols = Vec::with_capacity(stack.members.len());
+        let mut left = start;
+        for (k, &m) in stack.members.iter().enumerate() {
+            let gate = paired.gate(m);
+            let (chain_l, chain_r) = (stack.chain_nodes[k], stack.chain_nodes[k + 1]);
+            let (par_l, par_r) = (left, other(left));
+            let col = match stack.chain_kind {
+                DeviceKind::N => SlotNets {
+                    gate,
+                    p_left: par_l,
+                    p_right: par_r,
+                    n_left: chain_l,
+                    n_right: chain_r,
+                },
+                DeviceKind::P => SlotNets {
+                    gate,
+                    p_left: chain_l,
+                    p_right: chain_r,
+                    n_left: par_l,
+                    n_right: par_r,
+                },
+            };
+            cols.push(col);
+            left = par_r;
+        }
+        cols
+    };
+    let phase_a = phase(u);
+    let phase_b = if u == v { None } else { Some(phase(v)) };
+    Unit::stack(stack.members.clone(), phase_a, phase_b)
+}
+
+/// Expands a placement over *stacked* units into the equivalent placement
+/// over the flat (one-unit-per-pair) unit set.
+///
+/// Each stack slot unrolls into its internal columns; every internal
+/// column's nets identify the member pair's orientation in the flat set.
+/// Used to turn a fast HCLIP solution into a warm start for the exact
+/// flat model.
+///
+/// Returns `None` if a column's nets match no flat orientation (cannot
+/// happen for unit sets built by this crate over the same circuit).
+pub fn expand_placement(
+    stacked: &UnitSet,
+    placement: &crate::solution::Placement,
+    flat: &UnitSet,
+) -> Option<crate::solution::Placement> {
+    use crate::solution::{PlacedUnit, Placement};
+    // Pair id -> flat unit index.
+    let flat_of_pair = |pair: PairId| -> Option<usize> {
+        flat.units().iter().position(|u| u.members == [pair])
+    };
+    let mut rows = Vec::with_capacity(placement.rows.len());
+    for row in &placement.rows {
+        let mut out: Vec<PlacedUnit> = Vec::new();
+        for pu in row {
+            let unit = &stacked.units()[pu.unit];
+            let cols = unit.placed_columns(pu.orient).to_vec();
+            // Member order under this orientation: match the gate-net
+            // sequence of the arrangement against the member list, forward
+            // or reversed.
+            let col_gates: Vec<_> = cols.iter().map(|c| c.gate).collect();
+            let forward: Vec<_> = unit
+                .members
+                .iter()
+                .map(|&m| stacked.paired().gate(m))
+                .collect();
+            let members: Vec<PairId> = if col_gates == forward {
+                unit.members.clone()
+            } else {
+                let reversed: Vec<PairId> = unit.members.iter().rev().copied().collect();
+                let rev_gates: Vec<_> =
+                    reversed.iter().map(|&m| stacked.paired().gate(m)).collect();
+                if col_gates == rev_gates {
+                    reversed
+                } else {
+                    return None;
+                }
+            };
+            for (k, col) in cols.iter().enumerate() {
+                let fu = flat_of_pair(members[k])?;
+                let orient = flat.units()[fu]
+                    .orients()
+                    .into_iter()
+                    .find(|&o| flat.units()[fu].placed_columns(o)[0] == *col)?;
+                out.push(PlacedUnit {
+                    unit: fu,
+                    orient,
+                    merged_with_next: k + 1 < cols.len() || pu.merged_with_next,
+                });
+            }
+            // The stack-level flag already set above for the last column.
+        }
+        if let Some(last) = out.last_mut() {
+            last.merged_with_next = false;
+        }
+        rows.push(out);
+    }
+    Some(Placement { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_netlist::library;
+
+    #[test]
+    fn nand2_collapses_to_one_stack() {
+        let paired = library::nand2().into_paired().unwrap();
+        let stacks = find_stacks(&paired);
+        assert_eq!(stacks.len(), 1);
+        assert_eq!(stacks[0].members.len(), 2);
+        assert_eq!(stacks[0].chain_kind, DeviceKind::N);
+        let units = cluster_and_stacks(paired);
+        assert_eq!(units.len(), 1);
+        assert_eq!(units.units()[0].width, 2);
+    }
+
+    #[test]
+    fn nor4_collapses_to_one_p_stack() {
+        let paired = library::nor4().into_paired().unwrap();
+        let stacks = find_stacks(&paired);
+        assert_eq!(stacks.len(), 1);
+        assert_eq!(stacks[0].members.len(), 4);
+        assert_eq!(stacks[0].chain_kind, DeviceKind::P);
+        let units = cluster_and_stacks(paired);
+        assert_eq!(units.len(), 1);
+        assert_eq!(units.units()[0].width, 4);
+    }
+
+    #[test]
+    fn inverter_has_no_stacks() {
+        let paired = library::inverter().into_paired().unwrap();
+        assert!(find_stacks(&paired).is_empty());
+        let units = cluster_and_stacks(paired);
+        assert_eq!(units.len(), 1);
+        assert!(units.is_flat());
+    }
+
+    #[test]
+    fn aoi22_finds_two_stacks() {
+        // (a&b | c&d)': two N series chains of length 2.
+        let paired = library::aoi22().into_paired().unwrap();
+        let stacks = find_stacks(&paired);
+        assert_eq!(stacks.len(), 2);
+        for s in &stacks {
+            assert_eq!(s.members.len(), 2);
+        }
+        let units = cluster_and_stacks(paired);
+        assert_eq!(units.len(), 2);
+        assert_eq!(units.total_width(), 4);
+    }
+
+    #[test]
+    fn stacks_never_overlap() {
+        for circuit in library::evaluation_suite() {
+            let name = circuit.name().to_owned();
+            let paired = circuit.into_paired().unwrap();
+            let total_pairs = paired.len();
+            let stacks = find_stacks(&paired);
+            let mut members: Vec<PairId> =
+                stacks.iter().flat_map(|s| s.members.clone()).collect();
+            let n = members.len();
+            members.sort();
+            members.dedup();
+            assert_eq!(members.len(), n, "{name}: overlapping stacks");
+            // Clustering preserves the pair count.
+            let units = cluster_and_stacks(paired);
+            assert_eq!(units.total_width(), total_pairs, "{name}");
+        }
+    }
+
+    #[test]
+    fn stack_units_expose_both_phases() {
+        let paired = library::nand2().into_paired().unwrap();
+        let units = cluster_and_stacks(paired);
+        let stack = &units.units()[0];
+        // Phases A and B (each with its reversal) — up to 4, at least 2.
+        assert!(stack.orients().len() >= 2);
+        // In one phase the P strip starts on VDD, in another on z.
+        let nets = units.paired().circuit().nets();
+        let starts: Vec<NetId> = stack
+            .orients()
+            .iter()
+            .map(|&o| stack.placed_columns(o)[0].p_left)
+            .collect();
+        assert!(starts.contains(&nets.vdd()));
+        assert!(starts.iter().any(|&s| s != nets.vdd()));
+    }
+
+    #[test]
+    fn chain_nodes_are_consistent() {
+        let paired = library::nand3().into_paired().unwrap();
+        let stacks = find_stacks(&paired);
+        assert_eq!(stacks.len(), 1);
+        let s = &stacks[0];
+        assert_eq!(s.chain_nodes.len(), s.members.len() + 1);
+        // One chain end is GND (NAND pull-down reaches the rail).
+        let nets = paired.circuit().nets();
+        let ends = [s.chain_nodes[0], *s.chain_nodes.last().unwrap()];
+        assert!(ends.contains(&nets.gnd()));
+    }
+
+    #[test]
+    fn expand_placement_round_trips_widths() {
+        use crate::clipw::{ClipW, ClipWOptions};
+        use crate::share::ShareArray;
+        use clip_pb::{Solver, SolverConfig};
+        for circuit in [library::nand4(), library::aoi22(), library::full_adder()] {
+            let name = circuit.name().to_owned();
+            let paired = circuit.into_paired().unwrap();
+            let flat = UnitSet::flat(paired.clone());
+            let stacked = cluster_and_stacks(paired);
+            let share = ShareArray::new(&stacked);
+            let rows = 2usize.min(stacked.len());
+            let model = ClipW::build(&stacked, &share, &ClipWOptions::new(rows)).unwrap();
+            let warm = crate::generator::greedy_placement(&stacked, &share, rows)
+                .and_then(|p| model.warm_assignment(&stacked, &p));
+            let out = Solver::with_config(
+                model.model(),
+                SolverConfig {
+                    brancher: Some(model.brancher()),
+                    warm_start: warm,
+                    time_limit: Some(std::time::Duration::from_secs(20)),
+                    ..Default::default()
+                },
+            )
+            .run();
+            let sol = out.best().unwrap();
+            let placement = model.extract(sol);
+            let stacked_width = placement.cell_width(&stacked);
+            let expanded = expand_placement(&stacked, &placement, &flat)
+                .unwrap_or_else(|| panic!("{name}: expansion failed"));
+            crate::verify::check_placement(&flat, &expanded)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(
+                expanded.cell_width(&flat),
+                stacked_width,
+                "{name}: expansion changed the width"
+            );
+        }
+    }
+
+    #[test]
+    fn full_adder_clusters_shrink_the_problem() {
+        let paired = library::full_adder().into_paired().unwrap();
+        let flat = paired.len();
+        let units = cluster_and_stacks(paired);
+        assert!(
+            units.len() < flat,
+            "clustering should reduce {flat} pairs, got {} units",
+            units.len()
+        );
+        assert_eq!(units.total_width(), flat);
+    }
+}

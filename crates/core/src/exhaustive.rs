@@ -1,0 +1,246 @@
+//! Exhaustive placement enumeration — the test oracle for CLIP-W.
+//!
+//! For small unit counts it is feasible to enumerate *every* 2-D placement:
+//! all unit permutations, all contiguous splits into non-empty rows, and
+//! all orientation assignments. For a fixed order and orientation choice,
+//! merging every share-compatible boundary is optimal (merging only ever
+//! reduces width), so the width of a candidate is computed directly. The
+//! minimum over all candidates is the true optimum the ILP must match.
+
+use crate::orient::Orient;
+use crate::share::ShareArray;
+use crate::solution::{PlacedUnit, Placement};
+use crate::unit::UnitSet;
+
+/// Hard cap on the candidate count, to keep accidental misuse from
+/// hanging a test run.
+const MAX_CANDIDATES: u64 = 20_000_000;
+
+/// Finds the optimal cell width by exhaustive enumeration.
+///
+/// Returns `None` when `rows` is zero or exceeds the unit count.
+///
+/// # Panics
+///
+/// Panics if the search space exceeds an internal safety cap (~2·10⁷
+/// candidates); this oracle is for small circuits only.
+pub fn optimal_width(units: &UnitSet, share: &ShareArray, rows: usize) -> Option<usize> {
+    optimal_placement(units, share, rows).map(|(w, _)| w)
+}
+
+/// Finds an optimal placement by exhaustive enumeration, returning
+/// `(width, placement)`.
+///
+/// # Panics
+///
+/// See [`optimal_width`].
+pub fn optimal_placement(
+    units: &UnitSet,
+    share: &ShareArray,
+    rows: usize,
+) -> Option<(usize, Placement)> {
+    let n = units.len();
+    if rows == 0 || rows > n {
+        return None;
+    }
+    check_size(units, rows);
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut best: Option<(usize, Placement)> = None;
+    permute(&mut order, 0, &mut |perm| {
+        // Enumerate splits: choose rows-1 cut positions among n-1 gaps.
+        let mut cuts = (1..rows).collect::<Vec<usize>>();
+        loop {
+            evaluate_orientations(units, share, perm, &cuts, &mut best);
+            if !next_combination(&mut cuts, n) {
+                break;
+            }
+        }
+    });
+    best
+}
+
+fn check_size(units: &UnitSet, rows: usize) {
+    let n = units.len() as u64;
+    let mut candidates: u64 = 1;
+    for i in 1..=n {
+        candidates = candidates.saturating_mul(i);
+    }
+    for u in units.units() {
+        candidates = candidates.saturating_mul(u.orients().len() as u64);
+    }
+    // Splits: C(n-1, rows-1) — bounded by 2^(n-1).
+    candidates = candidates.saturating_mul(1 << (n.saturating_sub(1)).min(20));
+    let _ = rows;
+    assert!(
+        candidates <= MAX_CANDIDATES || n <= 6,
+        "exhaustive search space too large ({candidates} candidates)"
+    );
+}
+
+/// Lexicographic next combination of `cuts` (strictly increasing values in
+/// `1..n`).
+fn next_combination(cuts: &mut [usize], n: usize) -> bool {
+    let k = cuts.len();
+    if k == 0 {
+        return false;
+    }
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if cuts[i] < n - (k - i) {
+            cuts[i] += 1;
+            for j in i + 1..k {
+                cuts[j] = cuts[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+fn permute(order: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == order.len() {
+        f(order);
+        return;
+    }
+    for i in k..order.len() {
+        order.swap(k, i);
+        permute(order, k + 1, f);
+        order.swap(k, i);
+    }
+}
+
+fn evaluate_orientations(
+    units: &UnitSet,
+    share: &ShareArray,
+    perm: &[usize],
+    cuts: &[usize],
+    best: &mut Option<(usize, Placement)>,
+) {
+    let n = perm.len();
+    // Mixed-radix counter over each unit's allowed orientations.
+    let radix: Vec<usize> = perm
+        .iter()
+        .map(|&u| units.units()[u].orients().len())
+        .collect();
+    let mut digits = vec![0usize; n];
+    loop {
+        let orients: Vec<Orient> = perm
+            .iter()
+            .zip(&digits)
+            .map(|(&u, &d)| units.units()[u].orients()[d])
+            .collect();
+        let (width, placement) = placement_from_order(units, share, perm, &orients, cuts);
+        if best.as_ref().is_none_or(|(bw, _)| width < *bw) {
+            *best = Some((width, placement));
+        }
+        // Increment the counter.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return;
+            }
+            digits[i] += 1;
+            if digits[i] < radix[i] {
+                break;
+            }
+            digits[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Builds the placement for a fixed unit order, orientation choice, and
+/// row cut positions, merging every share-compatible boundary (optimal for
+/// a fixed order), and returns `(width, placement)`.
+///
+/// `cuts` are strictly increasing positions in `1..perm.len()` splitting
+/// the order into `cuts.len() + 1` rows. Exposed for the heuristic
+/// baselines, which search over orders.
+pub fn placement_from_order(
+    units: &UnitSet,
+    share: &ShareArray,
+    perm: &[usize],
+    orients: &[Orient],
+    cuts: &[usize],
+) -> (usize, Placement) {
+    let mut rows: Vec<Vec<PlacedUnit>> = Vec::with_capacity(cuts.len() + 1);
+    let mut width = 0usize;
+    let bounds: Vec<usize> = std::iter::once(0)
+        .chain(cuts.iter().copied())
+        .chain(std::iter::once(perm.len()))
+        .collect();
+    for seg in bounds.windows(2) {
+        let (lo, hi) = (seg[0], seg[1]);
+        let mut row = Vec::with_capacity(hi - lo);
+        let mut row_width = 0usize;
+        for k in lo..hi {
+            let merged_with_next = k + 1 < hi
+                && share.shares(perm[k], orients[k], perm[k + 1], orients[k + 1]);
+            row.push(PlacedUnit {
+                unit: perm[k],
+                orient: orients[k],
+                merged_with_next,
+            });
+            row_width += units.units()[perm[k]].width;
+            if k > lo && !row[k - lo - 1].merged_with_next {
+                row_width += 1;
+            }
+        }
+        width = width.max(row_width);
+        rows.push(row);
+    }
+    (width, Placement { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_netlist::library;
+
+    #[test]
+    fn nand2_optimum_is_two() {
+        let units = UnitSet::flat(library::nand2().into_paired().unwrap());
+        let share = ShareArray::new(&units);
+        let (w, placement) = optimal_placement(&units, &share, 1).unwrap();
+        assert_eq!(w, 2);
+        assert_eq!(placement.cell_width(&units), 2);
+    }
+
+    #[test]
+    fn invalid_row_counts_return_none() {
+        let units = UnitSet::flat(library::nand2().into_paired().unwrap());
+        let share = ShareArray::new(&units);
+        assert!(optimal_width(&units, &share, 0).is_none());
+        assert!(optimal_width(&units, &share, 3).is_none());
+    }
+
+    #[test]
+    fn two_rows_of_nand2_are_width_one_each() {
+        let units = UnitSet::flat(library::nand2().into_paired().unwrap());
+        let share = ShareArray::new(&units);
+        assert_eq!(optimal_width(&units, &share, 2), Some(1));
+    }
+
+    #[test]
+    fn reported_placement_width_is_consistent() {
+        let units = UnitSet::flat(library::aoi21().into_paired().unwrap());
+        let share = ShareArray::new(&units);
+        for rows in 1..=3 {
+            let (w, placement) = optimal_placement(&units, &share, rows).unwrap();
+            assert_eq!(w, placement.cell_width(&units), "rows={rows}");
+        }
+    }
+
+    #[test]
+    fn next_combination_enumerates_all() {
+        let mut cuts = vec![1, 2];
+        let mut seen = vec![cuts.clone()];
+        while next_combination(&mut cuts, 4) {
+            seen.push(cuts.clone());
+        }
+        // C(3,2) = 3 splits of 4 items into 3 nonempty segments.
+        assert_eq!(seen, vec![vec![1, 2], vec![1, 3], vec![2, 3]]);
+    }
+}

@@ -1,0 +1,57 @@
+//! CLIP: an optimizing layout generator for two-dimensional CMOS cells.
+//!
+//! Reproduction of Gupta & Hayes, DAC 1997. The crate provides:
+//!
+//! * [`orient`] — the four pair orientations (Eq. 21 algebra);
+//! * [`mod@unit`] — placeable units (pairs and HCLIP super-pairs);
+//! * [`share`] — the diffusion-abutment `share` array (Fig. 2b);
+//! * [`bounds`] — combinatorial width lower bounds (packing + matching);
+//! * [`clipw`] — the CLIP-W width-minimization 0-1 ILP (Sec. 3);
+//! * [`cliph`] — the CLIP-WH width+height model (Secs. 4–6);
+//! * [`cluster`] — HCLIP and-stack clustering (Sec. 7);
+//! * [`hier`] — hierarchical generation over a circuit partitioning (the
+//!   paper's \[9\] extension);
+//! * [`solution`] — extracted placements and geometric realization;
+//! * [`exhaustive`] — a brute-force oracle for small circuits;
+//! * [`verify`] — independent combinatorial re-checking of solutions;
+//! * [`generator`] — the top-level [`generator::CellGenerator`] API.
+//!
+//! # Example
+//!
+//! ```
+//! use clip_core::generator::{CellGenerator, GenOptions};
+//! use clip_netlist::library;
+//!
+//! let cell = CellGenerator::new(GenOptions::rows(1))
+//!     .generate(library::nand2())
+//!     .expect("nand2 synthesizes");
+//! assert_eq!(cell.width, 2); // fully merged NAND2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Model construction indexes parallel coordinate arrays (x[u][s][r],
+// span[n][c][r], ...) exactly as the paper's equations do; iterator
+// rewrites would obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bounds;
+pub mod cliph;
+pub mod clipw;
+pub mod cluster;
+pub mod exhaustive;
+pub mod generator;
+pub mod hier;
+pub mod orient;
+pub mod share;
+pub mod solution;
+pub mod unit;
+pub mod verify;
+
+pub use cliph::{ClipWH, ClipWHError, ClipWHOptions, WhObjective};
+pub use clipw::{ClipW, ClipWError, ClipWOptions};
+pub use generator::{CellGenerator, GenError, GenOptions, GeneratedCell, Objective};
+pub use orient::Orient;
+pub use share::{ShareArray, ShareEntry};
+pub use solution::{PlacedUnit, Placement};
+pub use unit::{Unit, UnitId, UnitSet};

@@ -1,0 +1,134 @@
+//! Pair orientation algebra (the paper's `Xor[p, o]` variables, Eq. 21).
+//!
+//! A P/N pair can be drawn in four orientations, flipping its P and N
+//! transistors horizontally and independently. The paper's encoding, read
+//! off Eq. 21's terminal conditions, is:
+//!
+//! | orientation | P terminal on the left | N terminal on the left |
+//! |---|---|---|
+//! | 1 | source | source |
+//! | 2 | source | drain |
+//! | 3 | drain | source |
+//! | 4 | drain | drain |
+//!
+//! so orientations {1, 2} leave the P device unflipped, {1, 3} leave the N
+//! device unflipped.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the four pair orientations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Orient {
+    /// P source left, N source left.
+    O1,
+    /// P source left, N drain left.
+    O2,
+    /// P drain left, N source left.
+    O3,
+    /// P drain left, N drain left.
+    O4,
+}
+
+impl Orient {
+    /// All four orientations, in paper order.
+    pub const ALL: [Orient; 4] = [Orient::O1, Orient::O2, Orient::O3, Orient::O4];
+
+    /// The orientations in which the whole pair is flipped as a rigid body
+    /// (P and N together) — the only ones a multi-column stack admits.
+    pub const RIGID: [Orient; 2] = [Orient::O1, Orient::O4];
+
+    /// 1-based index as printed in the paper (`Xor[p, 1..4]`).
+    pub fn index(self) -> usize {
+        match self {
+            Orient::O1 => 1,
+            Orient::O2 => 2,
+            Orient::O3 => 3,
+            Orient::O4 => 4,
+        }
+    }
+
+    /// Builds from a 1-based paper index.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `i ∈ 1..=4`.
+    pub fn from_index(i: usize) -> Self {
+        match i {
+            1 => Orient::O1,
+            2 => Orient::O2,
+            3 => Orient::O3,
+            4 => Orient::O4,
+            other => panic!("orientation index {other} out of range 1..=4"),
+        }
+    }
+
+    /// True if the P transistor is flipped (drain on the left).
+    pub fn p_flipped(self) -> bool {
+        matches!(self, Orient::O3 | Orient::O4)
+    }
+
+    /// True if the N transistor is flipped (drain on the left).
+    pub fn n_flipped(self) -> bool {
+        matches!(self, Orient::O2 | Orient::O4)
+    }
+
+    /// The orientation with both devices additionally flipped (a rigid
+    /// 180° turn); an involution.
+    pub fn reversed(self) -> Self {
+        match self {
+            Orient::O1 => Orient::O4,
+            Orient::O2 => Orient::O3,
+            Orient::O3 => Orient::O2,
+            Orient::O4 => Orient::O1,
+        }
+    }
+}
+
+impl std::fmt::Display for Orient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for o in Orient::ALL {
+            assert_eq!(Orient::from_index(o.index()), o);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        Orient::from_index(5);
+    }
+
+    #[test]
+    fn flip_flags_match_eq21() {
+        // Eq. 21: P source appears on the left for orientations 1,2;
+        // N source for 1,3.
+        assert!(!Orient::O1.p_flipped() && !Orient::O2.p_flipped());
+        assert!(Orient::O3.p_flipped() && Orient::O4.p_flipped());
+        assert!(!Orient::O1.n_flipped() && !Orient::O3.n_flipped());
+        assert!(Orient::O2.n_flipped() && Orient::O4.n_flipped());
+    }
+
+    #[test]
+    fn reversal_is_an_involution() {
+        for o in Orient::ALL {
+            assert_eq!(o.reversed().reversed(), o);
+            assert_ne!(o.reversed(), o);
+        }
+    }
+
+    #[test]
+    fn rigid_set_is_closed_under_reversal() {
+        for o in Orient::RIGID {
+            assert!(Orient::RIGID.contains(&o.reversed()));
+        }
+    }
+}

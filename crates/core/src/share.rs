@@ -1,0 +1,203 @@
+//! The diffusion-sharing `share` array (the paper's Fig. 2b).
+//!
+//! `share[p_i, o_i, p_j, o_j] = 1` iff placing pair `p_j` immediately to
+//! the right of pair `p_i`, with the given orientations, lets the two pairs
+//! abut — which requires the facing diffusion nets to match on **both** the
+//! P and the N strip (the pairs occupy both strips of the row; a
+//! single-strip match would short the other strip).
+
+use std::collections::HashMap;
+
+use crate::orient::Orient;
+use crate::unit::{Unit, UnitId, UnitSet};
+
+/// One abutment entry: `j` in orientation `oj` may sit immediately right
+/// of `i` in orientation `oi`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShareEntry {
+    /// Left unit.
+    pub i: UnitId,
+    /// Left unit's orientation.
+    pub oi: Orient,
+    /// Right unit.
+    pub j: UnitId,
+    /// Right unit's orientation.
+    pub oj: Orient,
+}
+
+/// Compatible orientation combinations for one ordered unit pair, grouped
+/// by the left unit's orientation.
+pub type OrientGroups = Vec<(Orient, Vec<Orient>)>;
+
+/// The precomputed abutment relation over a unit set.
+#[derive(Clone, Debug)]
+pub struct ShareArray {
+    entries: Vec<ShareEntry>,
+    /// For each ordered unit pair `(i, j)`: the compatible orientation
+    /// combinations, grouped by `oi`.
+    by_pair: HashMap<(UnitId, UnitId), OrientGroups>,
+}
+
+impl ShareArray {
+    /// Computes the abutment relation for every ordered unit pair and
+    /// orientation combination.
+    pub fn new(units: &UnitSet) -> Self {
+        let mut entries = Vec::new();
+        let mut by_pair: HashMap<(UnitId, UnitId), OrientGroups> = HashMap::new();
+        for (i, ui) in units.units().iter().enumerate() {
+            for (j, uj) in units.units().iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let mut groups: Vec<(Orient, Vec<Orient>)> = Vec::new();
+                for oi in ui.orients() {
+                    let compatible: Vec<Orient> = uj
+                        .orients()
+                        .into_iter()
+                        .filter(|&oj| abuts(ui, oi, uj, oj))
+                        .collect();
+                    if !compatible.is_empty() {
+                        for &oj in &compatible {
+                            entries.push(ShareEntry { i, oi, j, oj });
+                        }
+                        groups.push((oi, compatible));
+                    }
+                }
+                if !groups.is_empty() {
+                    by_pair.insert((i, j), groups);
+                }
+            }
+        }
+        ShareArray { entries, by_pair }
+    }
+
+    /// All abutment entries (the rows of Fig. 2b).
+    pub fn entries(&self) -> &[ShareEntry] {
+        &self.entries
+    }
+
+    /// True if `(i, oi, j, oj)` is a legal abutment.
+    pub fn shares(&self, i: UnitId, oi: Orient, j: UnitId, oj: Orient) -> bool {
+        self.by_pair
+            .get(&(i, j))
+            .is_some_and(|groups| {
+                groups
+                    .iter()
+                    .any(|(goi, ojs)| *goi == oi && ojs.contains(&oj))
+            })
+    }
+
+    /// The compatible orientation groups for ordered pair `(i, j)`:
+    /// for each left orientation, the right orientations that abut.
+    pub fn groups(&self, i: UnitId, j: UnitId) -> Option<&[(Orient, Vec<Orient>)]> {
+        self.by_pair.get(&(i, j)).map(|g| g.as_slice())
+    }
+
+    /// Ordered unit pairs with at least one compatible combination — the
+    /// pairs for which a `merged` variable exists.
+    pub fn mergeable_pairs(&self) -> Vec<(UnitId, UnitId)> {
+        let mut keys: Vec<(UnitId, UnitId)> = self.by_pair.keys().copied().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Number of entries (reported in the model statistics table).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no abutment is possible anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Both strips must match across the boundary.
+fn abuts(ui: &Unit, oi: Orient, uj: &Unit, oj: Orient) -> bool {
+    let (_, p_right, _, n_right) = ui.terminals(oi);
+    let (p_left, _, n_left, _) = uj.terminals(oj);
+    p_right == p_left && n_right == n_left
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_netlist::library;
+    use crate::unit::UnitSet;
+
+    fn mux_share() -> (UnitSet, ShareArray) {
+        let units = UnitSet::flat(library::mux21().into_paired().unwrap());
+        let share = ShareArray::new(&units);
+        (units, share)
+    }
+
+    #[test]
+    fn share_is_nonempty_for_the_mux() {
+        let (_, share) = mux_share();
+        assert!(!share.is_empty());
+        assert_eq!(share.len(), share.entries().len());
+    }
+
+    #[test]
+    fn share_matches_terminal_algebra() {
+        let (units, share) = mux_share();
+        for (i, ui) in units.units().iter().enumerate() {
+            for (j, uj) in units.units().iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                for oi in ui.orients() {
+                    for oj in uj.orients() {
+                        let (_, pr, _, nr) = ui.terminals(oi);
+                        let (pl, _, nl, _) = uj.terminals(oj);
+                        assert_eq!(
+                            share.shares(i, oi, j, oj),
+                            pr == pl && nr == nl,
+                            "({i},{oi},{j},{oj})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn share_is_reversal_symmetric() {
+        // If j fits right of i, then i (reversed) fits right of j
+        // (reversed) — the mirrored layout. Only guaranteed when both
+        // reversed orientations are admissible, which holds for flat units.
+        let (_, share) = mux_share();
+        for e in share.entries() {
+            assert!(
+                share.shares(e.j, e.oj.reversed(), e.i, e.oi.reversed()),
+                "{e:?} not mirror-symmetric"
+            );
+        }
+    }
+
+    #[test]
+    fn mergeable_pairs_are_sorted_and_consistent() {
+        let (_, share) = mux_share();
+        let pairs = share.mergeable_pairs();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        assert_eq!(pairs, sorted);
+        for (i, j) in pairs {
+            let groups = share.groups(i, j).unwrap();
+            assert!(!groups.is_empty());
+            for (oi, ojs) in groups {
+                for oj in ojs {
+                    assert!(share.shares(i, *oi, j, *oj));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_sharing() {
+        let (units, share) = mux_share();
+        for i in 0..units.len() {
+            assert!(share.groups(i, i).is_none());
+        }
+    }
+}

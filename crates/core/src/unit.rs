@@ -1,0 +1,415 @@
+//! Placeable units: single P/N pairs or HCLIP super-pairs (and-stacks).
+//!
+//! CLIP-W places *units*. For the flat model every unit is one P/N pair
+//! (width 1, up to four orientations with the exact Eq. 21 semantics).
+//! HCLIP collapses an and-stack — a series chain of `n ≥ 2` transistors
+//! whose complementary partners are parallel — into one super-pair of width
+//! `n`. A stack cannot flip its P and N sides independently (the gate
+//! columns are shared), but it has another internal freedom: the *phase* of
+//! the alternating parallel strip (whether it starts on net `u` or net
+//! `v`). Both freedoms are folded into the unit's orientation set: each
+//! orientation selects one concrete internal column arrangement.
+//!
+//! Either way a unit exposes its **boundary terminals** and its full
+//! **internal column structure** per orientation — everything the `share`
+//! array, the net-presence constraints (Eq. 21), and the layout renderer
+//! need.
+
+use serde::{Deserialize, Serialize};
+
+use clip_netlist::{NetId, PairId, PairedCircuit};
+use clip_route::row::SlotNets;
+
+use crate::orient::Orient;
+
+/// Dense unit index within a [`UnitSet`].
+pub type UnitId = usize;
+
+/// One placeable unit.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Unit {
+    /// Display label (`p3` for singles, `S{p1,p7}` for stacks).
+    pub label: String,
+    /// Member pairs in chain order (a single element for flat units).
+    pub members: Vec<PairId>,
+    /// Width in columns (= `members.len()`).
+    pub width: usize,
+    /// Allowed orientations with their concrete column arrangements;
+    /// deduplicated by geometric effect, in paper orientation order.
+    arrangements: Vec<(Orient, Vec<SlotNets>)>,
+}
+
+impl Unit {
+    /// Builds a flat (single-pair) unit from the circuit, with the exact
+    /// Eq. 21 orientation semantics (O1 = both sources on the left).
+    pub fn single(paired: &PairedCircuit, pair: PairId) -> Self {
+        let p = paired.p_device(pair);
+        let n = paired.n_device(pair);
+        let arrangements = Orient::ALL
+            .iter()
+            .map(|&o| {
+                let cols = vec![SlotNets {
+                    gate: paired.gate(pair),
+                    p_left: if o.p_flipped() { p.drain } else { p.source },
+                    p_right: if o.p_flipped() { p.source } else { p.drain },
+                    n_left: if o.n_flipped() { n.drain } else { n.source },
+                    n_right: if o.n_flipped() { n.source } else { n.drain },
+                }];
+                (o, cols)
+            })
+            .collect();
+        let mut unit = Unit {
+            label: format!("{pair}"),
+            members: vec![pair],
+            width: 1,
+            arrangements,
+        };
+        unit.dedup_arrangements();
+        unit
+    }
+
+    /// Builds a stack unit from an ordered chain of member pairs and up to
+    /// two internal phases of its reference arrangement.
+    ///
+    /// Orientation mapping: `O1` = phase A, `O4` = phase A reversed,
+    /// `O2` = phase B, `O3` = phase B reversed (when a distinct phase B is
+    /// provided). Reversal mirrors the whole rigid block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two members are given, if an arrangement's
+    /// length differs from the member count, or if adjacent internal
+    /// columns do not abut on both strips.
+    pub fn stack(
+        members: Vec<PairId>,
+        phase_a: Vec<SlotNets>,
+        phase_b: Option<Vec<SlotNets>>,
+    ) -> Self {
+        assert!(members.len() >= 2, "a stack needs at least two members");
+        for phase in std::iter::once(&phase_a).chain(phase_b.as_ref()) {
+            assert_eq!(phase.len(), members.len());
+            for w in phase.windows(2) {
+                assert_eq!(w[0].p_right, w[1].p_left, "stack P strips must abut");
+                assert_eq!(w[0].n_right, w[1].n_left, "stack N strips must abut");
+            }
+        }
+        let label = format!(
+            "S{{{}}}",
+            members
+                .iter()
+                .map(|m| format!("{m}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        let mut arrangements = vec![
+            (Orient::O1, phase_a.clone()),
+            (Orient::O4, reverse_columns(&phase_a)),
+        ];
+        if let Some(b) = phase_b {
+            arrangements.push((Orient::O2, b.clone()));
+            arrangements.push((Orient::O3, reverse_columns(&b)));
+        }
+        arrangements.sort_by_key(|(o, _)| o.index());
+        let mut unit = Unit {
+            label,
+            width: members.len(),
+            members,
+            arrangements,
+        };
+        unit.dedup_arrangements();
+        unit
+    }
+
+    /// The allowed orientations, in paper order.
+    pub fn orients(&self) -> Vec<Orient> {
+        self.arrangements.iter().map(|&(o, _)| o).collect()
+    }
+
+    /// Boundary terminal nets under an orientation:
+    /// `(p_left, p_right, n_left, n_right)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is not an allowed orientation of this unit.
+    pub fn terminals(&self, o: Orient) -> (NetId, NetId, NetId, NetId) {
+        let cols = self.placed_columns(o);
+        let first = cols.first().expect("units are non-empty");
+        let last = cols.last().expect("units are non-empty");
+        (first.p_left, last.p_right, first.n_left, last.n_right)
+    }
+
+    /// The full column structure under an orientation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is not an allowed orientation of this unit.
+    pub fn placed_columns(&self, o: Orient) -> &[SlotNets] {
+        self.arrangements
+            .iter()
+            .find(|&&(oo, _)| oo == o)
+            .map(|(_, cols)| cols.as_slice())
+            .unwrap_or_else(|| panic!("{}: orientation {o} not allowed", self.label))
+    }
+
+    /// The column structure of the unit's first allowed orientation.
+    pub fn reference_columns(&self) -> &[SlotNets] {
+        &self.arrangements[0].1
+    }
+
+    /// The allowed orientation whose geometry is the mirror image of `o`,
+    /// if one exists (it always does for freshly built units; orientation
+    /// deduplication may alias it to a geometrically identical one).
+    pub fn reversed_orient(&self, o: Orient) -> Option<Orient> {
+        let want = reverse_columns(self.placed_columns(o));
+        self.arrangements
+            .iter()
+            .find(|(_, cols)| *cols == want)
+            .map(|&(oo, _)| oo)
+    }
+
+    /// All nets touched by this unit's terminals.
+    pub fn touched_nets(&self) -> Vec<NetId> {
+        let mut nets: Vec<NetId> = self.arrangements[0]
+            .1
+            .iter()
+            .flat_map(|c| [c.gate, c.p_left, c.p_right, c.n_left, c.n_right])
+            .collect();
+        nets.sort();
+        nets.dedup();
+        nets
+    }
+
+    /// Keeps only orientations with distinct geometric effect.
+    fn dedup_arrangements(&mut self) {
+        let mut seen: Vec<Vec<SlotNets>> = Vec::new();
+        self.arrangements.retain(|(_, cols)| {
+            if seen.contains(cols) {
+                false
+            } else {
+                seen.push(cols.clone());
+                true
+            }
+        });
+    }
+}
+
+fn reverse_columns(cols: &[SlotNets]) -> Vec<SlotNets> {
+    cols.iter()
+        .rev()
+        .map(|c| SlotNets {
+            gate: c.gate,
+            p_left: c.p_right,
+            p_right: c.p_left,
+            n_left: c.n_right,
+            n_right: c.n_left,
+        })
+        .collect()
+}
+
+/// The complete set of units for one layout problem, plus the source
+/// circuit.
+#[derive(Clone, Debug)]
+pub struct UnitSet {
+    paired: PairedCircuit,
+    units: Vec<Unit>,
+}
+
+impl UnitSet {
+    /// One unit per pair — the flat (non-clustered) problem.
+    pub fn flat(paired: PairedCircuit) -> Self {
+        let units = paired
+            .iter_pairs()
+            .map(|(id, _)| Unit::single(&paired, id))
+            .collect();
+        UnitSet { paired, units }
+    }
+
+    /// Builds from an explicit unit list (used by HCLIP clustering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the units do not cover every pair exactly once.
+    pub fn from_units(paired: PairedCircuit, units: Vec<Unit>) -> Self {
+        let mut covered: Vec<PairId> = units.iter().flat_map(|u| u.members.clone()).collect();
+        let total = covered.len();
+        covered.sort();
+        covered.dedup();
+        assert_eq!(covered.len(), total, "a pair appears in two units");
+        assert_eq!(
+            covered.len(),
+            paired.len(),
+            "units must cover every pair exactly once"
+        );
+        UnitSet { paired, units }
+    }
+
+    /// Builds a unit set over a *subset* of the circuit's pairs (used by
+    /// hierarchical generation, where each partition is solved on its
+    /// own).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair appears in two units.
+    pub fn from_units_partial(paired: PairedCircuit, units: Vec<Unit>) -> Self {
+        let mut covered: Vec<PairId> = units.iter().flat_map(|u| u.members.clone()).collect();
+        let total = covered.len();
+        covered.sort();
+        covered.dedup();
+        assert_eq!(covered.len(), total, "a pair appears in two units");
+        UnitSet { paired, units }
+    }
+
+    /// The source circuit.
+    pub fn paired(&self) -> &PairedCircuit {
+        &self.paired
+    }
+
+    /// The units.
+    pub fn units(&self) -> &[Unit] {
+        &self.units
+    }
+
+    /// Number of units.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// True if there are no units.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Total width of all units (the zero-gap single-row width).
+    pub fn total_width(&self) -> usize {
+        self.units.iter().map(|u| u.width).sum()
+    }
+
+    /// True if every unit is a single pair.
+    pub fn is_flat(&self) -> bool {
+        self.units.iter().all(|u| u.width == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_netlist::library;
+
+    fn mux_units() -> UnitSet {
+        UnitSet::flat(library::mux21().into_paired().unwrap())
+    }
+
+    #[test]
+    fn flat_units_cover_all_pairs() {
+        let us = mux_units();
+        assert_eq!(us.len(), 7);
+        assert_eq!(us.total_width(), 7);
+        assert!(us.is_flat());
+        for u in us.units() {
+            assert_eq!(u.width, 1);
+            let n = u.orients().len();
+            assert!(n >= 1 && n <= 4);
+        }
+    }
+
+    #[test]
+    fn terminals_follow_orientation_flips() {
+        let us = mux_units();
+        let u = &us.units()[0];
+        let (pl1, pr1, nl1, nr1) = u.terminals(Orient::O1);
+        let (pl4, pr4, nl4, nr4) = u.terminals(Orient::O4);
+        assert_eq!((pl1, pr1), (pr4, pl4));
+        assert_eq!((nl1, nr1), (nr4, nl4));
+        // O2 flips N only.
+        let (pl2, pr2, nl2, nr2) = u.terminals(Orient::O2);
+        assert_eq!((pl2, pr2), (pl1, pr1));
+        assert_eq!((nl2, nr2), (nr1, nl1));
+    }
+
+    #[test]
+    fn orientation_dedup_keeps_distinct_structures() {
+        let us = mux_units();
+        for u in us.units() {
+            let mut structures: Vec<_> = u
+                .orients()
+                .iter()
+                .map(|&o| u.placed_columns(o).to_vec())
+                .collect();
+            let n = structures.len();
+            structures.dedup();
+            assert_eq!(structures.len(), n, "{}: duplicate orientation", u.label);
+        }
+    }
+
+    fn sample_stack(phase_b: bool) -> Unit {
+        let us = mux_units();
+        let c0 = us.units()[0].reference_columns()[0];
+        let c1 = SlotNets {
+            gate: us.units()[1].reference_columns()[0].gate,
+            p_left: c0.p_right,
+            p_right: us.units()[1].reference_columns()[0].p_right,
+            n_left: c0.n_right,
+            n_right: us.units()[1].reference_columns()[0].n_right,
+        };
+        let b = phase_b.then(|| {
+            vec![
+                SlotNets {
+                    gate: c0.gate,
+                    p_left: c0.p_right,
+                    p_right: c0.p_left,
+                    n_left: c0.n_left,
+                    n_right: c0.n_right,
+                },
+                SlotNets {
+                    gate: c1.gate,
+                    p_left: c0.p_left,
+                    p_right: c1.p_right,
+                    n_left: c1.n_left,
+                    n_right: c1.n_right,
+                },
+            ]
+        });
+        Unit::stack(
+            vec![PairId::from_index(0), PairId::from_index(1)],
+            vec![c0, c1],
+            b,
+        )
+    }
+
+    #[test]
+    fn stack_flips_rigidly() {
+        let stack = sample_stack(false);
+        assert_eq!(stack.width, 2);
+        assert_eq!(stack.orients(), vec![Orient::O1, Orient::O4]);
+        let normal = stack.placed_columns(Orient::O1).to_vec();
+        let reversed = stack.placed_columns(Orient::O4).to_vec();
+        assert_eq!(reversed[0].gate, normal[1].gate);
+        assert_eq!(reversed[0].p_left, normal[1].p_right);
+        assert_eq!(reversed[1].n_right, normal[0].n_left);
+        let (pl, pr, nl, nr) = stack.terminals(Orient::O1);
+        let (pl4, pr4, nl4, nr4) = stack.terminals(Orient::O4);
+        assert_eq!((pl, pr, nl, nr), (pr4, pl4, nr4, nl4));
+    }
+
+    #[test]
+    fn stack_phase_b_adds_orientations() {
+        let stack = sample_stack(true);
+        assert_eq!(stack.orients().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not allowed")]
+    fn stack_rejects_unknown_orientation() {
+        let stack = sample_stack(false);
+        stack.placed_columns(Orient::O2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every pair")]
+    fn from_units_requires_full_cover() {
+        let us = mux_units();
+        let paired = us.paired().clone();
+        let one = us.units()[0].clone();
+        UnitSet::from_units(paired, vec![one]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Independent combinatorial verification of placements.
+//!
+//! Everything the ILP claims is re-checked here *without* the ILP: unit
+//! coverage, abutment legality (both strips must match across every merged
+//! boundary), and the geometric width recomputed through `clip-route`.
+//! Integration tests run every solver answer through this module, so a
+//! modeling bug cannot silently produce wrong tables.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::solution::Placement;
+use crate::unit::{UnitId, UnitSet};
+
+/// Problems found by [`check_placement`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlacementError {
+    /// A unit is missing or placed more than once.
+    BadCoverage {
+        /// Units expected.
+        expected: usize,
+        /// Distinct units found.
+        found: usize,
+    },
+    /// An empty row (the models require every row non-empty).
+    EmptyRow(usize),
+    /// A merge flag joins two units whose facing nets differ.
+    IllegalMerge {
+        /// Row index.
+        row: usize,
+        /// Position (unit index within the row) of the left unit.
+        position: usize,
+        /// Left unit.
+        left: UnitId,
+        /// Right unit.
+        right: UnitId,
+    },
+    /// A unit is placed with an orientation it does not allow.
+    BadOrientation {
+        /// The unit.
+        unit: UnitId,
+    },
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::BadCoverage { expected, found } => {
+                write!(f, "placement covers {found} of {expected} units")
+            }
+            PlacementError::EmptyRow(r) => write!(f, "row {r} is empty"),
+            PlacementError::IllegalMerge {
+                row,
+                position,
+                left,
+                right,
+            } => write!(
+                f,
+                "row {row}, position {position}: units {left} and {right} cannot abut"
+            ),
+            PlacementError::BadOrientation { unit } => {
+                write!(f, "unit {unit} placed with a disallowed orientation")
+            }
+        }
+    }
+}
+
+impl Error for PlacementError {}
+
+/// Checks that a placement is structurally legal.
+///
+/// # Errors
+///
+/// Returns the first [`PlacementError`] found.
+pub fn check_placement(units: &UnitSet, placement: &Placement) -> Result<(), PlacementError> {
+    // Coverage.
+    let mut ids = placement.unit_ids();
+    let found_total = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.len() != units.len() || found_total != units.len() {
+        return Err(PlacementError::BadCoverage {
+            expected: units.len(),
+            found: ids.len().min(found_total),
+        });
+    }
+    for (r, row) in placement.rows.iter().enumerate() {
+        if row.is_empty() {
+            return Err(PlacementError::EmptyRow(r));
+        }
+        // Orientations allowed.
+        for pu in row {
+            if !units.units()[pu.unit].orients().contains(&pu.orient) {
+                return Err(PlacementError::BadOrientation { unit: pu.unit });
+            }
+        }
+        // Merge legality on both strips.
+        for (k, pu) in row.iter().enumerate() {
+            if pu.merged_with_next {
+                let Some(next) = row.get(k + 1) else {
+                    return Err(PlacementError::IllegalMerge {
+                        row: r,
+                        position: k,
+                        left: pu.unit,
+                        right: pu.unit,
+                    });
+                };
+                let (_, pr, _, nr) = units.units()[pu.unit].terminals(pu.orient);
+                let (pl, _, nl, _) = units.units()[next.unit].terminals(next.orient);
+                if pr != pl || nr != nl {
+                    return Err(PlacementError::IllegalMerge {
+                        row: r,
+                        position: k,
+                        left: pu.unit,
+                        right: next.unit,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks placement legality *and* that the claimed width matches the
+/// geometry recomputed through `clip-route`.
+///
+/// # Errors
+///
+/// Returns a [`PlacementError`] or a [`WidthMismatch`](VerifyError::WidthMismatch).
+pub fn check_width(
+    units: &UnitSet,
+    placement: &Placement,
+    claimed_width: usize,
+) -> Result<(), VerifyError> {
+    check_placement(units, placement).map_err(VerifyError::Placement)?;
+    let actual = placement.cell_width(units);
+    if actual != claimed_width {
+        return Err(VerifyError::WidthMismatch {
+            claimed: claimed_width,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+/// Errors from [`check_width`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The placement itself is illegal.
+    Placement(PlacementError),
+    /// The ILP's width disagrees with the recomputed geometric width.
+    WidthMismatch {
+        /// Width claimed by the model.
+        claimed: usize,
+        /// Width recomputed from geometry.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Placement(e) => write!(f, "{e}"),
+            VerifyError::WidthMismatch { claimed, actual } => {
+                write!(f, "model claims width {claimed}, geometry gives {actual}")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VerifyError::Placement(e) => Some(e),
+            VerifyError::WidthMismatch { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orient::Orient;
+    use crate::solution::PlacedUnit;
+    use crate::unit::UnitSet;
+    use clip_netlist::library;
+
+    fn units() -> UnitSet {
+        UnitSet::flat(library::nand2().into_paired().unwrap())
+    }
+
+    fn unmerged_row(us: &UnitSet) -> Placement {
+        Placement {
+            rows: vec![(0..us.len())
+                .map(|u| PlacedUnit {
+                    unit: u,
+                    orient: us.units()[u].orients()[0],
+                    merged_with_next: false,
+                })
+                .collect()],
+        }
+    }
+
+    #[test]
+    fn legal_placement_passes() {
+        let us = units();
+        let p = unmerged_row(&us);
+        assert_eq!(check_placement(&us, &p), Ok(()));
+        assert_eq!(check_width(&us, &p, 3), Ok(()));
+    }
+
+    #[test]
+    fn wrong_width_is_flagged() {
+        let us = units();
+        let p = unmerged_row(&us);
+        assert_eq!(
+            check_width(&us, &p, 2),
+            Err(VerifyError::WidthMismatch {
+                claimed: 2,
+                actual: 3
+            })
+        );
+    }
+
+    #[test]
+    fn missing_unit_is_flagged() {
+        let us = units();
+        let mut p = unmerged_row(&us);
+        p.rows[0].pop();
+        assert!(matches!(
+            check_placement(&us, &p),
+            Err(PlacementError::BadCoverage { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_unit_is_flagged() {
+        let us = units();
+        let mut p = unmerged_row(&us);
+        let dup = p.rows[0][0];
+        p.rows[0][1] = dup;
+        assert!(matches!(
+            check_placement(&us, &p),
+            Err(PlacementError::BadCoverage { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_row_is_flagged() {
+        let us = units();
+        let mut p = unmerged_row(&us);
+        p.rows.push(vec![]);
+        // Coverage passes (all units placed once), empty row caught next.
+        assert_eq!(check_placement(&us, &p), Err(PlacementError::EmptyRow(1)));
+    }
+
+    #[test]
+    fn illegal_merge_is_flagged() {
+        let us = units();
+        let mut p = unmerged_row(&us);
+        // Force a merge with orientations chosen so the facing nets differ:
+        // exhaustively search for an incompatible orientation pairing.
+        let u0 = &us.units()[0];
+        let u1 = &us.units()[1];
+        let incompatible = u0.orients().iter().copied().find_map(|o0| {
+            u1.orients().iter().copied().find_map(|o1| {
+                let (_, pr, _, nr) = u0.terminals(o0);
+                let (pl, _, nl, _) = u1.terminals(o1);
+                (pr != pl || nr != nl).then_some((o0, o1))
+            })
+        });
+        let (o0, o1) = incompatible.expect("some orientation pair conflicts");
+        p.rows[0][0].orient = o0;
+        p.rows[0][0].merged_with_next = true;
+        p.rows[0][1].orient = o1;
+        assert!(matches!(
+            check_placement(&us, &p),
+            Err(PlacementError::IllegalMerge { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_merge_flag_is_flagged() {
+        let us = units();
+        let mut p = unmerged_row(&us);
+        p.rows[0].last_mut().unwrap().merged_with_next = true;
+        assert!(matches!(
+            check_placement(&us, &p),
+            Err(PlacementError::IllegalMerge { .. })
+        ));
+    }
+}

@@ -1,0 +1,166 @@
+//! Machine-readable JSON export.
+//!
+//! The schema is deliberately simple and stable: rows of slots with their
+//! terminal nets (by name), merge flags, and routed tracks per channel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::CellLayout;
+
+/// JSON document root.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct CellDoc {
+    /// Cell name.
+    pub name: String,
+    /// Cell width in transistor pitches.
+    pub width: usize,
+    /// Cell height in track-pitch units.
+    pub height: usize,
+    /// Rows, top to bottom.
+    pub rows: Vec<RowDoc>,
+    /// Inter-row channels, top to bottom.
+    pub inter_channels: Vec<ChannelDoc>,
+}
+
+/// One P/N row.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct RowDoc {
+    /// Slots, left to right.
+    pub slots: Vec<SlotDoc>,
+    /// Merge flags between adjacent slots.
+    pub merged: Vec<bool>,
+    /// The row's routed channel.
+    pub channel: ChannelDoc,
+}
+
+/// One placed slot's terminal nets, by name.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct SlotDoc {
+    /// Gate net.
+    pub gate: String,
+    /// Left P diffusion net.
+    pub p_left: String,
+    /// Right P diffusion net.
+    pub p_right: String,
+    /// Left N diffusion net.
+    pub n_left: String,
+    /// Right N diffusion net.
+    pub n_right: String,
+}
+
+/// A routed channel: tracks of `(net, lo, hi)` runs.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ChannelDoc {
+    /// Tracks, each a list of runs.
+    pub tracks: Vec<Vec<RunDoc>>,
+}
+
+/// One horizontal run on a track.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct RunDoc {
+    /// Net name.
+    pub net: String,
+    /// Leftmost physical column (inclusive).
+    pub lo: usize,
+    /// Rightmost physical column (inclusive).
+    pub hi: usize,
+}
+
+/// Builds the JSON document for a layout.
+pub fn document(layout: &CellLayout) -> CellDoc {
+    let channel_doc = |tracks: &[clip_route::leftedge::Track]| ChannelDoc {
+        tracks: tracks
+            .iter()
+            .map(|t| {
+                t.iter()
+                    .map(|&(net, span)| RunDoc {
+                        net: layout.net_name(net).to_owned(),
+                        lo: span.lo,
+                        hi: span.hi,
+                    })
+                    .collect()
+            })
+            .collect(),
+    };
+    CellDoc {
+        name: layout.name.clone(),
+        width: layout.width,
+        height: layout.height,
+        rows: layout
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(r, row)| RowDoc {
+                slots: row
+                    .slots()
+                    .iter()
+                    .map(|s| SlotDoc {
+                        gate: layout.net_name(s.gate).to_owned(),
+                        p_left: layout.net_name(s.p_left).to_owned(),
+                        p_right: layout.net_name(s.p_right).to_owned(),
+                        n_left: layout.net_name(s.n_left).to_owned(),
+                        n_right: layout.net_name(s.n_right).to_owned(),
+                    })
+                    .collect(),
+                merged: row.merged().to_vec(),
+                channel: channel_doc(&layout.intra_channels[r]),
+            })
+            .collect(),
+        inter_channels: layout
+            .inter_channels
+            .iter()
+            .map(|c| channel_doc(c))
+            .collect(),
+    }
+}
+
+/// Serializes a layout to pretty JSON.
+///
+/// # Panics
+///
+/// Panics if serialization fails, which cannot happen for this schema.
+pub fn to_json(layout: &CellLayout) -> String {
+    serde_json::to_string_pretty(&document(layout)).expect("schema serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_core::generator::{CellGenerator, GenOptions};
+    use clip_netlist::library;
+
+    fn layout() -> CellLayout {
+        let cell = CellGenerator::new(GenOptions::rows(1))
+            .generate(library::nand2())
+            .unwrap();
+        CellLayout::build(&cell)
+    }
+
+    #[test]
+    fn document_round_trips_through_json() {
+        let doc = document(&layout());
+        let text = serde_json::to_string(&doc).unwrap();
+        let back: CellDoc = serde_json::from_str(&text).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn document_structure_matches_layout() {
+        let l = layout();
+        let doc = document(&l);
+        assert_eq!(doc.name, "nand2");
+        assert_eq!(doc.width, 2);
+        assert_eq!(doc.rows.len(), 1);
+        assert_eq!(doc.rows[0].slots.len(), 2);
+        assert_eq!(doc.rows[0].merged, vec![true]);
+        assert!(doc.inter_channels.is_empty());
+    }
+
+    #[test]
+    fn json_contains_net_names() {
+        let text = to_json(&layout());
+        assert!(text.contains("VDD"));
+        assert!(text.contains("GND"));
+        assert!(text.contains("\"gate\""));
+    }
+}

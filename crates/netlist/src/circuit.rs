@@ -1,0 +1,471 @@
+//! Whole-circuit representation and validation.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{Device, DeviceId, DeviceKind};
+use crate::net::{NetId, NetTable};
+use crate::pair::{PairCircuitError, PairedCircuit};
+
+/// A transistor-level CMOS circuit.
+///
+/// A `Circuit` owns its [`NetTable`] and a flat device list. Input/output
+/// pin metadata is informational — layout only cares about connectivity —
+/// but is preserved for rendering and export.
+///
+/// # Example
+///
+/// ```
+/// use clip_netlist::{Circuit, DeviceKind};
+///
+/// let mut b = Circuit::builder("inv");
+/// let a = b.net("a");
+/// let z = b.net("z");
+/// let vdd = b.vdd();
+/// let gnd = b.gnd();
+/// b.device(DeviceKind::P, a, vdd, z);
+/// b.device(DeviceKind::N, a, gnd, z);
+/// b.input(a).output(z);
+/// let inv = b.build();
+/// assert_eq!(inv.devices().len(), 2);
+/// assert!(inv.validate().is_ok());
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    nets: NetTable,
+    devices: Vec<Device>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+}
+
+impl Circuit {
+    /// Starts building a circuit with the given name.
+    pub fn builder(name: &str) -> CircuitBuilder {
+        CircuitBuilder {
+            circuit: Circuit {
+                name: name.to_owned(),
+                nets: NetTable::new(),
+                devices: Vec::new(),
+                inputs: Vec::new(),
+                outputs: Vec::new(),
+            },
+        }
+    }
+
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The net table.
+    pub fn nets(&self) -> &NetTable {
+        &self.nets
+    }
+
+    /// All devices, indexable by [`DeviceId::index`].
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Device lookup.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// Declared input nets.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Declared output nets.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Iterates over `(DeviceId, &Device)`.
+    pub fn iter_devices(&self) -> impl Iterator<Item = (DeviceId, &Device)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId::from_index(i), d))
+    }
+
+    /// Number of P devices.
+    pub fn p_count(&self) -> usize {
+        self.devices
+            .iter()
+            .filter(|d| d.kind == DeviceKind::P)
+            .count()
+    }
+
+    /// Number of N devices.
+    pub fn n_count(&self) -> usize {
+        self.devices.len() - self.p_count()
+    }
+
+    /// Checks structural sanity of the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found:
+    /// * no devices at all;
+    /// * a device gated by a power rail (constant-on/off transistor);
+    /// * a P device with both diffusions on GND or an N device with both on
+    ///   VDD (inverted rail hookup);
+    /// * mismatched P/N device counts (CLIP places P/N *pairs*).
+    pub fn validate(&self) -> Result<(), ValidateCircuitError> {
+        if self.devices.is_empty() {
+            return Err(ValidateCircuitError::Empty);
+        }
+        for (id, d) in self.iter_devices() {
+            if self.nets.is_rail(d.gate) {
+                return Err(ValidateCircuitError::RailGated(id));
+            }
+            let wrong_rail = match d.kind {
+                DeviceKind::P => self.nets.gnd(),
+                DeviceKind::N => self.nets.vdd(),
+            };
+            if d.source == wrong_rail && d.drain == wrong_rail {
+                return Err(ValidateCircuitError::WrongRail(id));
+            }
+        }
+        if self.p_count() != self.n_count() {
+            return Err(ValidateCircuitError::Unbalanced {
+                p: self.p_count(),
+                n: self.n_count(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Pairs the P and N devices into the [`PairedCircuit`] CLIP places.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PairCircuitError`] when the devices cannot be matched
+    /// into complementary pairs.
+    pub fn into_paired(self) -> Result<PairedCircuit, PairCircuitError> {
+        PairedCircuit::from_circuit(self)
+    }
+
+    /// Renames the circuit.
+    pub fn set_name(&mut self, name: &str) {
+        self.name = name.to_owned();
+    }
+
+    /// Renames net `old` to `new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` does not exist or `new` is already interned (merging
+    /// nets by rename is not supported — use [`Circuit::absorb`]'s
+    /// name-unification instead).
+    pub fn rename_net(&mut self, old: &str, new: &str) {
+        self.nets.rename(old, new);
+    }
+
+    /// Drops declared inputs that are actually *driven* inside the circuit
+    /// (they touch diffusion of both a P and an N device — i.e. some gate
+    /// output). Used after composing gates with [`Circuit::absorb`], where
+    /// each stage declared its own inputs.
+    pub fn prune_derived_inputs(&mut self) {
+        let mut p_diff = vec![false; self.nets.len()];
+        let mut n_diff = vec![false; self.nets.len()];
+        for d in &self.devices {
+            let mask = match d.kind {
+                DeviceKind::P => &mut p_diff,
+                DeviceKind::N => &mut n_diff,
+            };
+            mask[d.source.index()] = true;
+            mask[d.drain.index()] = true;
+        }
+        self.inputs
+            .retain(|n| !(p_diff[n.index()] && n_diff[n.index()]));
+    }
+
+    /// Nets that appear on at least one diffusion terminal, rails excluded.
+    pub fn signal_diffusion_nets(&self) -> Vec<NetId> {
+        let mut seen = vec![false; self.nets.len()];
+        for d in &self.devices {
+            seen[d.source.index()] = true;
+            seen[d.drain.index()] = true;
+        }
+        self.nets
+            .iter()
+            .filter(|&n| seen[n.index()] && !self.nets.is_rail(n))
+            .collect()
+    }
+
+    /// Merges another circuit into this one, returning a net-id remapping.
+    ///
+    /// Nets are unified by name (so `other`'s `"z"` connects to this
+    /// circuit's `"z"`); device order is preserved (self's devices first).
+    /// Input/output declarations of `other` are appended, minus duplicates.
+    pub fn absorb(&mut self, other: &Circuit) -> HashMap<NetId, NetId> {
+        let mut map = HashMap::new();
+        for old in other.nets.iter() {
+            let name = other.nets.name(old);
+            // Generated internal nets (underscore-prefixed) are private to
+            // their circuit: never unify them across an absorb.
+            let new = if let Some(stripped) = name.strip_prefix('_') {
+                self.nets.fresh(stripped)
+            } else {
+                self.nets.intern(name)
+            };
+            map.insert(old, new);
+        }
+        for d in &other.devices {
+            self.devices.push(Device::new(
+                d.kind,
+                map[&d.gate],
+                map[&d.source],
+                map[&d.drain],
+            ));
+        }
+        for &i in &other.inputs {
+            let n = map[&i];
+            if !self.inputs.contains(&n) {
+                self.inputs.push(n);
+            }
+        }
+        for &o in &other.outputs {
+            let n = map[&o];
+            if !self.outputs.contains(&n) {
+                self.outputs.push(n);
+            }
+        }
+        map
+    }
+}
+
+/// Incremental [`Circuit`] constructor.
+///
+/// Obtained via [`Circuit::builder`]; see there for an example.
+#[derive(Clone, Debug)]
+pub struct CircuitBuilder {
+    circuit: Circuit,
+}
+
+impl CircuitBuilder {
+    /// Interns (or looks up) a named net.
+    pub fn net(&mut self, name: &str) -> NetId {
+        self.circuit.nets.intern(name)
+    }
+
+    /// Looks up a named net without interning it.
+    pub fn peek_net(&self, name: &str) -> Option<NetId> {
+        self.circuit.nets.lookup(name)
+    }
+
+    /// Creates a fresh uniquely named internal net.
+    pub fn fresh_net(&mut self, hint: &str) -> NetId {
+        self.circuit.nets.fresh(hint)
+    }
+
+    /// The VDD rail.
+    pub fn vdd(&self) -> NetId {
+        self.circuit.nets.vdd()
+    }
+
+    /// The GND rail.
+    pub fn gnd(&self) -> NetId {
+        self.circuit.nets.gnd()
+    }
+
+    /// Adds a device and returns its id.
+    pub fn device(&mut self, kind: DeviceKind, gate: NetId, source: NetId, drain: NetId) -> DeviceId {
+        let id = DeviceId::from_index(self.circuit.devices.len());
+        self.circuit.devices.push(Device::new(kind, gate, source, drain));
+        id
+    }
+
+    /// Declares an input pin.
+    pub fn input(&mut self, net: NetId) -> &mut Self {
+        if !self.circuit.inputs.contains(&net) {
+            self.circuit.inputs.push(net);
+        }
+        self
+    }
+
+    /// Declares an output pin.
+    pub fn output(&mut self, net: NetId) -> &mut Self {
+        if !self.circuit.outputs.contains(&net) {
+            self.circuit.outputs.push(net);
+        }
+        self
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Circuit {
+        self.circuit
+    }
+}
+
+/// Structural problems reported by [`Circuit::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateCircuitError {
+    /// The circuit has no devices.
+    Empty,
+    /// A device's gate is tied to a power rail.
+    RailGated(DeviceId),
+    /// A device has both diffusion terminals on its opposing rail.
+    WrongRail(DeviceId),
+    /// P and N device counts differ.
+    Unbalanced {
+        /// Number of P devices.
+        p: usize,
+        /// Number of N devices.
+        n: usize,
+    },
+}
+
+impl fmt::Display for ValidateCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateCircuitError::Empty => write!(f, "circuit has no devices"),
+            ValidateCircuitError::RailGated(id) => {
+                write!(f, "device {id:?} is gated by a power rail")
+            }
+            ValidateCircuitError::WrongRail(id) => {
+                write!(f, "device {id:?} has both diffusions on its opposing rail")
+            }
+            ValidateCircuitError::Unbalanced { p, n } => {
+                write!(f, "unbalanced device counts: {p} P vs {n} N")
+            }
+        }
+    }
+}
+
+impl Error for ValidateCircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inverter() -> Circuit {
+        let mut b = Circuit::builder("inv");
+        let a = b.net("a");
+        let z = b.net("z");
+        let (vdd, gnd) = (b.vdd(), b.gnd());
+        b.device(DeviceKind::P, a, vdd, z);
+        b.device(DeviceKind::N, a, gnd, z);
+        b.input(a).output(z);
+        b.build()
+    }
+
+    #[test]
+    fn builder_assembles_an_inverter() {
+        let c = inverter();
+        assert_eq!(c.name(), "inv");
+        assert_eq!(c.devices().len(), 2);
+        assert_eq!(c.p_count(), 1);
+        assert_eq!(c.n_count(), 1);
+        assert_eq!(c.inputs().len(), 1);
+        assert_eq!(c.outputs().len(), 1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        let c = Circuit::builder("empty").build();
+        assert_eq!(c.validate(), Err(ValidateCircuitError::Empty));
+    }
+
+    #[test]
+    fn validate_rejects_rail_gate() {
+        let mut b = Circuit::builder("bad");
+        let z = b.net("z");
+        let (vdd, gnd) = (b.vdd(), b.gnd());
+        b.device(DeviceKind::P, vdd, vdd, z);
+        b.device(DeviceKind::N, vdd, gnd, z);
+        let c = b.build();
+        assert!(matches!(
+            c.validate(),
+            Err(ValidateCircuitError::RailGated(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_rail_hookup() {
+        let mut b = Circuit::builder("bad");
+        let a = b.net("a");
+        let z = b.net("z");
+        let (vdd, gnd) = (b.vdd(), b.gnd());
+        b.device(DeviceKind::P, a, gnd, gnd); // P shorted across GND
+        b.device(DeviceKind::N, a, z, vdd);
+        let c = b.build();
+        assert!(matches!(
+            c.validate(),
+            Err(ValidateCircuitError::WrongRail(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unbalanced() {
+        let mut b = Circuit::builder("bad");
+        let a = b.net("a");
+        let z = b.net("z");
+        let gnd = b.gnd();
+        b.device(DeviceKind::N, a, gnd, z);
+        let c = b.build();
+        assert_eq!(
+            c.validate(),
+            Err(ValidateCircuitError::Unbalanced { p: 0, n: 1 })
+        );
+    }
+
+    #[test]
+    fn input_output_deduplicate() {
+        let mut b = Circuit::builder("c");
+        let a = b.net("a");
+        b.input(a).input(a).output(a).output(a);
+        let c = b.build();
+        assert_eq!(c.inputs().len(), 1);
+        assert_eq!(c.outputs().len(), 1);
+    }
+
+    #[test]
+    fn signal_diffusion_nets_excludes_rails_and_gates() {
+        let c = inverter();
+        let nets = c.signal_diffusion_nets();
+        assert_eq!(nets.len(), 1);
+        assert_eq!(c.nets().name(nets[0]), "z");
+    }
+
+    #[test]
+    fn absorb_unifies_by_name() {
+        let mut c = inverter();
+        let mut b = Circuit::builder("inv2");
+        let z = b.net("z"); // same name as c's output -> should unify
+        let y = b.net("y");
+        let (vdd, gnd) = (b.vdd(), b.gnd());
+        b.device(DeviceKind::P, z, vdd, y);
+        b.device(DeviceKind::N, z, gnd, y);
+        b.output(y);
+        let other = b.build();
+
+        let before_nets = c.nets().len();
+        c.absorb(&other);
+        assert_eq!(c.devices().len(), 4);
+        // Only "y" is new; VDD/GND/z unified.
+        assert_eq!(c.nets().len(), before_nets + 1);
+        let z_id = c.nets().lookup("z").unwrap();
+        // The absorbed P device's gate is the unified z.
+        assert_eq!(c.devices()[2].gate, z_id);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn absorb_returns_usable_mapping() {
+        let mut c = inverter();
+        let other = inverter();
+        let map = c.absorb(&other);
+        let a_old = other.nets().lookup("a").unwrap();
+        let a_new = map[&a_old];
+        assert_eq!(c.nets().name(a_new), "a");
+    }
+}

@@ -1,0 +1,163 @@
+//! Individual MOS devices.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::net::NetId;
+
+/// Polarity of a MOS transistor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DeviceKind {
+    /// PMOS device (pull-up network, connects toward VDD).
+    P,
+    /// NMOS device (pull-down network, connects toward GND).
+    N,
+}
+
+impl DeviceKind {
+    /// The opposite polarity.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use clip_netlist::DeviceKind;
+    /// assert_eq!(DeviceKind::P.complement(), DeviceKind::N);
+    /// ```
+    pub fn complement(self) -> DeviceKind {
+        match self {
+            DeviceKind::P => DeviceKind::N,
+            DeviceKind::N => DeviceKind::P,
+        }
+    }
+}
+
+impl fmt::Display for DeviceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceKind::P => write!(f, "P"),
+            DeviceKind::N => write!(f, "N"),
+        }
+    }
+}
+
+/// Compact handle for a device within a [`Circuit`](crate::Circuit).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DeviceId(pub(crate) u32);
+
+impl DeviceId {
+    /// Dense index of the device (its creation order within the circuit).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `DeviceId` from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        DeviceId(index as u32)
+    }
+}
+
+impl fmt::Debug for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// A single MOS transistor.
+///
+/// Source/drain are interchangeable electrically; CLIP exploits exactly that
+/// freedom when choosing pair orientations, so the distinction recorded here
+/// is purely a naming convention fixed by the netlist.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Device {
+    /// Polarity.
+    pub kind: DeviceKind,
+    /// Gate net.
+    pub gate: NetId,
+    /// Source-side diffusion net.
+    pub source: NetId,
+    /// Drain-side diffusion net.
+    pub drain: NetId,
+}
+
+impl Device {
+    /// Creates a device.
+    pub fn new(kind: DeviceKind, gate: NetId, source: NetId, drain: NetId) -> Self {
+        Device {
+            kind,
+            gate,
+            source,
+            drain,
+        }
+    }
+
+    /// Returns true if `net` touches either diffusion terminal.
+    pub fn touches_diffusion(&self, net: NetId) -> bool {
+        self.source == net || self.drain == net
+    }
+
+    /// Returns true if `net` touches any terminal (gate included).
+    pub fn touches(&self, net: NetId) -> bool {
+        self.gate == net || self.touches_diffusion(net)
+    }
+
+    /// The diffusion terminal opposite `net`, if `net` is a diffusion
+    /// terminal of this device.
+    pub fn other_diffusion(&self, net: NetId) -> Option<NetId> {
+        if self.source == net {
+            Some(self.drain)
+        } else if self.drain == net {
+            Some(self.source)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::NetTable;
+
+    fn sample() -> (NetTable, Device) {
+        let mut nets = NetTable::new();
+        let a = nets.intern("a");
+        let z = nets.intern("z");
+        let gnd = nets.gnd();
+        (nets, Device::new(DeviceKind::N, a, z, gnd))
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        assert_eq!(DeviceKind::P.complement().complement(), DeviceKind::P);
+        assert_eq!(DeviceKind::N.complement().complement(), DeviceKind::N);
+    }
+
+    #[test]
+    fn touches_distinguishes_gate_and_diffusion() {
+        let (nets, d) = sample();
+        let a = nets.lookup("a").unwrap();
+        let z = nets.lookup("z").unwrap();
+        assert!(d.touches(a));
+        assert!(!d.touches_diffusion(a));
+        assert!(d.touches_diffusion(z));
+        assert!(d.touches_diffusion(nets.gnd()));
+        assert!(!d.touches(nets.vdd()));
+    }
+
+    #[test]
+    fn other_diffusion_walks_the_channel() {
+        let (nets, d) = sample();
+        let z = nets.lookup("z").unwrap();
+        assert_eq!(d.other_diffusion(z), Some(nets.gnd()));
+        assert_eq!(d.other_diffusion(nets.gnd()), Some(z));
+        assert_eq!(d.other_diffusion(nets.vdd()), None);
+    }
+
+    #[test]
+    fn device_id_round_trips() {
+        let id = DeviceId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id:?}"), "d7");
+    }
+}

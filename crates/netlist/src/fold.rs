@@ -1,0 +1,162 @@
+//! Transistor folding.
+//!
+//! The paper's conclusion lists folding as a direct extension: "CLIP can
+//! be extended to accommodate transistor folding and performance-directed
+//! synthesis" (following XPRESS \[7\]). A wide transistor is *folded* into
+//! `k` parallel fingers of `1/k` width; the fingers are electrically
+//! parallel, and because each finger alternates its source/drain ends they
+//! chain with full diffusion sharing in the layout. Folding therefore
+//! trades cell height (device width) for cell width (finger count) — and
+//! CLIP can place the folded circuit optimally without any model change.
+//!
+//! Folding operates at the P/N-pair level so the folded circuit pairs
+//! cleanly: [`fold_pairs`] replicates both members of each selected pair.
+
+use crate::circuit::Circuit;
+use crate::device::Device;
+use crate::pair::{PairCircuitError, PairId, PairedCircuit};
+
+/// Folds selected pairs of `paired` into parallel fingers.
+///
+/// `factor(pair)` gives the finger count for each pair; `1` leaves the
+/// pair untouched. Both the P and N member of a pair are folded by the
+/// same factor, so every gate group stays balanced and the result pairs
+/// cleanly again.
+///
+/// # Errors
+///
+/// Propagates [`PairCircuitError`] from re-pairing (cannot occur for
+/// well-formed inputs and positive factors).
+///
+/// # Panics
+///
+/// Panics if `factor` returns 0 for any pair.
+pub fn fold_pairs(
+    paired: &PairedCircuit,
+    factor: &dyn Fn(PairId) -> usize,
+) -> Result<PairedCircuit, PairCircuitError> {
+    let source = paired.circuit();
+    let mut b = Circuit::builder(&format!("{}_folded", source.name()));
+    // Recreate all nets by name so ids stay stable relative to names.
+    for net in source.nets().iter() {
+        b.net(source.nets().name(net));
+    }
+
+    let mut emit = |d: &Device, k: usize| {
+        assert!(k > 0, "fold factor must be positive");
+        for finger in 0..k {
+            // Alternate the finger orientation so adjacent fingers abut:
+            // s-d | d-s | s-d ...
+            if finger % 2 == 0 {
+                b.device(d.kind, d.gate, d.source, d.drain);
+            } else {
+                b.device(d.kind, d.gate, d.drain, d.source);
+            }
+        }
+    };
+
+    for (id, _) in paired.iter_pairs() {
+        let k = factor(id);
+        emit(paired.p_device(id), k);
+        emit(paired.n_device(id), k);
+    }
+    for &i in source.inputs() {
+        let n = b.net(source.nets().name(i));
+        b.input(n);
+    }
+    for &o in source.outputs() {
+        let n = b.net(source.nets().name(o));
+        b.output(n);
+    }
+    b.build().into_paired()
+}
+
+/// Folds every pair uniformly by `k`.
+///
+/// # Errors
+///
+/// See [`fold_pairs`].
+pub fn fold_uniform(paired: &PairedCircuit, k: usize) -> Result<PairedCircuit, PairCircuitError> {
+    fold_pairs(paired, &|_| k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::sim::simulate;
+
+    #[test]
+    fn uniform_fold_multiplies_pairs() {
+        let paired = library::nand2().into_paired().unwrap();
+        let folded = fold_uniform(&paired, 3).unwrap();
+        assert_eq!(folded.len(), paired.len() * 3);
+        assert_eq!(
+            folded.circuit().devices().len(),
+            paired.circuit().devices().len() * 3
+        );
+    }
+
+    #[test]
+    fn folding_preserves_function() {
+        let paired = library::xor2().into_paired().unwrap();
+        let folded = fold_uniform(&paired, 2).unwrap();
+        let c = folded.circuit();
+        let nets = c.nets();
+        let (a, b, z) = (
+            nets.lookup("a").unwrap(),
+            nets.lookup("b").unwrap(),
+            nets.lookup("z").unwrap(),
+        );
+        for bits in 0..4u32 {
+            let (av, bv) = (bits & 1 != 0, bits & 2 != 0);
+            let values = simulate(c, &[(a, av), (b, bv)]).unwrap();
+            assert_eq!(values[&z], av ^ bv, "bits {bits:b}");
+        }
+    }
+
+    #[test]
+    fn selective_fold_touches_only_selected_pairs() {
+        let paired = library::nand2().into_paired().unwrap();
+        let first = paired.iter_pairs().next().unwrap().0;
+        let folded = fold_pairs(&paired, &|id| if id == first { 2 } else { 1 }).unwrap();
+        assert_eq!(folded.len(), 3);
+    }
+
+    #[test]
+    fn fingers_alternate_orientation() {
+        let paired = library::inverter().into_paired().unwrap();
+        let folded = fold_uniform(&paired, 2).unwrap();
+        let c = folded.circuit();
+        // Fingers 0 and 1 of the P device swap source/drain.
+        let p: Vec<&crate::device::Device> = c
+            .devices()
+            .iter()
+            .filter(|d| d.kind == crate::device::DeviceKind::P)
+            .collect();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].source, p[1].drain);
+        assert_eq!(p[0].drain, p[1].source);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_panics() {
+        let paired = library::inverter().into_paired().unwrap();
+        let _ = fold_pairs(&paired, &|_| 0);
+    }
+
+    #[test]
+    fn io_declarations_survive() {
+        let paired = library::mux21().into_paired().unwrap();
+        let folded = fold_uniform(&paired, 2).unwrap();
+        assert_eq!(
+            folded.circuit().inputs().len(),
+            paired.circuit().inputs().len()
+        );
+        assert_eq!(
+            folded.circuit().outputs().len(),
+            paired.circuit().outputs().len()
+        );
+    }
+}

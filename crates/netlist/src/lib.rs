@@ -1,0 +1,48 @@
+//! Transistor-level CMOS circuit substrate for the CLIP layout generator.
+//!
+//! This crate provides everything CLIP needs to know about a circuit before
+//! layout begins:
+//!
+//! * interned electrical nets ([`NetId`], [`NetTable`]);
+//! * individual MOS devices ([`Device`], [`DeviceKind`]);
+//! * whole circuits ([`Circuit`]) with validation;
+//! * P/N transistor pairing ([`PnPair`], [`PairedCircuit`]) — the unit CLIP
+//!   places;
+//! * a series-parallel Boolean expression compiler ([`expr`]) that builds
+//!   complementary static CMOS gates from formulas such as `(a'&(e|f)'|d)'`;
+//! * the benchmark circuit library ([`library`]) used by the paper's
+//!   evaluation (XOR parity, non-series-parallel bridge, two-level `z`,
+//!   2-to-1 multiplexer, and larger cells);
+//! * model-size statistics ([`stats`]).
+//!
+//! # Example
+//!
+//! ```
+//! use clip_netlist::library;
+//!
+//! let cell = library::mux21();
+//! let paired = cell.into_paired().expect("mux pairs completely");
+//! assert_eq!(paired.pairs().len(), 7); // 14 transistors = 7 P/N pairs
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod device;
+pub mod expr;
+pub mod fold;
+pub mod library;
+pub mod net;
+pub mod pair;
+pub mod random;
+pub mod sim;
+pub mod spice;
+pub mod stats;
+
+pub use circuit::{Circuit, CircuitBuilder, ValidateCircuitError};
+pub use device::{Device, DeviceId, DeviceKind};
+pub use expr::{CompileExprError, Expr, ParseExprError};
+pub use net::{NetId, NetTable};
+pub use pair::{PairCircuitError, PairId, PairedCircuit, PnPair};
+pub use stats::CircuitStats;

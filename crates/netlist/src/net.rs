@@ -1,0 +1,252 @@
+//! Interned electrical net identities.
+//!
+//! Every electrical node in a circuit is interned into a [`NetTable`], which
+//! hands out compact [`NetId`] handles. The power rails are ordinary nets
+//! with the reserved names `"VDD"` and `"GND"`; [`NetTable::new`] interns
+//! them eagerly so [`NetTable::vdd`] and [`NetTable::gnd`] are always valid.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Compact handle for an interned electrical net.
+///
+/// `NetId`s are only meaningful relative to the [`NetTable`] that produced
+/// them. They order and hash by creation index, which makes them usable as
+/// dense array indices via [`NetId::index`].
+///
+/// # Example
+///
+/// ```
+/// use clip_netlist::NetTable;
+///
+/// let mut nets = NetTable::new();
+/// let a = nets.intern("a");
+/// assert_eq!(nets.intern("a"), a); // interning is idempotent
+/// assert_eq!(nets.name(a), "a");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(u32);
+
+impl NetId {
+    /// Returns the dense index of this net (its creation order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NetId` from a dense index.
+    ///
+    /// Intended for lookup tables that were themselves indexed by
+    /// [`NetId::index`]; passing an index that was never handed out by the
+    /// corresponding [`NetTable`] yields a dangling id.
+    pub fn from_index(index: usize) -> Self {
+        NetId(index as u32)
+    }
+}
+
+impl fmt::Debug for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Interning table mapping net names to [`NetId`]s.
+///
+/// The table always contains the power rails: `"VDD"` (id 0) and `"GND"`
+/// (id 1).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetTable {
+    names: Vec<String>,
+    by_name: HashMap<String, NetId>,
+}
+
+impl NetTable {
+    /// Creates a table pre-populated with the `VDD` and `GND` rails.
+    pub fn new() -> Self {
+        let mut table = NetTable {
+            names: Vec::new(),
+            by_name: HashMap::new(),
+        };
+        table.intern("VDD");
+        table.intern("GND");
+        table
+    }
+
+    /// Interns `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: &str) -> NetId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = NetId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Returns the id for `name` without interning, if it exists.
+    pub fn lookup(&self, name: &str) -> Option<NetId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this table.
+    pub fn name(&self, id: NetId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// The positive power rail.
+    pub fn vdd(&self) -> NetId {
+        NetId(0)
+    }
+
+    /// The ground rail.
+    pub fn gnd(&self) -> NetId {
+        NetId(1)
+    }
+
+    /// Returns true if `id` is one of the power rails.
+    pub fn is_rail(&self, id: NetId) -> bool {
+        id == self.vdd() || id == self.gnd()
+    }
+
+    /// Number of interned nets, including the rails.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True only for a table that has somehow lost its rails; a fresh table
+    /// is never empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all net ids in creation order.
+    pub fn iter(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.names.len() as u32).map(NetId)
+    }
+
+    /// Renames an existing net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is absent or `new` is already present.
+    pub fn rename(&mut self, old: &str, new: &str) {
+        let id = self
+            .by_name
+            .remove(old)
+            .unwrap_or_else(|| panic!("no net named {old}"));
+        assert!(
+            !self.by_name.contains_key(new),
+            "net {new} already exists; rename would merge"
+        );
+        self.names[id.index()] = new.to_owned();
+        self.by_name.insert(new.to_owned(), id);
+    }
+
+    /// Creates a fresh internal net with a unique generated name.
+    ///
+    /// Used by the expression compiler for the intermediate nodes of series
+    /// transistor chains.
+    pub fn fresh(&mut self, hint: &str) -> NetId {
+        let mut i = self.names.len();
+        loop {
+            let candidate = format!("_{hint}{i}");
+            if !self.by_name.contains_key(&candidate) {
+                return self.intern(&candidate);
+            }
+            i += 1;
+        }
+    }
+}
+
+impl Default for NetTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rails_are_preinterned() {
+        let nets = NetTable::new();
+        assert_eq!(nets.name(nets.vdd()), "VDD");
+        assert_eq!(nets.name(nets.gnd()), "GND");
+        assert!(nets.is_rail(nets.vdd()));
+        assert!(nets.is_rail(nets.gnd()));
+        assert_eq!(nets.len(), 2);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut nets = NetTable::new();
+        let a = nets.intern("a");
+        let b = nets.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(nets.intern("a"), a);
+        assert_eq!(nets.len(), 4);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut nets = NetTable::new();
+        assert_eq!(nets.lookup("x"), None);
+        let x = nets.intern("x");
+        assert_eq!(nets.lookup("x"), Some(x));
+    }
+
+    #[test]
+    fn fresh_names_are_unique() {
+        let mut nets = NetTable::new();
+        let f1 = nets.fresh("mid");
+        let f2 = nets.fresh("mid");
+        assert_ne!(f1, f2);
+        assert_ne!(nets.name(f1), nets.name(f2));
+    }
+
+    #[test]
+    fn fresh_avoids_existing_names() {
+        let mut nets = NetTable::new();
+        // Pre-intern the name that `fresh` would generate first.
+        nets.intern("_mid2");
+        let f = nets.fresh("mid");
+        assert_ne!(nets.name(f), "_mid2");
+    }
+
+    #[test]
+    fn ids_round_trip_through_indices() {
+        let mut nets = NetTable::new();
+        let a = nets.intern("a");
+        assert_eq!(NetId::from_index(a.index()), a);
+    }
+
+    #[test]
+    fn iter_covers_all_nets() {
+        let mut nets = NetTable::new();
+        nets.intern("a");
+        nets.intern("b");
+        let ids: Vec<NetId> = nets.iter().collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[0], nets.vdd());
+        assert_eq!(ids[1], nets.gnd());
+    }
+
+    #[test]
+    fn debug_format_is_compact() {
+        let nets = NetTable::new();
+        assert_eq!(format!("{:?}", nets.vdd()), "n0");
+        assert_eq!(format!("{}", nets.gnd()), "n1");
+    }
+}

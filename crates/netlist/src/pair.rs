@@ -1,0 +1,486 @@
+//! P/N transistor pairing — the placement unit of CLIP.
+//!
+//! CLIP places *P/N pairs*: one PMOS and one NMOS device driven by the same
+//! gate net, drawn in the same layout column (the P device on the P
+//! diffusion strip, the N device directly below on the N strip, sharing one
+//! vertical poly gate). [`PairedCircuit::from_circuit`] performs the
+//! matching; when a gate net drives several P and several N devices (a
+//! multi-fanin complex gate, the non-series-parallel bridge), devices are
+//! matched **in netlist order**: the k-th P occurrence of a gate pairs with
+//! the k-th N occurrence. For complementary networks written in matching
+//! traversal order — which includes everything the expression compiler
+//! emits — this pairs each device with its structural dual (series chain
+//! member with its parallel counterpart), which is what HCLIP's and-stack
+//! detection relies on.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::Circuit;
+use crate::device::{Device, DeviceId, DeviceKind};
+use crate::net::NetId;
+
+/// Compact handle for a P/N pair within a [`PairedCircuit`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PairId(pub(crate) u32);
+
+impl PairId {
+    /// Dense index of this pair.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `PairId` from a dense index.
+    pub fn from_index(index: usize) -> Self {
+        PairId(index as u32)
+    }
+}
+
+impl fmt::Debug for PairId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1) // 1-based like the paper's p1..p7
+    }
+}
+
+impl fmt::Display for PairId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0 + 1)
+    }
+}
+
+/// One matched P/N transistor pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PnPair {
+    /// The PMOS member.
+    pub p: DeviceId,
+    /// The NMOS member.
+    pub n: DeviceId,
+}
+
+/// The diffusion terminal nets of one side of a pair, under a given flip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PairTerminals {
+    /// Net on the P diffusion strip.
+    pub p_net: NetId,
+    /// Net on the N diffusion strip.
+    pub n_net: NetId,
+}
+
+/// A circuit whose devices have been matched into P/N pairs.
+///
+/// # Example
+///
+/// ```
+/// use clip_netlist::library;
+///
+/// let paired = library::xor2().into_paired()?;
+/// assert_eq!(paired.pairs().len(), 5); // 10-transistor parity cell
+/// # Ok::<(), clip_netlist::PairCircuitError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PairedCircuit {
+    circuit: Circuit,
+    pairs: Vec<PnPair>,
+}
+
+impl PairedCircuit {
+    /// Matches the devices of `circuit` into P/N pairs.
+    ///
+    /// Devices are grouped by gate net; within a group, the k-th P device
+    /// (in netlist order) pairs with the k-th N device — the structural
+    /// dual for complementary networks listed in matching traversal order.
+    ///
+    /// # Errors
+    ///
+    /// * [`PairCircuitError::Invalid`] if the circuit fails
+    ///   [`Circuit::validate`];
+    /// * [`PairCircuitError::GateMismatch`] if some gate net drives a
+    ///   different number of P and N devices, which makes a complete pairing
+    ///   impossible.
+    pub fn from_circuit(circuit: Circuit) -> Result<Self, PairCircuitError> {
+        circuit.validate().map_err(PairCircuitError::Invalid)?;
+
+        // Identify gate *instances*: the P pull-up and N pull-down of one
+        // complementary gate are the same-polarity diffusion-connectivity
+        // components that share a (non-rail) output net. A gate net that
+        // drives several instances (an input feeding both an inverter and
+        // a complex gate) is then paired per instance, which keeps every
+        // device with its structural dual.
+        let instance = gate_instances(&circuit);
+
+        let mut by_key: HashMap<(NetId, usize), (Vec<DeviceId>, Vec<DeviceId>)> = HashMap::new();
+        for (id, d) in circuit.iter_devices() {
+            let entry = by_key.entry((d.gate, instance[id.index()])).or_default();
+            match d.kind {
+                DeviceKind::P => entry.0.push(id),
+                DeviceKind::N => entry.1.push(id),
+            }
+        }
+
+        let mut keys: Vec<(NetId, usize)> = by_key.keys().copied().collect();
+        keys.sort(); // deterministic pair order
+
+        // Per-instance balance can fail only for non-complementary
+        // structures; check gate-level balance for the error report.
+        for &(gate, _) in &keys {
+            let (p, n): (usize, usize) = keys
+                .iter()
+                .filter(|&&(g, _)| g == gate)
+                .map(|k| {
+                    let (ps, ns) = &by_key[k];
+                    (ps.len(), ns.len())
+                })
+                .fold((0, 0), |(ap, an), (p, n)| (ap + p, an + n));
+            if p != n {
+                return Err(PairCircuitError::GateMismatch { gate, p, n });
+            }
+        }
+
+        let mut pairs = Vec::new();
+        let mut leftovers: HashMap<NetId, (Vec<DeviceId>, Vec<DeviceId>)> = HashMap::new();
+        for key in keys {
+            let (ps, ns) = &by_key[&key];
+            // Zip the balanced prefix (creation order = structural duals
+            // for complementary networks in matching traversal order).
+            let k = ps.len().min(ns.len());
+            pairs.extend(ps[..k].iter().zip(&ns[..k]).map(|(&p, &n)| PnPair { p, n }));
+            let spill = leftovers.entry(key.0).or_default();
+            spill.0.extend_from_slice(&ps[k..]);
+            spill.1.extend_from_slice(&ns[k..]);
+        }
+        // Any per-instance imbalance spills into a per-gate pool (balanced
+        // by the check above).
+        let mut gates: Vec<NetId> = leftovers.keys().copied().collect();
+        gates.sort();
+        for gate in gates {
+            let (ps, ns) = &leftovers[&gate];
+            debug_assert_eq!(ps.len(), ns.len());
+            pairs.extend(ps.iter().zip(ns).map(|(&p, &n)| PnPair { p, n }));
+        }
+        pairs.sort_by_key(|pr| pr.p);
+
+        Ok(PairedCircuit { circuit, pairs })
+    }
+
+    /// The underlying circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// All pairs, indexable by [`PairId::index`].
+    pub fn pairs(&self) -> &[PnPair] {
+        &self.pairs
+    }
+
+    /// Pair lookup.
+    pub fn pair(&self, id: PairId) -> &PnPair {
+        &self.pairs[id.index()]
+    }
+
+    /// Iterates over `(PairId, &PnPair)`.
+    pub fn iter_pairs(&self) -> impl Iterator<Item = (PairId, &PnPair)> {
+        self.pairs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PairId::from_index(i), p))
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the circuit had no devices (never the case after a successful
+    /// [`PairedCircuit::from_circuit`]).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The gate net of a pair.
+    pub fn gate(&self, id: PairId) -> NetId {
+        self.circuit.device(self.pair(id).p).gate
+    }
+
+    /// The PMOS member device of a pair.
+    pub fn p_device(&self, id: PairId) -> &Device {
+        self.circuit.device(self.pair(id).p)
+    }
+
+    /// The NMOS member device of a pair.
+    pub fn n_device(&self, id: PairId) -> &Device {
+        self.circuit.device(self.pair(id).n)
+    }
+
+    /// Source-side terminals `(Psrc, Nsrc)` of a pair.
+    pub fn source_terminals(&self, id: PairId) -> PairTerminals {
+        PairTerminals {
+            p_net: self.p_device(id).source,
+            n_net: self.n_device(id).source,
+        }
+    }
+
+    /// Drain-side terminals `(Pdrn, Ndrn)` of a pair.
+    pub fn drain_terminals(&self, id: PairId) -> PairTerminals {
+        PairTerminals {
+            p_net: self.p_device(id).drain,
+            n_net: self.n_device(id).drain,
+        }
+    }
+
+    /// All nets touched by any device terminal of pair `id`.
+    pub fn touched_nets(&self, id: PairId) -> Vec<NetId> {
+        let p = self.p_device(id);
+        let n = self.n_device(id);
+        let mut nets = vec![p.gate, p.source, p.drain, n.source, n.drain];
+        nets.sort();
+        nets.dedup();
+        nets
+    }
+
+    /// Replaces the pair list (used by clustering to install super-pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced device id is out of range.
+    pub fn with_pairs(circuit: Circuit, pairs: Vec<PnPair>) -> Self {
+        for pr in &pairs {
+            assert!(pr.p.index() < circuit.devices().len());
+            assert!(pr.n.index() < circuit.devices().len());
+        }
+        PairedCircuit { circuit, pairs }
+    }
+}
+
+/// Assigns every device a *gate-instance* id.
+///
+/// Devices of one polarity connected through non-rail diffusion nets form
+/// a pull-network component; a P component and an N component that share a
+/// non-rail net (the gate's output) belong to the same instance. Returns a
+/// per-device instance id (component-pair index); components without a
+/// partner get their own id.
+fn gate_instances(circuit: &Circuit) -> Vec<usize> {
+    let n_dev = circuit.devices().len();
+    let n_nets = circuit.nets().len();
+    let rails = [circuit.nets().vdd(), circuit.nets().gnd()];
+
+    // Union-find over devices, per polarity, via shared non-rail nets.
+    let mut parent: Vec<usize> = (0..n_dev).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut net_owner: HashMap<(NetId, DeviceKind), usize> = HashMap::new();
+    for (id, d) in circuit.iter_devices() {
+        for t in [d.source, d.drain] {
+            if rails.contains(&t) {
+                continue;
+            }
+            match net_owner.get(&(t, d.kind)) {
+                Some(&o) => {
+                    let (a, b) = (find(&mut parent, id.index()), find(&mut parent, o));
+                    if a != b {
+                        parent[a] = b;
+                    }
+                }
+                None => {
+                    net_owner.insert((t, d.kind), id.index());
+                }
+            }
+        }
+    }
+
+    // Nets touched per component.
+    let mut comp_nets: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (id, d) in circuit.iter_devices() {
+        let root = find(&mut parent, id.index());
+        let entry = comp_nets.entry(root).or_default();
+        for t in [d.source, d.drain] {
+            if !rails.contains(&t) && !entry.contains(&t.index()) {
+                entry.push(t.index());
+            }
+        }
+    }
+
+    // Match P components to N components sharing a net.
+    let mut net_p_comp: Vec<Option<usize>> = vec![None; n_nets];
+    for (id, d) in circuit.iter_devices() {
+        if d.kind == DeviceKind::P {
+            let root = find(&mut parent, id.index());
+            for t in [d.source, d.drain] {
+                if !rails.contains(&t) {
+                    net_p_comp[t.index()] = Some(root);
+                }
+            }
+        }
+    }
+    // Instance id = canonical root: for N components, the matched P root.
+    let mut instance = vec![0usize; n_dev];
+    for (id, d) in circuit.iter_devices() {
+        let root = find(&mut parent, id.index());
+        let canon = if d.kind == DeviceKind::N {
+            comp_nets
+                .get(&root)
+                .and_then(|nets| nets.iter().find_map(|&ni| net_p_comp[ni]))
+                .unwrap_or(root)
+        } else {
+            root
+        };
+        instance[id.index()] = canon;
+    }
+    instance
+}
+
+/// Problems reported by [`PairedCircuit::from_circuit`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PairCircuitError {
+    /// The circuit failed structural validation.
+    Invalid(crate::circuit::ValidateCircuitError),
+    /// A gate net drives different numbers of P and N devices.
+    GateMismatch {
+        /// The offending gate net.
+        gate: NetId,
+        /// P devices on this gate.
+        p: usize,
+        /// N devices on this gate.
+        n: usize,
+    },
+}
+
+impl fmt::Display for PairCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PairCircuitError::Invalid(e) => write!(f, "invalid circuit: {e}"),
+            PairCircuitError::GateMismatch { gate, p, n } => {
+                write!(f, "gate net {gate} drives {p} P but {n} N devices")
+            }
+        }
+    }
+}
+
+impl Error for PairCircuitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PairCircuitError::Invalid(e) => Some(e),
+            PairCircuitError::GateMismatch { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    fn nand2() -> Circuit {
+        let mut b = Circuit::builder("nand2");
+        let a = b.net("a");
+        let c = b.net("b");
+        let z = b.net("z");
+        let m = b.net("m");
+        let (vdd, gnd) = (b.vdd(), b.gnd());
+        b.device(DeviceKind::P, a, vdd, z);
+        b.device(DeviceKind::P, c, vdd, z);
+        b.device(DeviceKind::N, a, z, m);
+        b.device(DeviceKind::N, c, m, gnd);
+        b.input(a).input(c).output(z);
+        b.build()
+    }
+
+    #[test]
+    fn nand2_pairs_by_gate() {
+        let paired = nand2().into_paired().unwrap();
+        assert_eq!(paired.len(), 2);
+        for (id, _) in paired.iter_pairs() {
+            let p = paired.p_device(id);
+            let n = paired.n_device(id);
+            assert_eq!(p.gate, n.gate);
+            assert_eq!(p.kind, DeviceKind::P);
+            assert_eq!(n.kind, DeviceKind::N);
+        }
+    }
+
+    #[test]
+    fn pair_order_is_deterministic() {
+        let a = nand2().into_paired().unwrap();
+        let b = nand2().into_paired().unwrap();
+        assert_eq!(a.pairs(), b.pairs());
+    }
+
+    #[test]
+    fn gate_mismatch_is_reported() {
+        let mut b = Circuit::builder("bad");
+        let a = b.net("a");
+        let c = b.net("b");
+        let z = b.net("z");
+        let (vdd, gnd) = (b.vdd(), b.gnd());
+        b.device(DeviceKind::P, a, vdd, z);
+        b.device(DeviceKind::N, c, gnd, z); // different gate
+        let err = b.build().into_paired().unwrap_err();
+        assert!(matches!(err, PairCircuitError::GateMismatch { .. }));
+    }
+
+    #[test]
+    fn invalid_circuit_is_reported() {
+        let c = Circuit::builder("empty").build();
+        assert!(matches!(
+            c.into_paired(),
+            Err(PairCircuitError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn multi_fanin_gates_pair_by_gate_instance() {
+        // Gate g drives two inverter-like structures with outputs x and y.
+        // P and N devices sharing an output net form one gate instance and
+        // must pair together, regardless of netlist interleaving.
+        let mut b = Circuit::builder("multi");
+        let g = b.net("g");
+        let x = b.net("x");
+        let y = b.net("y");
+        let (vdd, gnd) = (b.vdd(), b.gnd());
+        let p0 = b.device(DeviceKind::P, g, vdd, x);
+        let p1 = b.device(DeviceKind::P, g, vdd, y);
+        let n0 = b.device(DeviceKind::N, g, gnd, y);
+        let n1 = b.device(DeviceKind::N, g, gnd, x);
+        let paired = b.build().into_paired().unwrap();
+        let find = |p: DeviceId| paired.pairs().iter().find(|pr| pr.p == p).unwrap().n;
+        assert_eq!(find(p0), n1); // both on output x
+        assert_eq!(find(p1), n0); // both on output y
+    }
+
+    #[test]
+    fn terminals_follow_netlist_convention() {
+        let paired = nand2().into_paired().unwrap();
+        let nets = paired.circuit().nets();
+        let p0 = PairId::from_index(0);
+        let src = paired.source_terminals(p0);
+        assert_eq!(src.p_net, nets.vdd());
+        let drn = paired.drain_terminals(p0);
+        assert_eq!(nets.name(drn.p_net), "z");
+    }
+
+    #[test]
+    fn touched_nets_are_deduplicated() {
+        let paired = nand2().into_paired().unwrap();
+        let p0 = PairId::from_index(0);
+        let nets = paired.touched_nets(p0);
+        let mut sorted = nets.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(nets, sorted);
+        // gate a, P: vdd/z, N: z/m -> {a, vdd, z, m}
+        assert_eq!(nets.len(), 4);
+    }
+
+    #[test]
+    fn pair_ids_display_one_based() {
+        assert_eq!(format!("{}", PairId::from_index(0)), "p1");
+        assert_eq!(format!("{:?}", PairId::from_index(6)), "p7");
+    }
+}

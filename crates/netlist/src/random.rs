@@ -1,0 +1,102 @@
+//! Seeded random circuit generation.
+//!
+//! Produces random *valid complementary* CMOS cells by sampling random
+//! series-parallel formulas and compiling them. Used by the scaling
+//! experiment (solve time vs. circuit size on populations of random
+//! gates) and as a fuzzing source beyond the fixed library.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::Circuit;
+use crate::expr::Expr;
+
+/// Generates a random inverting gate with roughly `target_pairs`
+/// transistor pairs (each formula literal contributes one pair; inner
+/// complements add inverter pairs).
+///
+/// The result is always a valid complementary circuit; its exact pair
+/// count can exceed `target_pairs` slightly when nested complements are
+/// sampled.
+///
+/// # Panics
+///
+/// Panics if `target_pairs == 0`.
+pub fn random_gate(seed: u64, target_pairs: usize) -> Circuit {
+    assert!(target_pairs > 0, "need at least one pair");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let expr = Expr::Not(Box::new(random_formula(&mut rng, target_pairs, 0)));
+    expr.compile("random", "z").expect("generated formulas compile")
+}
+
+/// Random series-parallel formula with `budget` leaves.
+fn random_formula(rng: &mut StdRng, budget: usize, depth: usize) -> Expr {
+    if budget <= 1 || depth >= 4 {
+        let v = Expr::Var(format!("{}", (b'a' + rng.gen_range(0..6u8)) as char));
+        // Occasionally complement a leaf (adds an inverter pair).
+        return if depth > 0 && rng.gen_bool(0.2) {
+            Expr::Not(Box::new(v))
+        } else {
+            v
+        };
+    }
+    // Split the budget across 2-3 children.
+    let arms = if budget >= 3 && rng.gen_bool(0.3) { 3 } else { 2 };
+    let mut remaining = budget;
+    let mut children = Vec::with_capacity(arms);
+    for k in 0..arms {
+        let share = if k + 1 == arms {
+            remaining
+        } else {
+            rng.gen_range(1..=remaining - (arms - 1 - k))
+        };
+        remaining -= share;
+        children.push(random_formula(rng, share, depth + 1));
+    }
+    if rng.gen_bool(0.5) {
+        Expr::And(children)
+    } else {
+        Expr::Or(children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_gates_are_valid_and_pair() {
+        for seed in 0..40 {
+            let c = random_gate(seed, 4);
+            assert!(c.validate().is_ok(), "seed {seed}");
+            let paired = c.into_paired().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(paired.len() >= 2, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_gate(7, 5);
+        let b = random_gate(7, 5);
+        assert_eq!(
+            crate::spice::write(&a),
+            crate::spice::write(&b),
+            "same seed must give the same circuit"
+        );
+        let c = random_gate(8, 5);
+        assert_ne!(crate::spice::write(&a), crate::spice::write(&c));
+    }
+
+    #[test]
+    fn size_scales_with_target() {
+        let small: usize = (0..10).map(|s| random_gate(s, 2).devices().len()).sum();
+        let large: usize = (0..10).map(|s| random_gate(s, 8).devices().len()).sum();
+        assert!(large > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pair")]
+    fn zero_target_panics() {
+        random_gate(0, 0);
+    }
+}

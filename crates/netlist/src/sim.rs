@@ -1,0 +1,296 @@
+//! Switch-level simulator used to validate library circuits.
+//!
+//! Static CMOS cells are validated by exhaustively simulating every input
+//! assignment: transistors are ideal switches (an N device conducts when its
+//! gate is 1, a P device when its gate is 0), nets take the value of the
+//! driver (rail or primary input) they are conductively connected to, and a
+//! net connected to both rails is a short — a hard error, because it means
+//! the netlist is not a well-formed complementary network.
+//!
+//! The solver iterates to a fixpoint, so multi-gate cells (where internal
+//! gate nets must settle before downstream transistors switch) simulate
+//! correctly. Feedback structures that never settle are reported as
+//! [`SimError::Unresolved`].
+
+use std::collections::HashMap;
+
+use crate::circuit::Circuit;
+use crate::device::DeviceKind;
+use crate::net::NetId;
+
+/// Simulation failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// A net is conductively connected to both VDD and GND.
+    Short(NetId),
+    /// Some nets never acquired a value (floating node or unsettled
+    /// feedback).
+    Unresolved(Vec<NetId>),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Short(n) => write!(f, "net {n} is shorted between VDD and GND"),
+            SimError::Unresolved(ns) => write!(f, "{} nets never resolved", ns.len()),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Simulates `circuit` under the given primary-input assignment.
+///
+/// Returns the settled Boolean value of every net that resolved. All nets
+/// with at least one device terminal must resolve; purely floating declared
+/// nets are permitted and simply absent from the result.
+///
+/// # Errors
+///
+/// * [`SimError::Short`] if a net connects to both rails — the circuit is
+///   not a valid complementary network (or an input combination exposes a
+///   drive fight);
+/// * [`SimError::Unresolved`] if device-connected nets never settle.
+pub fn simulate(
+    circuit: &Circuit,
+    inputs: &[(NetId, bool)],
+) -> Result<HashMap<NetId, bool>, SimError> {
+    let n_nets = circuit.nets().len();
+    let mut value: Vec<Option<bool>> = vec![None; n_nets];
+    let mut forced: Vec<Option<bool>> = vec![None; n_nets];
+
+    forced[circuit.nets().vdd().index()] = Some(true);
+    forced[circuit.nets().gnd().index()] = Some(false);
+    for &(net, v) in inputs {
+        forced[net.index()] = Some(v);
+    }
+    for (i, f) in forced.iter().enumerate() {
+        value[i] = *f;
+    }
+
+    // Fixpoint: as internal gate values settle, more transistors switch on.
+    loop {
+        let mut uf = UnionFind::new(n_nets);
+        for d in circuit.devices() {
+            let conducting = match value[d.gate.index()] {
+                Some(g) => match d.kind {
+                    DeviceKind::N => g,
+                    DeviceKind::P => !g,
+                },
+                None => false,
+            };
+            if conducting {
+                uf.union(d.source.index(), d.drain.index());
+            }
+        }
+
+        // Determine the driven value of every component.
+        let mut driver: Vec<Option<bool>> = vec![None; n_nets];
+        for (i, f) in forced.iter().enumerate() {
+            if let Some(v) = *f {
+                let root = uf.find(i);
+                match driver[root] {
+                    None => driver[root] = Some(v),
+                    Some(existing) if existing != v => {
+                        return Err(SimError::Short(NetId::from_index(i)));
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+
+        let mut changed = false;
+        for i in 0..n_nets {
+            if value[i].is_none() {
+                if let Some(v) = driver[uf.find(i)] {
+                    value[i] = Some(v);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Every *controlling* net — a gate net or a declared output — must have
+    // settled. Interior diffusion nodes of switched-off series chains float
+    // legitimately in static CMOS and are allowed to stay unknown.
+    let mut must_resolve = vec![false; n_nets];
+    for d in circuit.devices() {
+        must_resolve[d.gate.index()] = true;
+    }
+    for &o in circuit.outputs() {
+        must_resolve[o.index()] = true;
+    }
+    let unresolved: Vec<NetId> = (0..n_nets)
+        .filter(|&i| must_resolve[i] && value[i].is_none())
+        .map(NetId::from_index)
+        .collect();
+    if !unresolved.is_empty() {
+        return Err(SimError::Unresolved(unresolved));
+    }
+
+    Ok(value
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, v)| v.map(|v| (NetId::from_index(i), v)))
+        .collect())
+}
+
+/// Exhaustively checks that `circuit` computes `expected` on its output.
+///
+/// `inputs` fixes the input ordering used to interpret the assignment bits
+/// passed to `expected` (bit `i` of the argument is input `i`).
+///
+/// # Errors
+///
+/// Returns the first failing assignment as `(bits, got, want)`, or a
+/// [`SimError`] wrapped in `Err(Err(..))` style via panic-free reporting.
+///
+/// # Panics
+///
+/// Panics if the circuit has more than 20 inputs (exhaustive check would be
+/// too large) or if simulation itself fails.
+pub fn check_truth_table(
+    circuit: &Circuit,
+    inputs: &[NetId],
+    output: NetId,
+    expected: &dyn Fn(u32) -> bool,
+) -> Result<(), (u32, bool, bool)> {
+    assert!(inputs.len() <= 20, "too many inputs for exhaustive check");
+    for bits in 0..(1u32 << inputs.len()) {
+        let assignment: Vec<(NetId, bool)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, bits & (1 << i) != 0))
+            .collect();
+        let values = simulate(circuit, &assignment)
+            .unwrap_or_else(|e| panic!("simulation failed at bits {bits:b}: {e}"));
+        let got = values[&output];
+        let want = expected(bits);
+        if got != want {
+            return Err((bits, got, want));
+        }
+    }
+    Ok(())
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::device::DeviceKind;
+
+    fn inverter() -> Circuit {
+        let mut b = Circuit::builder("inv");
+        let a = b.net("a");
+        let z = b.net("z");
+        let (vdd, gnd) = (b.vdd(), b.gnd());
+        b.device(DeviceKind::P, a, vdd, z);
+        b.device(DeviceKind::N, a, gnd, z);
+        b.input(a).output(z);
+        b.build()
+    }
+
+    #[test]
+    fn inverter_inverts() {
+        let c = inverter();
+        let a = c.nets().lookup("a").unwrap();
+        let z = c.nets().lookup("z").unwrap();
+        let v = simulate(&c, &[(a, false)]).unwrap();
+        assert_eq!(v[&z], true);
+        let v = simulate(&c, &[(a, true)]).unwrap();
+        assert_eq!(v[&z], false);
+    }
+
+    #[test]
+    fn short_is_detected() {
+        // Both devices always on for a=0: P conducts, and a second N gated
+        // by b=1 also pulls z low -> short at z.
+        let mut b = Circuit::builder("short");
+        let a = b.net("a");
+        let bb = b.net("b");
+        let z = b.net("z");
+        let (vdd, gnd) = (b.vdd(), b.gnd());
+        b.device(DeviceKind::P, a, vdd, z);
+        b.device(DeviceKind::N, bb, gnd, z);
+        let c = b.build();
+        let err = simulate(&c, &[(a, false), (bb, true)]).unwrap_err();
+        assert!(matches!(err, SimError::Short(_)));
+    }
+
+    #[test]
+    fn floating_output_is_unresolved() {
+        let mut b = Circuit::builder("tristate");
+        let a = b.net("a");
+        let z = b.net("z");
+        let gnd = b.gnd();
+        b.device(DeviceKind::N, a, gnd, z);
+        b.output(z);
+        let c = b.build();
+        // a=0: N off, z floats.
+        let err = simulate(&c, &[(a, false)]).unwrap_err();
+        match err {
+            SimError::Unresolved(nets) => assert!(nets.contains(&z)),
+            other => panic!("expected unresolved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_stage_settles_via_fixpoint() {
+        // Two chained inverters: y = a' then z = y'.
+        let mut b = Circuit::builder("buf");
+        let a = b.net("a");
+        let y = b.net("y");
+        let z = b.net("z");
+        let (vdd, gnd) = (b.vdd(), b.gnd());
+        b.device(DeviceKind::P, a, vdd, y);
+        b.device(DeviceKind::N, a, gnd, y);
+        b.device(DeviceKind::P, y, vdd, z);
+        b.device(DeviceKind::N, y, gnd, z);
+        let c = b.build();
+        let v = simulate(&c, &[(a, true)]).unwrap();
+        assert_eq!(v[&y], false);
+        assert_eq!(v[&z], true);
+    }
+
+    #[test]
+    fn check_truth_table_reports_first_failure() {
+        let c = inverter();
+        let a = c.nets().lookup("a").unwrap();
+        let z = c.nets().lookup("z").unwrap();
+        // Claim it's a buffer; must fail at bits=0 (a=0 gives z=1, want 0).
+        let err = check_truth_table(&c, &[a], z, &|bits| bits & 1 != 0).unwrap_err();
+        assert_eq!(err, (0, true, false));
+        // Correct spec passes.
+        assert!(check_truth_table(&c, &[a], z, &|bits| bits & 1 == 0).is_ok());
+    }
+}

@@ -1,0 +1,196 @@
+//! Minimal SPICE-subset import/export.
+//!
+//! CLIP's input in practice is a transistor netlist; this module reads and
+//! writes the ubiquitous flat SPICE `M` card format so cells can be
+//! exchanged with other tools:
+//!
+//! ```text
+//! * comment
+//! M1 z a VDD VDD PMOS
+//! M2 z a GND GND NMOS
+//! .end
+//! ```
+//!
+//! Card order is `M<name> <drain> <gate> <source> <bulk> <model>`; the model
+//! name decides polarity (`P`/`PMOS`/`pch` vs `N`/`NMOS`/`nch`). `.end` and
+//! anything after it is ignored. Net names are taken verbatim (`VDD`/`GND`
+//! are the rails).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::device::DeviceKind;
+
+/// Errors from [`parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseSpiceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spice parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseSpiceError {}
+
+/// Parses a flat SPICE transistor deck into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseSpiceError`] for malformed `M` cards or unknown model
+/// polarities. Unknown card types (anything not starting with `M`, `*`,
+/// `.`) are errors too — this is deliberately a strict subset.
+pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseSpiceError> {
+    let mut b = Circuit::builder(name);
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = i + 1;
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        if let Some(dot) = line.strip_prefix('.') {
+            if dot.to_ascii_lowercase().starts_with("end") {
+                break;
+            }
+            continue; // other dot-cards ignored
+        }
+        if !line.starts_with(['M', 'm']) {
+            return Err(ParseSpiceError {
+                line: lineno,
+                message: format!("unsupported card: {line}"),
+            });
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 6 {
+            return Err(ParseSpiceError {
+                line: lineno,
+                message: "M card needs: name drain gate source bulk model".into(),
+            });
+        }
+        let (drain, gate, source, model) = (fields[1], fields[2], fields[3], fields[5]);
+        let kind = polarity(model).ok_or_else(|| ParseSpiceError {
+            line: lineno,
+            message: format!("unknown model polarity: {model}"),
+        })?;
+        let g = b.net(gate);
+        let s = b.net(source);
+        let d = b.net(drain);
+        b.device(kind, g, s, d);
+    }
+    Ok(b.build())
+}
+
+/// Writes a [`Circuit`] as a flat SPICE deck.
+pub fn write(circuit: &Circuit) -> String {
+    let nets = circuit.nets();
+    let mut out = format!("* {}\n", circuit.name());
+    for (id, d) in circuit.iter_devices() {
+        let model = match d.kind {
+            DeviceKind::P => "PMOS",
+            DeviceKind::N => "NMOS",
+        };
+        let bulk = match d.kind {
+            DeviceKind::P => "VDD",
+            DeviceKind::N => "GND",
+        };
+        out.push_str(&format!(
+            "M{} {} {} {} {} {}\n",
+            id.index() + 1,
+            nets.name(d.drain),
+            nets.name(d.gate),
+            nets.name(d.source),
+            bulk,
+            model
+        ));
+    }
+    out.push_str(".end\n");
+    out
+}
+
+fn polarity(model: &str) -> Option<DeviceKind> {
+    match model.to_ascii_lowercase().as_str() {
+        "p" | "pmos" | "pch" | "pfet" => Some(DeviceKind::P),
+        "n" | "nmos" | "nch" | "nfet" => Some(DeviceKind::N),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn parses_an_inverter() {
+        let c = parse(
+            "inv",
+            "* inverter\nM1 z a VDD VDD PMOS\nM2 z a GND GND NMOS\n.end\n",
+        )
+        .unwrap();
+        assert_eq!(c.devices().len(), 2);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.p_count(), 1);
+    }
+
+    #[test]
+    fn round_trips_the_library() {
+        for original in library::evaluation_suite() {
+            let text = write(&original);
+            let back = parse(original.name(), &text).unwrap();
+            assert_eq!(
+                back.devices().len(),
+                original.devices().len(),
+                "{}",
+                original.name()
+            );
+            // Same device structure modulo net ids: compare rendered form.
+            assert_eq!(write(&back), text, "{}", original.name());
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_cards() {
+        let err = parse("bad", "R1 a b 100\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unsupported"));
+    }
+
+    #[test]
+    fn rejects_short_m_cards() {
+        let err = parse("bad", "M1 z a GND\n").unwrap_err();
+        assert!(err.message.contains("needs"));
+    }
+
+    #[test]
+    fn rejects_unknown_model() {
+        let err = parse("bad", "M1 z a GND GND JFET\n").unwrap_err();
+        assert!(err.message.contains("polarity"));
+    }
+
+    #[test]
+    fn stops_at_end_card() {
+        let c = parse(
+            "inv",
+            "M1 z a VDD VDD PMOS\nM2 z a GND GND NMOS\n.end\nM3 junk junk junk junk PMOS\n",
+        )
+        .unwrap();
+        assert_eq!(c.devices().len(), 2);
+    }
+
+    #[test]
+    fn ignores_other_dot_cards_and_case() {
+        let c = parse(
+            "inv",
+            ".title whatever\nm1 z a VDD VDD pch\nm2 z a GND GND nch\n",
+        )
+        .unwrap();
+        assert_eq!(c.devices().len(), 2);
+        assert_eq!(c.p_count(), 1);
+    }
+}

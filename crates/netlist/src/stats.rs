@@ -1,0 +1,95 @@
+//! Circuit statistics for the model-size tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::pair::PairedCircuit;
+
+/// Size statistics of a paired circuit, as reported in the paper's
+/// model-size discussion (Table 1 in our reproduction).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Transistor count.
+    pub transistors: usize,
+    /// P/N pair count (placement units).
+    pub pairs: usize,
+    /// Total interned nets (rails included).
+    pub nets: usize,
+    /// Signal nets appearing on at least one diffusion terminal.
+    pub diffusion_nets: usize,
+    /// Distinct gate nets.
+    pub gate_nets: usize,
+    /// Declared primary inputs.
+    pub inputs: usize,
+    /// Declared primary outputs.
+    pub outputs: usize,
+    /// Number of orientation-compatible abutment entries in the share
+    /// array (size of Fig. 2b for this circuit).
+    pub share_entries: usize,
+}
+
+impl CircuitStats {
+    /// Gathers statistics from a paired circuit.
+    ///
+    /// `share_entries` is filled by the layout model (it depends on the
+    /// orientation algebra, which lives in `clip-core`); this constructor
+    /// leaves it 0 and [`CircuitStats::with_share_entries`] completes it.
+    pub fn from_paired(paired: &PairedCircuit) -> Self {
+        let circuit = paired.circuit();
+        let mut gate_nets: Vec<_> = paired
+            .iter_pairs()
+            .map(|(id, _)| paired.gate(id))
+            .collect();
+        gate_nets.sort();
+        gate_nets.dedup();
+        CircuitStats {
+            name: circuit.name().to_owned(),
+            transistors: circuit.devices().len(),
+            pairs: paired.len(),
+            nets: circuit.nets().len(),
+            diffusion_nets: circuit.signal_diffusion_nets().len(),
+            gate_nets: gate_nets.len(),
+            inputs: circuit.inputs().len(),
+            outputs: circuit.outputs().len(),
+            share_entries: 0,
+        }
+    }
+
+    /// Returns a copy with the share-array entry count filled in.
+    pub fn with_share_entries(mut self, entries: usize) -> Self {
+        self.share_entries = entries;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn mux21_stats() {
+        let paired = library::mux21().into_paired().unwrap();
+        let s = CircuitStats::from_paired(&paired);
+        assert_eq!(s.name, "mux21");
+        assert_eq!(s.transistors, 14);
+        assert_eq!(s.pairs, 7);
+        assert_eq!(s.inputs, 3);
+        assert_eq!(s.outputs, 1);
+        assert!(s.gate_nets >= 3);
+        assert_eq!(s.share_entries, 0);
+        assert_eq!(s.with_share_entries(9).share_entries, 9);
+    }
+
+    #[test]
+    fn suite_stats_are_consistent() {
+        for c in library::evaluation_suite() {
+            let paired = c.into_paired().unwrap();
+            let s = CircuitStats::from_paired(&paired);
+            assert_eq!(s.transistors, 2 * s.pairs, "{}", s.name);
+            assert!(s.nets >= s.diffusion_nets + 2, "{}", s.name);
+            assert!(s.gate_nets <= s.pairs, "{}", s.name);
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Branching heuristics.
+//!
+//! The CLIP paper reports its CLIP-W run times with OPBDP's `-h103`
+//! heuristic, "which selects a branching variable at each stage in the
+//! branch-and-bound search tree". [`BranchHeuristic::DynamicScore`] is our
+//! equivalent: a per-node activity score over the still-unsatisfied
+//! constraints. The static heuristics are provided for the ablation bench.
+
+use crate::model::{Model, Var};
+use crate::propagate::{Engine, Value};
+
+/// Strategy for choosing the next decision variable and its first value.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BranchHeuristic {
+    /// First unassigned variable, false first. The baseline.
+    InputOrder,
+    /// Variable with the largest static constraint occurrence weight; first
+    /// value is the phase occurring more often (satisfying more
+    /// constraints).
+    MostConstrained,
+    /// Unassigned objective variable with the largest coefficient, steered
+    /// to the cheap phase first; falls back to input order.
+    ObjectiveFirst,
+    /// Dynamic activity score over currently unsatisfied constraints,
+    /// in the spirit of OPBDP's `-h103`. The default.
+    #[default]
+    DynamicScore,
+}
+
+/// Static per-variable phase weights, precomputed once per solve.
+#[derive(Clone, Debug)]
+pub struct StaticScores {
+    pos: Vec<i64>,
+    neg: Vec<i64>,
+}
+
+impl StaticScores {
+    /// Accumulates coefficient mass per literal phase over all constraints.
+    pub fn new(model: &Model) -> Self {
+        let mut pos = vec![0i64; model.num_vars()];
+        let mut neg = vec![0i64; model.num_vars()];
+        for c in model.constraints() {
+            for t in &c.terms {
+                if t.lit.positive {
+                    pos[t.lit.var.index()] += t.coeff;
+                } else {
+                    neg[t.lit.var.index()] += t.coeff;
+                }
+            }
+        }
+        StaticScores { pos, neg }
+    }
+}
+
+/// Picks the next decision `(variable, first value)`, or `None` when every
+/// variable is assigned.
+pub fn pick(
+    heuristic: BranchHeuristic,
+    model: &Model,
+    engine: &Engine,
+    scores: &StaticScores,
+) -> Option<(Var, bool)> {
+    match heuristic {
+        BranchHeuristic::InputOrder => first_unassigned(model, engine).map(|v| (v, false)),
+        BranchHeuristic::MostConstrained => {
+            let mut best: Option<(Var, i64)> = None;
+            for i in 0..model.num_vars() {
+                let v = var(i);
+                if engine.value(v) == Value::Unassigned {
+                    let w = scores.pos[i] + scores.neg[i];
+                    if best.is_none_or(|(_, bw)| w > bw) {
+                        best = Some((v, w));
+                    }
+                }
+            }
+            best.map(|(v, _)| (v, scores.pos[v.index()] >= scores.neg[v.index()]))
+        }
+        BranchHeuristic::ObjectiveFirst => {
+            let mut best: Option<(Var, i64, bool)> = None;
+            for t in &model.objective().terms {
+                let v = t.lit.var;
+                if engine.value(v) == Value::Unassigned
+                    && best.is_none_or(|(_, c, _)| t.coeff > c)
+                {
+                    // Cheap phase: make the objective literal false.
+                    best = Some((v, t.coeff, !t.lit.positive));
+                }
+            }
+            best.map(|(v, _, val)| (v, val))
+                .or_else(|| first_unassigned(model, engine).map(|v| (v, false)))
+        }
+        BranchHeuristic::DynamicScore => dynamic_pick(model, engine)
+            .or_else(|| first_unassigned(model, engine).map(|v| (v, false))),
+    }
+}
+
+fn first_unassigned(model: &Model, engine: &Engine) -> Option<Var> {
+    (0..model.num_vars())
+        .map(var)
+        .find(|&v| engine.value(v) == Value::Unassigned)
+}
+
+/// Activity score: for every constraint that is not yet satisfied by fixed
+/// literals, each unassigned literal earns `coeff` scaled by the
+/// constraint's tightness (`1/(max_slack+1)`, in 1/1024 units to stay in
+/// integers). The variable with the largest accumulated score is chosen,
+/// branched first toward the phase with the higher score.
+fn dynamic_pick(model: &Model, engine: &Engine) -> Option<(Var, bool)> {
+    let mut pos = vec![0i64; model.num_vars()];
+    let mut neg = vec![0i64; model.num_vars()];
+    for (ci, c) in engine.constraints().iter().enumerate() {
+        let (max_slack, fixed_slack) = engine.slack(ci);
+        if fixed_slack >= 0 {
+            continue; // already satisfied
+        }
+        let tightness = 1024 / (max_slack.max(0) + 1);
+        if tightness == 0 {
+            continue;
+        }
+        for t in &c.terms {
+            if engine.value(t.lit.var) == Value::Unassigned {
+                let bucket = if t.lit.positive { &mut pos } else { &mut neg };
+                bucket[t.lit.var.index()] += t.coeff * tightness;
+            }
+        }
+    }
+    let mut best: Option<(Var, i64)> = None;
+    for i in 0..model.num_vars() {
+        let v = var(i);
+        if engine.value(v) != Value::Unassigned {
+            continue;
+        }
+        let w = pos[i] + neg[i];
+        if w > 0 && best.is_none_or(|(_, bw)| w > bw) {
+            best = Some((v, w));
+        }
+    }
+    best.map(|(v, _)| (v, pos[v.index()] >= neg[v.index()]))
+}
+
+fn var(i: usize) -> Var {
+    // Vars are dense indices; reconstruct. (Var's field is crate-private.)
+    crate::model::Var(i as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+    use crate::propagate::Engine;
+
+    fn simple_model() -> Model {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let z = m.new_var("z");
+        m.add_ge([(1, x), (1, y)], 1);
+        m.add_ge([(3, z), (1, y)], 1);
+        m.minimize([(5, z), (1, x)]);
+        m
+    }
+
+    #[test]
+    fn input_order_picks_first() {
+        let m = simple_model();
+        let e = Engine::new(&m);
+        let s = StaticScores::new(&m);
+        let (v, val) = pick(BranchHeuristic::InputOrder, &m, &e, &s).unwrap();
+        assert_eq!(v.index(), 0);
+        assert!(!val);
+    }
+
+    #[test]
+    fn objective_first_prefers_heavy_coefficient() {
+        let m = simple_model();
+        let e = Engine::new(&m);
+        let s = StaticScores::new(&m);
+        let (v, val) = pick(BranchHeuristic::ObjectiveFirst, &m, &e, &s).unwrap();
+        assert_eq!(v.index(), 2); // z has coefficient 5
+        assert!(!val); // cheap phase: z = false
+    }
+
+    #[test]
+    fn most_constrained_uses_weights() {
+        let m = simple_model();
+        let e = Engine::new(&m);
+        let s = StaticScores::new(&m);
+        let (v, _) = pick(BranchHeuristic::MostConstrained, &m, &e, &s).unwrap();
+        // z carries weight 3, y weight 2, x weight 1.
+        assert_eq!(v.index(), 2);
+    }
+
+    #[test]
+    fn all_heuristics_return_none_when_assigned() {
+        let m = simple_model();
+        let mut e = Engine::new(&m);
+        for i in 0..m.num_vars() {
+            e.assign(var(i), true);
+        }
+        let s = StaticScores::new(&m);
+        for h in [
+            BranchHeuristic::InputOrder,
+            BranchHeuristic::MostConstrained,
+            BranchHeuristic::ObjectiveFirst,
+            BranchHeuristic::DynamicScore,
+        ] {
+            assert_eq!(pick(h, &m, &e, &s), None, "{h:?}");
+        }
+    }
+
+    #[test]
+    fn dynamic_score_targets_unsatisfied_constraints() {
+        let m = simple_model();
+        let mut e = Engine::new(&m);
+        // Satisfy the first constraint; dynamic score should then focus on
+        // the second (z or y).
+        e.assign(var(0), true);
+        let s = StaticScores::new(&m);
+        let (v, _) = pick(BranchHeuristic::DynamicScore, &m, &e, &s).unwrap();
+        assert!(v.index() == 1 || v.index() == 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Brute-force reference solver for testing.
+
+use crate::model::Model;
+
+/// Iterates over all `2^n` assignments of `n` variables.
+///
+/// # Panics
+///
+/// Panics if `n > 26` (the enumeration would be unreasonably large).
+pub fn enumerate(n: usize) -> impl Iterator<Item = Vec<bool>> {
+    assert!(n <= 26, "brute force capped at 26 variables");
+    (0u64..(1u64 << n)).map(move |bits| (0..n).map(|i| bits & (1 << i) != 0).collect())
+}
+
+/// Exhaustively finds the optimal assignment of `model`, if feasible.
+///
+/// Ties are broken toward the lexicographically smallest assignment (all
+/// false first), making results deterministic for test comparison.
+pub fn solve(model: &Model) -> Option<(Vec<bool>, i64)> {
+    let mut best: Option<(Vec<bool>, i64)> = None;
+    for a in enumerate(model.num_vars()) {
+        if model.is_feasible(&a) {
+            let obj = model.objective().eval(&a);
+            match &best {
+                Some((_, b)) if *b <= obj => {}
+                _ => best = Some((a, obj)),
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_counts() {
+        assert_eq!(enumerate(0).count(), 1);
+        assert_eq!(enumerate(3).count(), 8);
+    }
+
+    #[test]
+    fn solves_small_model() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.add_ge([(1, x), (1, y)], 1);
+        m.minimize([(1, x), (2, y)]);
+        let (a, obj) = solve(&m).unwrap();
+        assert_eq!(obj, 1);
+        assert_eq!(a, vec![true, false]);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        m.fix(x, true);
+        m.fix(x, false);
+        assert_eq!(solve(&m), None);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let mut m = Model::new();
+        let _x = m.new_var("x");
+        let _y = m.new_var("y");
+        // No constraints, zero objective: all-false wins ties.
+        let (a, obj) = solve(&m).unwrap();
+        assert_eq!(obj, 0);
+        assert_eq!(a, vec![false, false]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Boolean→linear encodings used by the CLIP models.
+//!
+//! The CLIP paper's constraint system is stated in Boolean form (Eqs. 7–13:
+//! `and`/`or` definitions over placement and orientation variables) and
+//! linearized for the 0-1 solver; its appendix notes that the `merged`
+//! equation (Eq. 10) "can be linearized without introducing intermediate
+//! variables" because every operand belongs to an exactly-one group. The
+//! helpers here implement those encodings:
+//!
+//! * [`exactly_one`] / [`at_most_one`] / [`at_least_one`] — selection
+//!   groups (slot occupancy, orientation choice);
+//! * [`implies`] — conditional structure;
+//! * [`and_def`] / [`or_def`] — general AND/OR definition constraints;
+//! * [`or_of_and_pairs`] — the appendix's direct linearization of
+//!   `y = ⋁ᵢ (aᵢ ∧ ⋁ⱼ bᵢⱼ)` where the `aᵢ` come from one exactly-one group
+//!   and the `bᵢⱼ` from another (Eq. 10's `merged`).
+
+use crate::model::{Lit, Model, Var};
+
+/// Adds `Σ vars = 1`.
+pub fn exactly_one(m: &mut Model, vars: &[Var]) {
+    m.add_eq(vars.iter().map(|&v| (1, v)), 1);
+}
+
+/// Adds `Σ vars ≤ 1`.
+pub fn at_most_one(m: &mut Model, vars: &[Var]) {
+    m.add_le(vars.iter().map(|&v| (1, v)), 1);
+}
+
+/// Adds `Σ vars ≥ 1`.
+pub fn at_least_one(m: &mut Model, vars: &[Var]) {
+    m.add_ge(vars.iter().map(|&v| (1, v)), 1);
+}
+
+/// Adds `a → b` (i.e. `b ≥ a`).
+pub fn implies(m: &mut Model, a: Lit, b: Lit) {
+    m.add_ge_lits([(1, b), (-1, a)], 0);
+}
+
+/// Defines `y = AND(lits)`:
+/// `y ≤ litᵢ` for each `i`, and `y ≥ Σ litᵢ − (k−1)`.
+pub fn and_def(m: &mut Model, y: Var, lits: &[Lit]) {
+    for &l in lits {
+        implies(m, y.pos(), l);
+    }
+    let k = lits.len() as i64;
+    let mut terms: Vec<(i64, Lit)> = vec![(1, y.pos())];
+    terms.extend(lits.iter().map(|&l| (-1, l)));
+    m.add_ge_lits(terms, 1 - k);
+}
+
+/// Defines `y = OR(lits)`:
+/// `y ≥ litᵢ` for each `i`, and `y ≤ Σ litᵢ`.
+pub fn or_def(m: &mut Model, y: Var, lits: &[Lit]) {
+    for &l in lits {
+        implies(m, l, y.pos());
+    }
+    let mut terms: Vec<(i64, Lit)> = vec![(-1, y.pos())];
+    terms.extend(lits.iter().map(|&l| (1, l)));
+    m.add_ge_lits(terms, 0);
+}
+
+/// Defines `y = ⋁ᵢ (aᵢ ∧ ⋁ⱼ bᵢⱼ)` **without intermediate variables**,
+/// assuming the `aᵢ` are distinct members of one exactly-one group and, for
+/// each case, the `bᵢⱼ` are distinct members of another exactly-one group.
+///
+/// The encoding (the paper's appendix linearization of Eq. 10) is, for each
+/// case `i`:
+///
+/// * lower link: `y ≥ aᵢ + Σⱼ bᵢⱼ − 1` — if `aᵢ` holds and some compatible
+///   `bᵢⱼ` holds (at most one can, by the exactly-one property), `y` is
+///   forced on;
+/// * upper link: `y ≤ (1 − aᵢ) + Σⱼ bᵢⱼ` — if `aᵢ` holds but no compatible
+///   `bᵢⱼ` does, `y` is forced off;
+///
+/// plus one global upper bound `y ≤ Σᵢ aᵢ` so `y` is off when the active
+/// group member appears in no case.
+///
+/// # Panics
+///
+/// Panics if a case lists the same `a` variable twice (the encoding would
+/// be unsound).
+pub fn or_of_and_pairs(m: &mut Model, y: Var, cases: &[(Var, Vec<Var>)]) {
+    let mut seen: Vec<Var> = Vec::new();
+    for (a, bs) in cases {
+        assert!(!seen.contains(a), "duplicate case head {a:?}");
+        seen.push(*a);
+
+        // y >= a + sum(bs) - 1
+        let mut lower: Vec<(i64, Lit)> = vec![(1, y.pos()), (-1, a.pos())];
+        lower.extend(bs.iter().map(|&b| (-1, b.pos())));
+        m.add_ge_lits(lower, -1);
+
+        // y <= (1 - a) + sum(bs)
+        let mut upper: Vec<(i64, Lit)> = vec![(-1, y.pos()), (-1, a.pos())];
+        upper.extend(bs.iter().map(|&b| (1, b.pos())));
+        m.add_ge_lits(upper, -1);
+    }
+    // y <= sum of case heads
+    let mut global: Vec<(i64, Lit)> = vec![(-1, y.pos())];
+    global.extend(seen.iter().map(|&a| (1, a.pos())));
+    m.add_ge_lits(global, 0);
+}
+
+/// A bounded integer `value = lb + Σ bits`, expressed in unary.
+///
+/// CLIP's `W_cell = max_r W_r` objective needs one bounded integer; in a
+/// pure 0-1 model it is expressed as `lb` plus a sum of indicator bits.
+/// Minimizing `Σ bits` yields the smallest feasible value.
+#[derive(Clone, Debug)]
+pub struct Unary {
+    /// The indicator bits.
+    pub bits: Vec<Var>,
+    /// Value when all bits are 0.
+    pub lb: i64,
+}
+
+impl Unary {
+    /// Creates a unary counter covering `lb..=ub`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ub < lb`.
+    pub fn new(m: &mut Model, name: &str, lb: i64, ub: i64) -> Self {
+        assert!(ub >= lb, "empty unary range");
+        let bits = (0..(ub - lb))
+            .map(|i| m.new_var(format!("{name}[{i}]")))
+            .collect();
+        Unary { bits, lb }
+    }
+
+    /// Adds the constraint `self ≥ Σ cᵢ·xᵢ + k`, i.e.
+    /// `lb + Σ bits − Σ cᵢ·xᵢ ≥ k`.
+    pub fn ge_linear(&self, m: &mut Model, terms: &[(i64, Var)], k: i64) {
+        let mut all: Vec<(i64, Var)> = self.bits.iter().map(|&b| (1, b)).collect();
+        all.extend(terms.iter().map(|&(c, v)| (-c, v)));
+        m.add_ge(all, k - self.lb);
+    }
+
+    /// Objective terms minimizing this value (each bit weighted `weight`).
+    pub fn objective_terms(&self, weight: i64) -> Vec<(i64, Var)> {
+        self.bits.iter().map(|&b| (weight, b)).collect()
+    }
+
+    /// Decodes the value under a complete assignment.
+    pub fn decode(&self, assignment: &[bool]) -> i64 {
+        self.lb
+            + self
+                .bits
+                .iter()
+                .filter(|b| assignment[b.index()])
+                .count() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::enumerate;
+    use crate::model::Model;
+
+    /// Checks that for all feasible assignments, y == f(assignment).
+    fn check_definition(
+        m: &Model,
+        y: Var,
+        f: &dyn Fn(&[bool]) -> bool,
+        expect_some_feasible: bool,
+    ) {
+        let mut any = false;
+        for a in enumerate(m.num_vars()) {
+            if m.is_feasible(&a) {
+                any = true;
+                assert_eq!(a[y.index()], f(&a), "assignment {a:?}");
+            }
+        }
+        assert_eq!(any, expect_some_feasible);
+    }
+
+    #[test]
+    fn exactly_one_works() {
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..3).map(|i| m.new_var(format!("v{i}"))).collect();
+        exactly_one(&mut m, &vars);
+        let feasible: Vec<Vec<bool>> = enumerate(3).filter(|a| m.is_feasible(a)).collect();
+        assert_eq!(feasible.len(), 3);
+        for a in feasible {
+            assert_eq!(a.iter().filter(|&&b| b).count(), 1);
+        }
+    }
+
+    #[test]
+    fn at_most_and_at_least() {
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..3).map(|i| m.new_var(format!("v{i}"))).collect();
+        at_most_one(&mut m, &vars);
+        assert_eq!(enumerate(3).filter(|a| m.is_feasible(a)).count(), 4);
+        at_least_one(&mut m, &vars);
+        assert_eq!(enumerate(3).filter(|a| m.is_feasible(a)).count(), 3);
+    }
+
+    #[test]
+    fn implies_works() {
+        let mut m = Model::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        implies(&mut m, a.pos(), b.pos());
+        assert!(m.is_feasible(&[false, false]));
+        assert!(m.is_feasible(&[false, true]));
+        assert!(m.is_feasible(&[true, true]));
+        assert!(!m.is_feasible(&[true, false]));
+    }
+
+    #[test]
+    fn and_def_is_exact() {
+        let mut m = Model::new();
+        let y = m.new_var("y");
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        and_def(&mut m, y, &[a.pos(), b.neg()]);
+        check_definition(&m, y, &|x| x[1] && !x[2], true);
+    }
+
+    #[test]
+    fn or_def_is_exact() {
+        let mut m = Model::new();
+        let y = m.new_var("y");
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        or_def(&mut m, y, &[a.pos(), b.pos()]);
+        check_definition(&m, y, &|x| x[1] || x[2], true);
+    }
+
+    #[test]
+    fn or_of_and_pairs_matches_semantics() {
+        // Groups: a0..a2 exactly-one, b0..b2 exactly-one.
+        // y = (a0 & (b0|b1)) | (a1 & b2)
+        let mut m = Model::new();
+        let y = m.new_var("y");
+        let avars: Vec<Var> = (0..3).map(|i| m.new_var(format!("a{i}"))).collect();
+        let bvars: Vec<Var> = (0..3).map(|i| m.new_var(format!("b{i}"))).collect();
+        exactly_one(&mut m, &avars);
+        exactly_one(&mut m, &bvars);
+        or_of_and_pairs(
+            &mut m,
+            y,
+            &[
+                (avars[0], vec![bvars[0], bvars[1]]),
+                (avars[1], vec![bvars[2]]),
+            ],
+        );
+        check_definition(
+            &m,
+            y,
+            &|x| {
+                let a = &x[1..4];
+                let b = &x[4..7];
+                (a[0] && (b[0] || b[1])) || (a[1] && b[2])
+            },
+            true,
+        );
+        // Every (a, b) combination remains feasible: 3 * 3 = 9.
+        assert_eq!(
+            enumerate(m.num_vars()).filter(|x| m.is_feasible(x)).count(),
+            9
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate case head")]
+    fn or_of_and_pairs_rejects_duplicate_heads() {
+        let mut m = Model::new();
+        let y = m.new_var("y");
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        or_of_and_pairs(&mut m, y, &[(a, vec![b]), (a, vec![b])]);
+    }
+
+    #[test]
+    fn unary_counts() {
+        let mut m = Model::new();
+        let u = Unary::new(&mut m, "w", 2, 5);
+        assert_eq!(u.bits.len(), 3);
+        let x = m.new_var("x");
+        // u >= 3x + 2: if x then u >= 5 (all bits), else u >= 2 (no bits).
+        u.ge_linear(&mut m, &[(3, x)], 2);
+        for a in enumerate(m.num_vars()) {
+            if m.is_feasible(&a) {
+                let val = u.decode(&a);
+                let needed = if a[x.index()] { 5 } else { 2 };
+                assert!(val >= needed, "{a:?} gives {val} < {needed}");
+            }
+        }
+        // Minimizing the bits reaches the lower bound when x = 0.
+        let obj = u.objective_terms(1);
+        assert_eq!(obj.len(), 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! A 0-1 integer linear programming (pseudo-Boolean) solver.
+//!
+//! This crate is the reproduction's stand-in for **OPBDP**, the specialized
+//! logic-based 0-1 solver (Barth, *Logic-Based 0-1 Constraint Programming*,
+//! Kluwer 1995) that the CLIP paper found "best suited to our optimization
+//! problem" among OSL, CPLEX, and OPBDP. Like OPBDP it performs depth-first
+//! implicit enumeration over Boolean variables with:
+//!
+//! * bound-consistency **propagation** over normalized `≥` constraints
+//!   ([`propagate`]);
+//! * **objective bounding** against the incumbent, strengthened after every
+//!   improving solution (branch-and-bound);
+//! * pluggable **branching heuristics** ([`branch`]), including a dynamic
+//!   activity score in the spirit of OPBDP's `-h103` option used by the
+//!   paper's experiments.
+//!
+//! Model construction lives in [`model`]; the Boolean→linear encodings CLIP
+//! needs (exactly-one, AND/OR linking constraints, products of exactly-one
+//! group members) are in [`encode`]. A brute-force reference solver for
+//! testing is in [`brute`].
+//!
+//! # Example
+//!
+//! ```
+//! use clip_pb::{Model, Solver};
+//!
+//! // minimize x + 2y  s.t.  x + y >= 1
+//! let mut m = Model::new();
+//! let x = m.new_var("x");
+//! let y = m.new_var("y");
+//! m.add_ge([(1, x), (1, y)], 1);
+//! m.minimize([(1, x), (2, y)]);
+//!
+//! let outcome = Solver::new(&m).run();
+//! let best = outcome.best().expect("feasible");
+//! assert_eq!(best.objective, 1);
+//! assert!(best.value(x) && !best.value(y));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod brute;
+pub mod encode;
+pub mod model;
+pub mod opb;
+pub mod presolve;
+pub mod propagate;
+pub mod solve;
+
+pub use branch::BranchHeuristic;
+pub use model::{Constraint, LinTerm, Model, Var};
+pub use solve::{Brancher, Outcome, SearchStrategy, SolveStats, Solver, SolverConfig, Solution};

@@ -1,0 +1,520 @@
+//! 0-1 ILP model representation.
+//!
+//! Constraints are stored in *pseudo-Boolean normal form*: a sum of
+//! positive-coefficient literals bounded below,
+//! `Σ aᵢ·litᵢ ≥ b` with `aᵢ > 0`, where a literal is a variable or its
+//! complement. Any linear `≥`/`≤`/`=` constraint over 0-1 variables
+//! normalizes into this form (complementing flips `a·x` into `a − a·x̄`),
+//! which is what the propagation engine consumes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 0-1 decision variable.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Dense index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `Var` from a dense index — for I/O code (OPB import) that
+    /// reconstructs variables created in order. Using an index that was
+    /// never handed out by the corresponding [`Model`] yields a dangling
+    /// variable.
+    pub fn from_index_for_io(index: usize) -> Self {
+        Var(index as u32)
+    }
+
+    /// The positive literal of this variable.
+    pub fn pos(self) -> Lit {
+        Lit {
+            var: self,
+            positive: true,
+        }
+    }
+
+    /// The negative literal (`1 − x`).
+    #[allow(clippy::should_implement_trait)] // domain term, not arithmetic negation
+    pub fn neg(self) -> Lit {
+        Lit {
+            var: self,
+            positive: false,
+        }
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable or its complement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lit {
+    /// Underlying variable.
+    pub var: Var,
+    /// True for `x`, false for `1 − x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Value of the literal under an assignment of its variable.
+    pub fn eval(self, var_value: bool) -> bool {
+        var_value == self.positive
+    }
+
+    /// The complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "{:?}", self.var)
+        } else {
+            write!(f, "~{:?}", self.var)
+        }
+    }
+}
+
+/// One weighted literal of a normalized constraint or objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinTerm {
+    /// Positive coefficient.
+    pub coeff: i64,
+    /// The literal it multiplies.
+    pub lit: Lit,
+}
+
+/// A normalized constraint `Σ coeff·lit ≥ bound` with all `coeff > 0`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Weighted literals, all with positive coefficients.
+    pub terms: Vec<LinTerm>,
+    /// Lower bound.
+    pub bound: i64,
+}
+
+impl Constraint {
+    /// Builds and normalizes a constraint from signed variable terms.
+    ///
+    /// Terms with zero coefficients are dropped; repeated variables are
+    /// combined first.
+    pub fn ge(terms: impl IntoIterator<Item = (i64, Var)>, bound: i64) -> Self {
+        Self::ge_lits(
+            terms.into_iter().map(|(c, v)| (c, v.pos())),
+            bound,
+        )
+    }
+
+    /// Builds and normalizes a constraint from signed literal terms.
+    pub fn ge_lits(terms: impl IntoIterator<Item = (i64, Lit)>, mut bound: i64) -> Self {
+        // Combine duplicate literals first (canonicalizing to positive
+        // literals: c·(1−x) == −c·x + c).
+        let mut by_var: std::collections::BTreeMap<u32, i64> = std::collections::BTreeMap::new();
+        for (c, lit) in terms {
+            if c == 0 {
+                continue;
+            }
+            if lit.positive {
+                *by_var.entry(lit.var.0).or_insert(0) += c;
+            } else {
+                *by_var.entry(lit.var.0).or_insert(0) -= c;
+                bound -= c;
+            }
+        }
+        let mut out = Vec::with_capacity(by_var.len());
+        for (v, c) in by_var {
+            let var = Var(v);
+            if c > 0 {
+                out.push(LinTerm {
+                    coeff: c,
+                    lit: var.pos(),
+                });
+            } else if c < 0 {
+                // c·x == −c·x̄ + c
+                out.push(LinTerm {
+                    coeff: -c,
+                    lit: var.neg(),
+                });
+                bound -= c;
+            }
+        }
+        Constraint { terms: out, bound }
+    }
+
+    /// Maximum achievable left-hand side (all literals true).
+    pub fn max_lhs(&self) -> i64 {
+        self.terms.iter().map(|t| t.coeff).sum()
+    }
+
+    /// Evaluates the left-hand side under a complete assignment.
+    pub fn lhs(&self, assignment: &[bool]) -> i64 {
+        self.terms
+            .iter()
+            .filter(|t| t.lit.eval(assignment[t.lit.var.index()]))
+            .map(|t| t.coeff)
+            .sum()
+    }
+
+    /// True if the constraint holds under a complete assignment.
+    pub fn satisfied(&self, assignment: &[bool]) -> bool {
+        self.lhs(assignment) >= self.bound
+    }
+
+    /// True if no assignment can violate the constraint.
+    pub fn is_trivial(&self) -> bool {
+        self.bound <= 0
+    }
+
+    /// True if no assignment can satisfy the constraint.
+    pub fn is_contradiction(&self) -> bool {
+        self.max_lhs() < self.bound
+    }
+}
+
+/// Normalized minimization objective: `base + Σ coeff·lit`, `coeff > 0`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Objective {
+    /// Weighted literals, all with positive coefficients.
+    pub terms: Vec<LinTerm>,
+    /// Constant offset.
+    pub base: i64,
+}
+
+impl Objective {
+    /// Evaluates the objective under a complete assignment.
+    pub fn eval(&self, assignment: &[bool]) -> i64 {
+        self.base
+            + self
+                .terms
+                .iter()
+                .filter(|t| t.lit.eval(assignment[t.lit.var.index()]))
+                .map(|t| t.coeff)
+                .sum::<i64>()
+    }
+
+    /// Largest possible objective value.
+    pub fn max_value(&self) -> i64 {
+        self.base + self.terms.iter().map(|t| t.coeff).sum::<i64>()
+    }
+}
+
+/// A 0-1 ILP: named variables, normalized constraints, and a minimization
+/// objective.
+///
+/// See the [crate-level example](crate) for typical usage.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Model {
+    names: Vec<String>,
+    constraints: Vec<Constraint>,
+    objective: Objective,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with a display name.
+    pub fn new_var(&mut self, name: impl Into<String>) -> Var {
+        let v = Var(self.names.len() as u32);
+        self.names.push(name.into());
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable.
+    pub fn name(&self, v: Var) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// The normalized constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The normalized objective.
+    pub fn objective(&self) -> &Objective {
+        &self.objective
+    }
+
+    /// Adds `Σ cᵢ·xᵢ ≥ bound`.
+    pub fn add_ge(&mut self, terms: impl IntoIterator<Item = (i64, Var)>, bound: i64) {
+        self.push(Constraint::ge(terms, bound));
+    }
+
+    /// Adds `Σ cᵢ·xᵢ ≤ bound`.
+    pub fn add_le(&mut self, terms: impl IntoIterator<Item = (i64, Var)>, bound: i64) {
+        self.push(Constraint::ge(
+            terms.into_iter().map(|(c, v)| (-c, v)),
+            -bound,
+        ));
+    }
+
+    /// Adds `Σ cᵢ·xᵢ = bound` (as a `≥`/`≤` pair).
+    pub fn add_eq(&mut self, terms: impl IntoIterator<Item = (i64, Var)>, bound: i64) {
+        let collected: Vec<(i64, Var)> = terms.into_iter().collect();
+        self.add_ge(collected.iter().copied(), bound);
+        self.add_le(collected, bound);
+    }
+
+    /// Adds `Σ cᵢ·litᵢ ≥ bound` over literals.
+    pub fn add_ge_lits(&mut self, terms: impl IntoIterator<Item = (i64, Lit)>, bound: i64) {
+        self.push(Constraint::ge_lits(terms, bound));
+    }
+
+    /// Adds `Σ cᵢ·litᵢ ≤ bound` over literals.
+    pub fn add_le_lits(&mut self, terms: impl IntoIterator<Item = (i64, Lit)>, bound: i64) {
+        self.push(Constraint::ge_lits(
+            terms.into_iter().map(|(c, l)| (-c, l)),
+            -bound,
+        ));
+    }
+
+    /// Sets the objective to `minimize Σ cᵢ·xᵢ`.
+    pub fn minimize(&mut self, terms: impl IntoIterator<Item = (i64, Var)>) {
+        // Normalize to positive-coefficient literal form.
+        let c = Constraint::ge(terms, 0);
+        // `Constraint::ge` moved negative coefficients into the bound:
+        // Σ pos·lit ≥ 0 − shift, so base = shift = −c.bound.
+        self.objective = Objective {
+            terms: c.terms,
+            base: -c.bound,
+        };
+    }
+
+    /// Fixes a variable to a value (unit constraint).
+    pub fn fix(&mut self, v: Var, value: bool) {
+        if value {
+            self.add_ge([(1, v)], 1);
+        } else {
+            self.add_le([(1, v)], 0);
+        }
+    }
+
+    fn push(&mut self, c: Constraint) {
+        if !c.is_trivial() {
+            self.constraints.push(c);
+        }
+    }
+
+    /// Pushes an already-normalized constraint (presolve-internal).
+    pub(crate) fn push_normalized(&mut self, c: Constraint) {
+        self.push(c);
+    }
+
+    /// Installs a pre-normalized objective (presolve-internal).
+    pub(crate) fn set_objective_raw(&mut self, objective: Objective) {
+        self.objective = objective;
+    }
+
+    /// Checks a complete assignment against every constraint.
+    pub fn is_feasible(&self, assignment: &[bool]) -> bool {
+        assignment.len() == self.num_vars()
+            && self.constraints.iter().all(|c| c.satisfied(assignment))
+    }
+
+    /// Renders the model with symbolic variable names — the human-readable
+    /// counterpart of the OPB export, for inspecting generated CLIP models.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let lit = |l: Lit| {
+            if l.positive {
+                self.name(l.var).to_owned()
+            } else {
+                format!("~{}", self.name(l.var))
+            }
+        };
+        let mut out = format!(
+            "model: {} vars, {} constraints
+",
+            self.num_vars(),
+            self.num_constraints()
+        );
+        if !self.objective.terms.is_empty() {
+            let _ = write!(out, "min: {:+}", self.objective.base);
+            for t in &self.objective.terms {
+                let _ = write!(out, " {:+}·{}", t.coeff, lit(t.lit));
+            }
+            out.push('\n');
+        }
+        for c in &self.constraints {
+            let mut first = true;
+            for t in &c.terms {
+                let _ = write!(
+                    out,
+                    "{}{:+}·{}",
+                    if first { "" } else { " " },
+                    t.coeff,
+                    lit(t.lit)
+                );
+                first = false;
+            }
+            let _ = writeln!(out, " >= {}", c.bound);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_moves_negatives_to_complements() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        // x - y >= 0  ==>  x + ~y >= 1
+        m.add_ge([(1, x), (-1, y)], 0);
+        let c = &m.constraints()[0];
+        assert_eq!(c.bound, 1);
+        assert_eq!(c.terms.len(), 2);
+        assert!(c.terms.iter().all(|t| t.coeff == 1));
+        assert!(c.satisfied(&[true, true]));
+        assert!(c.satisfied(&[false, false]));
+        assert!(!c.satisfied(&[false, true]));
+    }
+
+    #[test]
+    fn le_becomes_ge_on_complements() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.add_le([(1, x), (1, y)], 1); // at most one
+        let c = &m.constraints()[0];
+        assert!(c.satisfied(&[true, false]));
+        assert!(c.satisfied(&[false, false]));
+        assert!(!c.satisfied(&[true, true]));
+    }
+
+    #[test]
+    fn eq_produces_two_constraints() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.add_eq([(1, x), (1, y)], 1);
+        assert_eq!(m.num_constraints(), 2);
+        assert!(m.is_feasible(&[true, false]));
+        assert!(m.is_feasible(&[false, true]));
+        assert!(!m.is_feasible(&[true, true]));
+        assert!(!m.is_feasible(&[false, false]));
+    }
+
+    #[test]
+    fn duplicate_terms_combine() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        m.add_ge([(1, x), (2, x)], 3);
+        let c = &m.constraints()[0];
+        assert_eq!(c.terms.len(), 1);
+        assert_eq!(c.terms[0].coeff, 3);
+        assert_eq!(c.bound, 3);
+    }
+
+    #[test]
+    fn opposite_literals_cancel() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        // x + ~x >= 1 is trivially true: should be dropped entirely.
+        m.add_ge_lits([(1, x.pos()), (1, x.neg())], 1);
+        assert_eq!(m.num_constraints(), 0);
+    }
+
+    #[test]
+    fn trivial_constraints_are_dropped() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        m.add_ge([(1, x)], 0);
+        assert_eq!(m.num_constraints(), 0);
+        m.add_ge([(1, x)], 1);
+        assert_eq!(m.num_constraints(), 1);
+    }
+
+    #[test]
+    fn objective_normalizes_with_base() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.minimize([(2, x), (-3, y)]);
+        let o = m.objective();
+        assert_eq!(o.base, -3);
+        assert_eq!(o.eval(&[false, true]), -3);
+        assert_eq!(o.eval(&[true, false]), 2);
+        assert_eq!(o.eval(&[true, true]), -1);
+        assert_eq!(o.max_value(), 2);
+    }
+
+    #[test]
+    fn fix_pins_variables() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.fix(x, true);
+        m.fix(y, false);
+        assert!(m.is_feasible(&[true, false]));
+        assert!(!m.is_feasible(&[false, false]));
+        assert!(!m.is_feasible(&[true, true]));
+    }
+
+    #[test]
+    fn contradiction_detection() {
+        let c = Constraint::ge([(1, Var(0))], 2);
+        assert!(c.is_contradiction());
+        let c = Constraint::ge([(1, Var(0)), (1, Var(1))], 2);
+        assert!(!c.is_contradiction());
+    }
+
+    #[test]
+    fn lit_eval_and_negation() {
+        let v = Var(0);
+        assert!(v.pos().eval(true));
+        assert!(!v.pos().eval(false));
+        assert!(v.neg().eval(false));
+        assert_eq!(v.pos().negated(), v.neg());
+        assert_eq!(v.neg().negated(), v.pos());
+    }
+
+    #[test]
+    fn render_shows_names_and_bounds() {
+        let mut m = Model::new();
+        let x = m.new_var("X[p1,1,1]");
+        let y = m.new_var("gap[1,1]");
+        m.add_ge([(1, x), (-2, y)], 0);
+        m.minimize([(1, y)]);
+        let text = m.render();
+        assert!(text.contains("X[p1,1,1]"), "{text}");
+        assert!(text.contains("~gap[1,1]"), "{text}");
+        assert!(text.contains("min:"), "{text}");
+        assert!(text.contains(">= "), "{text}");
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let mut m = Model::new();
+        let x = m.new_var("alpha");
+        assert_eq!(m.name(x), "alpha");
+        assert_eq!(m.num_vars(), 1);
+    }
+}

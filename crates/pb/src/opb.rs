@@ -1,0 +1,226 @@
+//! OPB (pseudo-Boolean competition) format I/O.
+//!
+//! OPBDP — the solver the paper used — popularized a textual format for
+//! 0-1 problems that later became the PB-competition `.opb` standard:
+//!
+//! ```text
+//! * #variable= 3 #constraint= 2
+//! min: +1 x1 +2 x2 ;
+//! +1 x1 +1 x2 >= 1 ;
+//! +2 x1 -1 x3 >= 0 ;
+//! ```
+//!
+//! [`write()`](write()) exports any [`Model`]; [`parse`] reads the subset with `>=`
+//! constraints and an optional `min:` objective, so models can be
+//! exchanged with external PB solvers for cross-checking.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::model::{Model, Var};
+
+/// Serializes a model in OPB format.
+///
+/// Variables are named `x1..xN` in index order (OPB has no symbolic
+/// names); constraints are emitted in normalized `>=` form.
+pub fn write(model: &Model) -> String {
+    let mut out = format!(
+        "* #variable= {} #constraint= {}\n",
+        model.num_vars(),
+        model.num_constraints()
+    );
+    let obj = model.objective();
+    if !obj.terms.is_empty() {
+        out.push_str("min:");
+        // Convert literal objective back to variable form:
+        // c·x̄ = −c·x + c (the constant is not representable in OPB's
+        // objective line and is irrelevant to the argmin).
+        for t in &obj.terms {
+            let (coeff, var) = if t.lit.positive {
+                (t.coeff, t.lit.var)
+            } else {
+                (-t.coeff, t.lit.var)
+            };
+            out.push_str(&format!(" {:+} x{}", coeff, var.index() + 1));
+        }
+        out.push_str(" ;\n");
+    }
+    for c in model.constraints() {
+        let mut bound = c.bound;
+        for t in &c.terms {
+            // c·x̄ = −c·x + c  ⇒ move the constant to the bound.
+            let (coeff, var) = if t.lit.positive {
+                (t.coeff, t.lit.var)
+            } else {
+                bound -= t.coeff;
+                (-t.coeff, t.lit.var)
+            };
+            out.push_str(&format!("{:+} x{} ", coeff, var.index() + 1));
+        }
+        out.push_str(&format!(">= {bound} ;\n"));
+    }
+    out
+}
+
+/// Errors from [`parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseOpbError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseOpbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "opb parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseOpbError {}
+
+/// Parses an OPB document (the `>=` / `min:` subset).
+///
+/// # Errors
+///
+/// Returns [`ParseOpbError`] on malformed terms, unknown relations, or
+/// missing terminators.
+pub fn parse(text: &str) -> Result<Model, ParseOpbError> {
+    let mut model = Model::new();
+    let mut created = 0usize;
+    let ensure_var = |model: &mut Model, idx: usize, created: &mut usize| {
+        while *created < idx {
+            model.new_var(format!("x{}", *created + 1));
+            *created += 1;
+        }
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let n = lineno + 1;
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        let (is_objective, body) = match line.strip_prefix("min:") {
+            Some(rest) => (true, rest),
+            None => (false, line),
+        };
+        let body = body.trim().strip_suffix(';').ok_or(ParseOpbError {
+            line: n,
+            message: "missing ';' terminator".into(),
+        })?;
+
+        let mut terms: Vec<(i64, usize)> = Vec::new();
+        let mut relation: Option<i64> = None;
+        let mut tokens = body.split_whitespace().peekable();
+        while let Some(tok) = tokens.next() {
+            if tok == ">=" {
+                let bound: i64 = tokens
+                    .next()
+                    .and_then(|b| b.parse().ok())
+                    .ok_or(ParseOpbError {
+                        line: n,
+                        message: "missing bound after >=".into(),
+                    })?;
+                relation = Some(bound);
+            } else {
+                let coeff: i64 = tok.parse().map_err(|_| ParseOpbError {
+                    line: n,
+                    message: format!("bad coefficient {tok}"),
+                })?;
+                let var_tok = tokens.next().ok_or(ParseOpbError {
+                    line: n,
+                    message: "coefficient without variable".into(),
+                })?;
+                let idx: usize = var_tok
+                    .strip_prefix('x')
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v >= 1)
+                    .ok_or(ParseOpbError {
+                        line: n,
+                        message: format!("bad variable {var_tok}"),
+                    })?;
+                terms.push((coeff, idx));
+            }
+        }
+        let max_idx = terms.iter().map(|&(_, i)| i).max().unwrap_or(0);
+        ensure_var(&mut model, max_idx, &mut created);
+        let var_terms = terms
+            .iter()
+            .map(|&(c, i)| (c, Var::from_index_for_io(i - 1)));
+        if is_objective {
+            model.minimize(var_terms);
+        } else {
+            let bound = relation.ok_or(ParseOpbError {
+                line: n,
+                message: "constraint without >= relation".into(),
+            })?;
+            model.add_ge(var_terms, bound);
+        }
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::Solver;
+
+    #[test]
+    fn writes_a_small_model() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.add_ge([(1, x), (1, y)], 1);
+        m.minimize([(1, x), (2, y)]);
+        let text = write(&m);
+        assert!(text.contains("min: +1 x1 +2 x2 ;"));
+        assert!(text.contains("+1 x1 +1 x2 >= 1 ;"));
+    }
+
+    #[test]
+    fn negated_literals_convert_to_variable_form() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.add_le([(1, x), (1, y)], 1); // internally: x̄ + ȳ >= 1
+        let text = write(&m);
+        assert!(text.contains("-1 x1 -1 x2 >= -1 ;"), "{text}");
+    }
+
+    #[test]
+    fn parse_round_trips_optimal_value() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let z = m.new_var("z");
+        m.add_ge([(2, x), (1, y), (1, z)], 2);
+        m.add_le([(1, y), (1, z)], 1);
+        m.minimize([(3, x), (1, y), (1, z)]);
+        let text = write(&m);
+        let back = parse(&text).expect("round trip parses");
+        assert_eq!(back.num_vars(), 3);
+        let a = Solver::new(&m).run();
+        let b = Solver::new(&back).run();
+        assert_eq!(
+            a.best().map(|s| s.objective),
+            b.best().map(|s| s.objective)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("+1 x1 >= 1").is_err()); // missing ';'
+        assert!(parse("+1 y1 >= 1 ;").is_err()); // bad variable
+        assert!(parse("frob x1 >= 1 ;").is_err()); // bad coefficient
+        assert!(parse("+1 x1 ;").is_err()); // no relation
+        assert!(parse("+1 x1 >= ;").is_err()); // no bound
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let m = parse("* header\n\n+1 x1 >= 1 ;\n").unwrap();
+        assert_eq!(m.num_vars(), 1);
+        assert_eq!(m.num_constraints(), 1);
+    }
+}

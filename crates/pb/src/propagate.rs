@@ -1,0 +1,852 @@
+//! Bound-consistency propagation engine.
+//!
+//! Works on the pseudo-Boolean normal form of [`crate::model`]: for every
+//! constraint `Σ aᵢ·litᵢ ≥ b` the engine tracks the maximum achievable
+//! left-hand side given the current partial assignment — *incrementally*:
+//! when a literal becomes false its coefficient is subtracted, and added
+//! back on backtracking, so the per-assignment cost is O(occurrences)
+//! rather than O(occurrences × constraint length). When the maximum falls
+//! below `b` the constraint is conflicting; when skipping a single
+//! unassigned literal would make it fall below `b`, that literal is forced
+//! true. This is exactly the implication rule of logic-based 0-1
+//! programming (OPBDP's "fixing" step).
+//!
+//! The engine also owns the dynamic *objective bound* constraint
+//! `objective ≤ incumbent − 1` used for branch-and-bound pruning; call
+//! [`Engine::set_objective_bound`] whenever a better incumbent is found.
+
+use crate::model::{Constraint, Lit, Model, Var};
+
+/// Tri-state variable assignment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Not yet assigned.
+    Unassigned,
+    /// Assigned false.
+    False,
+    /// Assigned true.
+    True,
+}
+
+impl Value {
+    fn from_bool(b: bool) -> Self {
+        if b {
+            Value::True
+        } else {
+            Value::False
+        }
+    }
+
+    /// Returns the Boolean value if assigned.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Unassigned => None,
+            Value::False => Some(false),
+            Value::True => Some(true),
+        }
+    }
+}
+
+/// Outcome of a propagation round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PropOutcome {
+    /// Fixpoint reached with no contradiction.
+    Consistent,
+    /// The constraint with this index cannot be satisfied.
+    Conflict(usize),
+}
+
+/// Product of conflict analysis: the learned clause, which of its
+/// literals asserts after the backjump, and the backjump level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LearnedClause {
+    /// Clause literals (at least one must hold).
+    pub lits: Vec<Lit>,
+    /// Index of the asserting literal within `lits`.
+    pub assert_index: usize,
+    /// Decision level to backjump to.
+    pub backjump: u32,
+}
+
+/// One entry of a variable's occurrence list.
+#[derive(Clone, Copy, Debug)]
+struct Occurrence {
+    constraint: u32,
+    coeff: i64,
+    /// Phase of the literal in the constraint.
+    positive: bool,
+}
+
+/// Propagation engine over a fixed model plus the dynamic objective bound.
+#[derive(Debug)]
+pub struct Engine {
+    constraints: Vec<Constraint>,
+    /// Incrementally maintained max achievable LHS per constraint.
+    max_lhs: Vec<i64>,
+    /// Incrementally maintained fixed (true-literal) LHS per constraint.
+    fixed_lhs: Vec<i64>,
+    /// Largest coefficient per constraint (forcing-scan filter).
+    max_coeff: Vec<i64>,
+    /// Index of the objective-bound constraint in `constraints`, if any.
+    obj_index: Option<usize>,
+    /// Sum of the objective constraint's coefficients (for bound updates).
+    obj_total: i64,
+    occurs: Vec<Vec<Occurrence>>,
+    values: Vec<Value>,
+    /// Decision level at which each variable was assigned.
+    levels: Vec<u32>,
+    /// Forcing constraint per variable (`None` for decisions and
+    /// unassigned variables).
+    reasons: Vec<Option<u32>>,
+    trail: Vec<Var>,
+    /// Trail length at the start of each decision level.
+    level_marks: Vec<usize>,
+    /// Learned clauses (2-watched-literal scheme; watches are the first
+    /// two literals of each clause).
+    clauses: Vec<Vec<Lit>>,
+    /// Watch lists per literal code (`2·var + positive`).
+    watches: Vec<Vec<u32>>,
+    qhead: usize,
+    /// Number of variable assignments performed by propagation (not by
+    /// decisions).
+    pub propagations: u64,
+}
+
+impl Engine {
+    /// Builds the engine for `model`.
+    ///
+    /// The objective-bound constraint is created disabled (bound far below
+    /// reach) and activated by [`Engine::set_objective_bound`].
+    pub fn new(model: &Model) -> Self {
+        let mut constraints: Vec<Constraint> = model.constraints().to_vec();
+
+        // Objective bound in negated-literal form:
+        //   Σ c·lit ≤ K  ⇔  Σ c·~lit ≥ total − K.
+        let obj = model.objective();
+        let obj_total: i64 = obj.terms.iter().map(|t| t.coeff).sum();
+        let obj_index = if obj.terms.is_empty() {
+            None
+        } else {
+            let terms = obj
+                .terms
+                .iter()
+                .map(|t| crate::model::LinTerm {
+                    coeff: t.coeff,
+                    lit: t.lit.negated(),
+                })
+                .collect();
+            constraints.push(Constraint {
+                terms,
+                bound: i64::MIN / 2, // disabled until an incumbent exists
+            });
+            Some(constraints.len() - 1)
+        };
+
+        let mut occurs: Vec<Vec<Occurrence>> = vec![Vec::new(); model.num_vars()];
+        let mut max_lhs = Vec::with_capacity(constraints.len());
+        let mut fixed_lhs = Vec::with_capacity(constraints.len());
+        let mut max_coeff = Vec::with_capacity(constraints.len());
+        for (i, c) in constraints.iter().enumerate() {
+            for t in &c.terms {
+                occurs[t.lit.var.index()].push(Occurrence {
+                    constraint: i as u32,
+                    coeff: t.coeff,
+                    positive: t.lit.positive,
+                });
+            }
+            max_lhs.push(c.max_lhs());
+            fixed_lhs.push(0);
+            max_coeff.push(c.terms.iter().map(|t| t.coeff).max().unwrap_or(0));
+        }
+
+        Engine {
+            constraints,
+            max_lhs,
+            fixed_lhs,
+            max_coeff,
+            obj_index,
+            obj_total,
+            occurs,
+            values: vec![Value::Unassigned; model.num_vars()],
+            levels: vec![0; model.num_vars()],
+            reasons: vec![None; model.num_vars()],
+            trail: Vec::new(),
+            level_marks: Vec::new(),
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2 * model.num_vars()],
+            qhead: 0,
+            propagations: 0,
+        }
+    }
+
+    /// Tag distinguishing clause reasons/conflicts from PB constraint
+    /// indices.
+    const CLAUSE_TAG: usize = 1 << 30;
+
+    fn lit_code(l: Lit) -> usize {
+        l.var.index() * 2 + usize::from(l.positive)
+    }
+
+    /// Current value of a variable.
+    pub fn value(&self, v: Var) -> Value {
+        self.values[v.index()]
+    }
+
+    /// All current values (indexed by variable).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of assigned variables.
+    pub fn num_assigned(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Snapshot of the trail position, for backtracking.
+    pub fn mark(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Undoes all assignments made after `mark`.
+    pub fn undo_to(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let v = self.trail.pop().expect("trail shrinks to mark");
+            let was = self.values[v.index()];
+            self.values[v.index()] = Value::Unassigned;
+            self.reasons[v.index()] = None;
+            // Reverse the incremental slack updates.
+            let value = was == Value::True;
+            for k in 0..self.occurs[v.index()].len() {
+                let occ = self.occurs[v.index()][k];
+                let lit_was_false = occ.positive != value;
+                let ci = occ.constraint as usize;
+                if lit_was_false {
+                    self.max_lhs[ci] += occ.coeff;
+                } else {
+                    self.fixed_lhs[ci] -= occ.coeff;
+                }
+            }
+        }
+        self.qhead = self.qhead.min(mark);
+    }
+
+    /// Tightens the objective-bound constraint to `objective ≤ ub` (in
+    /// terms of the model's *literal* objective sum, excluding its base).
+    pub fn set_objective_bound(&mut self, ub_minus_base: i64) {
+        if let Some(i) = self.obj_index {
+            self.constraints[i].bound = self.obj_total - ub_minus_base;
+        }
+    }
+
+    /// Assigns `v := value` as a decision or external fixing, updating the
+    /// incremental slack of every constraint `v` occurs in.
+    ///
+    /// Returns false if `v` already holds the opposite value.
+    pub fn assign(&mut self, v: Var, value: bool) -> bool {
+        self.assign_with_reason(v, value, None)
+    }
+
+    /// Current decision level.
+    pub fn decision_level(&self) -> u32 {
+        self.level_marks.len() as u32
+    }
+
+    /// Opens a new decision level and assigns `v := value` as its decision.
+    ///
+    /// Returns false if `v` already holds the opposite value.
+    pub fn assign_decision(&mut self, v: Var, value: bool) -> bool {
+        self.level_marks.push(self.trail.len());
+        self.assign_with_reason(v, value, None)
+    }
+
+    /// The decision level of an assigned variable.
+    pub fn level_of(&self, v: Var) -> u32 {
+        self.levels[v.index()]
+    }
+
+    /// The forcing constraint of an assigned variable, if it was
+    /// propagated rather than decided.
+    pub fn reason_of(&self, v: Var) -> Option<u32> {
+        self.reasons[v.index()]
+    }
+
+    /// Undoes every assignment above decision level `target`.
+    pub fn backjump_to(&mut self, target: u32) {
+        while self.decision_level() > target {
+            let mark = self.level_marks.pop().expect("level exists");
+            self.undo_to(mark);
+        }
+    }
+
+    fn assign_with_reason(&mut self, v: Var, value: bool, reason: Option<u32>) -> bool {
+        match self.values[v.index()] {
+            Value::Unassigned => {
+                self.values[v.index()] = Value::from_bool(value);
+                self.levels[v.index()] = self.decision_level();
+                self.reasons[v.index()] = reason;
+                self.trail.push(v);
+                for k in 0..self.occurs[v.index()].len() {
+                    let occ = self.occurs[v.index()][k];
+                    let lit_false = occ.positive != value;
+                    let ci = occ.constraint as usize;
+                    if lit_false {
+                        self.max_lhs[ci] -= occ.coeff;
+                    } else {
+                        self.fixed_lhs[ci] += occ.coeff;
+                    }
+                }
+                true
+            }
+            other => other.as_bool() == Some(value),
+        }
+    }
+
+    /// Runs propagation to fixpoint over constraints touched by new
+    /// assignments.
+    pub fn propagate(&mut self) -> PropOutcome {
+        while self.qhead < self.trail.len() {
+            let v = self.trail[self.qhead];
+            self.qhead += 1;
+            // Learned clauses first (cheap, 2-watched literals).
+            let value = self.values[v.index()] == Value::True;
+            let falsified = Lit {
+                var: v,
+                positive: !value,
+            };
+            if let PropOutcome::Conflict(c) = self.propagate_watches(falsified) {
+                return PropOutcome::Conflict(c);
+            }
+            for k in 0..self.occurs[v.index()].len() {
+                let occ = self.occurs[v.index()][k];
+                let ci = occ.constraint as usize;
+                let bound = self.constraints[ci].bound;
+                if self.max_lhs[ci] < bound {
+                    return PropOutcome::Conflict(ci);
+                }
+                // Forcing possible only when some coefficient loss would
+                // break the bound.
+                if self.max_lhs[ci] - self.max_coeff[ci] < bound {
+                    if let PropOutcome::Conflict(c) = self.force_scan(ci) {
+                        return PropOutcome::Conflict(c);
+                    }
+                }
+            }
+        }
+        PropOutcome::Consistent
+    }
+
+    /// Examines every constraint once (for root-level propagation), then
+    /// runs to fixpoint.
+    pub fn propagate_all(&mut self) -> PropOutcome {
+        for ci in 0..self.constraints.len() {
+            if self.max_lhs[ci] < self.constraints[ci].bound {
+                return PropOutcome::Conflict(ci);
+            }
+            if self.max_lhs[ci] - self.max_coeff[ci] < self.constraints[ci].bound {
+                if let PropOutcome::Conflict(c) = self.force_scan(ci) {
+                    return PropOutcome::Conflict(c);
+                }
+            }
+        }
+        self.propagate()
+    }
+
+    /// Examines one constraint (used to fire a freshly learned clause
+    /// after a backjump, when no new assignment would otherwise trigger
+    /// it), then runs propagation to fixpoint.
+    pub fn propagate_from(&mut self, ci: usize) -> PropOutcome {
+        if self.max_lhs[ci] < self.constraints[ci].bound {
+            return PropOutcome::Conflict(ci);
+        }
+        if self.max_lhs[ci] - self.max_coeff[ci] < self.constraints[ci].bound {
+            if let PropOutcome::Conflict(c) = self.force_scan(ci) {
+                return PropOutcome::Conflict(c);
+            }
+        }
+        self.propagate()
+    }
+
+    /// Forces every unassigned literal whose loss would break `ci`.
+    fn force_scan(&mut self, ci: usize) -> PropOutcome {
+        let bound = self.constraints[ci].bound;
+        let max_lhs = self.max_lhs[ci];
+        let n_terms = self.constraints[ci].terms.len();
+        for t in 0..n_terms {
+            let term = self.constraints[ci].terms[t];
+            if self.lit_value(term.lit) == Value::Unassigned
+                && max_lhs - term.coeff < bound
+            {
+                self.propagations += 1;
+                let ok =
+                    self.assign_with_reason(term.lit.var, term.lit.positive, Some(ci as u32));
+                debug_assert!(ok, "forced literal was unassigned");
+                // Assigning may have changed slacks of other constraints,
+                // handled when the queue drains; this constraint's own
+                // max_lhs is unchanged (the literal stayed achievable).
+            }
+        }
+        if self.max_lhs[ci] < bound {
+            PropOutcome::Conflict(ci)
+        } else {
+            PropOutcome::Consistent
+        }
+    }
+
+    fn lit_value(&self, lit: Lit) -> Value {
+        match self.values[lit.var.index()] {
+            Value::Unassigned => Value::Unassigned,
+            Value::True => Value::from_bool(lit.positive),
+            Value::False => Value::from_bool(!lit.positive),
+        }
+    }
+
+    /// Read-only view of the engine's constraints (model constraints first,
+    /// then the objective bound if present, then learned clauses).
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Index of the objective-bound constraint, if the model has an
+    /// objective.
+    pub fn objective_index(&self) -> Option<usize> {
+        self.obj_index
+    }
+
+    /// Processes the watch list of a literal that just became false.
+    fn propagate_watches(&mut self, falsified: Lit) -> PropOutcome {
+        let code = Self::lit_code(falsified);
+        let mut i = 0;
+        while i < self.watches[code].len() {
+            let cid = self.watches[code][i] as usize;
+            // Normalize: the falsified literal sits at position 1.
+            if self.clauses[cid][0] == falsified {
+                self.clauses[cid].swap(0, 1);
+            }
+            let first = self.clauses[cid][0];
+            if self.lit_value(first) == Value::True {
+                i += 1;
+                continue; // clause satisfied
+            }
+            // Look for a replacement watch.
+            let replacement = (2..self.clauses[cid].len())
+                .find(|&k| self.lit_value(self.clauses[cid][k]) != Value::False);
+            match replacement {
+                Some(k) => {
+                    self.clauses[cid].swap(1, k);
+                    let new_watch = self.clauses[cid][1];
+                    self.watches[code].swap_remove(i);
+                    self.watches[Self::lit_code(new_watch)].push(cid as u32);
+                    // do not advance i: swap_remove moved a new entry here
+                }
+                None => match self.lit_value(first) {
+                    Value::Unassigned => {
+                        self.propagations += 1;
+                        let ok = self.assign_with_reason(
+                            first.var,
+                            first.positive,
+                            Some((Self::CLAUSE_TAG | cid) as u32),
+                        );
+                        debug_assert!(ok);
+                        i += 1;
+                    }
+                    Value::False => {
+                        return PropOutcome::Conflict(Self::CLAUSE_TAG | cid);
+                    }
+                    Value::True => unreachable!("checked above"),
+                },
+            }
+        }
+        PropOutcome::Consistent
+    }
+
+    /// Stores a learned clause and returns its reason tag. The first
+    /// literal must be the asserting one (unassigned after the backjump);
+    /// the second watch is chosen as the deepest-level false literal.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty clause.
+    pub fn add_learned_clause(&mut self, mut lits: Vec<Lit>, assert_index: usize) -> usize {
+        assert!(!lits.is_empty(), "empty learned clause");
+        lits.swap(0, assert_index);
+        let cid = self.clauses.len();
+        if lits.len() >= 2 {
+            // Second watch: the deepest-assigned literal.
+            let deepest = (1..lits.len())
+                .max_by_key(|&k| self.levels[lits[k].var.index()])
+                .expect("len >= 2");
+            lits.swap(1, deepest);
+            self.watches[Self::lit_code(lits[0])].push(cid as u32);
+            self.watches[Self::lit_code(lits[1])].push(cid as u32);
+        }
+        // Unit clauses need no watches: they are asserted at level 0 and
+        // never undone.
+        self.clauses.push(lits);
+        Self::CLAUSE_TAG | cid
+    }
+
+    /// Asserts the first literal of a learned clause with that clause as
+    /// its reason (call directly after [`Engine::backjump_to`]).
+    ///
+    /// Returns false if the literal is already falsified.
+    pub fn assert_learned(&mut self, reason_tag: usize) -> bool {
+        let cid = reason_tag & !Self::CLAUSE_TAG;
+        let lit = self.clauses[cid][0];
+        self.assign_with_reason(lit.var, lit.positive, Some(reason_tag as u32))
+    }
+
+    /// Number of learned clauses.
+    pub fn num_learned(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The false literals of a conflict or reason source (PB constraint or
+    /// learned clause).
+    fn false_vars_of(&self, tag: usize, out: &mut Vec<Var>) {
+        if tag & Self::CLAUSE_TAG != 0 {
+            let cid = tag & !Self::CLAUSE_TAG;
+            for &l in &self.clauses[cid] {
+                if self.lit_value(l) == Value::False {
+                    out.push(l.var);
+                }
+            }
+        } else {
+            for t in &self.constraints[tag].terms {
+                if self.lit_value(t.lit) == Value::False {
+                    out.push(t.lit.var);
+                }
+            }
+        }
+    }
+
+    /// The decisions responsible for a conflict (transitive reason walk).
+    ///
+    /// An empty result means the conflict holds at the root level — under
+    /// the current objective bound the search space is exhausted.
+    pub fn involved_decisions(&self, conflict: usize) -> Vec<Var> {
+        let mut seen = vec![false; self.values.len()];
+        let mut stack: Vec<Var> = Vec::new();
+        self.false_vars_of(conflict, &mut stack);
+        let mut decisions: Vec<Var> = Vec::new();
+        while let Some(v) = stack.pop() {
+            if seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            if self.levels[v.index()] == 0 {
+                continue;
+            }
+            match self.reasons[v.index()] {
+                None => decisions.push(v),
+                Some(cr) => self.false_vars_of(cr as usize, &mut stack),
+            }
+        }
+        decisions
+    }
+
+    /// Decision-set conflict analysis.
+    ///
+    /// Walks the implication graph backwards from the false literals of
+    /// the conflicting constraint to the *decisions* responsible for it,
+    /// and returns the learned clause "not all of these decisions
+    /// together" plus the backjump level (the second-deepest decision
+    /// level involved). After backjumping, the clause asserts the negation
+    /// of the deepest involved decision.
+    ///
+    /// Returns `None` when no decision is responsible — the conflict holds
+    /// at the root, i.e. the problem (under the current objective bound)
+    /// is exhausted.
+    pub fn analyze(&self, conflict: usize) -> Option<LearnedClause> {
+        let mut seen = vec![false; self.values.len()];
+        let mut stack: Vec<Var> = Vec::new();
+        self.false_vars_of(conflict, &mut stack);
+        let mut decisions: Vec<Var> = Vec::new();
+        while let Some(v) = stack.pop() {
+            if seen[v.index()] {
+                continue;
+            }
+            seen[v.index()] = true;
+            if self.levels[v.index()] == 0 {
+                continue; // root-level fact
+            }
+            match self.reasons[v.index()] {
+                None => decisions.push(v),
+                Some(cr) => self.false_vars_of(cr as usize, &mut stack),
+            }
+        }
+        if decisions.is_empty() {
+            return None;
+        }
+        // Learned clause: at least one of the involved decisions must flip.
+        let lits: Vec<Lit> = decisions
+            .iter()
+            .map(|&d| {
+                if self.values[d.index()] == Value::True {
+                    d.neg()
+                } else {
+                    d.pos()
+                }
+            })
+            .collect();
+        // Deepest decision asserts; backjump to the second-deepest level.
+        let assert_index = (0..decisions.len())
+            .max_by_key(|&k| self.levels[decisions[k].index()])
+            .expect("non-empty");
+        let mut levels: Vec<u32> = decisions
+            .iter()
+            .map(|&d| self.levels[d.index()])
+            .collect();
+        levels.sort_unstable();
+        let backjump = if levels.len() >= 2 {
+            levels[levels.len() - 2]
+        } else {
+            0
+        };
+        Some(LearnedClause {
+            lits,
+            assert_index,
+            backjump,
+        })
+    }
+    /// Slack information of a constraint under the current assignment:
+    /// `(max_achievable_lhs − bound, fixed_true_lhs − bound)`.
+    pub fn slack(&self, ci: usize) -> (i64, i64) {
+        let c = &self.constraints[ci];
+        (self.max_lhs[ci] - c.bound, self.fixed_lhs[ci] - c.bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn unit_constraints_force_at_root() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.fix(x, true);
+        m.add_ge([(1, y), (-1, x)], 0); // y >= x
+        let mut e = Engine::new(&m);
+        assert_eq!(e.propagate_all(), PropOutcome::Consistent);
+        assert_eq!(e.value(x), Value::True);
+        assert_eq!(e.value(y), Value::True);
+        assert!(e.propagations >= 2);
+    }
+
+    #[test]
+    fn conflicts_are_detected() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        m.fix(x, true);
+        m.fix(x, false);
+        let mut e = Engine::new(&m);
+        assert!(matches!(e.propagate_all(), PropOutcome::Conflict(_)));
+    }
+
+    #[test]
+    fn decision_then_propagation() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let z = m.new_var("z");
+        m.add_ge([(1, x), (1, y), (1, z)], 1);
+        let mut e = Engine::new(&m);
+        assert_eq!(e.propagate_all(), PropOutcome::Consistent);
+        assert!(e.assign(x, false));
+        assert!(e.assign(y, false));
+        assert_eq!(e.propagate(), PropOutcome::Consistent);
+        assert_eq!(e.value(z), Value::True); // forced by the clause
+    }
+
+    #[test]
+    fn undo_restores_state_and_slacks() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.add_ge([(1, x), (1, y)], 1);
+        let mut e = Engine::new(&m);
+        e.propagate_all();
+        let slack_before = e.slack(0);
+        let mark = e.mark();
+        e.assign(x, false);
+        e.propagate();
+        assert_eq!(e.value(y), Value::True);
+        e.undo_to(mark);
+        assert_eq!(e.value(x), Value::Unassigned);
+        assert_eq!(e.value(y), Value::Unassigned);
+        assert_eq!(e.num_assigned(), 0);
+        assert_eq!(e.slack(0), slack_before);
+    }
+
+    #[test]
+    fn coefficient_forcing() {
+        // 3x + y >= 3 forces x immediately.
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let _y = m.new_var("y");
+        m.add_ge([(3, x), (1, Var(1))], 3);
+        let mut e = Engine::new(&m);
+        assert_eq!(e.propagate_all(), PropOutcome::Consistent);
+        assert_eq!(e.value(x), Value::True);
+    }
+
+    #[test]
+    fn objective_bound_prunes() {
+        // minimize x + y subject to x + y >= 1; bound objective <= 0 makes
+        // the problem infeasible.
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.add_ge([(1, x), (1, y)], 1);
+        m.minimize([(1, x), (1, y)]);
+        let mut e = Engine::new(&m);
+        e.set_objective_bound(0);
+        assert!(matches!(e.propagate_all(), PropOutcome::Conflict(_)));
+
+        let mut e = Engine::new(&m);
+        e.set_objective_bound(1);
+        assert_eq!(e.propagate_all(), PropOutcome::Consistent);
+    }
+
+    #[test]
+    fn slack_reports_progress() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.add_ge([(2, x), (1, y)], 2);
+        let mut e = Engine::new(&m);
+        let (max_slack, fixed_slack) = e.slack(0);
+        assert_eq!(max_slack, 1); // 3 - 2
+        assert_eq!(fixed_slack, -2); // 0 - 2
+        e.assign(x, true);
+        let (_, fixed_slack) = e.slack(0);
+        assert_eq!(fixed_slack, 0);
+    }
+
+    #[test]
+    fn learned_clauses_propagate_via_watches() {
+        let mut m = Model::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let c = m.new_var("c");
+        let mut e = Engine::new(&m);
+        // Learn (~a | ~b | c) with c as the asserting literal.
+        let tag = e.add_learned_clause(vec![c.pos(), a.neg(), b.neg()], 0);
+        assert_eq!(e.num_learned(), 1);
+        let _ = tag;
+        e.assign_decision(a, true);
+        assert_eq!(e.propagate(), PropOutcome::Consistent);
+        assert_eq!(e.value(c), Value::Unassigned, "one watch still free");
+        e.assign_decision(b, true);
+        assert_eq!(e.propagate(), PropOutcome::Consistent);
+        assert_eq!(e.value(c), Value::True, "clause asserted c");
+        // Backtrack fully: watches must keep working on re-assignment.
+        e.backjump_to(0);
+        assert_eq!(e.value(c), Value::Unassigned);
+        e.assign_decision(b, true);
+        e.assign_decision(a, true);
+        assert_eq!(e.propagate(), PropOutcome::Consistent);
+        assert_eq!(e.value(c), Value::True);
+    }
+
+    #[test]
+    fn clause_conflicts_are_reported_and_analyzed() {
+        let mut m = Model::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let mut e = Engine::new(&m);
+        e.add_learned_clause(vec![a.neg(), b.neg()], 0);
+        e.assign_decision(a, true);
+        assert_eq!(e.propagate(), PropOutcome::Consistent);
+        // a=1 forces ~b.
+        assert_eq!(e.value(b), Value::False);
+        // Conflicting second clause: (b) alone cannot hold now.
+        let tag = e.add_learned_clause(vec![b.pos()], 0);
+        assert!(!e.assert_learned(tag), "b already false");
+    }
+
+    #[test]
+    fn analyze_walks_reasons_to_decisions() {
+        let mut m = Model::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let c = m.new_var("c");
+        let d = m.new_var("d");
+        m.add_ge([(1, a), (1, b), (1, c), (1, d)], 2);
+        m.add_le([(1, c), (1, d)], 1);
+        let mut e = Engine::new(&m);
+        assert_eq!(e.propagate_all(), PropOutcome::Consistent);
+        // Level 1: a = false (no propagation yet).
+        e.assign_decision(a, false);
+        assert_eq!(e.propagate(), PropOutcome::Consistent);
+        assert_eq!(e.value(c), Value::Unassigned);
+        // Level 2: b = false forces c = d = true -> conflict with c+d <= 1.
+        e.assign_decision(b, false);
+        let PropOutcome::Conflict(ci) = e.propagate() else {
+            panic!("expected a conflict");
+        };
+        let mut decisions = e.involved_decisions(ci);
+        decisions.sort();
+        assert_eq!(decisions, vec![a, b], "both decisions are responsible");
+        let lc = e.analyze(ci).expect("decisions involved");
+        assert_eq!(lc.lits.len(), 2);
+        assert!(lc.lits.contains(&a.pos()) && lc.lits.contains(&b.pos()));
+        assert_eq!(lc.lits[lc.assert_index], b.pos(), "deepest decision asserts");
+        assert_eq!(lc.backjump, 1, "jump to the level of a");
+    }
+
+    #[test]
+    fn backjump_skips_levels() {
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..4).map(|i| m.new_var(format!("v{i}"))).collect();
+        let mut e = Engine::new(&m);
+        for (i, &v) in vars.iter().enumerate() {
+            e.assign_decision(v, true);
+            assert_eq!(e.decision_level(), i as u32 + 1);
+            assert_eq!(e.level_of(v), i as u32 + 1);
+        }
+        e.backjump_to(1);
+        assert_eq!(e.decision_level(), 1);
+        assert_eq!(e.value(vars[0]), Value::True);
+        for &v in &vars[1..] {
+            assert_eq!(e.value(v), Value::Unassigned);
+        }
+    }
+
+    #[test]
+    fn deep_assign_undo_cycles_preserve_slacks() {
+        // Randomized stress: slacks after arbitrary assign/undo sequences
+        // must match recomputation from scratch.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..8).map(|i| m.new_var(format!("v{i}"))).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let terms: Vec<(i64, Var)> = (0..4)
+                .map(|_| (rng.gen_range(-3i64..=3), vars[rng.gen_range(0..8)]))
+                .collect();
+            m.add_ge(terms, rng.gen_range(-2i64..=2));
+        }
+        let mut e = Engine::new(&m);
+        let reference: Vec<(i64, i64)> = (0..e.constraints().len())
+            .map(|ci| e.slack(ci))
+            .collect();
+        for _ in 0..50 {
+            let mark = e.mark();
+            for _ in 0..rng.gen_range(1..6) {
+                let v = vars[rng.gen_range(0..8)];
+                if e.value(v) == Value::Unassigned {
+                    e.assign(v, rng.gen_bool(0.5));
+                }
+            }
+            e.undo_to(mark);
+            let now: Vec<(i64, i64)> = (0..e.constraints().len())
+                .map(|ci| e.slack(ci))
+                .collect();
+            assert_eq!(now, reference);
+        }
+    }
+}

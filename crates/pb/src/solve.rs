@@ -1,0 +1,730 @@
+//! Depth-first branch-and-bound search.
+
+use std::time::{Duration, Instant};
+
+use std::sync::Arc;
+
+use crate::branch::{pick, BranchHeuristic, StaticScores};
+use crate::model::{Model, Var};
+use crate::propagate::{Engine, PropOutcome};
+
+/// A custom branching strategy: returns the next decision
+/// `(variable, first value)`, or `None` to fall back to the configured
+/// generic heuristic.
+///
+/// Model builders that know their variable structure (CLIP-W fills slots
+/// left to right and orients units as they are placed) supply one of these
+/// through [`SolverConfig::brancher`].
+pub type Brancher = Arc<dyn Fn(&Model, &Engine) -> Option<(Var, bool)> + Send + Sync>;
+
+/// Search strategy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// Conflict-directed backjumping (Prosser): depth-first search that
+    /// jumps over decisions a conflict does not depend on. No clause
+    /// database, constant memory — the default, and the best fit for the
+    /// tightly structured CLIP models.
+    #[default]
+    Cbj,
+    /// Conflict-driven clause learning with decision-set clauses and a
+    /// 2-watched-literal store. Kept for the solver ablation bench.
+    Cdcl,
+}
+
+/// Solver configuration.
+#[derive(Clone, Default)]
+pub struct SolverConfig {
+    /// Search strategy (default [`SearchStrategy::Cbj`]).
+    pub strategy: SearchStrategy,
+    /// Branching heuristic (default [`BranchHeuristic::DynamicScore`]).
+    pub heuristic: BranchHeuristic,
+    /// Wall-clock limit for the search.
+    pub time_limit: Option<Duration>,
+    /// Decision-node limit for the search.
+    pub node_limit: Option<u64>,
+    /// Warm-start assignment. If feasible, it seeds the incumbent before
+    /// the search begins (its objective bound prunes immediately).
+    pub warm_start: Option<Vec<bool>>,
+    /// Optional problem-specific branching strategy, consulted before the
+    /// generic heuristic.
+    pub brancher: Option<Brancher>,
+    /// Run the presolve pass (root fixing, trivial removal, coefficient
+    /// saturation) before searching.
+    pub presolve: bool,
+}
+
+impl std::fmt::Debug for SolverConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverConfig")
+            .field("strategy", &self.strategy)
+            .field("heuristic", &self.heuristic)
+            .field("time_limit", &self.time_limit)
+            .field("node_limit", &self.node_limit)
+            .field("warm_start", &self.warm_start.as_ref().map(Vec::len))
+            .field("brancher", &self.brancher.is_some())
+            .field("presolve", &self.presolve)
+            .finish()
+    }
+}
+
+
+/// A feasible assignment and its objective value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Solution {
+    values: Vec<bool>,
+    /// Objective value of this solution.
+    pub objective: i64,
+}
+
+impl Solution {
+    /// Value of a variable in this solution.
+    pub fn value(&self, v: Var) -> bool {
+        self.values[v.index()]
+    }
+
+    /// The complete assignment, indexed by variable.
+    pub fn values(&self) -> &[bool] {
+        &self.values
+    }
+}
+
+/// Search statistics.
+#[derive(Clone, Debug, Default)]
+pub struct SolveStats {
+    /// Decision nodes explored.
+    pub nodes: u64,
+    /// Assignments made by propagation.
+    pub propagations: u64,
+    /// Conflicts (dead ends) encountered.
+    pub conflicts: u64,
+    /// Learned clauses added by conflict analysis.
+    pub learned: u64,
+    /// Total wall-clock time.
+    pub duration: Duration,
+    /// Every improving incumbent: `(when, objective)`.
+    pub incumbents: Vec<(Duration, i64)>,
+    /// True if optimality was proved (search exhausted).
+    pub proved_optimal: bool,
+}
+
+impl SolveStats {
+    /// Time at which the final (best) objective value was first reached —
+    /// the paper's "first optimal solution" column in Table 4.
+    pub fn first_best_time(&self) -> Option<Duration> {
+        let best = self.incumbents.last()?.1;
+        self.incumbents
+            .iter()
+            .find(|&&(_, obj)| obj == best)
+            .map(|&(t, _)| t)
+    }
+}
+
+/// Result of a solve.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Best solution found and proved optimal.
+    Optimal(Solution, SolveStats),
+    /// A feasible solution was found but a limit stopped the proof.
+    Feasible(Solution, SolveStats),
+    /// The model was proved infeasible.
+    Infeasible(SolveStats),
+    /// A limit stopped the search before any solution was found.
+    Unknown(SolveStats),
+}
+
+impl Outcome {
+    /// The best solution, if any was found.
+    pub fn best(&self) -> Option<&Solution> {
+        match self {
+            Outcome::Optimal(s, _) | Outcome::Feasible(s, _) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Search statistics.
+    pub fn stats(&self) -> &SolveStats {
+        match self {
+            Outcome::Optimal(_, st)
+            | Outcome::Feasible(_, st)
+            | Outcome::Infeasible(st)
+            | Outcome::Unknown(st) => st,
+        }
+    }
+
+    /// True if the outcome is proved optimal.
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, Outcome::Optimal(..))
+    }
+}
+
+/// Branch-and-bound solver over a [`Model`].
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct Solver<'a> {
+    model: &'a Model,
+    config: SolverConfig,
+}
+
+impl<'a> Solver<'a> {
+    /// Creates a solver with the default configuration.
+    pub fn new(model: &'a Model) -> Self {
+        Solver {
+            model,
+            config: SolverConfig::default(),
+        }
+    }
+
+    /// Creates a solver with an explicit configuration.
+    pub fn with_config(model: &'a Model, config: SolverConfig) -> Self {
+        Solver { model, config }
+    }
+
+    /// Runs the search to completion or until a limit fires.
+    pub fn run(&self) -> Outcome {
+        if self.config.presolve {
+            match crate::presolve::presolve(self.model) {
+                crate::presolve::Presolved::Infeasible => {
+                    let stats = SolveStats {
+                        proved_optimal: true,
+                        ..Default::default()
+                    };
+                    return Outcome::Infeasible(stats);
+                }
+                crate::presolve::Presolved::Model(simplified, _) => {
+                    // Same variable indexing: solutions carry over directly.
+                    let mut config = self.config.clone();
+                    config.presolve = false;
+                    return Solver::with_config(&simplified, config).run();
+                }
+            }
+        }
+        let start = Instant::now();
+        let mut stats = SolveStats::default();
+        let mut engine = Engine::new(self.model);
+        let scores = StaticScores::new(self.model);
+        let mut best: Option<Solution> = None;
+
+        // Seed from a warm start if it is genuinely feasible.
+        if let Some(ws) = &self.config.warm_start {
+            if self.model.is_feasible(ws) {
+                let objective = self.model.objective().eval(ws);
+                stats.incumbents.push((start.elapsed(), objective));
+                engine.set_objective_bound(objective - 1 - self.model.objective().base);
+                best = Some(Solution {
+                    values: ws.clone(),
+                    objective,
+                });
+            }
+        }
+
+        match self.config.strategy {
+            SearchStrategy::Cbj => {
+                self.search_cbj(&mut engine, &scores, &mut best, &mut stats, start)
+            }
+            SearchStrategy::Cdcl => {
+                self.search_cdcl(&mut engine, &scores, &mut best, &mut stats, start)
+            }
+        }
+
+        stats.propagations = engine.propagations;
+        stats.duration = start.elapsed();
+        match (best, stats.proved_optimal) {
+            (Some(s), true) => Outcome::Optimal(s, stats),
+            (Some(s), false) => Outcome::Feasible(s, stats),
+            (None, true) => Outcome::Infeasible(stats),
+            (None, false) => Outcome::Unknown(stats),
+        }
+    }
+
+    /// Conflict-directed backjumping (Prosser's CBJ) with branch-and-bound
+    /// via the engine's dynamic objective constraint.
+    ///
+    /// Each decision owns a frame carrying its accumulated *conflict set*:
+    /// the decisions that conflicts in its subtree depended on. On a
+    /// conflict the search unwinds directly to the deepest responsible
+    /// decision, skipping (and discarding) everything in between — sound
+    /// because the conflict persists under any reassignment of the skipped
+    /// decisions.
+    fn search_cbj(
+        &self,
+        engine: &mut Engine,
+        scores: &StaticScores,
+        best: &mut Option<Solution>,
+        stats: &mut SolveStats,
+        start: Instant,
+    ) {
+        struct Frame {
+            var: Var,
+            value: bool,
+            tried_other: bool,
+            cset: Vec<Var>,
+        }
+        let n = self.model.num_vars();
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut limit_hit = false;
+        let mut conflict = match engine.propagate_all() {
+            PropOutcome::Conflict(ci) => Some(ci),
+            PropOutcome::Consistent => None,
+        };
+
+        'outer: loop {
+            if let Some(tl) = self.config.time_limit {
+                if stats.nodes.wrapping_add(stats.conflicts).is_multiple_of(64)
+                    && start.elapsed() > tl
+                {
+                    limit_hit = true;
+                    break;
+                }
+            }
+            if let Some(nl) = self.config.node_limit {
+                if stats.nodes > nl {
+                    limit_hit = true;
+                    break;
+                }
+            }
+
+            if let Some(ci) = conflict.take() {
+                stats.conflicts += 1;
+                let mut confset = engine.involved_decisions(ci);
+                loop {
+                    if confset.is_empty() {
+                        break 'outer; // conflict at the root: exhausted
+                    }
+                    let Some(mut top) = frames.pop() else {
+                        break 'outer;
+                    };
+                    engine.backjump_to(frames.len() as u32);
+                    if !confset.contains(&top.var) {
+                        continue; // jump over an unrelated decision
+                    }
+                    // Merge the conflict set into this frame.
+                    for &v in &confset {
+                        if v != top.var && !top.cset.contains(&v) {
+                            top.cset.push(v);
+                        }
+                    }
+                    if !top.tried_other {
+                        top.tried_other = true;
+                        top.value = !top.value;
+                        engine.assign_decision(top.var, top.value);
+                        frames.push(top);
+                        if let PropOutcome::Conflict(c) = engine.propagate() {
+                            conflict = Some(c);
+                        }
+                        break;
+                    }
+                    // Both values failed: this decision's conflict set
+                    // propagates upward.
+                    confset = top.cset;
+                }
+            } else if engine.num_assigned() == n {
+                let values: Vec<bool> = engine
+                    .values()
+                    .iter()
+                    .map(|v| v.as_bool().expect("complete assignment"))
+                    .collect();
+                debug_assert!(self.model.is_feasible(&values));
+                let objective = self.model.objective().eval(&values);
+                let improved = best.as_ref().is_none_or(|b| objective < b.objective);
+                if improved {
+                    stats.incumbents.push((start.elapsed(), objective));
+                    engine.set_objective_bound(objective - 1 - self.model.objective().base);
+                    *best = Some(Solution { values, objective });
+                }
+                match engine.objective_index() {
+                    Some(oi) => conflict = Some(oi),
+                    None => break, // feasibility problem: first solution wins
+                }
+            } else {
+                let (var, first_value) = self
+                    .config
+                    .brancher
+                    .as_ref()
+                    .and_then(|b| b(self.model, engine))
+                    .or_else(|| pick(self.config.heuristic, self.model, engine, scores))
+                    .expect("unassigned variable exists");
+                stats.nodes += 1;
+                engine.assign_decision(var, first_value);
+                frames.push(Frame {
+                    var,
+                    value: first_value,
+                    tried_other: false,
+                    cset: Vec::new(),
+                });
+                if let PropOutcome::Conflict(c) = engine.propagate() {
+                    conflict = Some(c);
+                }
+            }
+        }
+
+        stats.proved_optimal = !limit_hit;
+    }
+
+    /// Conflict-driven search: decision-set clause learning with
+    /// non-chronological backjumping, plus branch-and-bound via the
+    /// engine's dynamic objective constraint.
+    fn search_cdcl(
+        &self,
+        engine: &mut Engine,
+        scores: &StaticScores,
+        best: &mut Option<Solution>,
+        stats: &mut SolveStats,
+        start: Instant,
+    ) {
+        let n = self.model.num_vars();
+        let mut limit_hit = false;
+        let mut conflict = match engine.propagate_all() {
+            PropOutcome::Conflict(ci) => Some(ci),
+            PropOutcome::Consistent => None,
+        };
+
+        loop {
+            // Limits, checked per iteration.
+            if let Some(tl) = self.config.time_limit {
+                if stats.nodes.wrapping_add(stats.conflicts).is_multiple_of(64)
+                    && start.elapsed() > tl
+                {
+                    limit_hit = true;
+                    break;
+                }
+            }
+            if let Some(nl) = self.config.node_limit {
+                if stats.nodes > nl {
+                    limit_hit = true;
+                    break;
+                }
+            }
+
+            if let Some(ci) = conflict.take() {
+                stats.conflicts += 1;
+                match engine.analyze(ci) {
+                    None => break, // conflict at the root: search exhausted
+                    Some(lc) => {
+                        let tag = engine.add_learned_clause(lc.lits, lc.assert_index);
+                        stats.learned += 1;
+                        engine.backjump_to(lc.backjump);
+                        if !engine.assert_learned(tag) {
+                            break; // asserting literal already false at root
+                        }
+                        if let PropOutcome::Conflict(c) = engine.propagate() {
+                            conflict = Some(c);
+                        }
+                    }
+                }
+            } else if engine.num_assigned() == n {
+                // Complete assignment: record the incumbent and continue by
+                // tightening the objective bound (the bound constraint is
+                // now violated, driving the next conflict analysis).
+                let values: Vec<bool> = engine
+                    .values()
+                    .iter()
+                    .map(|v| v.as_bool().expect("complete assignment"))
+                    .collect();
+                debug_assert!(self.model.is_feasible(&values));
+                let objective = self.model.objective().eval(&values);
+                let improved = best.as_ref().is_none_or(|b| objective < b.objective);
+                if improved {
+                    stats.incumbents.push((start.elapsed(), objective));
+                    engine.set_objective_bound(objective - 1 - self.model.objective().base);
+                    *best = Some(Solution { values, objective });
+                }
+                match engine.objective_index() {
+                    Some(oi) => conflict = Some(oi),
+                    None => break, // feasibility problem: first solution is optimal
+                }
+            } else {
+                // Branch: problem-specific strategy first, generic fallback.
+                let (var, first_value) = self
+                    .config
+                    .brancher
+                    .as_ref()
+                    .and_then(|b| b(self.model, engine))
+                    .or_else(|| pick(self.config.heuristic, self.model, engine, scores))
+                    .expect("unassigned variable exists");
+                stats.nodes += 1;
+                engine.assign_decision(var, first_value);
+                if let PropOutcome::Conflict(c) = engine.propagate() {
+                    conflict = Some(c);
+                }
+            }
+        }
+
+        stats.proved_optimal = !limit_hit;
+    }
+}
+
+/// Convenience: solve with default configuration.
+pub fn solve(model: &Model) -> Outcome {
+    Solver::new(model).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::encode;
+
+    #[test]
+    fn solves_tiny_optimum() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.add_ge([(1, x), (1, y)], 1);
+        m.minimize([(1, x), (2, y)]);
+        let out = solve(&m);
+        assert!(out.is_optimal());
+        let s = out.best().unwrap();
+        assert_eq!(s.objective, 1);
+        assert!(s.value(x) && !s.value(y));
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        m.fix(x, true);
+        m.fix(x, false);
+        assert!(matches!(solve(&m), Outcome::Infeasible(_)));
+    }
+
+    #[test]
+    fn empty_model_is_trivially_optimal() {
+        let m = Model::new();
+        let out = solve(&m);
+        assert!(out.is_optimal());
+        assert_eq!(out.best().unwrap().objective, 0);
+    }
+
+    #[test]
+    fn unconstrained_minimization_turns_everything_off() {
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..5).map(|i| m.new_var(format!("v{i}"))).collect();
+        m.minimize(vars.iter().map(|&v| (1, v)));
+        let out = solve(&m);
+        let s = out.best().unwrap();
+        assert_eq!(s.objective, 0);
+        assert!(vars.iter().all(|&v| !s.value(v)));
+    }
+
+    #[test]
+    fn negative_coefficients_are_handled() {
+        // minimize -x - 2y s.t. x + y <= 1: best is y=1 -> -2.
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.add_le([(1, x), (1, y)], 1);
+        m.minimize([(-1, x), (-2, y)]);
+        let out = solve(&m);
+        assert!(out.is_optimal());
+        let s = out.best().unwrap();
+        assert_eq!(s.objective, -2);
+        assert!(!s.value(x) && s.value(y));
+    }
+
+    #[test]
+    fn matches_brute_force_on_assignment_problem() {
+        // 3x3 assignment problem with arbitrary costs.
+        let costs = [[3, 1, 4], [1, 5, 9], [2, 6, 5]];
+        let mut m = Model::new();
+        let mut grid = Vec::new();
+        for i in 0..3 {
+            let row: Vec<Var> = (0..3).map(|j| m.new_var(format!("a{i}{j}"))).collect();
+            grid.push(row);
+        }
+        for i in 0..3 {
+            encode::exactly_one(&mut m, &grid[i]);
+            let col: Vec<Var> = (0..3).map(|j| grid[j][i]).collect();
+            encode::exactly_one(&mut m, &col);
+        }
+        let mut obj = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                obj.push((costs[i][j], grid[i][j]));
+            }
+        }
+        m.minimize(obj.iter().copied());
+
+        let (_, brute_obj) = brute::solve(&m).unwrap();
+        for h in [
+            BranchHeuristic::InputOrder,
+            BranchHeuristic::MostConstrained,
+            BranchHeuristic::ObjectiveFirst,
+            BranchHeuristic::DynamicScore,
+        ] {
+            let out = Solver::with_config(
+                &m,
+                SolverConfig {
+                    heuristic: h,
+                    ..Default::default()
+                },
+            )
+            .run();
+            assert!(out.is_optimal(), "{h:?}");
+            assert_eq!(out.best().unwrap().objective, brute_obj, "{h:?}");
+        }
+    }
+
+    #[test]
+    fn warm_start_seeds_incumbent() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.add_ge([(1, x), (1, y)], 1);
+        m.minimize([(1, x), (1, y)]);
+        let out = Solver::with_config(
+            &m,
+            SolverConfig {
+                warm_start: Some(vec![true, true]), // feasible, objective 2
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(out.is_optimal());
+        assert_eq!(out.best().unwrap().objective, 1);
+        // Incumbent log starts from the warm start's objective.
+        assert_eq!(out.stats().incumbents.first().unwrap().1, 2);
+    }
+
+    #[test]
+    fn infeasible_warm_start_is_ignored() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        m.fix(x, true);
+        m.minimize([(1, x)]);
+        let out = Solver::with_config(
+            &m,
+            SolverConfig {
+                warm_start: Some(vec![false]),
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(out.is_optimal());
+        assert_eq!(out.best().unwrap().objective, 1);
+    }
+
+    #[test]
+    fn node_limit_stops_early() {
+        // A model with a large search space and no solution below 0.
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..30).map(|i| m.new_var(format!("v{i}"))).collect();
+        for w in vars.windows(2) {
+            m.add_ge([(1, w[0]), (1, w[1])], 1);
+        }
+        m.minimize(vars.iter().map(|&v| (1, v)));
+        let out = Solver::with_config(
+            &m,
+            SolverConfig {
+                node_limit: Some(3),
+                ..Default::default()
+            },
+        )
+        .run();
+        // Either it got lucky and proved within 3 nodes, or it reports a
+        // feasible-but-unproved outcome; both must expose stats.
+        assert!(out.stats().nodes <= 4);
+    }
+
+    #[test]
+    fn first_best_time_is_monotone() {
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..8).map(|i| m.new_var(format!("v{i}"))).collect();
+        m.add_ge(vars.iter().map(|&v| (1, v)), 4);
+        m.minimize(vars.iter().map(|&v| (1, v)));
+        let out = solve(&m);
+        let stats = out.stats();
+        assert!(stats.proved_optimal);
+        let first = stats.first_best_time().unwrap();
+        assert!(first <= stats.duration);
+        // Objectives in the incumbent log strictly improve.
+        for w in stats.incumbents.windows(2) {
+            assert!(w[1].1 < w[0].1);
+        }
+    }
+
+    #[test]
+    fn presolve_path_matches_plain_solve() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x50f7);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..=9usize);
+            let mut m = Model::new();
+            let vars: Vec<Var> = (0..n).map(|i| m.new_var(format!("v{i}"))).collect();
+            for _ in 0..rng.gen_range(0..=6) {
+                let terms: Vec<(i64, Var)> = (0..rng.gen_range(1..=3usize))
+                    .map(|_| (rng.gen_range(-3i64..=3), vars[rng.gen_range(0..n)]))
+                    .collect();
+                m.add_ge(terms, rng.gen_range(-2i64..=2));
+            }
+            m.minimize(vars.iter().map(|&v| (rng.gen_range(-3i64..=3), v)));
+            let plain = Solver::new(&m).run();
+            let pre = Solver::with_config(
+                &m,
+                SolverConfig {
+                    presolve: true,
+                    ..Default::default()
+                },
+            )
+            .run();
+            assert_eq!(
+                plain.best().map(|s| s.objective),
+                pre.best().map(|s| s.objective)
+            );
+            if let Some(s) = pre.best() {
+                assert!(m.is_feasible(s.values()), "presolved solution infeasible");
+            }
+        }
+    }
+
+    /// Randomized differential test against brute force.
+    #[test]
+    fn random_models_match_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC11F);
+        for trial in 0..60 {
+            let n = rng.gen_range(1..=10usize);
+            let mut m = Model::new();
+            let vars: Vec<Var> = (0..n).map(|i| m.new_var(format!("v{i}"))).collect();
+            for _ in 0..rng.gen_range(0..=8) {
+                let k = rng.gen_range(1..=n.min(4));
+                let mut terms = Vec::new();
+                for _ in 0..k {
+                    let v = vars[rng.gen_range(0..n)];
+                    let c = rng.gen_range(-3i64..=3);
+                    terms.push((c, v));
+                }
+                let bound = rng.gen_range(-3i64..=3);
+                if rng.gen_bool(0.5) {
+                    m.add_ge(terms, bound);
+                } else {
+                    m.add_le(terms, bound);
+                }
+            }
+            let obj: Vec<(i64, Var)> = vars
+                .iter()
+                .map(|&v| (rng.gen_range(-5i64..=5), v))
+                .collect();
+            m.minimize(obj);
+
+            let brute = brute::solve(&m);
+            let out = solve(&m);
+            match brute {
+                None => assert!(
+                    matches!(out, Outcome::Infeasible(_)),
+                    "trial {trial}: expected infeasible"
+                ),
+                Some((_, obj)) => {
+                    assert!(out.is_optimal(), "trial {trial}");
+                    assert_eq!(
+                        out.best().unwrap().objective,
+                        obj,
+                        "trial {trial}: objective mismatch"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Property-based differential tests: the branch-and-bound solver must
+//! agree with brute-force enumeration on arbitrary small models, for every
+//! branching heuristic.
+
+use clip_pb::{brute, BranchHeuristic, Model, Solver, SolverConfig, Var};
+use proptest::prelude::*;
+
+/// A generated constraint: signed terms and a bound, plus direction.
+#[derive(Clone, Debug)]
+struct RawConstraint {
+    terms: Vec<(i64, usize)>,
+    bound: i64,
+    is_ge: bool,
+}
+
+fn raw_constraint(n: usize) -> impl Strategy<Value = RawConstraint> {
+    (
+        prop::collection::vec(((-4i64..=4), 0..n), 1..=4),
+        -4i64..=4,
+        any::<bool>(),
+    )
+        .prop_map(|(terms, bound, is_ge)| RawConstraint {
+            terms,
+            bound,
+            is_ge,
+        })
+}
+
+#[derive(Clone, Debug)]
+struct RawModel {
+    n: usize,
+    constraints: Vec<RawConstraint>,
+    objective: Vec<i64>,
+}
+
+fn raw_model() -> impl Strategy<Value = RawModel> {
+    (1usize..=9).prop_flat_map(|n| {
+        (
+            prop::collection::vec(raw_constraint(n), 0..=7),
+            prop::collection::vec(-5i64..=5, n),
+        )
+            .prop_map(move |(constraints, objective)| RawModel {
+                n,
+                constraints,
+                objective,
+            })
+    })
+}
+
+fn build(raw: &RawModel) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<Var> = (0..raw.n).map(|i| m.new_var(format!("v{i}"))).collect();
+    for c in &raw.constraints {
+        let terms: Vec<(i64, Var)> = c.terms.iter().map(|&(w, i)| (w, vars[i])).collect();
+        if c.is_ge {
+            m.add_ge(terms, c.bound);
+        } else {
+            m.add_le(terms, c.bound);
+        }
+    }
+    m.minimize(
+        raw.objective
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w, vars[i])),
+    );
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solver_matches_brute_force(raw in raw_model()) {
+        let m = build(&raw);
+        let reference = brute::solve(&m);
+        let out = Solver::new(&m).run();
+        match reference {
+            None => prop_assert!(matches!(out, clip_pb::Outcome::Infeasible(_))),
+            Some((_, obj)) => {
+                prop_assert!(out.is_optimal());
+                let s = out.best().expect("optimal implies solution");
+                prop_assert_eq!(s.objective, obj);
+                // The reported solution must itself be feasible and achieve
+                // the reported objective.
+                prop_assert!(m.is_feasible(s.values()));
+                prop_assert_eq!(m.objective().eval(s.values()), obj);
+            }
+        }
+    }
+
+    #[test]
+    fn heuristics_agree_on_objective(raw in raw_model()) {
+        let m = build(&raw);
+        let objectives: Vec<Option<i64>> = [
+            BranchHeuristic::InputOrder,
+            BranchHeuristic::MostConstrained,
+            BranchHeuristic::ObjectiveFirst,
+            BranchHeuristic::DynamicScore,
+        ]
+        .into_iter()
+        .map(|heuristic| {
+            let out = Solver::with_config(&m, SolverConfig { heuristic, ..Default::default() }).run();
+            prop_assert!(out.stats().proved_optimal);
+            Ok(out.best().map(|s| s.objective))
+        })
+        .collect::<Result<_, _>>()?;
+        prop_assert!(objectives.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn strategies_agree_on_objective(raw in raw_model()) {
+        let m = build(&raw);
+        let objectives: Vec<Option<i64>> = [
+            clip_pb::SearchStrategy::Cbj,
+            clip_pb::SearchStrategy::Cdcl,
+        ]
+        .into_iter()
+        .map(|strategy| {
+            let out = Solver::with_config(&m, SolverConfig { strategy, ..Default::default() }).run();
+            prop_assert!(out.stats().proved_optimal);
+            if let Some(s) = out.best() {
+                // Reported solutions are genuinely feasible.
+                prop_assert!(m.is_feasible(s.values()));
+            }
+            Ok(out.best().map(|s| s.objective))
+        })
+        .collect::<Result<_, _>>()?;
+        prop_assert_eq!(objectives[0], objectives[1]);
+    }
+
+    #[test]
+    fn opb_round_trip_preserves_optima(raw in raw_model()) {
+        let m = build(&raw);
+        let text = clip_pb::opb::write(&m);
+        let back = clip_pb::opb::parse(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        // Variable count may shrink if trailing variables are unused; pad
+        // by comparing objectives only.
+        let a = Solver::new(&m).run().best().map(|s| s.objective);
+        let b = Solver::new(&back).run().best().map(|s| s.objective);
+        // OPB drops the objective's constant base; compare shifted values.
+        let base_a = m.objective().base;
+        let base_b = back.objective().base;
+        prop_assert_eq!(a.map(|v| v - base_a), b.map(|v| v - base_b));
+    }
+
+    #[test]
+    fn presolve_preserves_optima(raw in raw_model()) {
+        let m = build(&raw);
+        let plain = Solver::new(&m).run();
+        let pre = Solver::with_config(
+            &m,
+            SolverConfig { presolve: true, ..Default::default() },
+        )
+        .run();
+        prop_assert_eq!(
+            plain.best().map(|s| s.objective),
+            pre.best().map(|s| s.objective)
+        );
+        if let Some(s) = pre.best() {
+            prop_assert!(m.is_feasible(s.values()));
+        }
+    }
+
+    #[test]
+    fn warm_start_never_degrades(raw in raw_model(), seed in any::<u64>()) {
+        let m = build(&raw);
+        // Derive a deterministic pseudo-random warm start from the seed.
+        let ws: Vec<bool> = (0..m.num_vars())
+            .map(|i| (seed >> (i % 64)) & 1 == 1)
+            .collect();
+        let plain = Solver::new(&m).run();
+        let warmed = Solver::with_config(
+            &m,
+            SolverConfig { warm_start: Some(ws), ..Default::default() },
+        )
+        .run();
+        prop_assert_eq!(
+            plain.best().map(|s| s.objective),
+            warmed.best().map(|s| s.objective)
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! Region track counts and the cell height model.
+//!
+//! A 2-D cell with `R` P/N rows has `2R − 1` routing regions: the channel
+//! between the P and N strips of each row (*intra-row*), and the channel
+//! between consecutive rows (*inter-row*). The height of each region is its
+//! track count — the maximum column density of the nets routed through it —
+//! and the cell height is the sum of all region heights plus per-row
+//! geometric overhead (the diffusion strips themselves and the supply
+//! rails).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use clip_netlist::NetId;
+
+use crate::row::PlacedRow;
+use crate::span::{max_density, row_spans, Span};
+
+/// Fixed geometric overheads of the height model, in track pitches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeightParams {
+    /// Height contributed by each P/N row independent of routing (the two
+    /// diffusion strips).
+    pub row_overhead: usize,
+    /// Height of the supply rails at the top and bottom of the cell.
+    pub rail_overhead: usize,
+}
+
+impl Default for HeightParams {
+    fn default() -> Self {
+        HeightParams {
+            row_overhead: 2,
+            rail_overhead: 2,
+        }
+    }
+}
+
+/// Track count of one row's intra-row channel.
+pub fn region_tracks(row: &PlacedRow, exclude: &[NetId]) -> usize {
+    let spans = row_spans(row, exclude);
+    max_density(&spans, row.physical_columns())
+}
+
+/// The complete routing view of a placed multi-row cell.
+///
+/// # Example
+///
+/// ```
+/// use clip_netlist::NetTable;
+/// use clip_route::row::{PlacedRow, SlotNets};
+/// use clip_route::density::CellRouting;
+///
+/// let mut nets = NetTable::new();
+/// let (a, z) = (nets.intern("a"), nets.intern("z"));
+/// let (vdd, gnd) = (nets.vdd(), nets.gnd());
+/// let slot = SlotNets { gate: a, p_left: vdd, p_right: z, n_left: gnd, n_right: z };
+/// let cell = CellRouting::new(vec![PlacedRow::new(vec![slot], vec![])], vec![vdd, gnd]);
+/// assert_eq!(cell.intra_tracks(0), 0);
+/// assert_eq!(cell.total_tracks(), 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CellRouting {
+    rows: Vec<PlacedRow>,
+    exclude: Vec<NetId>,
+}
+
+impl CellRouting {
+    /// Creates the routing view. `exclude` lists nets that never need
+    /// channel tracks (the power rails).
+    pub fn new(rows: Vec<PlacedRow>, exclude: Vec<NetId>) -> Self {
+        CellRouting { rows, exclude }
+    }
+
+    /// The placed rows.
+    pub fn rows(&self) -> &[PlacedRow] {
+        &self.rows
+    }
+
+    /// Spans of row `r`'s intra-row channel.
+    pub fn intra_spans(&self, r: usize) -> HashMap<NetId, Span> {
+        row_spans(&self.rows[r], &self.exclude)
+    }
+
+    /// Track count of row `r`'s intra-row channel.
+    pub fn intra_tracks(&self, r: usize) -> usize {
+        max_density(&self.intra_spans(r), self.rows[r].physical_columns())
+    }
+
+    /// Nets present (any terminal) in row `r`.
+    fn present(&self, r: usize, net: NetId) -> bool {
+        self.rows[r].anchors().any(|a| a.net == net)
+    }
+
+    /// All distinct non-excluded nets of the cell.
+    fn all_nets(&self) -> Vec<NetId> {
+        let mut nets: Vec<NetId> = self
+            .rows
+            .iter()
+            .flat_map(|row| row.anchors().map(|a| a.net))
+            .filter(|n| !self.exclude.contains(n))
+            .collect();
+        nets.sort();
+        nets.dedup();
+        nets
+    }
+
+    /// Nets that must cross between rows — each contributes a vertical
+    /// connection through the cell (the paper's inter-row connectivity).
+    pub fn inter_row_nets(&self) -> Vec<NetId> {
+        self.all_nets()
+            .into_iter()
+            .filter(|&n| {
+                let count = (0..self.rows.len()).filter(|&r| self.present(r, n)).count();
+                count >= 2
+            })
+            .collect()
+    }
+
+    /// Spans of the inter-row channel between rows `c` and `c+1`.
+    ///
+    /// A net routes through this channel iff it is present both somewhere
+    /// in rows `0..=c` and somewhere in rows `c+1..`. Its horizontal extent
+    /// is taken over its anchors in the two adjacent rows; a pure
+    /// feed-through (no anchor in either adjacent row) occupies a single
+    /// column at the left edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c + 1` is not a valid row index.
+    pub fn inter_spans(&self, c: usize) -> HashMap<NetId, Span> {
+        assert!(c + 1 < self.rows.len(), "no channel below the last row");
+        let mut out = HashMap::new();
+        for net in self.all_nets() {
+            let above = (0..=c).any(|r| self.present(r, net));
+            let below = (c + 1..self.rows.len()).any(|r| self.present(r, net));
+            if !(above && below) {
+                continue;
+            }
+            let cols: Vec<usize> = [c, c + 1]
+                .iter()
+                .flat_map(|&r| {
+                    self.rows[r]
+                        .anchors()
+                        .filter(|a| a.net == net)
+                        .map(|a| a.column)
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let span = match (cols.iter().min(), cols.iter().max()) {
+                (Some(&lo), Some(&hi)) => Span::new(lo, hi),
+                _ => Span::new(0, 0), // feed-through
+            };
+            out.insert(net, span);
+        }
+        out
+    }
+
+    /// Track count of the inter-row channel between rows `c` and `c+1`.
+    pub fn inter_tracks(&self, c: usize) -> usize {
+        let cols = self
+            .rows
+            .iter()
+            .map(PlacedRow::physical_columns)
+            .max()
+            .unwrap_or(0);
+        max_density(&self.inter_spans(c), cols.max(1))
+    }
+
+    /// Total routing tracks over all `2R − 1` regions.
+    pub fn total_tracks(&self) -> usize {
+        let intra: usize = (0..self.rows.len()).map(|r| self.intra_tracks(r)).sum();
+        let inter: usize = (0..self.rows.len().saturating_sub(1))
+            .map(|c| self.inter_tracks(c))
+            .sum();
+        intra + inter
+    }
+
+    /// Cell width in transistor pitches: the maximum row width (the metric
+    /// of the paper's Table 3).
+    pub fn cell_width(&self) -> usize {
+        self.rows.iter().map(PlacedRow::width).max().unwrap_or(0)
+    }
+
+    /// Per-column congestion profile of row `r`'s channel — the density
+    /// vector whose maximum is the track count. Useful for spotting the
+    /// hot column that sets the cell height.
+    pub fn congestion_profile(&self, r: usize) -> Vec<usize> {
+        crate::span::column_density(&self.intra_spans(r), self.rows[r].physical_columns())
+    }
+}
+
+/// Cell height in track pitches: total tracks plus fixed overheads.
+pub fn cell_height(cell: &CellRouting, params: HeightParams) -> usize {
+    cell.total_tracks() + cell.rows().len() * params.row_overhead + params.rail_overhead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::SlotNets;
+    use clip_netlist::NetTable;
+
+    fn slot(gate: NetId, pl: NetId, pr: NetId, nl: NetId, nr: NetId) -> SlotNets {
+        SlotNets {
+            gate,
+            p_left: pl,
+            p_right: pr,
+            n_left: nl,
+            n_right: nr,
+        }
+    }
+
+    fn two_row_cell() -> (NetTable, CellRouting) {
+        let mut t = NetTable::new();
+        let (a, b, z, y) = (t.intern("a"), t.intern("b"), t.intern("z"), t.intern("y"));
+        let (vdd, gnd) = (t.vdd(), t.gnd());
+        // Row 0: inverter a -> z. Row 1: inverter z -> y (z crosses rows).
+        let rows = vec![
+            PlacedRow::new(vec![slot(a, vdd, z, gnd, z)], vec![]),
+            PlacedRow::new(vec![slot(z, vdd, y, gnd, y)], vec![]),
+        ];
+        let cell = CellRouting::new(rows, vec![vdd, gnd]);
+        (t, cell)
+    }
+
+    #[test]
+    fn inverter_rows_have_no_intra_tracks() {
+        let (_, cell) = two_row_cell();
+        assert_eq!(cell.intra_tracks(0), 0);
+        assert_eq!(cell.intra_tracks(1), 0);
+    }
+
+    #[test]
+    fn crossing_net_uses_the_inter_row_channel() {
+        let (t, cell) = two_row_cell();
+        let z = t.lookup("z").unwrap();
+        let inter = cell.inter_spans(0);
+        assert_eq!(inter.len(), 1);
+        assert!(inter.contains_key(&z));
+        assert_eq!(cell.inter_tracks(0), 1);
+        assert_eq!(cell.total_tracks(), 1);
+        assert_eq!(cell.inter_row_nets(), vec![z]);
+    }
+
+    #[test]
+    fn cell_width_is_max_row_width() {
+        let (_, cell) = two_row_cell();
+        assert_eq!(cell.cell_width(), 1);
+    }
+
+    #[test]
+    fn height_adds_overheads() {
+        let (_, cell) = two_row_cell();
+        let h = cell_height(&cell, HeightParams::default());
+        // 1 track + 2 rows * 2 + rails 2 = 7.
+        assert_eq!(h, 7);
+        let h0 = cell_height(
+            &cell,
+            HeightParams {
+                row_overhead: 0,
+                rail_overhead: 0,
+            },
+        );
+        assert_eq!(h0, 1);
+    }
+
+    #[test]
+    fn congestion_profile_peaks_at_the_track_count() {
+        let (_, cell) = two_row_cell();
+        for r in 0..2 {
+            let profile = cell.congestion_profile(r);
+            assert_eq!(
+                profile.into_iter().max().unwrap_or(0),
+                cell.intra_tracks(r)
+            );
+        }
+    }
+
+    #[test]
+    fn single_row_cell_has_no_inter_channels() {
+        let mut t = NetTable::new();
+        let a = t.intern("a");
+        let z = t.intern("z");
+        let (vdd, gnd) = (t.vdd(), t.gnd());
+        let cell = CellRouting::new(
+            vec![PlacedRow::new(vec![slot(a, vdd, z, gnd, z)], vec![])],
+            vec![vdd, gnd],
+        );
+        assert_eq!(cell.total_tracks(), 0);
+        assert!(cell.inter_row_nets().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no channel")]
+    fn inter_spans_bounds_check() {
+        let (_, cell) = two_row_cell();
+        cell.inter_spans(1);
+    }
+
+    #[test]
+    fn feed_through_occupies_one_column() {
+        let mut t = NetTable::new();
+        let (a, b, c, w, x) = (
+            t.intern("a"),
+            t.intern("b"),
+            t.intern("c"),
+            t.intern("w"),
+            t.intern("x"),
+        );
+        let (vdd, gnd) = (t.vdd(), t.gnd());
+        // w appears in rows 0 and 2 only; channel 0-1 and 1-2 both carry it.
+        let rows = vec![
+            PlacedRow::new(vec![slot(a, vdd, w, gnd, w)], vec![]),
+            PlacedRow::new(vec![slot(b, vdd, x, gnd, x)], vec![]),
+            PlacedRow::new(vec![slot(c, w, vdd, w, gnd)], vec![]),
+        ];
+        let cell = CellRouting::new(rows, vec![vdd, gnd]);
+        // Channel 0: w anchored in row 0 (col 2), not row 1 -> span (2,2).
+        assert!(cell.inter_spans(0).contains_key(&w));
+        // Channel 1: w anchored in row 2 (col 0), not row 1 -> span (0,0).
+        assert_eq!(cell.inter_spans(1)[&w], Span::new(0, 0));
+        assert_eq!(cell.total_tracks(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! Track-density and channel-routing substrate for CLIP.
+//!
+//! The height of a CMOS cell is "determined by the cell's horizontal
+//! routing (track) density" (CLIP paper, Sec. 4; following Maziasz–Hayes).
+//! This crate computes that density *geometrically*, independent of the ILP
+//! model, which makes it both the realization backend (actual track
+//! assignment for layout generation) and the oracle that validates the
+//! CLIP-WH height model:
+//!
+//! * [`row`] — the placed-row geometry (slot terminal nets, merge flags,
+//!   the paper's 3-columns-per-slot addressing);
+//! * [`span`] — diffusion-cluster analysis and the Fig. 4 net-span rules;
+//! * [`density`] — per-column densities, per-region track counts, and the
+//!   cell height model;
+//! * [`leftedge`] — left-edge track assignment (optimal for intervals),
+//!   used to realize the routing.
+//!
+//! # Example
+//!
+//! ```
+//! use clip_netlist::NetTable;
+//! use clip_route::row::{PlacedRow, SlotNets};
+//! use clip_route::span::row_spans;
+//!
+//! let mut nets = NetTable::new();
+//! let (a, z) = (nets.intern("a"), nets.intern("z"));
+//! let (vdd, gnd) = (nets.vdd(), nets.gnd());
+//! // A lone inverter: P strip VDD—z, N strip GND—z, gate a.
+//! let row = PlacedRow::new(
+//!     vec![SlotNets { gate: a, p_left: vdd, p_right: z, n_left: gnd, n_right: z }],
+//!     vec![],
+//! );
+//! let spans = row_spans(&row, &[vdd, gnd]);
+//! // Output z joins P and N diffusion in the same column: no track needed.
+//! assert!(spans.get(&z).is_none());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod density;
+pub mod greedy;
+pub mod leftedge;
+pub mod row;
+pub mod span;
+
+pub use density::{cell_height, region_tracks, CellRouting, HeightParams};
+pub use leftedge::assign_tracks;
+pub use row::{PlacedRow, SlotNets};
+pub use span::{row_spans, Span};

@@ -1,0 +1,305 @@
+//! Placed-row geometry.
+//!
+//! A *placed row* is the output of placement for one P/N row: an ordered
+//! sequence of slots, each carrying the five terminal nets of its pair
+//! under its chosen orientation, plus a merge flag between every adjacent
+//! slot pair. Column addressing follows the paper: slot `s` (0-based here)
+//! occupies virtual columns `3s` (left diffusion), `3s+1` (gate), `3s+2`
+//! (right diffusion); when slots `s` and `s+1` merge, virtual columns
+//! `3s+2` and `3s+3` denote the *same physical column* (the shared
+//! diffusion contact).
+
+use serde::{Deserialize, Serialize};
+
+use clip_netlist::NetId;
+
+/// The terminal nets of one placed slot (a P/N pair in a fixed
+/// orientation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotNets {
+    /// Common gate net (the poly column).
+    pub gate: NetId,
+    /// Net on the left end of the P diffusion.
+    pub p_left: NetId,
+    /// Net on the right end of the P diffusion.
+    pub p_right: NetId,
+    /// Net on the left end of the N diffusion.
+    pub n_left: NetId,
+    /// Net on the right end of the N diffusion.
+    pub n_right: NetId,
+}
+
+/// One placed P/N row: slots plus merge flags.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedRow {
+    slots: Vec<SlotNets>,
+    merged: Vec<bool>,
+}
+
+impl PlacedRow {
+    /// Creates a placed row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `merged.len() + 1 != slots.len()` (for non-empty rows), or
+    /// if a merge flag is set between slots whose facing diffusion nets do
+    /// not match on **both** strips — such an abutment would short two
+    /// nets.
+    pub fn new(slots: Vec<SlotNets>, merged: Vec<bool>) -> Self {
+        if slots.is_empty() {
+            assert!(merged.is_empty(), "merge flags on an empty row");
+        } else {
+            assert_eq!(
+                merged.len(),
+                slots.len() - 1,
+                "need one merge flag per adjacent slot pair"
+            );
+        }
+        for (s, &m) in merged.iter().enumerate() {
+            if m {
+                assert_eq!(
+                    slots[s].p_right, slots[s + 1].p_left,
+                    "slot {s}: P diffusion abutment nets differ"
+                );
+                assert_eq!(
+                    slots[s].n_right, slots[s + 1].n_left,
+                    "slot {s}: N diffusion abutment nets differ"
+                );
+            }
+        }
+        PlacedRow { slots, merged }
+    }
+
+    /// The slots, left to right.
+    pub fn slots(&self) -> &[SlotNets] {
+        &self.slots
+    }
+
+    /// Merge flags; `merged()[s]` links slots `s` and `s+1`.
+    pub fn merged(&self) -> &[bool] {
+        &self.merged
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the row has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of diffusion gaps (non-merged adjacencies).
+    pub fn gaps(&self) -> usize {
+        self.merged.iter().filter(|&&m| !m).count()
+    }
+
+    /// Row width in transistor pitches: `pairs + gaps`, the Maziasz–Hayes
+    /// metric the paper's Table 3 reports.
+    pub fn width(&self) -> usize {
+        if self.slots.is_empty() {
+            0
+        } else {
+            self.slots.len() + self.gaps()
+        }
+    }
+
+    /// Number of virtual columns (3 per slot).
+    pub fn virtual_columns(&self) -> usize {
+        3 * self.slots.len()
+    }
+
+    /// Maps a virtual column to its physical column, collapsing merged
+    /// diffusion columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcol` is out of range.
+    pub fn physical_column(&self, vcol: usize) -> usize {
+        assert!(vcol < self.virtual_columns(), "virtual column out of range");
+        // Each merge before this column removes one physical column.
+        let slot = vcol / 3;
+        let merges_before: usize = self.merged[..slot].iter().filter(|&&m| m).count();
+        vcol - merges_before
+    }
+
+    /// Number of physical columns.
+    pub fn physical_columns(&self) -> usize {
+        if self.slots.is_empty() {
+            0
+        } else {
+            self.virtual_columns() - self.merged.iter().filter(|&&m| m).count()
+        }
+    }
+
+    /// Iterates over all `(physical column, strip, net)` terminal anchors.
+    pub fn anchors(&self) -> impl Iterator<Item = Anchor> + '_ {
+        self.slots.iter().enumerate().flat_map(move |(s, slot)| {
+            let base = 3 * s;
+            [
+                Anchor {
+                    column: self.physical_column(base),
+                    strip: Strip::P,
+                    net: slot.p_left,
+                },
+                Anchor {
+                    column: self.physical_column(base + 1),
+                    strip: Strip::Poly,
+                    net: slot.gate,
+                },
+                Anchor {
+                    column: self.physical_column(base + 2),
+                    strip: Strip::P,
+                    net: slot.p_right,
+                },
+                Anchor {
+                    column: self.physical_column(base),
+                    strip: Strip::N,
+                    net: slot.n_left,
+                },
+                Anchor {
+                    column: self.physical_column(base + 2),
+                    strip: Strip::N,
+                    net: slot.n_right,
+                },
+            ]
+            .into_iter()
+        })
+    }
+}
+
+/// Which layer/strip an anchor sits on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strip {
+    /// P diffusion strip (top).
+    P,
+    /// N diffusion strip (bottom).
+    N,
+    /// Poly gate column (crosses the channel vertically).
+    Poly,
+}
+
+/// A terminal anchor: a net contact at a physical column on a strip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Anchor {
+    /// Physical column.
+    pub column: usize,
+    /// Strip.
+    pub strip: Strip,
+    /// Net.
+    pub net: NetId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_netlist::NetTable;
+
+    fn nets() -> (NetTable, Vec<NetId>) {
+        let mut t = NetTable::new();
+        let ids = ["a", "b", "c", "x", "y", "z"]
+            .iter()
+            .map(|n| t.intern(n))
+            .collect();
+        (t, ids)
+    }
+
+    fn slot(gate: NetId, pl: NetId, pr: NetId, nl: NetId, nr: NetId) -> SlotNets {
+        SlotNets {
+            gate,
+            p_left: pl,
+            p_right: pr,
+            n_left: nl,
+            n_right: nr,
+        }
+    }
+
+    #[test]
+    fn width_counts_pairs_plus_gaps() {
+        let (t, ids) = nets();
+        let (a, b) = (ids[0], ids[1]);
+        let (vdd, gnd) = (t.vdd(), t.gnd());
+        let z = ids[5];
+        // Two slots, merged: width 2. With a gap: width 3.
+        let s1 = slot(a, vdd, z, gnd, z);
+        let s2 = slot(b, z, vdd, z, gnd);
+        let merged_row = PlacedRow::new(vec![s1, s2], vec![true]);
+        assert_eq!(merged_row.width(), 2);
+        assert_eq!(merged_row.gaps(), 0);
+        let gapped = PlacedRow::new(vec![s1, s2], vec![false]);
+        assert_eq!(gapped.width(), 3);
+        assert_eq!(gapped.gaps(), 1);
+    }
+
+    #[test]
+    fn empty_row_is_zero_width() {
+        let row = PlacedRow::new(vec![], vec![]);
+        assert_eq!(row.width(), 0);
+        assert_eq!(row.physical_columns(), 0);
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "abutment nets differ")]
+    fn merge_with_mismatched_nets_panics() {
+        let (t, ids) = nets();
+        let (a, b, x, y) = (ids[0], ids[1], ids[3], ids[4]);
+        let (vdd, gnd) = (t.vdd(), t.gnd());
+        let s1 = slot(a, vdd, x, gnd, x);
+        let s2 = slot(b, y, vdd, y, gnd); // left nets y != x
+        PlacedRow::new(vec![s1, s2], vec![true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one merge flag")]
+    fn wrong_merge_flag_count_panics() {
+        let (t, ids) = nets();
+        let a = ids[0];
+        let (vdd, gnd) = (t.vdd(), t.gnd());
+        let s = slot(a, vdd, a, gnd, a);
+        PlacedRow::new(vec![s, s], vec![]);
+    }
+
+    #[test]
+    fn physical_columns_collapse_merges() {
+        let (t, ids) = nets();
+        let (a, b, c, z, y) = (ids[0], ids[1], ids[2], ids[5], ids[4]);
+        let (vdd, gnd) = (t.vdd(), t.gnd());
+        // Three slots: merge between 0-1, gap between 1-2.
+        let s1 = slot(a, vdd, z, gnd, z);
+        let s2 = slot(b, z, y, z, y);
+        let s3 = slot(c, vdd, y, gnd, y);
+        let row = PlacedRow::new(vec![s1, s2, s3], vec![true, false]);
+        assert_eq!(row.virtual_columns(), 9);
+        assert_eq!(row.physical_columns(), 8);
+        // Columns of slot 0: 0,1,2. Slot 1 left column == 2 (merged).
+        assert_eq!(row.physical_column(2), 2);
+        assert_eq!(row.physical_column(3), 2);
+        assert_eq!(row.physical_column(4), 3);
+        // Slot 2 is past one merge: shifted by one.
+        assert_eq!(row.physical_column(6), 5);
+        assert_eq!(row.width(), 4); // 3 pairs + 1 gap
+    }
+
+    #[test]
+    fn anchors_enumerate_all_terminals() {
+        let (t, ids) = nets();
+        let a = ids[0];
+        let z = ids[5];
+        let (vdd, gnd) = (t.vdd(), t.gnd());
+        let row = PlacedRow::new(vec![slot(a, vdd, z, gnd, z)], vec![]);
+        let anchors: Vec<Anchor> = row.anchors().collect();
+        assert_eq!(anchors.len(), 5);
+        assert!(anchors
+            .iter()
+            .any(|x| x.strip == Strip::Poly && x.net == a && x.column == 1));
+        assert_eq!(
+            anchors
+                .iter()
+                .filter(|x| x.strip == Strip::P)
+                .count(),
+            2
+        );
+    }
+}

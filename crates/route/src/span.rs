@@ -1,0 +1,263 @@
+//! Net span computation — the Fig. 4 rules.
+//!
+//! A net needs a horizontal routing track in a row's channel exactly when
+//! its terminals cannot all be reached through shared structure:
+//!
+//! * terminals at the **same physical column** are connected for free — by
+//!   the shared diffusion contact (the paper's case *b*: a net on two
+//!   merged columns needs no track) or by a vertical strap between the P
+//!   and N strips;
+//! * terminals at **different physical columns** require a metal-1 track —
+//!   whether separated by other pairs (case *a*), by a diffusion gap
+//!   (case *c*), or sitting on the same diffusion strip across a gap
+//!   (case *d*: long diffusion wires are not allowed).
+//!
+//! Because diffusion sharing only ever connects adjacent virtual columns —
+//! which [`PlacedRow::physical_column`] collapses into one — the cluster
+//! analysis reduces to: *the clusters of a net are its distinct physical
+//! columns*. A net spans from its leftmost to its rightmost column iff it
+//! occupies at least two.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use clip_netlist::NetId;
+
+use crate::row::PlacedRow;
+
+/// An inclusive horizontal interval of physical columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// Leftmost column.
+    pub lo: usize,
+    /// Rightmost column.
+    pub hi: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo`.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        assert!(hi >= lo, "inverted span");
+        Span { lo, hi }
+    }
+
+    /// True if `col` lies within the span.
+    pub fn contains(&self, col: usize) -> bool {
+        self.lo <= col && col <= self.hi
+    }
+
+    /// True if the two spans share at least one column.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Number of columns covered.
+    pub fn len(&self) -> usize {
+        self.hi - self.lo + 1
+    }
+
+    /// Spans are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Computes the horizontal spans required in `row`'s channel.
+///
+/// Nets listed in `exclude` (typically the power rails, which run as
+/// horizontal rails outside the channel) are skipped. The result contains
+/// an entry only for nets that actually need a track.
+pub fn row_spans(row: &PlacedRow, exclude: &[NetId]) -> HashMap<NetId, Span> {
+    let mut columns: HashMap<NetId, (usize, usize, bool)> = HashMap::new();
+    for anchor in row.anchors() {
+        if exclude.contains(&anchor.net) {
+            continue;
+        }
+        let entry = columns
+            .entry(anchor.net)
+            .or_insert((anchor.column, anchor.column, false));
+        if anchor.column < entry.0 {
+            entry.0 = anchor.column;
+            entry.2 = true;
+        } else if anchor.column > entry.1 {
+            entry.1 = anchor.column;
+            entry.2 = true;
+        }
+    }
+    columns
+        .into_iter()
+        .filter_map(|(net, (lo, hi, multi))| multi.then_some((net, Span::new(lo, hi))))
+        .collect()
+}
+
+/// Per-column routing density of a set of spans.
+///
+/// `num_columns` should be [`PlacedRow::physical_columns`] (or the cell
+/// width for inter-row channels).
+pub fn column_density(spans: &HashMap<NetId, Span>, num_columns: usize) -> Vec<usize> {
+    let mut density = vec![0usize; num_columns];
+    for span in spans.values() {
+        for d in density
+            .iter_mut()
+            .take((span.hi + 1).min(num_columns))
+            .skip(span.lo)
+        {
+            *d += 1;
+        }
+    }
+    density
+}
+
+/// Maximum column density — the track count of the channel.
+pub fn max_density(spans: &HashMap<NetId, Span>, num_columns: usize) -> usize {
+    column_density(spans, num_columns).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::{PlacedRow, SlotNets};
+    use clip_netlist::{NetId, NetTable};
+
+    struct Fixture {
+        table: NetTable,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                table: NetTable::new(),
+            }
+        }
+        fn n(&mut self, name: &str) -> NetId {
+            self.table.intern(name)
+        }
+        fn rails(&self) -> Vec<NetId> {
+            vec![self.table.vdd(), self.table.gnd()]
+        }
+    }
+
+    fn slot(gate: NetId, pl: NetId, pr: NetId, nl: NetId, nr: NetId) -> SlotNets {
+        SlotNets {
+            gate,
+            p_left: pl,
+            p_right: pr,
+            n_left: nl,
+            n_right: nr,
+        }
+    }
+
+    #[test]
+    fn single_column_net_needs_no_track() {
+        // Inverter: z on P-right and N-right of the same slot.
+        let mut f = Fixture::new();
+        let (a, z) = (f.n("a"), f.n("z"));
+        let (vdd, gnd) = (f.table.vdd(), f.table.gnd());
+        let row = PlacedRow::new(vec![slot(a, vdd, z, gnd, z)], vec![]);
+        let spans = row_spans(&row, &f.rails());
+        assert!(spans.is_empty());
+    }
+
+    #[test]
+    fn merged_diffusion_needs_no_track_case_b() {
+        // Net z shared between two merged slots: one physical column.
+        let mut f = Fixture::new();
+        let (a, b, z) = (f.n("a"), f.n("b"), f.n("z"));
+        let (vdd, gnd) = (f.table.vdd(), f.table.gnd());
+        let row = PlacedRow::new(
+            vec![slot(a, vdd, z, gnd, z), slot(b, z, vdd, z, gnd)],
+            vec![true],
+        );
+        let spans = row_spans(&row, &f.rails());
+        assert!(!spans.contains_key(&z), "merged net should not span");
+    }
+
+    #[test]
+    fn gap_separated_net_needs_track_case_c() {
+        // Same nets, but with a gap instead of a merge: track required.
+        let mut f = Fixture::new();
+        let (a, b, z) = (f.n("a"), f.n("b"), f.n("z"));
+        let (vdd, gnd) = (f.table.vdd(), f.table.gnd());
+        let row = PlacedRow::new(
+            vec![slot(a, vdd, z, gnd, z), slot(b, z, vdd, z, gnd)],
+            vec![false],
+        );
+        let spans = row_spans(&row, &f.rails());
+        let s = spans[&z];
+        // z anchors: slot0 right diffusion (col 2), slot1 left (col 3).
+        assert_eq!(s, Span::new(2, 3));
+    }
+
+    #[test]
+    fn distant_terminals_span_the_middle_case_a() {
+        // Net g gates slots 0 and 2: track spans the middle pair.
+        let mut f = Fixture::new();
+        let (g, b, x, y, z) = (f.n("g"), f.n("b"), f.n("x"), f.n("y"), f.n("z"));
+        let (vdd, gnd) = (f.table.vdd(), f.table.gnd());
+        let row = PlacedRow::new(
+            vec![
+                slot(g, vdd, x, gnd, x),
+                slot(b, y, y, y, y),
+                slot(g, vdd, z, gnd, z),
+            ],
+            vec![false, false],
+        );
+        let spans = row_spans(&row, &f.rails());
+        let s = spans[&g];
+        assert_eq!(s, Span::new(1, 7)); // gate cols 1 and 7
+        assert!(s.contains(4));
+    }
+
+    #[test]
+    fn rails_are_excluded() {
+        let mut f = Fixture::new();
+        let (a, b, x, y) = (f.n("a"), f.n("b"), f.n("x"), f.n("y"));
+        let (vdd, gnd) = (f.table.vdd(), f.table.gnd());
+        let row = PlacedRow::new(
+            vec![slot(a, vdd, x, gnd, x), slot(b, vdd, y, gnd, y)],
+            vec![false],
+        );
+        let spans = row_spans(&row, &f.rails());
+        assert!(!spans.contains_key(&vdd));
+        assert!(!spans.contains_key(&gnd));
+    }
+
+    #[test]
+    fn density_counts_overlaps() {
+        let mut spans = HashMap::new();
+        spans.insert(NetId::from_index(10), Span::new(0, 3));
+        spans.insert(NetId::from_index(11), Span::new(2, 5));
+        spans.insert(NetId::from_index(12), Span::new(3, 3));
+        let d = column_density(&spans, 6);
+        assert_eq!(d, vec![1, 1, 2, 3, 1, 1]);
+        assert_eq!(max_density(&spans, 6), 3);
+    }
+
+    #[test]
+    fn density_handles_empty() {
+        let spans = HashMap::new();
+        assert_eq!(max_density(&spans, 4), 0);
+        assert_eq!(column_density(&spans, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn span_basics() {
+        let s = Span::new(2, 5);
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(2) && s.contains(5) && !s.contains(6));
+        assert!(s.overlaps(&Span::new(5, 9)));
+        assert!(!s.overlaps(&Span::new(6, 9)));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_span_panics() {
+        Span::new(3, 2);
+    }
+}

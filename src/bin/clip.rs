@@ -1,0 +1,247 @@
+//! `clip` — command-line cell synthesis.
+//!
+//! ```text
+//! clip cells                              list the built-in library
+//! clip synth --cell mux21 --rows 3        synthesize a library cell
+//! clip synth --expr "(a&b|c)'" --rows 2 --height --svg out.svg
+//! clip synth --spice cell.sp --stacking --json out.json
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use clip::core::generator::{CellGenerator, GenOptions};
+use clip::layout::CellLayout;
+use clip::netlist::fold::fold_uniform;
+use clip::netlist::{library, spice, Circuit, Expr};
+
+struct SynthArgs {
+    circuit: Option<Circuit>,
+    rows: usize,
+    auto_rows: bool,
+    stacking: bool,
+    height: bool,
+    limit: Duration,
+    fold: usize,
+    svg: Option<String>,
+    json: Option<String>,
+    cif: Option<String>,
+    critical: Vec<String>,
+    quiet: bool,
+}
+
+impl Default for SynthArgs {
+    fn default() -> Self {
+        SynthArgs {
+            circuit: None,
+            rows: 1,
+            auto_rows: false,
+            stacking: false,
+            height: false,
+            limit: Duration::from_secs(60),
+            fold: 1,
+            svg: None,
+            json: None,
+            cif: None,
+            critical: Vec::new(),
+            quiet: false,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("cells") => cells(),
+        Some("synth") => match parse_synth(&args[1..]) {
+            Ok(a) => synth(a),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                ExitCode::from(2)
+            }
+        },
+        Some("help") | None => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command {other}");
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage:\n  clip cells\n  clip synth (--cell NAME | --expr FORMULA | --spice FILE) \
+         [--rows N|auto] [--stacking] [--height]\n             [--limit SECS] [--fold K] \
+         [--critical NET]... [--svg FILE] [--json FILE] [--cif FILE] [--quiet]"
+    );
+}
+
+fn cells() -> ExitCode {
+    println!("{:<14} {:>6} {:>6}  inputs", "cell", "trans", "pairs");
+    for c in library::evaluation_suite() {
+        let name = c.name().to_owned();
+        let trans = c.devices().len();
+        let inputs: Vec<String> = c
+            .inputs()
+            .iter()
+            .map(|&n| c.nets().name(n).to_owned())
+            .collect();
+        let pairs = c.into_paired().map(|p| p.len()).unwrap_or(0);
+        println!("{name:<14} {trans:>6} {pairs:>6}  {}", inputs.join(","));
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_synth(args: &[String]) -> Result<SynthArgs, String> {
+    let mut out = SynthArgs::default();
+    let mut i = 0;
+    let take = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--cell" => {
+                let name = take(&mut i)?;
+                let circuit = library::evaluation_suite()
+                    .into_iter()
+                    .find(|c| c.name() == name)
+                    .ok_or_else(|| format!("unknown cell {name} (see `clip cells`)"))?;
+                out.circuit = Some(circuit);
+            }
+            "--expr" => {
+                let formula = take(&mut i)?;
+                let expr = Expr::parse(&formula).map_err(|e| e.to_string())?;
+                out.circuit = Some(expr.compile("custom", "z").map_err(|e| e.to_string())?);
+            }
+            "--spice" => {
+                let path = take(&mut i)?;
+                let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                out.circuit = Some(spice::parse("imported", &text).map_err(|e| e.to_string())?);
+            }
+            "--rows" => {
+                let v = take(&mut i)?;
+                if v == "auto" {
+                    out.auto_rows = true;
+                    out.rows = 4;
+                } else {
+                    out.rows = v.parse().map_err(|_| "bad --rows")?;
+                }
+            }
+            "--limit" => {
+                out.limit = Duration::from_secs(take(&mut i)?.parse().map_err(|_| "bad --limit")?)
+            }
+            "--fold" => out.fold = take(&mut i)?.parse().map_err(|_| "bad --fold")?,
+            "--stacking" => out.stacking = true,
+            "--height" => out.height = true,
+            "--quiet" => out.quiet = true,
+            "--critical" => out.critical.push(take(&mut i)?),
+            "--svg" => out.svg = Some(take(&mut i)?),
+            "--json" => out.json = Some(take(&mut i)?),
+            "--cif" => out.cif = Some(take(&mut i)?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if out.circuit.is_none() {
+        return Err("one of --cell/--expr/--spice is required".into());
+    }
+    if out.fold == 0 {
+        return Err("--fold must be positive".into());
+    }
+    Ok(out)
+}
+
+fn synth(args: SynthArgs) -> ExitCode {
+    let mut circuit = args.circuit.expect("validated");
+    if args.fold > 1 {
+        match circuit.into_paired() {
+            Ok(paired) => match fold_uniform(&paired, args.fold) {
+                Ok(folded) => circuit = folded.circuit().clone(),
+                Err(e) => {
+                    eprintln!("error: folding failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut opts = GenOptions::rows(args.rows).with_time_limit(args.limit);
+    if args.stacking {
+        opts = opts.with_stacking();
+    }
+    if args.height {
+        opts = opts.with_height();
+    }
+    if !args.critical.is_empty() {
+        opts = opts.with_critical_nets(args.critical);
+    }
+    let max_rows = args.rows;
+    let generator = CellGenerator::new(opts);
+    let result = if args.auto_rows {
+        generator.generate_best_area(circuit, max_rows)
+    } else {
+        generator.generate(circuit)
+    };
+    let cell = match result {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let layout = CellLayout::build(&cell);
+
+    if !args.quiet {
+        println!(
+            "{}: width {} pitches, height {} units ({} tracks), {} inter-row nets",
+            layout.name,
+            cell.width,
+            cell.height,
+            cell.tracks.iter().sum::<usize>(),
+            cell.inter_row_nets
+        );
+        println!(
+            "solve: {:?} ({}), model {} vars / {} constraints, {} nodes",
+            cell.stats.duration,
+            if cell.optimal { "proved optimal" } else { "best found" },
+            cell.model_vars,
+            cell.model_constraints,
+            cell.stats.nodes
+        );
+        println!("\n{}", layout.render());
+    }
+    if let Some(path) = args.svg {
+        if let Err(e) = std::fs::write(&path, layout.to_svg()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.json {
+        if let Err(e) = std::fs::write(&path, layout.to_json()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.cif {
+        if let Err(e) = std::fs::write(&path, layout.to_cif()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

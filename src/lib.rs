@@ -1,0 +1,41 @@
+//! CLIP — an optimizing layout generator for two-dimensional CMOS cells.
+//!
+//! A reproduction of Gupta & Hayes (DAC 1997): CMOS leaf cells are
+//! synthesized by a 0-1 ILP that simultaneously decides each P/N pair's
+//! row, slot, orientation, and diffusion sharing, minimizing cell width
+//! (CLIP-W) or width-then-routing-tracks (CLIP-WH); HCLIP and-stack
+//! clustering scales the method to larger cells.
+//!
+//! This facade re-exports every subsystem crate. See the README for an
+//! overview, `DESIGN.md` for the architecture, and `examples/` for
+//! runnable entry points.
+//!
+//! # Example
+//!
+//! ```
+//! use clip::core::generator::{CellGenerator, GenOptions};
+//! use clip::netlist::library;
+//!
+//! // The paper's Fig. 2 multiplexer, placed optimally in three rows.
+//! let cell = CellGenerator::new(GenOptions::rows(3)).generate(library::mux21())?;
+//! assert_eq!(cell.width, 3); // Table 3: the mux is 3 pitches wide in 3 rows
+//! assert!(cell.optimal);
+//! # Ok::<(), clip::core::generator::GenError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+
+/// Heuristic baselines (the Virtuoso comparator substitute).
+pub use clip_baselines as baselines;
+/// The CLIP models: CLIP-W, CLIP-WH, HCLIP, hierarchy, verification.
+pub use clip_core as core;
+/// Symbolic layout assembly, ASCII/SVG rendering, JSON export.
+pub use clip_layout as layout;
+/// Circuits, pairing, expression compiler, simulator, benchmark library.
+pub use clip_netlist as netlist;
+/// The 0-1 ILP (pseudo-Boolean) solver.
+pub use clip_pb as pb;
+/// Track density, net spans, channel routing.
+pub use clip_route as route;

@@ -1,0 +1,104 @@
+//! Integration tests of the `clip` command-line binary.
+
+use std::process::Command;
+
+fn clip() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_clip"))
+}
+
+#[test]
+fn cells_lists_the_library() {
+    let out = clip().arg("cells").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cell in ["xor2", "bridge", "mux21", "full_adder"] {
+        assert!(text.contains(cell), "missing {cell} in:\n{text}");
+    }
+}
+
+#[test]
+fn synth_renders_a_cell() {
+    let out = clip()
+        .args(["synth", "--cell", "xor2", "--rows", "2", "--limit", "60"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("width 3 pitches"), "{text}");
+    assert!(text.contains("proved optimal"), "{text}");
+    assert!(text.contains("== VDD"), "{text}");
+}
+
+#[test]
+fn synth_from_expression_writes_artifacts() {
+    let dir = std::env::temp_dir().join(format!("clip_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let svg = dir.join("cell.svg");
+    let json = dir.join("cell.json");
+    let cif = dir.join("cell.cif");
+    let out = clip()
+        .args([
+            "synth",
+            "--expr",
+            "(a&b|c)'",
+            "--height",
+            "--quiet",
+            "--svg",
+            svg.to_str().expect("utf8 path"),
+            "--json",
+            json.to_str().expect("utf8 path"),
+            "--cif",
+            cif.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let svg_text = std::fs::read_to_string(&svg).expect("svg written");
+    assert!(svg_text.starts_with("<svg"));
+    let json_text = std::fs::read_to_string(&json).expect("json written");
+    assert!(json_text.contains("\"width\""));
+    let cif_text = std::fs::read_to_string(&cif).expect("cif written");
+    assert!(cif_text.contains("DS 1 1 1;") && cif_text.trim_end().ends_with('E'));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_flags_fail_with_usage() {
+    let out = clip()
+        .args(["synth", "--frobnicate"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown flag"), "{err}");
+
+    let out = clip().arg("synth").output().expect("binary runs");
+    assert!(!out.status.success());
+
+    let out = clip()
+        .args(["synth", "--cell", "not_a_cell"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn folding_flag_multiplies_pairs() {
+    let out = clip()
+        .args([
+            "synth", "--cell", "xor2", "--rows", "1", "--fold", "2", "--stacking", "--limit",
+            "60",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // 5 pairs folded x2 = 10 pairs: single-row width of at least 10.
+    let width: usize = text
+        .split("width ")
+        .nth(1)
+        .and_then(|rest| rest.split(' ').next())
+        .and_then(|w| w.parse().ok())
+        .unwrap_or_else(|| panic!("no width in output: {text}"));
+    assert!(width >= 10, "{text}");
+}

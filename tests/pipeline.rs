@@ -1,0 +1,206 @@
+//! End-to-end integration tests across all crates: circuit → pairing →
+//! model → solve → extraction → independent verification → realization.
+
+use std::time::Duration;
+
+use clip::baselines;
+use clip::core::generator::{CellGenerator, GenOptions};
+use clip::core::share::ShareArray;
+use clip::core::unit::UnitSet;
+use clip::core::{exhaustive, verify};
+use clip::layout::CellLayout;
+use clip::netlist::library;
+use clip::route::density::CellRouting;
+
+/// Every suite circuit, every feasible row count up to 3: the generator
+/// must produce a verified placement whose geometry matches its claims.
+#[test]
+fn generator_results_verify_end_to_end() {
+    for circuit in library::evaluation_suite() {
+        let pairs = circuit.clone().into_paired().unwrap().len();
+        if pairs > 8 {
+            continue; // the large cells are exercised separately with HCLIP
+        }
+        for rows in 1..=3usize.min(pairs) {
+            let name = format!("{}x{rows}", circuit.name());
+            let cell = CellGenerator::new(
+                GenOptions::rows(rows).with_time_limit(Duration::from_secs(30)),
+            )
+            .generate(circuit.clone())
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            verify::check_placement(&cell.units, &cell.placement)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(
+                cell.width,
+                cell.placement.cell_width(&cell.units),
+                "{name}: width mismatch"
+            );
+            // Track counts agree with an independent routing pass.
+            let routing: CellRouting = cell.placement.routing(&cell.units);
+            let intra: usize = (0..rows).map(|r| routing.intra_tracks(r)).sum();
+            let inter: usize = (0..rows - 1).map(|c| routing.inter_tracks(c)).sum();
+            assert_eq!(
+                cell.tracks.iter().sum::<usize>(),
+                intra + inter,
+                "{name}: track mismatch"
+            );
+        }
+    }
+}
+
+/// The ILP optimum must match brute-force enumeration wherever the
+/// exhaustive oracle is feasible.
+#[test]
+fn ilp_matches_exhaustive_oracle() {
+    for circuit in [
+        library::nand2(),
+        library::nor3(),
+        library::aoi21(),
+        library::aoi22(),
+        library::xor2(),
+    ] {
+        let units = UnitSet::flat(circuit.clone().into_paired().unwrap());
+        if units.len() > 5 {
+            continue;
+        }
+        let share = ShareArray::new(&units);
+        for rows in 1..=2usize.min(units.len()) {
+            let name = format!("{}x{rows}", circuit.name());
+            let brute = exhaustive::optimal_width(&units, &share, rows).unwrap();
+            let cell = CellGenerator::new(GenOptions::rows(rows))
+                .generate(circuit.clone())
+                .unwrap();
+            assert!(cell.optimal, "{name}");
+            assert_eq!(cell.width, brute, "{name}");
+        }
+    }
+}
+
+/// CLIP must never lose to the heuristic baseline, and usually wins
+/// somewhere — the shape of the paper's Table 3 CLIP-vs-Virtuoso columns.
+#[test]
+fn optimizer_dominates_greedy_baseline() {
+    let mut strictly_better = 0;
+    for circuit in [
+        library::xor2(),
+        library::bridge(),
+        library::two_level_z(),
+        library::mux21(),
+    ] {
+        let units = UnitSet::flat(circuit.clone().into_paired().unwrap());
+        let share = ShareArray::new(&units);
+        for rows in 2..=3 {
+            let name = format!("{}x{rows}", circuit.name());
+            let greedy = baselines::greedy2d(&units, &share, rows).unwrap();
+            let cell = CellGenerator::new(
+                GenOptions::rows(rows).with_time_limit(Duration::from_secs(30)),
+            )
+            .generate(circuit.clone())
+            .unwrap();
+            assert!(
+                cell.width <= greedy.width,
+                "{name}: CLIP {} vs greedy {}",
+                cell.width,
+                greedy.width
+            );
+            if cell.width < greedy.width {
+                strictly_better += 1;
+            }
+        }
+    }
+    // Random placements must be dominated decisively.
+    let units = UnitSet::flat(library::mux21().into_paired().unwrap());
+    let share = ShareArray::new(&units);
+    let random = baselines::random_placement(&units, &share, 3, 7).unwrap();
+    let cell = CellGenerator::new(GenOptions::rows(3))
+        .generate(library::mux21())
+        .unwrap();
+    assert!(cell.width <= random.width);
+    let _ = strictly_better; // witnessed but not required on every cell
+}
+
+/// HCLIP stacking: same circuit, smaller model, width no better than the
+/// flat optimum (it restricts arrangements) but still verified legal.
+#[test]
+fn hclip_shrinks_models_and_stays_legal() {
+    for circuit in [library::nand4(), library::aoi22(), library::full_adder()] {
+        let name = circuit.name().to_owned();
+        let stacked = CellGenerator::new(
+            GenOptions::rows(1)
+                .with_stacking()
+                .with_time_limit(Duration::from_secs(30)),
+        )
+        .generate(circuit.clone())
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        verify::check_placement(&stacked.units, &stacked.placement)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Expanding stacks preserves the transistor count.
+        let placed_columns: usize = stacked
+            .placement
+            .to_placed_rows(&stacked.units)
+            .iter()
+            .map(|r| r.len())
+            .sum();
+        assert_eq!(
+            placed_columns,
+            circuit.devices().len() / 2,
+            "{name}: expansion lost columns"
+        );
+    }
+}
+
+/// The rendered layout and the JSON export agree with the generated cell.
+#[test]
+fn layout_realization_round_trips() {
+    let cell = CellGenerator::new(GenOptions::rows(2))
+        .generate(library::two_level_z())
+        .unwrap();
+    let layout = CellLayout::build(&cell);
+    assert_eq!(layout.width, cell.width);
+    assert_eq!(layout.height, cell.height);
+    let art = layout.render();
+    assert!(art.contains("== VDD"));
+    let doc = clip::layout::json::document(&layout);
+    assert_eq!(doc.rows.len(), 2);
+    let total_slots: usize = doc.rows.iter().map(|r| r.slots.len()).sum();
+    assert_eq!(total_slots, 6); // 12 transistors = 6 pairs
+}
+
+/// The width+height objective never worsens width (lexicographic) and
+/// never increases the track count relative to width-only optimization.
+#[test]
+fn height_objective_improves_tracks() {
+    for circuit in [library::nand3(), library::aoi22(), library::nor3()] {
+        let name = circuit.name().to_owned();
+        let w_only = CellGenerator::new(GenOptions::rows(1))
+            .generate(circuit.clone())
+            .unwrap();
+        let wh = CellGenerator::new(
+            GenOptions::rows(1)
+                .with_height()
+                .with_time_limit(Duration::from_secs(30)),
+        )
+        .generate(circuit)
+        .unwrap();
+        assert_eq!(wh.width, w_only.width, "{name}: lexicographic width");
+        if wh.optimal {
+            assert!(
+                wh.tracks.iter().sum::<usize>() <= w_only.tracks.iter().sum::<usize>(),
+                "{name}: WH tracks {:?} vs W tracks {:?}",
+                wh.tracks,
+                w_only.tracks
+            );
+        }
+    }
+}
+
+/// SPICE round trip feeds the generator identically.
+#[test]
+fn spice_import_matches_library() {
+    let original = library::two_level_z();
+    let text = clip::netlist::spice::write(&original);
+    let imported = clip::netlist::spice::parse("two_level_z", &text).unwrap();
+    let a = CellGenerator::new(GenOptions::rows(2)).generate(original).unwrap();
+    let b = CellGenerator::new(GenOptions::rows(2)).generate(imported).unwrap();
+    assert_eq!(a.width, b.width);
+}
