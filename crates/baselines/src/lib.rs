@@ -38,9 +38,7 @@
 
 pub mod oned;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use clip_rng::Rng;
 
 use clip_core::exhaustive::placement_from_order;
 use clip_core::generator::{evaluate_order, greedy_placement_with};
@@ -135,15 +133,13 @@ pub fn random_placement(
     if rows == 0 || rows > n {
         return None;
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut order: Vec<usize> = (0..n).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     let orients: Vec<_> = order
         .iter()
         .map(|&u| {
-            *units.units()[u]
-                .orients()
-                .choose(&mut rng)
+            *rng.choose(&units.units()[u].orients())
                 .expect("units have orientations")
         })
         .collect();

@@ -111,8 +111,7 @@ pub fn optimal_1d(units: &UnitSet, share: &ShareArray) -> Option<(usize, Placeme
         .map(|(k, &(u, o))| PlacedUnit {
             unit: u,
             orient: o,
-            merged_with_next: k + 1 < rev.len()
-                && share.shares(u, o, rev[k + 1].0, rev[k + 1].1),
+            merged_with_next: k + 1 < rev.len() && share.shares(u, o, rev[k + 1].0, rev[k + 1].1),
         })
         .collect();
     Some((width, Placement { rows: vec![row] }))
@@ -163,9 +162,8 @@ mod tests {
 
     #[test]
     fn handles_stacked_units() {
-        let units = clip_core::cluster::cluster_and_stacks(
-            library::full_adder().into_paired().unwrap(),
-        );
+        let units =
+            clip_core::cluster::cluster_and_stacks(library::full_adder().into_paired().unwrap());
         let share = ShareArray::new(&units);
         let (w, placement) = optimal_1d(&units, &share).unwrap();
         // Width at least the total transistor columns.

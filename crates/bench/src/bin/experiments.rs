@@ -7,18 +7,23 @@
 //!
 //! Targets: `table1 table2 table3 table4 fig1 fig2 fig3 fig4 fig5 sweep
 //! ablate whverify all`.
+//!
+//! `--smoke` runs the quick micro-benchmark suite (the criterion
+//! replacement) and writes JSON lines to `results/bench_smoke.jsonl`.
 
 use std::time::Duration;
 
-use clip_bench::experiments;
+use clip_bench::{experiments, timing};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut targets: Vec<String> = Vec::new();
     let mut limit = Duration::from_secs(60);
+    let mut smoke = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--smoke" => smoke = true,
             "--limit" => {
                 i += 1;
                 let secs: u64 = args
@@ -31,7 +36,13 @@ fn main() {
         }
         i += 1;
     }
+    if smoke {
+        run_smoke();
+    }
     if targets.is_empty() {
+        if smoke {
+            return;
+        }
         usage();
     }
     if targets.iter().any(|t| t == "all") {
@@ -72,7 +83,21 @@ fn main() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments [--limit SECS] <table1|table2|table3|table4|fig1..fig5|sweep|ablate|whverify|hier|folding|scaling|all>..."
+        "usage: experiments [--limit SECS] [--smoke] <table1|table2|table3|table4|fig1..fig5|sweep|ablate|whverify|hier|folding|scaling|all>..."
     );
     std::process::exit(2)
+}
+
+/// Runs the micro-benchmark smoke suite and persists JSONL results.
+fn run_smoke() {
+    eprintln!("smoke benchmarks (warmup+median-of-N):");
+    let report = timing::smoke();
+    println!("{}", report.to_table());
+    let dir = std::path::Path::new("results");
+    let write = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(dir.join("bench_smoke.jsonl"), report.to_jsonl()));
+    match write {
+        Ok(()) => eprintln!("wrote results/bench_smoke.jsonl"),
+        Err(e) => eprintln!("could not write results/bench_smoke.jsonl: {e}"),
+    }
 }

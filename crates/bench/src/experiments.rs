@@ -143,7 +143,9 @@ pub fn table3_data(limit: Duration) -> Vec<T3Entry> {
             let flat = CellGenerator::new(GenOptions::rows(rows).with_time_limit(limit))
                 .generate(circuit.clone());
             let stacked = CellGenerator::new(
-                GenOptions::rows(rows).with_stacking().with_time_limit(limit),
+                GenOptions::rows(rows)
+                    .with_stacking()
+                    .with_time_limit(limit),
             )
             .generate(circuit.clone());
             let units = UnitSet::flat(circuit.clone().into_paired().expect("pairs"));
@@ -180,7 +182,16 @@ pub fn table3(limit: Duration) -> String {
     let _ = writeln!(
         out,
         "{:<12} {:>6} {:>5} {:>10} {:>10} {:>7} {:>8} {:>8} {:>7} {:>7}",
-        "circuit", "trans", "rows", "cpu(s)", "cpu[s](s)", "width", "width[s]", "greedy", "paper", "proved"
+        "circuit",
+        "trans",
+        "rows",
+        "cpu(s)",
+        "cpu[s](s)",
+        "width",
+        "width[s]",
+        "greedy",
+        "paper",
+        "proved"
     );
     for e in table3_data(limit) {
         let _ = writeln!(
@@ -284,7 +295,16 @@ pub fn table4(limit: Duration) -> String {
     let _ = writeln!(
         out,
         "{:<12} {:>5} {:>6} {:>7} {:>7} {:>10} {:>10} {:>8} {:>8} {:>7}",
-        "circuit", "rows", "width", "tracks", "height", "first(s)", "final(s)", "grdy.w", "grdy.h", "proved"
+        "circuit",
+        "rows",
+        "width",
+        "tracks",
+        "height",
+        "first(s)",
+        "final(s)",
+        "grdy.w",
+        "grdy.h",
+        "proved"
     );
     for e in table4_data(limit) {
         let _ = writeln!(
@@ -539,15 +559,71 @@ pub fn ablation(limit: Duration) -> String {
         "{:<10} {:<16} {:<9} {:<6} {:>10} {:>10} {:>10} {:>8}",
         "strategy", "heuristic", "brancher", "warm", "time(s)", "nodes", "conflicts", "optimal"
     );
-    type AblationConfig = (&'static str, SearchStrategy, &'static str, BranchHeuristic, bool, bool);
+    type AblationConfig = (
+        &'static str,
+        SearchStrategy,
+        &'static str,
+        BranchHeuristic,
+        bool,
+        bool,
+    );
     let configs: Vec<AblationConfig> = vec![
-        ("cbj", SearchStrategy::Cbj, "structured", BranchHeuristic::InputOrder, true, true),
-        ("cbj", SearchStrategy::Cbj, "structured", BranchHeuristic::InputOrder, true, false),
-        ("cbj", SearchStrategy::Cbj, "generic", BranchHeuristic::DynamicScore, false, false),
-        ("cbj", SearchStrategy::Cbj, "generic", BranchHeuristic::MostConstrained, false, false),
-        ("cbj", SearchStrategy::Cbj, "generic", BranchHeuristic::ObjectiveFirst, false, false),
-        ("cdcl", SearchStrategy::Cdcl, "structured", BranchHeuristic::InputOrder, true, true),
-        ("cdcl", SearchStrategy::Cdcl, "generic", BranchHeuristic::DynamicScore, false, false),
+        (
+            "cbj",
+            SearchStrategy::Cbj,
+            "structured",
+            BranchHeuristic::InputOrder,
+            true,
+            true,
+        ),
+        (
+            "cbj",
+            SearchStrategy::Cbj,
+            "structured",
+            BranchHeuristic::InputOrder,
+            true,
+            false,
+        ),
+        (
+            "cbj",
+            SearchStrategy::Cbj,
+            "generic",
+            BranchHeuristic::DynamicScore,
+            false,
+            false,
+        ),
+        (
+            "cbj",
+            SearchStrategy::Cbj,
+            "generic",
+            BranchHeuristic::MostConstrained,
+            false,
+            false,
+        ),
+        (
+            "cbj",
+            SearchStrategy::Cbj,
+            "generic",
+            BranchHeuristic::ObjectiveFirst,
+            false,
+            false,
+        ),
+        (
+            "cdcl",
+            SearchStrategy::Cdcl,
+            "structured",
+            BranchHeuristic::InputOrder,
+            true,
+            true,
+        ),
+        (
+            "cdcl",
+            SearchStrategy::Cdcl,
+            "generic",
+            BranchHeuristic::DynamicScore,
+            false,
+            false,
+        ),
     ];
     for (sname, strategy, bname, heuristic, use_brancher, use_warm) in configs {
         let config = SolverConfig {
@@ -645,7 +721,10 @@ pub fn folding(limit: Duration) -> String {
         "circuit", "fold", "pairs", "rows", "width", "proved"
     );
     for (name, build) in [
-        ("inverter", library::inverter as fn() -> clip_netlist::Circuit),
+        (
+            "inverter",
+            library::inverter as fn() -> clip_netlist::Circuit,
+        ),
         ("nand2", library::nand2),
     ] {
         for k in 1..=4usize {
@@ -653,10 +732,9 @@ pub fn folding(limit: Duration) -> String {
             let folded = fold_uniform(&paired, k).expect("folds");
             let pairs = folded.len();
             let circuit = folded.circuit().clone();
-            let cell = CellGenerator::new(
-                GenOptions::rows(1).with_stacking().with_time_limit(limit),
-            )
-            .generate(circuit);
+            let cell =
+                CellGenerator::new(GenOptions::rows(1).with_stacking().with_time_limit(limit))
+                    .generate(circuit);
             match cell {
                 Ok(c) => {
                     let _ = writeln!(
@@ -702,10 +780,9 @@ pub fn scaling(limit: Duration) -> String {
             let circuit = random_gate(seed.wrapping_mul(7919) + target as u64, target);
             let pairs = circuit.clone().into_paired().map(|p| p.len()).unwrap_or(0);
             let rows = 2usize.min(pairs.max(1));
-            let Ok(cell) = CellGenerator::new(
-                GenOptions::rows(rows).with_time_limit(limit),
-            )
-            .generate(circuit.clone()) else {
+            let Ok(cell) = CellGenerator::new(GenOptions::rows(rows).with_time_limit(limit))
+                .generate(circuit.clone())
+            else {
                 continue;
             };
             if cell.optimal {

@@ -1,11 +1,13 @@
-//! Shared infrastructure for the experiment harness and the criterion
-//! benches: the evaluation circuit registry and the table runners that
-//! regenerate the paper's Tables 1–4 and figures.
+//! Shared infrastructure for the experiment harness and the in-repo
+//! micro-benchmarks: the evaluation circuit registry, the table runners
+//! that regenerate the paper's Tables 1–4 and figures, and the timing
+//! harness behind `experiments --smoke`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod timing;
 
 use clip_netlist::{library, Circuit};
 

@@ -1,0 +1,356 @@
+//! In-repo micro-benchmark harness (the criterion replacement).
+//!
+//! Hermetic-deps policy: instead of crates-io `criterion`, benches run
+//! through this ~150-line harness — fixed warmup iterations, then a
+//! sample loop, reporting min/median/mean wall times. Results are
+//! emitted as JSON lines (one object per benchmark) so downstream
+//! tooling can diff runs; the emitter is the same hand-rolled
+//! [`clip_layout::jsonio`] the cell export uses.
+//!
+//! The `--smoke` mode of the `experiments` binary drives [`smoke`],
+//! a quick pass over the workloads the deleted criterion benches
+//! covered (solves, model generation, baselines, routing), sized to
+//! finish in seconds so CI can afford it on every push.
+
+use std::time::{Duration, Instant};
+
+use clip_layout::jsonio::Json;
+
+/// One benchmark's timing summary.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name, `group/case` style.
+    pub name: String,
+    /// Samples taken (after warmup).
+    pub samples: u32,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+}
+
+impl Measurement {
+    /// The measurement as one JSON object (for JSONL output).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.clone())),
+            ("samples", Json::Int(i64::from(self.samples))),
+            ("min_ns", Json::Int(self.min.as_nanos() as i64)),
+            ("median_ns", Json::Int(self.median.as_nanos() as i64)),
+            ("mean_ns", Json::Int(self.mean.as_nanos() as i64)),
+        ])
+    }
+}
+
+/// Harness configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TimingOptions {
+    /// Unmeasured warmup iterations before sampling.
+    pub warmup: u32,
+    /// Measured samples; the median is the headline number.
+    pub samples: u32,
+}
+
+impl Default for TimingOptions {
+    fn default() -> Self {
+        TimingOptions {
+            warmup: 3,
+            samples: 11,
+        }
+    }
+}
+
+impl TimingOptions {
+    /// The quick profile used by `--smoke`.
+    pub fn smoke() -> Self {
+        TimingOptions {
+            warmup: 1,
+            samples: 5,
+        }
+    }
+}
+
+/// Times `f`: `warmup` unmeasured runs, then `samples` measured runs.
+///
+/// The closure returns a value that is consumed by a volatile-ish sink
+/// (its `Drop`) so the optimizer cannot elide the work; return whatever
+/// result the workload naturally produces.
+pub fn bench<T>(name: &str, opts: TimingOptions, mut f: impl FnMut() -> T) -> Measurement {
+    for _ in 0..opts.warmup {
+        sink(f());
+    }
+    let mut times: Vec<Duration> = Vec::with_capacity(opts.samples as usize);
+    for _ in 0..opts.samples.max(1) {
+        let start = Instant::now();
+        sink(f());
+        times.push(start.elapsed());
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    Measurement {
+        name: name.to_owned(),
+        samples: times.len() as u32,
+        min,
+        median,
+        mean,
+    }
+}
+
+/// Opaque consumption of a benchmark result (a `black_box` stand-in
+/// that stays on stable std: the value is moved into `drop`, and the
+/// function is `#[inline(never)]` so the call is a real boundary).
+#[inline(never)]
+pub fn sink<T>(value: T) {
+    drop(value);
+}
+
+/// A collection of measurements plus rendering helpers.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// The measurements, in run order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Report {
+    /// Runs a benchmark and records it, echoing a progress line.
+    pub fn run<T>(&mut self, name: &str, opts: TimingOptions, f: impl FnMut() -> T) {
+        let m = bench(name, opts, f);
+        eprintln!(
+            "  {:<40} median {:>12?}  (min {:?}, mean {:?}, n={})",
+            m.name, m.median, m.min, m.mean, m.samples
+        );
+        self.measurements.push(m);
+    }
+
+    /// JSON-lines rendering: one compact object per measurement.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for m in &self.measurements {
+            out.push_str(&m.to_json().to_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Human-readable table.
+    pub fn to_table(&self) -> String {
+        let mut out = format!(
+            "{:<40} {:>12} {:>12} {:>12}\n",
+            "benchmark", "median", "min", "mean"
+        );
+        for m in &self.measurements {
+            out.push_str(&format!(
+                "{:<40} {:>12?} {:>12?} {:>12?}\n",
+                m.name, m.median, m.min, m.mean
+            ));
+        }
+        out
+    }
+}
+
+/// The smoke benchmark suite: one quick case per workload family the
+/// retired criterion benches covered. Returns the report; callers decide
+/// where to persist the JSONL.
+pub fn smoke() -> Report {
+    use clip_baselines as baselines;
+    use clip_core::cliph::{ClipWH, ClipWHOptions};
+    use clip_core::clipw::{ClipW, ClipWOptions};
+    use clip_core::cluster;
+    use clip_core::generator::{CellGenerator, GenOptions};
+    use clip_core::share::ShareArray;
+    use clip_core::unit::UnitSet;
+    use clip_netlist::library;
+    use clip_pb::{BranchHeuristic, SearchStrategy, Solver, SolverConfig};
+    use clip_route::density::CellRouting;
+
+    let opts = TimingOptions::smoke();
+    let limit = Duration::from_secs(30);
+    let mut report = Report::default();
+
+    let setup = |build: fn() -> clip_netlist::Circuit| {
+        let units = UnitSet::flat(build().into_paired().expect("pairs"));
+        let share = ShareArray::new(&units);
+        (units, share)
+    };
+
+    // bench_share: pairing, clustering, share array, model generation.
+    report.run("pairing/mux21", opts, || {
+        library::mux21().into_paired().expect("pairs").len()
+    });
+    report.run("clustering/full_adder", opts, || {
+        cluster::cluster_and_stacks(library::full_adder().into_paired().expect("pairs")).len()
+    });
+    {
+        let (units, _) = setup(library::full_adder);
+        report.run("share_array/full_adder", opts, || {
+            ShareArray::new(&units).len()
+        });
+    }
+    {
+        let (units, share) = setup(library::full_adder);
+        report.run("model_generation/full_adder_x2", opts, || {
+            ClipW::build(&units, &share, &ClipWOptions::new(2))
+                .expect("builds")
+                .model()
+                .num_vars()
+        });
+    }
+
+    // bench_clipw: optimal solves.
+    for (name, build, rows) in [
+        (
+            "clipw_solve/nand2x1",
+            library::nand2 as fn() -> clip_netlist::Circuit,
+            1usize,
+        ),
+        ("clipw_solve/xor2x1", library::xor2, 1),
+        ("clipw_solve/xor2x2", library::xor2, 2),
+    ] {
+        report.run(name, opts, || {
+            CellGenerator::new(GenOptions::rows(rows).with_time_limit(limit))
+                .generate(build())
+                .expect("generates")
+                .width
+        });
+    }
+
+    // bench_cliph: width+height solve.
+    report.run("cliph_solve/nand2x1", opts, || {
+        CellGenerator::new(GenOptions::rows(1).with_height().with_time_limit(limit))
+            .generate(library::nand2())
+            .expect("generates")
+            .width
+    });
+    {
+        let (units, share) = setup(library::nand2);
+        report.run("cliph_model/nand2x1", opts, || {
+            ClipWH::build(&units, &share, &ClipWHOptions::new(1))
+                .expect("builds")
+                .model()
+                .num_vars()
+        });
+    }
+
+    // bench_solver: strategy and heuristic ablations on the xor2 model.
+    {
+        let (units, share) = setup(library::xor2);
+        let clipw = ClipW::build(&units, &share, &ClipWOptions::new(2)).expect("builds");
+        for strategy in [SearchStrategy::Cbj, SearchStrategy::Cdcl] {
+            report.run(&format!("solver_strategy/{strategy:?}"), opts, || {
+                let out = Solver::with_config(
+                    clipw.model(),
+                    SolverConfig {
+                        strategy,
+                        brancher: Some(clipw.brancher()),
+                        ..Default::default()
+                    },
+                )
+                .run();
+                assert!(out.is_optimal());
+                out.best().expect("optimal").objective
+            });
+        }
+        for heuristic in [BranchHeuristic::InputOrder, BranchHeuristic::DynamicScore] {
+            report.run(&format!("solver_heuristic/{heuristic:?}"), opts, || {
+                let out = Solver::with_config(
+                    clipw.model(),
+                    SolverConfig {
+                        heuristic,
+                        brancher: Some(clipw.brancher()),
+                        ..Default::default()
+                    },
+                )
+                .run();
+                assert!(out.is_optimal());
+                out.best().expect("optimal").objective
+            });
+        }
+    }
+
+    // bench_baselines: heuristics and the routing oracle.
+    {
+        let (units, share) = setup(library::mux21);
+        report.run("baseline_greedy2d/mux21x2", opts, || {
+            baselines::greedy2d(&units, &share, 2).expect("legal").width
+        });
+        report.run("baseline_euler_1d/mux21", opts, || {
+            baselines::euler_1d(&units, &share).expect("legal").width
+        });
+        let mut seed = 0u64;
+        report.run("baseline_random/mux21x2", opts, move || {
+            seed += 1;
+            baselines::random_placement(&units, &share, 2, seed)
+                .expect("legal")
+                .width
+        });
+    }
+    {
+        let (units, share) = setup(library::full_adder);
+        let placement = baselines::greedy2d(&units, &share, 3)
+            .expect("legal")
+            .placement;
+        report.run("routing_density/full_adderx3", opts, || {
+            let routing: CellRouting = placement.routing(&units);
+            routing.total_tracks()
+        });
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_ordered_stats() {
+        let mut calls = 0u32;
+        let opts = TimingOptions {
+            warmup: 2,
+            samples: 7,
+        };
+        let m = bench("unit/counter", opts, || {
+            calls += 1;
+            std::hint::spin_loop();
+            calls
+        });
+        assert_eq!(calls, 9, "warmup + samples all execute");
+        assert_eq!(m.samples, 7);
+        assert!(m.min <= m.median);
+        assert!(m.median <= m.mean.max(m.median), "median within range");
+    }
+
+    #[test]
+    fn jsonl_is_parseable_and_one_line_per_entry() {
+        let mut report = Report::default();
+        report.run(
+            "a/x",
+            TimingOptions {
+                warmup: 0,
+                samples: 1,
+            },
+            || 1 + 1,
+        );
+        report.run(
+            "b/y",
+            TimingOptions {
+                warmup: 0,
+                samples: 1,
+            },
+            || 2 + 2,
+        );
+        let jsonl = report.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = clip_layout::jsonio::parse(line).expect("valid JSON");
+            assert!(v.get("name").unwrap().as_str().is_some());
+            assert!(v.get("median_ns").unwrap().as_usize().is_some());
+        }
+        assert!(report.to_table().contains("a/x"));
+    }
+}

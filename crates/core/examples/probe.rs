@@ -65,8 +65,7 @@ fn main() {
     );
     let warm_start = warm
         .then(|| {
-            greedy_placement(&units, &share, rows)
-                .and_then(|p| clipw.warm_assignment(&units, &p))
+            greedy_placement(&units, &share, rows).and_then(|p| clipw.warm_assignment(&units, &p))
         })
         .flatten();
     println!("warm start: {}", warm_start.is_some());

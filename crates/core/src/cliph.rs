@@ -199,14 +199,10 @@ impl ClipWH {
                                 let Some(xv) = clipw.x_var(u, s, r) else {
                                     continue;
                                 };
-                                let ov = clipw
-                                    .xor_var(u, o)
-                                    .expect("orientation is allowed");
+                                let ov = clipw.xor_var(u, o).expect("orientation is allowed");
                                 let nv = net_v[ni][3 * s + off][r];
                                 // net >= x + xor - 1
-                                clipw
-                                    .model_mut()
-                                    .add_ge([(1, nv), (-1, xv), (-1, ov)], -1);
+                                clipw.model_mut().add_ge([(1, nv), (-1, xv), (-1, ov)], -1);
                             }
                         }
                     }
@@ -241,11 +237,7 @@ impl ClipWH {
                     // Interior: anchors strictly on both sides.
                     if c > 0 && c + 1 < columns {
                         clipw.model_mut().add_ge(
-                            [
-                                (1, sp),
-                                (-1, l_v[ni][c - 1][r]),
-                                (-1, r_v[ni][c + 1][r]),
-                            ],
+                            [(1, sp), (-1, l_v[ni][c - 1][r]), (-1, r_v[ni][c + 1][r])],
                             -1,
                         );
                     }
@@ -268,21 +260,13 @@ impl ClipWH {
                             );
                             if c + 2 < columns {
                                 clipw.model_mut().add_ge(
-                                    [
-                                        (1, sp),
-                                        (-1, net_v[ni][c][r]),
-                                        (-1, r_v[ni][c + 2][r]),
-                                    ],
+                                    [(1, sp), (-1, net_v[ni][c][r]), (-1, r_v[ni][c + 2][r])],
                                     -1,
                                 );
                             }
                         } else {
                             clipw.model_mut().add_ge(
-                                [
-                                    (1, sp),
-                                    (-1, net_v[ni][c][r]),
-                                    (-1, r_v[ni][c + 1][r]),
-                                ],
+                                [(1, sp), (-1, net_v[ni][c][r]), (-1, r_v[ni][c + 1][r])],
                                 -1,
                             );
                         }
@@ -303,21 +287,13 @@ impl ClipWH {
                             );
                             if c >= 2 {
                                 clipw.model_mut().add_ge(
-                                    [
-                                        (1, sp),
-                                        (-1, net_v[ni][c][r]),
-                                        (-1, l_v[ni][c - 2][r]),
-                                    ],
+                                    [(1, sp), (-1, net_v[ni][c][r]), (-1, l_v[ni][c - 2][r])],
                                     -1,
                                 );
                             }
                         } else {
                             clipw.model_mut().add_ge(
-                                [
-                                    (1, sp),
-                                    (-1, net_v[ni][c][r]),
-                                    (-1, l_v[ni][c - 1][r]),
-                                ],
+                                [(1, sp), (-1, net_v[ni][c][r]), (-1, l_v[ni][c - 1][r])],
                                 -1,
                             );
                         }
@@ -349,8 +325,7 @@ impl ClipWH {
         for r in 0..rows {
             let t = Unary::new(clipw.model_mut(), &format!("T[{r}]"), 0, t_ub);
             for c in 0..columns {
-                let terms: Vec<(i64, Var)> =
-                    (0..n_nets).map(|ni| (1, span_v[ni][c][r])).collect();
+                let terms: Vec<(i64, Var)> = (0..n_nets).map(|ni| (1, span_v[ni][c][r])).collect();
                 t.ge_linear(clipw.model_mut(), &terms, 0);
             }
             t_intra.push(t);
@@ -391,10 +366,9 @@ impl ClipWH {
                     cross.insert((ni, ch), cv);
                     for r1 in 0..=ch {
                         for r2 in ch + 1..rows {
-                            clipw.model_mut().add_ge(
-                                [(1, cv), (-1, rowp[ni][r1]), (-1, rowp[ni][r2])],
-                                -1,
-                            );
+                            clipw
+                                .model_mut()
+                                .add_ge([(1, cv), (-1, rowp[ni][r1]), (-1, rowp[ni][r2])], -1);
                         }
                     }
                 }
@@ -422,10 +396,7 @@ impl ClipWH {
             }
         }
         let h_max = (height_terms.len() + critical_terms.len()) as i64
-            + critical_terms
-                .iter()
-                .map(|&(w, _)| w)
-                .sum::<i64>()
+            + critical_terms.iter().map(|&(w, _)| w).sum::<i64>()
             + 1;
         let w_max = width_terms.len() as i64 + 1;
         let objective: Vec<(i64, Var)> = match opts.objective {
@@ -501,11 +472,7 @@ impl ClipWH {
         (0..channels)
             .map(|ch| {
                 (0..self.nets.len())
-                    .filter(|&ni| {
-                        self.cross
-                            .get(&(ni, ch))
-                            .is_some_and(|&v| sol.value(v))
-                    })
+                    .filter(|&ni| self.cross.get(&(ni, ch)).is_some_and(|&v| sol.value(v)))
                     .count()
             })
             .collect()
@@ -513,8 +480,7 @@ impl ClipWH {
 
     /// Total model track count: intra tracks plus crossings.
     pub fn height_of(&self, sol: &Solution) -> usize {
-        self.intra_tracks_of(sol).iter().sum::<usize>()
-            + self.cross_of(sol).iter().sum::<usize>()
+        self.intra_tracks_of(sol).iter().sum::<usize>() + self.cross_of(sol).iter().sum::<usize>()
     }
 
     /// Extracts the placement.
@@ -580,11 +546,14 @@ fn tracked_nets(units: &UnitSet) -> Vec<NetId> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use clip_netlist::library;
     use clip_pb::{Solver, SolverConfig};
     use clip_route::density::CellRouting;
-    use clip_netlist::library;
 
-    fn solve_wh(circuit: clip_netlist::Circuit, rows: usize) -> (ClipWH, clip_pb::Solution, UnitSet) {
+    fn solve_wh(
+        circuit: clip_netlist::Circuit,
+        rows: usize,
+    ) -> (ClipWH, clip_pb::Solution, UnitSet) {
         let units = UnitSet::flat(circuit.into_paired().unwrap());
         let share = ShareArray::new(&units);
         let wh = ClipWH::build(&units, &share, &ClipWHOptions::new(rows)).unwrap();
@@ -661,9 +630,7 @@ mod tests {
 
     #[test]
     fn rejects_stacked_units() {
-        let units = crate::cluster::cluster_and_stacks(
-            library::nand2().into_paired().unwrap(),
-        );
+        let units = crate::cluster::cluster_and_stacks(library::nand2().into_paired().unwrap());
         let share = ShareArray::new(&units);
         let err = ClipWH::build(&units, &share, &ClipWHOptions::new(1)).unwrap_err();
         assert_eq!(err, ClipWHError::NotFlat);
@@ -753,15 +720,15 @@ mod tests {
             .run();
             assert!(out.is_optimal());
             let sol = out.best().unwrap().clone();
-            (
-                wh.width_of(&sol),
-                wh.span_length_of(&sol, z).unwrap_or(0),
-            )
+            (wh.width_of(&sol), wh.span_length_of(&sol, z).unwrap_or(0))
         };
         let plain = run(&ClipWHOptions::new(1));
         let critical = run(&ClipWHOptions::new(1).with_critical_nets(vec![z]));
         assert_eq!(plain.0, critical.0, "width must stay optimal");
-        assert!(critical.1 <= plain.1, "critical span grew: {critical:?} vs {plain:?}");
+        assert!(
+            critical.1 <= plain.1,
+            "critical span grew: {critical:?} vs {plain:?}"
+        );
     }
 
     #[test]

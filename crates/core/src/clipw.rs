@@ -258,12 +258,8 @@ impl ClipW {
                                 //   gap >= X_i + X_j + Xor_i - sum(compat Xor_j) - 2
                                 for oi in units.units()[i].orients() {
                                     let vi = orient_var(&xor, i, oi);
-                                    let mut terms: Vec<(i64, Var)> = vec![
-                                        (1, g),
-                                        (-1, xi),
-                                        (-1, xj),
-                                        (-1, vi),
-                                    ];
+                                    let mut terms: Vec<(i64, Var)> =
+                                        vec![(1, g), (-1, xi), (-1, xj), (-1, vi)];
                                     for oj in units.units()[j].orients() {
                                         if share.shares(i, oi, j, oj) {
                                             terms.push((1, orient_var(&xor, j, oj)));
@@ -278,7 +274,11 @@ impl ClipW {
                 // nogap = "this boundary is a merged abutment":
                 // nogap <= occupied(s+1) - gap.
                 let mut terms: Vec<(i64, Var)> = vec![(-1, nogap[r][s]), (-1, g)];
-                terms.extend((0..num_units).filter_map(|u| x[u][s + 1][r]).map(|v| (1, v)));
+                terms.extend(
+                    (0..num_units)
+                        .filter_map(|u| x[u][s + 1][r])
+                        .map(|v| (1, v)),
+                );
                 m.add_ge(terms, 0);
             }
         }
@@ -308,8 +308,7 @@ impl ClipW {
         // Aggregate cut: R·W ≥ Σ_r W_r = total_width + Σ gaps.
         {
             let r_count = rows as i64;
-            let mut terms: Vec<(i64, Var)> =
-                w.bits.iter().map(|&b| (r_count, b)).collect();
+            let mut terms: Vec<(i64, Var)> = w.bits.iter().map(|&b| (r_count, b)).collect();
             for row_gaps in &gap {
                 for &g in row_gaps {
                     terms.push((-1, g));
@@ -461,8 +460,8 @@ impl ClipW {
         for r in 0..self.rows {
             let mut row = Vec::new();
             for s in 0..self.slots {
-                let unit = (0..self.num_units)
-                    .find(|&u| self.x[u][s][r].is_some_and(|v| sol.value(v)));
+                let unit =
+                    (0..self.num_units).find(|&u| self.x[u][s][r].is_some_and(|v| sol.value(v)));
                 let Some(u) = unit else { break };
                 let orient = self.xor[u]
                     .iter()
@@ -516,9 +515,7 @@ impl ClipW {
             };
             // The unit placed in a slot, if decided.
             let placed_at = |engine: &clip_pb::propagate::Engine, s: usize, r: usize| {
-                (0..num_units).find(|&u| {
-                    x[u][s][r].is_some_and(|v| engine.value(v) == Value::True)
-                })
+                (0..num_units).find(|&u| x[u][s][r].is_some_and(|v| engine.value(v) == Value::True))
             };
             for s in 0..slots {
                 for r in 0..rows {
@@ -534,9 +531,7 @@ impl ClipW {
                             let preferred = prev.and_then(|(i, oi)| {
                                 xor[u]
                                     .iter()
-                                    .find(|&&(o, v)| {
-                                        unassigned(v) && share.shares(i, oi, u, o)
-                                    })
+                                    .find(|&&(o, v)| unassigned(v) && share.shares(i, oi, u, o))
                                     .map(|&(_, v)| v)
                             });
                             let fallback = xor[u]
@@ -563,8 +558,7 @@ impl ClipW {
                         }
                         if let Some((i, oi)) = prev {
                             let compatible = xor[u].iter().any(|&(o, ov)| {
-                                engine.value(ov) != Value::False
-                                    && share.shares(i, oi, u, o)
+                                engine.value(ov) != Value::False && share.shares(i, oi, u, o)
                             });
                             if compatible {
                                 preferred = Some(v);

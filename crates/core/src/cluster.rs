@@ -306,9 +306,8 @@ pub fn expand_placement(
 ) -> Option<crate::solution::Placement> {
     use crate::solution::{PlacedUnit, Placement};
     // Pair id -> flat unit index.
-    let flat_of_pair = |pair: PairId| -> Option<usize> {
-        flat.units().iter().position(|u| u.members == [pair])
-    };
+    let flat_of_pair =
+        |pair: PairId| -> Option<usize> { flat.units().iter().position(|u| u.members == [pair]) };
     let mut rows = Vec::with_capacity(placement.rows.len());
     for row in &placement.rows {
         let mut out: Vec<PlacedUnit> = Vec::new();
@@ -417,8 +416,7 @@ mod tests {
             let paired = circuit.into_paired().unwrap();
             let total_pairs = paired.len();
             let stacks = find_stacks(&paired);
-            let mut members: Vec<PairId> =
-                stacks.iter().flat_map(|s| s.members.clone()).collect();
+            let mut members: Vec<PairId> = stacks.iter().flat_map(|s| s.members.clone()).collect();
             let n = members.len();
             members.sort();
             members.dedup();

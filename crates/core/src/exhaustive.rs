@@ -176,8 +176,8 @@ pub fn placement_from_order(
         let mut row = Vec::with_capacity(hi - lo);
         let mut row_width = 0usize;
         for k in lo..hi {
-            let merged_with_next = k + 1 < hi
-                && share.shares(perm[k], orients[k], perm[k + 1], orients[k + 1]);
+            let merged_with_next =
+                k + 1 < hi && share.shares(perm[k], orients[k], perm[k + 1], orients[k + 1]);
             row.push(PlacedUnit {
                 unit: perm[k],
                 orient: orients[k],

@@ -217,11 +217,10 @@ impl CellGenerator {
                 .filter_map(|name| table.lookup(name))
                 .collect();
             let wh_opts = ClipWHOptions::new(self.options.rows).with_critical_nets(critical);
-            let wh = ClipWH::build(&units, &share, &wh_opts)
-                .map_err(|e| match e {
-                    ClipWHError::Width(w) => GenError::Model(w),
-                    ClipWHError::NotFlat => unreachable!("flatness checked above"),
-                })?;
+            let wh = ClipWH::build(&units, &share, &wh_opts).map_err(|e| match e {
+                ClipWHError::Width(w) => GenError::Model(w),
+                ClipWHError::NotFlat => unreachable!("flatness checked above"),
+            })?;
             let warm = greedy_placement(&units, &share, self.options.rows)
                 .and_then(|p| wh.clipw().warm_assignment(&units, &p));
             let out = Solver::with_config(
@@ -315,9 +314,7 @@ impl CellGenerator {
             match CellGenerator::new(options).generate(circuit.clone()) {
                 Ok(cell) => {
                     let area = cell.width * cell.height;
-                    let better = best
-                        .as_ref()
-                        .is_none_or(|b| area < b.width * b.height);
+                    let better = best.as_ref().is_none_or(|b| area < b.width * b.height);
                     if better {
                         best = Some(cell);
                     }
@@ -340,10 +337,9 @@ impl CellGenerator {
         let model = ClipW::build(&stacked, &sshare, &ClipWOptions::new(self.options.rows)).ok()?;
         let warm = greedy_placement(&stacked, &sshare, self.options.rows)
             .and_then(|p| model.warm_assignment(&stacked, &p));
-        let budget = self
-            .options
-            .time_limit
-            .map_or(Duration::from_secs(5), |l| (l / 4).min(Duration::from_secs(5)));
+        let budget = self.options.time_limit.map_or(Duration::from_secs(5), |l| {
+            (l / 4).min(Duration::from_secs(5))
+        });
         let out = Solver::with_config(
             model.model(),
             SolverConfig {
@@ -538,8 +534,7 @@ pub fn evaluate_order(
     assert!(rows >= 1 && rows <= n, "invalid row count for evaluation");
 
     // Orientation DP: state = orientation index of unit k.
-    let orient_sets: Vec<Vec<Orient>> =
-        order.iter().map(|&u| units.units()[u].orients()).collect();
+    let orient_sets: Vec<Vec<Orient>> = order.iter().map(|&u| units.units()[u].orients()).collect();
     let mut dp: Vec<Vec<(usize, usize)>> = Vec::with_capacity(n); // (merges, back-pointer)
     dp.push(vec![(0, 0); orient_sets[0].len()]);
     for k in 1..n {
@@ -547,8 +542,7 @@ pub fn evaluate_order(
         for &oj in orient_sets[k].iter() {
             let mut cell = (0usize, 0usize);
             for (pi, &oi) in orient_sets[k - 1].iter().enumerate() {
-                let m = dp[k - 1][pi].0
-                    + usize::from(share.shares(order[k - 1], oi, order[k], oj));
+                let m = dp[k - 1][pi].0 + usize::from(share.shares(order[k - 1], oi, order[k], oj));
                 if m >= cell.0 {
                     cell = (m, pi);
                 }
@@ -697,9 +691,7 @@ mod tests {
 
     #[test]
     fn best_area_picks_an_intermediate_row_count() {
-        let gen = CellGenerator::new(
-            GenOptions::rows(1).with_time_limit(Duration::from_secs(30)),
-        );
+        let gen = CellGenerator::new(GenOptions::rows(1).with_time_limit(Duration::from_secs(30)));
         let best = gen.generate_best_area(library::xor2(), 4).unwrap();
         // The verified xor2 sweep: areas 48/33/26/36 for rows 1..=4.
         assert_eq!(best.placement.rows.len(), 3);
@@ -733,11 +725,10 @@ mod tests {
 
     #[test]
     fn time_limit_still_returns_a_cell() {
-        let cell = CellGenerator::new(
-            GenOptions::rows(2).with_time_limit(Duration::from_millis(10)),
-        )
-        .generate(library::xor2())
-        .unwrap();
+        let cell =
+            CellGenerator::new(GenOptions::rows(2).with_time_limit(Duration::from_millis(10)))
+                .generate(library::xor2())
+                .unwrap();
         // Either proved in time or returned the warm-start incumbent.
         assert!(cell.width >= 3);
     }

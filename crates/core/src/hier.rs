@@ -392,9 +392,10 @@ fn greedy_group_order(
                 .enumerate()
                 .filter(|(r, row)| {
                     if let (Some(Some(last)), Some(first)) = (right.get(*r), row.first()) {
-                        units.units()[first.unit].orients().iter().any(|&o| {
-                            share.shares(last.unit, last.orient, first.unit, o)
-                        })
+                        units.units()[first.unit]
+                            .orients()
+                            .iter()
+                            .any(|&o| share.shares(last.unit, last.orient, first.unit, o))
                     } else {
                         false
                     }

@@ -14,10 +14,8 @@
 //! so orientations {1, 2} leave the P device unflipped, {1, 3} leave the N
 //! device unflipped.
 
-use serde::{Deserialize, Serialize};
-
 /// One of the four pair orientations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Orient {
     /// P source left, N source left.
     O1,

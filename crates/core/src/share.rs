@@ -78,13 +78,11 @@ impl ShareArray {
 
     /// True if `(i, oi, j, oj)` is a legal abutment.
     pub fn shares(&self, i: UnitId, oi: Orient, j: UnitId, oj: Orient) -> bool {
-        self.by_pair
-            .get(&(i, j))
-            .is_some_and(|groups| {
-                groups
-                    .iter()
-                    .any(|(goi, ojs)| *goi == oi && ojs.contains(&oj))
-            })
+        self.by_pair.get(&(i, j)).is_some_and(|groups| {
+            groups
+                .iter()
+                .any(|(goi, ojs)| *goi == oi && ojs.contains(&oj))
+        })
     }
 
     /// The compatible orientation groups for ordered pair `(i, j)`:
@@ -122,8 +120,8 @@ fn abuts(ui: &Unit, oi: Orient, uj: &Unit, oj: Orient) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clip_netlist::library;
     use crate::unit::UnitSet;
+    use clip_netlist::library;
 
     fn mux_share() -> (UnitSet, ShareArray) {
         let units = UnitSet::flat(library::mux21().into_paired().unwrap());

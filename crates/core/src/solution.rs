@@ -1,7 +1,5 @@
 //! Extracted placements and their geometric realization.
 
-use serde::{Deserialize, Serialize};
-
 use clip_netlist::NetId;
 use clip_route::density::CellRouting;
 use clip_route::row::PlacedRow;
@@ -10,7 +8,7 @@ use crate::orient::Orient;
 use crate::unit::{UnitId, UnitSet};
 
 /// One unit placed in a row.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlacedUnit {
     /// Which unit.
     pub unit: UnitId,
@@ -21,7 +19,7 @@ pub struct PlacedUnit {
 }
 
 /// A complete 2-D placement: units per row, in left-to-right order.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Placement {
     /// Rows, top to bottom; each row lists its units left to right.
     pub rows: Vec<Vec<PlacedUnit>>,
@@ -121,8 +119,8 @@ pub(crate) fn mirror_row(units: &UnitSet, row: &[PlacedUnit]) -> Option<Vec<Plac
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clip_netlist::library;
     use crate::unit::UnitSet;
+    use clip_netlist::library;
 
     /// A hand-built legal placement of the two_level_z circuit is exercised
     /// in the clipw tests; here we check the expansion mechanics on a

@@ -15,8 +15,6 @@
 //! array, the net-presence constraints (Eq. 21), and the layout renderer
 //! need.
 
-use serde::{Deserialize, Serialize};
-
 use clip_netlist::{NetId, PairId, PairedCircuit};
 use clip_route::row::SlotNets;
 
@@ -26,7 +24,7 @@ use crate::orient::Orient;
 pub type UnitId = usize;
 
 /// One placeable unit.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Unit {
     /// Display label (`p3` for singles, `S{p1,p7}` for stacks).
     pub label: String,
@@ -308,7 +306,7 @@ mod tests {
         for u in us.units() {
             assert_eq!(u.width, 1);
             let n = u.orients().len();
-            assert!(n >= 1 && n <= 4);
+            assert!((1..=4).contains(&n));
         }
     }
 

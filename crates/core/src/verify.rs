@@ -180,7 +180,6 @@ impl Error for VerifyError {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::orient::Orient;
     use crate::solution::PlacedUnit;
     use crate::unit::UnitSet;
     use clip_netlist::library;

@@ -7,26 +7,41 @@ use clip_core::share::ShareArray;
 use clip_core::unit::UnitSet;
 use clip_core::{exhaustive, verify};
 use clip_netlist::Expr;
-use proptest::prelude::*;
+use clip_proptest::{gens, prop_assume, proptest_lite, Gen};
 
 /// Random small inverting gates: 2-4 transistor pairs.
-fn small_gate() -> impl Strategy<Value = Expr> {
-    let var = (0..4u8).prop_map(|i| Expr::Var(format!("{}", (b'a' + i) as char)));
-    prop_oneof![
-        // (x & y)'
-        (var.clone(), var.clone()).prop_map(|(a, b)| Expr::Not(Box::new(Expr::And(vec![a, b])))),
-        // (x | y & z)'
-        (var.clone(), var.clone(), var.clone()).prop_map(|(a, b, c)| {
+fn small_gate() -> Gen<Expr> {
+    let var = gens::int(0..4u8).map(|i| Expr::Var(format!("{}", (b'a' + i) as char)));
+    let nand2 = {
+        let var = var.clone();
+        Gen::new(move |rng| {
+            // (x & y)'
+            let (a, b) = (var.sample(rng), var.sample(rng));
+            Expr::Not(Box::new(Expr::And(vec![a, b])))
+        })
+    };
+    let oai21 = {
+        let var = var.clone();
+        Gen::new(move |rng| {
+            // (x | y & z)'
+            let (a, b, c) = (var.sample(rng), var.sample(rng), var.sample(rng));
             Expr::Not(Box::new(Expr::Or(vec![a, Expr::And(vec![b, c])])))
-        }),
+        })
+    };
+    let aoi22 = Gen::new(move |rng| {
         // (x & y | z & w)'
-        (var.clone(), var.clone(), var.clone(), var.clone()).prop_map(|(a, b, c, d)| {
-            Expr::Not(Box::new(Expr::Or(vec![
-                Expr::And(vec![a, b]),
-                Expr::And(vec![c, d]),
-            ])))
-        }),
-    ]
+        let (a, b, c, d) = (
+            var.sample(rng),
+            var.sample(rng),
+            var.sample(rng),
+            var.sample(rng),
+        );
+        Expr::Not(Box::new(Expr::Or(vec![
+            Expr::And(vec![a, b]),
+            Expr::And(vec![c, d]),
+        ])))
+    });
+    gens::one_of(vec![nand2, oai21, aoi22])
 }
 
 fn units_of(e: &Expr) -> Option<(UnitSet, ShareArray)> {
@@ -36,41 +51,38 @@ fn units_of(e: &Expr) -> Option<(UnitSet, ShareArray)> {
     Some((units, share))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+proptest_lite! {
+    cases: 24;
 
-    #[test]
-    fn ilp_matches_exhaustive(e in small_gate(), rows in 1usize..=2) {
-        let Some((units, share)) = units_of(&e) else { return Ok(()) };
+    fn ilp_matches_exhaustive(e in small_gate(), rows in gens::int(1usize..=2)) {
+        let Some((units, share)) = units_of(&e) else { return };
         prop_assume!(units.len() <= 4 && rows <= units.len());
         let brute = exhaustive::optimal_width(&units, &share, rows)
             .expect("row count validated");
         let cell = CellGenerator::new(GenOptions::rows(rows))
             .generate_units(units.clone())
-            .map_err(|err| TestCaseError::fail(format!("{err}")))?;
-        prop_assert!(cell.optimal);
-        prop_assert_eq!(cell.width, brute, "expr {}", e);
+            .unwrap_or_else(|err| panic!("{err}"));
+        assert!(cell.optimal);
+        assert_eq!(cell.width, brute, "expr {e}");
         verify::check_width(&cell.units, &cell.placement, cell.width)
-            .map_err(|err| TestCaseError::fail(format!("{err}")))?;
+            .unwrap_or_else(|err| panic!("{err}"));
     }
 
-    #[test]
-    fn greedy_is_legal_and_bounded(e in small_gate(), rows in 1usize..=3) {
-        let Some((units, share)) = units_of(&e) else { return Ok(()) };
+    fn greedy_is_legal_and_bounded(e in small_gate(), rows in gens::int(1usize..=3)) {
+        let Some((units, share)) = units_of(&e) else { return };
         prop_assume!(rows <= units.len());
         let placement = greedy_placement(&units, &share, rows).expect("rows validated");
         verify::check_placement(&units, &placement)
-            .map_err(|err| TestCaseError::fail(format!("{err}")))?;
+            .unwrap_or_else(|err| panic!("{err}"));
         // Greedy width is at least the trivial lower bound and at most the
         // no-sharing upper bound.
         let w = placement.cell_width(&units);
-        prop_assert!(w >= units.total_width().div_ceil(rows));
-        prop_assert!(w <= 2 * units.total_width());
+        assert!(w >= units.total_width().div_ceil(rows));
+        assert!(w <= 2 * units.total_width());
     }
 
-    #[test]
-    fn evaluate_order_width_is_geometric(e in small_gate(), seed in 0u64..1000) {
-        let Some((units, share)) = units_of(&e) else { return Ok(()) };
+    fn evaluate_order_width_is_geometric(e in small_gate(), seed in gens::int(0u64..1000)) {
+        let Some((units, share)) = units_of(&e) else { return };
         // A pseudo-random order derived from the seed.
         let n = units.len();
         let mut order: Vec<usize> = (0..n).collect();
@@ -79,20 +91,19 @@ proptest! {
             order.reverse();
         }
         let (w, placement) = evaluate_order(&units, &share, &order, 1);
-        prop_assert_eq!(w, placement.cell_width(&units));
+        assert_eq!(w, placement.cell_width(&units));
         verify::check_placement(&units, &placement)
-            .map_err(|err| TestCaseError::fail(format!("{err}")))?;
+            .unwrap_or_else(|err| panic!("{err}"));
     }
 
-    #[test]
     fn wh_model_tracks_match_geometry(e in small_gate()) {
         use clip_core::cliph::{ClipWH, ClipWHOptions};
         use clip_pb::{Solver, SolverConfig};
-        let Some((units, share)) = units_of(&e) else { return Ok(()) };
+        let Some((units, share)) = units_of(&e) else { return };
         prop_assume!(units.len() <= 4);
         let wh = match ClipWH::build(&units, &share, &ClipWHOptions::new(1)) {
             Ok(m) => m,
-            Err(_) => return Ok(()),
+            Err(_) => return,
         };
         let out = Solver::with_config(
             wh.model(),
@@ -110,30 +121,28 @@ proptest! {
         let routing = placement.routing(&units);
         // The ILP's intra-row track count equals the independent geometric
         // density on every optimally solved random gate.
-        prop_assert_eq!(
+        assert_eq!(
             wh.intra_tracks_of(&sol),
             vec![routing.intra_tracks(0)],
-            "expr {}",
-            e
+            "expr {e}"
         );
-        prop_assert_eq!(wh.width_of(&sol), routing.cell_width());
+        assert_eq!(wh.width_of(&sol), routing.cell_width());
     }
 
-    #[test]
     fn stacking_never_beats_flat_optimum(e in small_gate()) {
-        let Some((units, _)) = units_of(&e) else { return Ok(()) };
+        let Some((units, _)) = units_of(&e) else { return };
         prop_assume!(units.len() <= 4);
         let circuit = e.compile("dut", "z").expect("compiles");
         let flat = CellGenerator::new(GenOptions::rows(1))
             .generate(circuit.clone())
-            .map_err(|err| TestCaseError::fail(format!("{err}")))?;
+            .unwrap_or_else(|err| panic!("{err}"));
         let stacked = CellGenerator::new(GenOptions::rows(1).with_stacking())
             .generate(circuit)
-            .map_err(|err| TestCaseError::fail(format!("{err}")))?;
-        prop_assert!(flat.optimal && stacked.optimal);
+            .unwrap_or_else(|err| panic!("{err}"));
+        assert!(flat.optimal && stacked.optimal);
         // HCLIP restricts arrangements: never narrower than the optimum.
-        prop_assert!(stacked.width >= flat.width, "expr {}", e);
+        assert!(stacked.width >= flat.width, "expr {e}");
         verify::check_width(&stacked.units, &stacked.placement, stacked.width)
-            .map_err(|err| TestCaseError::fail(format!("{err}")))?;
+            .unwrap_or_else(|err| panic!("{err}"));
     }
 }

@@ -102,8 +102,20 @@ fn emit_row(out: &mut Vec<CifBox>, row: &clip_route::row::PlacedRow, mut y: i64)
             let hi = row.physical_column(3 * s + 2);
             let w = (hi - lo + 1) as i64 * PITCH - 2;
             let cx = (col_x(lo) + col_x(hi)) / 2;
-            out.push(CifBox { layer: "CAA", w, h: STRIP, cx, cy: p_cy });
-            out.push(CifBox { layer: "CAA", w, h: STRIP, cx, cy: n_cy });
+            out.push(CifBox {
+                layer: "CAA",
+                w,
+                h: STRIP,
+                cx,
+                cy: p_cy,
+            });
+            out.push(CifBox {
+                layer: "CAA",
+                w,
+                h: STRIP,
+                cx,
+                cy: n_cy,
+            });
             seg_start = s + 1;
         }
     }
@@ -138,11 +150,7 @@ fn emit_row(out: &mut Vec<CifBox>, row: &clip_route::row::PlacedRow, mut y: i64)
     y
 }
 
-fn emit_channel(
-    out: &mut Vec<CifBox>,
-    tracks: &[clip_route::leftedge::Track],
-    mut y: i64,
-) -> i64 {
+fn emit_channel(out: &mut Vec<CifBox>, tracks: &[clip_route::leftedge::Track], mut y: i64) -> i64 {
     for track in tracks {
         let cy = y - TRACK / 2;
         for &(_, span) in track {
@@ -209,10 +217,7 @@ mod tests {
         assert!(cif.trim_end().ends_with('E'));
         // Every box line is "B w h x y;".
         for line in cif.lines().filter(|l| l.starts_with("B ")) {
-            let fields: Vec<&str> = line
-                .trim_end_matches(';')
-                .split_whitespace()
-                .collect();
+            let fields: Vec<&str> = line.trim_end_matches(';').split_whitespace().collect();
             assert_eq!(fields.len(), 5, "{line}");
             for f in &fields[1..] {
                 assert!(f.parse::<i64>().is_ok(), "{line}");

@@ -24,6 +24,7 @@
 
 pub mod cif;
 pub mod json;
+pub mod jsonio;
 pub mod metrics;
 pub mod render;
 pub mod svg;

@@ -77,11 +77,16 @@ pub fn render_svg(layout: &CellLayout) -> String {
 }
 
 /// Draws one P/N row (P strip, poly columns, N strip); returns the next y.
-fn draw_row(body: &mut String, layout: &CellLayout, row: &clip_route::row::PlacedRow, mut y: usize) -> usize {
+fn draw_row(
+    body: &mut String,
+    layout: &CellLayout,
+    row: &clip_route::row::PlacedRow,
+    mut y: usize,
+) -> usize {
     let x_of = |col: usize| MARGIN + col * PITCH;
     let p_y = y;
     let n_y = y + STRIP + TRACK; // poly crosses the small mid gap
-    // Diffusion segments: contiguous runs of slots (split at gaps).
+                                 // Diffusion segments: contiguous runs of slots (split at gaps).
     let mut seg_start = 0usize;
     for s in 0..row.len() {
         let end_here = s + 1 == row.len() || !row.merged()[s];

@@ -4,8 +4,6 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::device::{Device, DeviceId, DeviceKind};
 use crate::net::{NetId, NetTable};
 use crate::pair::{PairCircuitError, PairedCircuit};
@@ -33,7 +31,7 @@ use crate::pair::{PairCircuitError, PairedCircuit};
 /// assert_eq!(inv.devices().len(), 2);
 /// assert!(inv.validate().is_ok());
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Circuit {
     name: String,
     nets: NetTable,
@@ -277,9 +275,17 @@ impl CircuitBuilder {
     }
 
     /// Adds a device and returns its id.
-    pub fn device(&mut self, kind: DeviceKind, gate: NetId, source: NetId, drain: NetId) -> DeviceId {
+    pub fn device(
+        &mut self,
+        kind: DeviceKind,
+        gate: NetId,
+        source: NetId,
+        drain: NetId,
+    ) -> DeviceId {
         let id = DeviceId::from_index(self.circuit.devices.len());
-        self.circuit.devices.push(Device::new(kind, gate, source, drain));
+        self.circuit
+            .devices
+            .push(Device::new(kind, gate, source, drain));
         id
     }
 

@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::net::NetId;
 
 /// Polarity of a MOS transistor.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DeviceKind {
     /// PMOS device (pull-up network, connects toward VDD).
     P,
@@ -42,7 +40,7 @@ impl fmt::Display for DeviceKind {
 }
 
 /// Compact handle for a device within a [`Circuit`](crate::Circuit).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceId(pub(crate) u32);
 
 impl DeviceId {
@@ -68,7 +66,7 @@ impl fmt::Debug for DeviceId {
 /// Source/drain are interchangeable electrically; CLIP exploits exactly that
 /// freedom when choosing pair orientations, so the distinction recorded here
 /// is purely a naming convention fixed by the netlist.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Device {
     /// Polarity.
     pub kind: DeviceKind,

@@ -461,7 +461,10 @@ mod tests {
 
     #[test]
     fn nand2_compiles_to_four_transistors() {
-        let c = Expr::parse("(a&b)'").unwrap().compile("nand2", "z").unwrap();
+        let c = Expr::parse("(a&b)'")
+            .unwrap()
+            .compile("nand2", "z")
+            .unwrap();
         assert_eq!(c.devices().len(), 4);
         assert!(c.validate().is_ok());
     }

@@ -473,6 +473,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::nonminimal_bool)] // formula mirrors the paper's z=(a'(e+f)'+d)'
     fn two_level_z_matches_formula() {
         let c = two_level_z();
         assert_eq!(c.devices().len(), 12);
@@ -598,7 +599,9 @@ mod tests {
         let c = half_adder();
         assert_eq!(c.devices().len(), 16);
         verify(&c, &["a", "b"], "sum", &|bits| bit(bits, 0) ^ bit(bits, 1));
-        verify(&c, &["a", "b"], "carry", &|bits| bit(bits, 0) && bit(bits, 1));
+        verify(&c, &["a", "b"], "carry", &|bits| {
+            bit(bits, 0) && bit(bits, 1)
+        });
     }
 
     #[test]
@@ -609,10 +612,15 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::nonminimal_bool)] // gate formulas written in their canonical literal form
     fn composite_gates_compute_their_functions() {
         verify(&buffer(), &["a"], "z", &|bits| bit(bits, 0));
-        verify(&and2(), &["a", "b"], "z", &|bits| bit(bits, 0) && bit(bits, 1));
-        verify(&or2(), &["a", "b"], "z", &|bits| bit(bits, 0) || bit(bits, 1));
+        verify(&and2(), &["a", "b"], "z", &|bits| {
+            bit(bits, 0) && bit(bits, 1)
+        });
+        verify(&or2(), &["a", "b"], "z", &|bits| {
+            bit(bits, 0) || bit(bits, 1)
+        });
         verify(&and3(), &["a", "b", "c"], "z", &|bits| {
             bit(bits, 0) && bit(bits, 1) && bit(bits, 2)
         });

@@ -8,8 +8,6 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Compact handle for an interned electrical net.
 ///
 /// `NetId`s are only meaningful relative to the [`NetTable`] that produced
@@ -26,7 +24,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(nets.intern("a"), a); // interning is idempotent
 /// assert_eq!(nets.name(a), "a");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NetId(u32);
 
 impl NetId {
@@ -61,7 +59,7 @@ impl fmt::Display for NetId {
 ///
 /// The table always contains the power rails: `"VDD"` (id 0) and `"GND"`
 /// (id 1).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NetTable {
     names: Vec<String>,
     by_name: HashMap<String, NetId>,

@@ -17,14 +17,12 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::circuit::Circuit;
 use crate::device::{Device, DeviceId, DeviceKind};
 use crate::net::NetId;
 
 /// Compact handle for a P/N pair within a [`PairedCircuit`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PairId(pub(crate) u32);
 
 impl PairId {
@@ -52,7 +50,7 @@ impl fmt::Display for PairId {
 }
 
 /// One matched P/N transistor pair.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PnPair {
     /// The PMOS member.
     pub p: DeviceId,
@@ -80,7 +78,7 @@ pub struct PairTerminals {
 /// assert_eq!(paired.pairs().len(), 5); // 10-transistor parity cell
 /// # Ok::<(), clip_netlist::PairCircuitError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PairedCircuit {
     circuit: Circuit,
     pairs: Vec<PnPair>,
@@ -428,10 +426,7 @@ mod tests {
     #[test]
     fn invalid_circuit_is_reported() {
         let c = Circuit::builder("empty").build();
-        assert!(matches!(
-            c.into_paired(),
-            Err(PairCircuitError::Invalid(_))
-        ));
+        assert!(matches!(c.into_paired(), Err(PairCircuitError::Invalid(_))));
     }
 
     #[test]

@@ -5,8 +5,7 @@
 //! experiment (solve time vs. circuit size on populations of random
 //! gates) and as a fuzzing source beyond the fixed library.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use clip_rng::Rng;
 
 use crate::circuit::Circuit;
 use crate::expr::Expr;
@@ -24,13 +23,14 @@ use crate::expr::Expr;
 /// Panics if `target_pairs == 0`.
 pub fn random_gate(seed: u64, target_pairs: usize) -> Circuit {
     assert!(target_pairs > 0, "need at least one pair");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let expr = Expr::Not(Box::new(random_formula(&mut rng, target_pairs, 0)));
-    expr.compile("random", "z").expect("generated formulas compile")
+    expr.compile("random", "z")
+        .expect("generated formulas compile")
 }
 
 /// Random series-parallel formula with `budget` leaves.
-fn random_formula(rng: &mut StdRng, budget: usize, depth: usize) -> Expr {
+fn random_formula(rng: &mut Rng, budget: usize, depth: usize) -> Expr {
     if budget <= 1 || depth >= 4 {
         let v = Expr::Var(format!("{}", (b'a' + rng.gen_range(0..6u8)) as char));
         // Occasionally complement a leaf (adds an inverter pair).
@@ -41,7 +41,11 @@ fn random_formula(rng: &mut StdRng, budget: usize, depth: usize) -> Expr {
         };
     }
     // Split the budget across 2-3 children.
-    let arms = if budget >= 3 && rng.gen_bool(0.3) { 3 } else { 2 };
+    let arms = if budget >= 3 && rng.gen_bool(0.3) {
+        3
+    } else {
+        2
+    };
     let mut remaining = budget;
     let mut children = Vec::with_capacity(arms);
     for k in 0..arms {
@@ -69,7 +73,9 @@ mod tests {
         for seed in 0..40 {
             let c = random_gate(seed, 4);
             assert!(c.validate().is_ok(), "seed {seed}");
-            let paired = c.into_paired().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            let paired = c
+                .into_paired()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert!(paired.len() >= 2, "seed {seed}");
         }
     }

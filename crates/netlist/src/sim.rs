@@ -226,9 +226,9 @@ mod tests {
         let a = c.nets().lookup("a").unwrap();
         let z = c.nets().lookup("z").unwrap();
         let v = simulate(&c, &[(a, false)]).unwrap();
-        assert_eq!(v[&z], true);
+        assert!(v[&z]);
         let v = simulate(&c, &[(a, true)]).unwrap();
-        assert_eq!(v[&z], false);
+        assert!(!v[&z]);
     }
 
     #[test]
@@ -278,8 +278,8 @@ mod tests {
         b.device(DeviceKind::N, y, gnd, z);
         let c = b.build();
         let v = simulate(&c, &[(a, true)]).unwrap();
-        assert_eq!(v[&y], false);
-        assert_eq!(v[&z], true);
+        assert!(!v[&y]);
+        assert!(v[&z]);
     }
 
     #[test]

@@ -33,7 +33,11 @@ pub struct ParseSpiceError {
 
 impl fmt::Display for ParseSpiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "spice parse error on line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "spice parse error on line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

@@ -1,12 +1,10 @@
 //! Circuit statistics for the model-size tables.
 
-use serde::{Deserialize, Serialize};
-
 use crate::pair::PairedCircuit;
 
 /// Size statistics of a paired circuit, as reported in the paper's
 /// model-size discussion (Table 1 in our reproduction).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CircuitStats {
     /// Circuit name.
     pub name: String,
@@ -37,10 +35,7 @@ impl CircuitStats {
     /// leaves it 0 and [`CircuitStats::with_share_entries`] completes it.
     pub fn from_paired(paired: &PairedCircuit) -> Self {
         let circuit = paired.circuit();
-        let mut gate_nets: Vec<_> = paired
-            .iter_pairs()
-            .map(|(id, _)| paired.gate(id))
-            .collect();
+        let mut gate_nets: Vec<_> = paired.iter_pairs().map(|(id, _)| paired.gate(id)).collect();
         gate_nets.sort();
         gate_nets.dedup();
         CircuitStats {

@@ -5,94 +5,106 @@
 
 use clip_netlist::sim::simulate;
 use clip_netlist::{spice, Expr, NetId};
-use proptest::prelude::*;
+use clip_proptest::{gens, proptest_lite, Gen};
 
 /// Random expression over variables a..e, with bounded depth.
-fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0..5u8).prop_map(|i| Expr::Var(format!("{}", (b'a' + i) as char))),
-        (0..5u8).prop_map(|i| Expr::Not(Box::new(Expr::Var(format!(
-            "{}",
-            (b'a' + i) as char
-        ))))),
-    ];
-    leaf.prop_recursive(3, 12, 3, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 2..=3).prop_map(Expr::And),
-            prop::collection::vec(inner.clone(), 2..=3).prop_map(Expr::Or),
-            inner.prop_map(|e| match e {
+fn expr_gen() -> Gen<Expr> {
+    let var = gens::int(0..5u8).map(|i| Expr::Var(format!("{}", (b'a' + i) as char)));
+    let leaf = gens::one_of(vec![var.clone(), var.map(|v| Expr::Not(Box::new(v)))]);
+    gens::recursive(3, leaf, |inner| {
+        gens::one_of(vec![
+            inner.clone().vec(2..=3).map(Expr::And),
+            inner.clone().vec(2..=3).map(Expr::Or),
+            inner.map(|e| match e {
                 Expr::Not(x) => *x, // keep double negations collapsed
                 other => Expr::Not(Box::new(other)),
             }),
-        ]
+        ])
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn check_computes(e: &Expr) {
+    let circuit = e.compile("dut", "z").expect("compiles");
+    assert!(circuit.validate().is_ok());
 
-    #[test]
-    fn compiled_circuits_compute_their_expression(e in expr_strategy()) {
-        let circuit = e.compile("dut", "z").expect("compiles");
-        prop_assert!(circuit.validate().is_ok());
+    let vars = e.variables();
+    let z = circuit.nets().lookup("z").expect("output exists");
+    for bits in 0..(1u32 << vars.len()) {
+        let assignment: Vec<(NetId, bool)> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                (
+                    circuit.nets().lookup(v).expect("input exists"),
+                    bits & (1 << i) != 0,
+                )
+            })
+            .collect();
+        let want = e.eval(&|name| {
+            vars.iter()
+                .position(|v| v == name)
+                .map(|i| bits & (1 << i) != 0)
+        });
+        let values =
+            simulate(&circuit, &assignment).unwrap_or_else(|err| panic!("sim failed: {err}"));
+        assert_eq!(values[&z], want, "bits {bits:b}");
+    }
+}
 
-        let vars = e.variables();
-        let z = circuit.nets().lookup("z").expect("output exists");
-        for bits in 0..(1u32 << vars.len()) {
-            let assignment: Vec<(NetId, bool)> = vars
-                .iter()
-                .enumerate()
-                .map(|(i, v)| {
-                    (circuit.nets().lookup(v).expect("input exists"), bits & (1 << i) != 0)
-                })
-                .collect();
-            let want = e.eval(&|name| {
-                vars.iter()
-                    .position(|v| v == name)
-                    .map(|i| bits & (1 << i) != 0)
-            });
-            let values = simulate(&circuit, &assignment)
-                .map_err(|err| TestCaseError::fail(format!("sim failed: {err}")))?;
-            prop_assert_eq!(values[&z], want, "bits {:b}", bits);
-        }
+proptest_lite! {
+    cases: 48;
+    regressions: "tests/proptest_netlist.proptest-regressions";
+
+    fn compiled_circuits_compute_their_expression(e in expr_gen()) {
+        check_computes(&e);
     }
 
-    #[test]
-    fn compiled_circuits_pair_completely(e in expr_strategy()) {
+    fn compiled_circuits_pair_completely(e in expr_gen()) {
         let circuit = e.compile("dut", "z").expect("compiles");
         let devices = circuit.devices().len();
         let paired = circuit.into_paired().expect("complementary circuits pair");
-        prop_assert_eq!(paired.len() * 2, devices);
+        assert_eq!(paired.len() * 2, devices);
         for (id, _) in paired.iter_pairs() {
-            prop_assert_eq!(paired.p_device(id).gate, paired.n_device(id).gate);
+            assert_eq!(paired.p_device(id).gate, paired.n_device(id).gate);
         }
     }
 
-    #[test]
-    fn spice_round_trip_preserves_structure(e in expr_strategy()) {
+    fn spice_round_trip_preserves_structure(e in expr_gen()) {
         let circuit = e.compile("dut", "z").expect("compiles");
         let text = spice::write(&circuit);
         let back = spice::parse("dut", &text).expect("parses");
-        prop_assert_eq!(back.devices().len(), circuit.devices().len());
-        prop_assert_eq!(spice::write(&back), text);
+        assert_eq!(back.devices().len(), circuit.devices().len());
+        assert_eq!(spice::write(&back), text);
     }
 
-    #[test]
-    fn expression_display_reparses(e in expr_strategy()) {
+    fn expression_display_reparses(e in expr_gen()) {
         let printed = format!("{e}");
-        let reparsed = Expr::parse(&printed)
-            .map_err(|err| TestCaseError::fail(format!("reparse failed: {err}")))?;
+        let reparsed =
+            Expr::parse(&printed).unwrap_or_else(|err| panic!("reparse failed: {err}"));
         // Display flattens nested same-operator nodes, so compare
         // semantically: both must evaluate identically everywhere.
         let vars = e.variables();
-        prop_assert_eq!(reparsed.variables(), vars.clone());
+        assert_eq!(reparsed.variables(), vars.clone());
         for bits in 0..(1u32 << vars.len()) {
             let lookup = |name: &str| {
                 vars.iter()
                     .position(|v| v == name)
                     .map(|i| bits & (1 << i) != 0)
             };
-            prop_assert_eq!(e.eval(&lookup), reparsed.eval(&lookup), "bits {:b}", bits);
+            assert_eq!(e.eval(&lookup), reparsed.eval(&lookup), "bits {bits:b}");
         }
     }
+}
+
+/// The shrunk counterexample recorded in the proptest-era regressions
+/// file, kept as an explicit named case (the seed itself is replayed by
+/// the `regressions:` directive above, but the proptest digest does not
+/// encode the value — this pins the actual input).
+#[test]
+fn regression_nested_and_with_repeated_variable() {
+    let e = Expr::And(vec![
+        Expr::And(vec![Expr::Var("a".into()), Expr::Var("a".into())]),
+        Expr::Var("a".into()),
+    ]);
+    check_computes(&e);
 }

@@ -79,8 +79,7 @@ pub fn pick(
             let mut best: Option<(Var, i64, bool)> = None;
             for t in &model.objective().terms {
                 let v = t.lit.var;
-                if engine.value(v) == Value::Unassigned
-                    && best.is_none_or(|(_, c, _)| t.coeff > c)
+                if engine.value(v) == Value::Unassigned && best.is_none_or(|(_, c, _)| t.coeff > c)
                 {
                     // Cheap phase: make the objective literal false.
                     best = Some((v, t.coeff, !t.lit.positive));

@@ -144,12 +144,7 @@ impl Unary {
 
     /// Decodes the value under a complete assignment.
     pub fn decode(&self, assignment: &[bool]) -> i64 {
-        self.lb
-            + self
-                .bits
-                .iter()
-                .filter(|b| assignment[b.index()])
-                .count() as i64
+        self.lb + self.bits.iter().filter(|b| assignment[b.index()]).count() as i64
     }
 }
 

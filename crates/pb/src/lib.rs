@@ -51,4 +51,4 @@ pub mod solve;
 
 pub use branch::BranchHeuristic;
 pub use model::{Constraint, LinTerm, Model, Var};
-pub use solve::{Brancher, Outcome, SearchStrategy, SolveStats, Solver, SolverConfig, Solution};
+pub use solve::{Brancher, Outcome, SearchStrategy, Solution, SolveStats, Solver, SolverConfig};

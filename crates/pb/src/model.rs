@@ -9,10 +9,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A 0-1 decision variable.
-#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Var(pub(crate) u32);
 
 impl Var {
@@ -54,7 +52,7 @@ impl fmt::Debug for Var {
 }
 
 /// A literal: a variable or its complement.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Lit {
     /// Underlying variable.
     pub var: Var,
@@ -88,7 +86,7 @@ impl fmt::Debug for Lit {
 }
 
 /// One weighted literal of a normalized constraint or objective.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LinTerm {
     /// Positive coefficient.
     pub coeff: i64,
@@ -97,7 +95,7 @@ pub struct LinTerm {
 }
 
 /// A normalized constraint `Σ coeff·lit ≥ bound` with all `coeff > 0`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Constraint {
     /// Weighted literals, all with positive coefficients.
     pub terms: Vec<LinTerm>,
@@ -111,10 +109,7 @@ impl Constraint {
     /// Terms with zero coefficients are dropped; repeated variables are
     /// combined first.
     pub fn ge(terms: impl IntoIterator<Item = (i64, Var)>, bound: i64) -> Self {
-        Self::ge_lits(
-            terms.into_iter().map(|(c, v)| (c, v.pos())),
-            bound,
-        )
+        Self::ge_lits(terms.into_iter().map(|(c, v)| (c, v.pos())), bound)
     }
 
     /// Builds and normalizes a constraint from signed literal terms.
@@ -184,7 +179,7 @@ impl Constraint {
 }
 
 /// Normalized minimization objective: `base + Σ coeff·lit`, `coeff > 0`.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Objective {
     /// Weighted literals, all with positive coefficients.
     pub terms: Vec<LinTerm>,
@@ -214,7 +209,7 @@ impl Objective {
 /// objective.
 ///
 /// See the [crate-level example](crate) for typical usage.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Model {
     names: Vec<String>,
     constraints: Vec<Constraint>,

@@ -115,13 +115,14 @@ pub fn parse(text: &str) -> Result<Model, ParseOpbError> {
         let mut tokens = body.split_whitespace().peekable();
         while let Some(tok) = tokens.next() {
             if tok == ">=" {
-                let bound: i64 = tokens
-                    .next()
-                    .and_then(|b| b.parse().ok())
-                    .ok_or(ParseOpbError {
-                        line: n,
-                        message: "missing bound after >=".into(),
-                    })?;
+                let bound: i64 =
+                    tokens
+                        .next()
+                        .and_then(|b| b.parse().ok())
+                        .ok_or(ParseOpbError {
+                            line: n,
+                            message: "missing bound after >=".into(),
+                        })?;
                 relation = Some(bound);
             } else {
                 let coeff: i64 = tok.parse().map_err(|_| ParseOpbError {
@@ -202,10 +203,7 @@ mod tests {
         assert_eq!(back.num_vars(), 3);
         let a = Solver::new(&m).run();
         let b = Solver::new(&back).run();
-        assert_eq!(
-            a.best().map(|s| s.objective),
-            b.best().map(|s| s.objective)
-        );
+        assert_eq!(a.best().map(|s| s.objective), b.best().map(|s| s.objective));
     }
 
     #[test]

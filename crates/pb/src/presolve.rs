@@ -184,9 +184,8 @@ mod tests {
 
     #[test]
     fn random_models_stay_equivalent() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0x9E50);
+        use clip_rng::Rng;
+        let mut rng = Rng::seed_from_u64(0x9E50);
         for _ in 0..40 {
             let n = rng.gen_range(1..=9usize);
             let mut m = Model::new();

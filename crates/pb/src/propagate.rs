@@ -373,12 +373,9 @@ impl Engine {
         let n_terms = self.constraints[ci].terms.len();
         for t in 0..n_terms {
             let term = self.constraints[ci].terms[t];
-            if self.lit_value(term.lit) == Value::Unassigned
-                && max_lhs - term.coeff < bound
-            {
+            if self.lit_value(term.lit) == Value::Unassigned && max_lhs - term.coeff < bound {
                 self.propagations += 1;
-                let ok =
-                    self.assign_with_reason(term.lit.var, term.lit.positive, Some(ci as u32));
+                let ok = self.assign_with_reason(term.lit.var, term.lit.positive, Some(ci as u32));
                 debug_assert!(ok, "forced literal was unassigned");
                 // Assigning may have changed slacks of other constraints,
                 // handled when the queue drains; this constraint's own
@@ -592,10 +589,7 @@ impl Engine {
         let assert_index = (0..decisions.len())
             .max_by_key(|&k| self.levels[decisions[k].index()])
             .expect("non-empty");
-        let mut levels: Vec<u32> = decisions
-            .iter()
-            .map(|&d| self.levels[d.index()])
-            .collect();
+        let mut levels: Vec<u32> = decisions.iter().map(|&d| self.levels[d.index()]).collect();
         levels.sort_unstable();
         let backjump = if levels.len() >= 2 {
             levels[levels.len() - 2]
@@ -793,7 +787,11 @@ mod tests {
         let lc = e.analyze(ci).expect("decisions involved");
         assert_eq!(lc.lits.len(), 2);
         assert!(lc.lits.contains(&a.pos()) && lc.lits.contains(&b.pos()));
-        assert_eq!(lc.lits[lc.assert_index], b.pos(), "deepest decision asserts");
+        assert_eq!(
+            lc.lits[lc.assert_index],
+            b.pos(),
+            "deepest decision asserts"
+        );
         assert_eq!(lc.backjump, 1, "jump to the level of a");
     }
 
@@ -819,11 +817,10 @@ mod tests {
     fn deep_assign_undo_cycles_preserve_slacks() {
         // Randomized stress: slacks after arbitrary assign/undo sequences
         // must match recomputation from scratch.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use clip_rng::Rng;
         let mut m = Model::new();
         let vars: Vec<Var> = (0..8).map(|i| m.new_var(format!("v{i}"))).collect();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..10 {
             let terms: Vec<(i64, Var)> = (0..4)
                 .map(|_| (rng.gen_range(-3i64..=3), vars[rng.gen_range(0..8)]))
@@ -831,9 +828,7 @@ mod tests {
             m.add_ge(terms, rng.gen_range(-2i64..=2));
         }
         let mut e = Engine::new(&m);
-        let reference: Vec<(i64, i64)> = (0..e.constraints().len())
-            .map(|ci| e.slack(ci))
-            .collect();
+        let reference: Vec<(i64, i64)> = (0..e.constraints().len()).map(|ci| e.slack(ci)).collect();
         for _ in 0..50 {
             let mark = e.mark();
             for _ in 0..rng.gen_range(1..6) {
@@ -843,9 +838,7 @@ mod tests {
                 }
             }
             e.undo_to(mark);
-            let now: Vec<(i64, i64)> = (0..e.constraints().len())
-                .map(|ci| e.slack(ci))
-                .collect();
+            let now: Vec<(i64, i64)> = (0..e.constraints().len()).map(|ci| e.slack(ci)).collect();
             assert_eq!(now, reference);
         }
     }

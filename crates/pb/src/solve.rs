@@ -67,7 +67,6 @@ impl std::fmt::Debug for SolverConfig {
     }
 }
 
-
 /// A feasible assignment and its objective value.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Solution {
@@ -532,15 +531,15 @@ mod tests {
             let row: Vec<Var> = (0..3).map(|j| m.new_var(format!("a{i}{j}"))).collect();
             grid.push(row);
         }
-        for i in 0..3 {
-            encode::exactly_one(&mut m, &grid[i]);
+        for (i, row) in grid.iter().enumerate() {
+            encode::exactly_one(&mut m, row);
             let col: Vec<Var> = (0..3).map(|j| grid[j][i]).collect();
             encode::exactly_one(&mut m, &col);
         }
         let mut obj = Vec::new();
-        for i in 0..3 {
-            for j in 0..3 {
-                obj.push((costs[i][j], grid[i][j]));
+        for (cost_row, var_row) in costs.iter().zip(&grid) {
+            for (&c, &v) in cost_row.iter().zip(var_row) {
+                obj.push((c, v));
             }
         }
         m.minimize(obj.iter().copied());
@@ -645,9 +644,8 @@ mod tests {
 
     #[test]
     fn presolve_path_matches_plain_solve() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0x50f7);
+        use clip_rng::Rng;
+        let mut rng = Rng::seed_from_u64(0x50f7);
         for _ in 0..30 {
             let n = rng.gen_range(1..=9usize);
             let mut m = Model::new();
@@ -681,9 +679,8 @@ mod tests {
     /// Randomized differential test against brute force.
     #[test]
     fn random_models_match_brute_force() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(0xC11F);
+        use clip_rng::Rng;
+        let mut rng = Rng::seed_from_u64(0xC11F);
         for trial in 0..60 {
             let n = rng.gen_range(1..=10usize);
             let mut m = Model::new();

@@ -3,7 +3,7 @@
 //! branching heuristic.
 
 use clip_pb::{brute, BranchHeuristic, Model, Solver, SolverConfig, Var};
-use proptest::prelude::*;
+use clip_proptest::{gens, proptest_lite, Gen};
 
 /// A generated constraint: signed terms and a bound, plus direction.
 #[derive(Clone, Debug)]
@@ -13,17 +13,14 @@ struct RawConstraint {
     is_ge: bool,
 }
 
-fn raw_constraint(n: usize) -> impl Strategy<Value = RawConstraint> {
-    (
-        prop::collection::vec(((-4i64..=4), 0..n), 1..=4),
-        -4i64..=4,
-        any::<bool>(),
-    )
-        .prop_map(|(terms, bound, is_ge)| RawConstraint {
-            terms,
-            bound,
-            is_ge,
-        })
+fn raw_constraint(n: usize) -> Gen<RawConstraint> {
+    Gen::new(move |rng| RawConstraint {
+        terms: (0..rng.gen_range(1..=4usize))
+            .map(|_| (rng.gen_range(-4i64..=4), rng.gen_range(0..n)))
+            .collect(),
+        bound: rng.gen_range(-4i64..=4),
+        is_ge: rng.gen_bool(0.5),
+    })
 }
 
 #[derive(Clone, Debug)]
@@ -33,17 +30,18 @@ struct RawModel {
     objective: Vec<i64>,
 }
 
-fn raw_model() -> impl Strategy<Value = RawModel> {
-    (1usize..=9).prop_flat_map(|n| {
-        (
-            prop::collection::vec(raw_constraint(n), 0..=7),
-            prop::collection::vec(-5i64..=5, n),
-        )
-            .prop_map(move |(constraints, objective)| RawModel {
-                n,
-                constraints,
-                objective,
-            })
+fn raw_model() -> Gen<RawModel> {
+    gens::int(1usize..=9).flat_map(|n| {
+        raw_constraint(n).vec(0..=7).flat_map(move |constraints| {
+            let constraints = constraints.clone();
+            gens::int(-5i64..=5)
+                .vec(n..=n)
+                .map(move |objective| RawModel {
+                    n,
+                    constraints: constraints.clone(),
+                    objective,
+                })
+        })
     })
 }
 
@@ -58,38 +56,31 @@ fn build(raw: &RawModel) -> Model {
             m.add_le(terms, c.bound);
         }
     }
-    m.minimize(
-        raw.objective
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| (w, vars[i])),
-    );
+    m.minimize(raw.objective.iter().enumerate().map(|(i, &w)| (w, vars[i])));
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+proptest_lite! {
+    cases: 128;
 
-    #[test]
     fn solver_matches_brute_force(raw in raw_model()) {
         let m = build(&raw);
         let reference = brute::solve(&m);
         let out = Solver::new(&m).run();
         match reference {
-            None => prop_assert!(matches!(out, clip_pb::Outcome::Infeasible(_))),
+            None => assert!(matches!(out, clip_pb::Outcome::Infeasible(_))),
             Some((_, obj)) => {
-                prop_assert!(out.is_optimal());
+                assert!(out.is_optimal());
                 let s = out.best().expect("optimal implies solution");
-                prop_assert_eq!(s.objective, obj);
+                assert_eq!(s.objective, obj);
                 // The reported solution must itself be feasible and achieve
                 // the reported objective.
-                prop_assert!(m.is_feasible(s.values()));
-                prop_assert_eq!(m.objective().eval(s.values()), obj);
+                assert!(m.is_feasible(s.values()));
+                assert_eq!(m.objective().eval(s.values()), obj);
             }
         }
     }
 
-    #[test]
     fn heuristics_agree_on_objective(raw in raw_model()) {
         let m = build(&raw);
         let objectives: Vec<Option<i64>> = [
@@ -100,15 +91,15 @@ proptest! {
         ]
         .into_iter()
         .map(|heuristic| {
-            let out = Solver::with_config(&m, SolverConfig { heuristic, ..Default::default() }).run();
-            prop_assert!(out.stats().proved_optimal);
-            Ok(out.best().map(|s| s.objective))
+            let out =
+                Solver::with_config(&m, SolverConfig { heuristic, ..Default::default() }).run();
+            assert!(out.stats().proved_optimal);
+            out.best().map(|s| s.objective)
         })
-        .collect::<Result<_, _>>()?;
-        prop_assert!(objectives.windows(2).all(|w| w[0] == w[1]));
+        .collect();
+        assert!(objectives.windows(2).all(|w| w[0] == w[1]));
     }
 
-    #[test]
     fn strategies_agree_on_objective(raw in raw_model()) {
         let m = build(&raw);
         let objectives: Vec<Option<i64>> = [
@@ -117,24 +108,23 @@ proptest! {
         ]
         .into_iter()
         .map(|strategy| {
-            let out = Solver::with_config(&m, SolverConfig { strategy, ..Default::default() }).run();
-            prop_assert!(out.stats().proved_optimal);
+            let out =
+                Solver::with_config(&m, SolverConfig { strategy, ..Default::default() }).run();
+            assert!(out.stats().proved_optimal);
             if let Some(s) = out.best() {
                 // Reported solutions are genuinely feasible.
-                prop_assert!(m.is_feasible(s.values()));
+                assert!(m.is_feasible(s.values()));
             }
-            Ok(out.best().map(|s| s.objective))
+            out.best().map(|s| s.objective)
         })
-        .collect::<Result<_, _>>()?;
-        prop_assert_eq!(objectives[0], objectives[1]);
+        .collect();
+        assert_eq!(objectives[0], objectives[1]);
     }
 
-    #[test]
     fn opb_round_trip_preserves_optima(raw in raw_model()) {
         let m = build(&raw);
         let text = clip_pb::opb::write(&m);
-        let back = clip_pb::opb::parse(&text)
-            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let back = clip_pb::opb::parse(&text).unwrap_or_else(|e| panic!("{e}"));
         // Variable count may shrink if trailing variables are unused; pad
         // by comparing objectives only.
         let a = Solver::new(&m).run().best().map(|s| s.objective);
@@ -142,10 +132,9 @@ proptest! {
         // OPB drops the objective's constant base; compare shifted values.
         let base_a = m.objective().base;
         let base_b = back.objective().base;
-        prop_assert_eq!(a.map(|v| v - base_a), b.map(|v| v - base_b));
+        assert_eq!(a.map(|v| v - base_a), b.map(|v| v - base_b));
     }
 
-    #[test]
     fn presolve_preserves_optima(raw in raw_model()) {
         let m = build(&raw);
         let plain = Solver::new(&m).run();
@@ -154,17 +143,16 @@ proptest! {
             SolverConfig { presolve: true, ..Default::default() },
         )
         .run();
-        prop_assert_eq!(
+        assert_eq!(
             plain.best().map(|s| s.objective),
             pre.best().map(|s| s.objective)
         );
         if let Some(s) = pre.best() {
-            prop_assert!(m.is_feasible(s.values()));
+            assert!(m.is_feasible(s.values()));
         }
     }
 
-    #[test]
-    fn warm_start_never_degrades(raw in raw_model(), seed in any::<u64>()) {
+    fn warm_start_never_degrades(raw in raw_model(), seed in gens::any_u64()) {
         let m = build(&raw);
         // Derive a deterministic pseudo-random warm start from the seed.
         let ws: Vec<bool> = (0..m.num_vars())
@@ -176,7 +164,7 @@ proptest! {
             SolverConfig { warm_start: Some(ws), ..Default::default() },
         )
         .run();
-        prop_assert_eq!(
+        assert_eq!(
             plain.best().map(|s| s.objective),
             warmed.best().map(|s| s.objective)
         );

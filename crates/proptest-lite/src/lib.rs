@@ -1,0 +1,504 @@
+//! Minimal property-based testing for the hermetic CLIP workspace.
+//!
+//! A deliberately small stand-in for crates-io `proptest`, built on
+//! [`clip_rng`]: composable generators ([`Gen`]), a [`proptest_lite!`]
+//! macro that turns `fn name(x in gen, ..) { body }` items into `#[test]`
+//! functions, deterministic per-case seeds, and replay of regression
+//! seeds recorded in `.proptest-regressions`-style files.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** On failure the harness reports the case seed and a
+//!   `Debug` dump of every generated input; re-run with
+//!   `CLIP_PROPTEST_SEED=<seed> CLIP_PROPTEST_CASES=1` to replay.
+//! * **Deterministic by default.** Case seeds derive from the test name,
+//!   so CI runs are reproducible; set `CLIP_PROPTEST_SEED` to explore a
+//!   different stream.
+//! * **`prop_assume!` skips rather than resamples**: a failed assumption
+//!   ends the case successfully instead of drawing a replacement, so
+//!   heavily-filtered properties should raise `cases:` accordingly.
+//!
+//! Environment knobs:
+//!
+//! * `CLIP_PROPTEST_CASES` — overrides every suite's case count;
+//! * `CLIP_PROPTEST_SEED` — overrides the base stream seed.
+//!
+//! # Example
+//!
+//! ```
+//! use clip_proptest::{gens, proptest_lite};
+//!
+//! proptest_lite! {
+//!     cases: 64;
+//!
+//!     fn addition_commutes(a in gens::int(0..1000u32), b in gens::int(0..1000u32)) {
+//!         assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{self, AssertUnwindSafe};
+use std::rc::Rc;
+
+pub use clip_rng::Rng;
+
+/// Panic payload marker used by [`prop_assume!`] to signal a skipped case.
+#[doc(hidden)]
+pub const REJECT_MARKER: &str = "__clip_proptest_reject__";
+
+/// A composable generator: a sampling function from RNG to value.
+///
+/// Cheap to clone (the closure is reference-counted), so generators can
+/// be reused across [`one_of`](gens::one_of) arms and recursive grammars.
+pub struct Gen<T> {
+    f: Rc<dyn Fn(&mut Rng) -> T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// Wraps a sampling function.
+    pub fn new(f: impl Fn(&mut Rng) -> T + 'static) -> Self {
+        Gen { f: Rc::new(f) }
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut Rng) -> T {
+        (self.f)(rng)
+    }
+
+    /// Applies `f` to every generated value.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        Gen::new(move |rng| f(self.sample(rng)))
+    }
+
+    /// Feeds every generated value into a dependent generator.
+    pub fn flat_map<U: 'static>(self, f: impl Fn(T) -> Gen<U> + 'static) -> Gen<U> {
+        Gen::new(move |rng| f(self.sample(rng)).sample(rng))
+    }
+
+    /// Vectors of `self` with a length drawn from `len`.
+    pub fn vec(self, len: std::ops::RangeInclusive<usize>) -> Gen<Vec<T>> {
+        Gen::new(move |rng| {
+            let n = rng.gen_range(len.clone());
+            (0..n).map(|_| self.sample(rng)).collect()
+        })
+    }
+
+    /// Fixed-size arrays of `self`.
+    pub fn array<const N: usize>(self) -> Gen<[T; N]> {
+        Gen::new(move |rng| std::array::from_fn(|_| self.sample(rng)))
+    }
+}
+
+/// The built-in generator constructors.
+pub mod gens {
+    use super::{Gen, Rng};
+    use clip_rng::{SampleRange, UniformInt};
+
+    /// A uniform integer from a range (`lo..hi` or `lo..=hi`).
+    pub fn int<T, R>(range: R) -> Gen<T>
+    where
+        T: UniformInt + 'static,
+        R: SampleRange<T> + Clone + 'static,
+    {
+        Gen::new(move |rng| rng.gen_range(range.clone()))
+    }
+
+    /// A fair boolean.
+    pub fn bool() -> Gen<bool> {
+        Gen::new(|rng| rng.gen_bool(0.5))
+    }
+
+    /// Any 64-bit value.
+    pub fn any_u64() -> Gen<u64> {
+        Gen::new(Rng::next_u64)
+    }
+
+    /// Always `value`.
+    pub fn just<T: Clone + 'static>(value: T) -> Gen<T> {
+        Gen::new(move |_| value.clone())
+    }
+
+    /// A uniformly chosen arm. Panics if `arms` is empty.
+    pub fn one_of<T: 'static>(arms: Vec<Gen<T>>) -> Gen<T> {
+        assert!(!arms.is_empty(), "one_of needs at least one arm");
+        Gen::new(move |rng| {
+            let i = rng.gen_range(0..arms.len());
+            arms[i].sample(rng)
+        })
+    }
+
+    /// A recursive grammar: starts from `leaf` and wraps it with `branch`
+    /// up to `depth` times, choosing uniformly at each level between
+    /// stopping (a leaf) and recursing. The proptest `prop_recursive`
+    /// analogue for simple tree generators.
+    pub fn recursive<T: 'static>(
+        depth: u32,
+        leaf: Gen<T>,
+        branch: impl Fn(Gen<T>) -> Gen<T>,
+    ) -> Gen<T> {
+        let mut g = leaf.clone();
+        for _ in 0..depth {
+            g = one_of(vec![leaf.clone(), branch(g)]);
+        }
+        g
+    }
+}
+
+/// Per-suite configuration, resolved from defaults plus the environment.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Base seed for the deterministic case stream.
+    pub seed: u64,
+}
+
+impl Config {
+    /// A config with `default_cases`, unless `CLIP_PROPTEST_CASES` or
+    /// `CLIP_PROPTEST_SEED` override it.
+    pub fn from_env(default_cases: u32) -> Self {
+        let cases = std::env::var("CLIP_PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_cases);
+        let seed = std::env::var("CLIP_PROPTEST_SEED")
+            .ok()
+            .and_then(|v| parse_seed(&v))
+            .unwrap_or(DEFAULT_SEED);
+        Config { cases, seed }
+    }
+}
+
+/// Default base seed for the deterministic case streams.
+pub const DEFAULT_SEED: u64 = 0x0C11_9057_0000_2547;
+
+fn parse_seed(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// Reads regression seeds from a proptest-style regressions file.
+///
+/// Recognized lines look like `cc <hex-digest> # comment`; the first 16
+/// hex digits of the digest become the replay seed. Missing files yield
+/// an empty list (same as proptest: the file appears on first failure).
+pub fn regression_seeds(manifest_dir: &str, relative: Option<&str>) -> Vec<u64> {
+    let Some(rel) = relative else {
+        return Vec::new();
+    };
+    let path = std::path::Path::new(manifest_dir).join(rel);
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.trim().strip_prefix("cc ")?;
+            let hex: String = rest
+                .chars()
+                .take_while(char::is_ascii_hexdigit)
+                .take(16)
+                .collect();
+            u64::from_str_radix(&hex, 16).ok()
+        })
+        .collect()
+}
+
+/// Runs one property: regression seeds first, then `cfg.cases` fresh
+/// cases on a deterministic per-test stream.
+///
+/// The case closure receives the RNG and a debug-string sink it should
+/// fill with a `Debug` rendering of the generated inputs; on panic the
+/// harness reports the test name, case index, seed, and that dump, then
+/// resumes the panic. A panic whose payload contains [`REJECT_MARKER`]
+/// (from [`prop_assume!`]) counts as a skip, not a failure.
+pub fn run(cfg: &Config, name: &str, regressions: &[u64], case: impl Fn(&mut Rng, &mut String)) {
+    let mut skipped = 0u32;
+    let mut stream = cfg.seed ^ fnv1a(name.as_bytes());
+    let total = regressions.len() as u32 + cfg.cases;
+    for i in 0..total {
+        let (seed, origin) = match regressions.get(i as usize) {
+            Some(&s) => (s, "regression"),
+            None => (clip_rng::splitmix64(&mut stream), "generated"),
+        };
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut dbg = String::new();
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| case(&mut rng, &mut dbg)));
+        match outcome {
+            Ok(()) => {}
+            Err(payload) => {
+                if payload_text(&*payload).contains(REJECT_MARKER) {
+                    skipped += 1;
+                    continue;
+                }
+                eprintln!(
+                    "clip-proptest: property `{name}` failed on {origin} case \
+                     {i}/{total} (seed {seed:#018x})\n  inputs: {dbg}\n  replay: \
+                     CLIP_PROPTEST_SEED={seed:#x} CLIP_PROPTEST_CASES=1"
+                );
+                panic::resume_unwind(payload);
+            }
+        }
+    }
+    if skipped * 2 > total {
+        eprintln!(
+            "clip-proptest: property `{name}` skipped {skipped}/{total} cases via \
+             prop_assume!; consider raising `cases:`"
+        );
+    }
+}
+
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("")
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Skips the current case when `cond` is false (see crate docs: skipped,
+/// not resampled).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            ::std::panic!("{}", $crate::REJECT_MARKER);
+        }
+    };
+}
+
+/// `assert!` under a porting-friendly name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// `assert_eq!` under a porting-friendly name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// `assert_ne!` under a porting-friendly name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { ::std::assert_ne!($($tt)*) };
+}
+
+/// Declares property tests.
+///
+/// ```ignore
+/// proptest_lite! {
+///     cases: 48;
+///     regressions: "tests/my_suite.proptest-regressions"; // optional
+///
+///     fn my_property(x in gens::int(0..10u32), flag in gens::bool()) {
+///         assert!(x < 10);
+///     }
+/// }
+/// ```
+///
+/// Each `fn` becomes a `#[test]` that draws its arguments from the given
+/// generators `cases` times (plus one replay per regression seed).
+#[macro_export]
+macro_rules! proptest_lite {
+    (@items ($cases:expr, $reg:expr)) => {};
+    (@items ($cases:expr, $reg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $gen:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let cfg = $crate::Config::from_env($cases);
+            let seeds = $crate::regression_seeds(env!("CARGO_MANIFEST_DIR"), $reg);
+            $crate::run(&cfg, stringify!($name), &seeds, |rng, dbg| {
+                $(let $arg = ($gen).sample(rng);)+
+                $(
+                    dbg.push_str(stringify!($arg));
+                    dbg.push_str(" = ");
+                    dbg.push_str(&format!("{:?}; ", $arg));
+                )+
+                $body
+            });
+        }
+        $crate::proptest_lite!{@items ($cases, $reg) $($rest)*}
+    };
+    (cases: $cases:expr; regressions: $reg:expr; $($rest:tt)*) => {
+        $crate::proptest_lite!{@items ($cases, ::core::option::Option::Some($reg)) $($rest)*}
+    };
+    (cases: $cases:expr; $($rest:tt)*) => {
+        $crate::proptest_lite!{@items ($cases, ::core::option::Option::<&str>::None) $($rest)*}
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest_lite!{@items (256u32, ::core::option::Option::<&str>::None) $($rest)*}
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_compose() {
+        let mut rng = Rng::seed_from_u64(1);
+        let g = gens::int(0..5u32).map(|v| v * 10);
+        for _ in 0..100 {
+            let v = g.sample(&mut rng);
+            assert!(v % 10 == 0 && v < 50);
+        }
+        let vecs = gens::int(0..3u8).vec(2..=4);
+        for _ in 0..50 {
+            let v = vecs.sample(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+        }
+        let arr = gens::int(0..9usize).array::<5>().sample(&mut rng);
+        assert_eq!(arr.len(), 5);
+        let dep = gens::int(1..=4usize).flat_map(|n| gens::int(0..n).vec(n..=n));
+        for _ in 0..50 {
+            let v = dep.sample(&mut rng);
+            assert!(v.iter().all(|&x| x < v.len()));
+        }
+    }
+
+    #[test]
+    fn one_of_hits_every_arm() {
+        let mut rng = Rng::seed_from_u64(2);
+        let g = gens::one_of(vec![gens::just(1u8), gens::just(2), gens::just(3)]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[g.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn recursive_generates_bounded_depth() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let leaf = gens::int(0..10u8).map(Tree::Leaf);
+        let g = gens::recursive(4, leaf, |inner| inner.vec(1..=3).map(Tree::Node));
+        let mut rng = Rng::seed_from_u64(3);
+        let mut max = 0;
+        for _ in 0..200 {
+            max = max.max(depth(&g.sample(&mut rng)));
+        }
+        assert!(max > 0, "branches do occur");
+        assert!(max <= 4, "depth bounded, got {max}");
+    }
+
+    #[test]
+    fn run_is_deterministic_per_name() {
+        use std::cell::RefCell;
+        let record = |name: &'static str| {
+            let vals = RefCell::new(Vec::new());
+            run(
+                &Config {
+                    cases: 10,
+                    seed: DEFAULT_SEED,
+                },
+                name,
+                &[],
+                |rng, _| vals.borrow_mut().push(rng.next_u64()),
+            );
+            vals.into_inner()
+        };
+        assert_eq!(record("alpha"), record("alpha"));
+        assert_ne!(record("alpha"), record("beta"));
+    }
+
+    #[test]
+    fn regression_seeds_replay_first() {
+        use std::cell::RefCell;
+        let first = RefCell::new(None);
+        run(
+            &Config { cases: 2, seed: 0 },
+            "reg",
+            &[0xDEAD_BEEF],
+            |rng, _| {
+                let mut expect = Rng::seed_from_u64(0xDEAD_BEEF);
+                first
+                    .borrow_mut()
+                    .get_or_insert_with(|| rng.next_u64() == expect.next_u64());
+            },
+        );
+        assert_eq!(first.into_inner(), Some(true));
+    }
+
+    #[test]
+    fn regression_file_parsing() {
+        let dir = std::env::temp_dir().join("clip-proptest-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("suite.proptest-regressions");
+        std::fs::write(
+            &path,
+            "# comment line\n\
+             cc 887cb06c5ca51f913c8fde1c80f1b6268336cd44c6efa4a429dd724537fbc3b2 # shrinks to e = ...\n\
+             cc 0123456789abcdef00 # short\n\
+             not a seed line\n",
+        )
+        .unwrap();
+        let seeds = regression_seeds(dir.to_str().unwrap(), Some("suite.proptest-regressions"));
+        assert_eq!(seeds, vec![0x887c_b06c_5ca5_1f91, 0x0123_4567_89ab_cdef]);
+        assert!(regression_seeds(dir.to_str().unwrap(), Some("missing-file")).is_empty());
+        assert!(regression_seeds(dir.to_str().unwrap(), None).is_empty());
+    }
+
+    #[test]
+    fn prop_assume_skips_without_failing() {
+        run(&Config { cases: 20, seed: 1 }, "assume", &[], |rng, _| {
+            let v = rng.gen_range(0..10u32);
+            prop_assume!(v < 5);
+            assert!(v < 5);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_propagate() {
+        run(&Config { cases: 5, seed: 1 }, "fail", &[], |_, dbg| {
+            dbg.push_str("input = ()");
+            panic!("boom");
+        });
+    }
+
+    proptest_lite! {
+        cases: 16;
+
+        fn macro_generated_test(a in gens::int(0..100u32), b in gens::bool()) {
+            assert!(a < 100);
+            let _ = b;
+        }
+    }
+}

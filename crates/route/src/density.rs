@@ -10,15 +10,13 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use clip_netlist::NetId;
 
 use crate::row::PlacedRow;
 use crate::span::{max_density, row_spans, Span};
 
 /// Fixed geometric overheads of the height model, in track pitches.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HeightParams {
     /// Height contributed by each P/N row independent of routing (the two
     /// diffusion strips).
@@ -213,7 +211,7 @@ mod tests {
 
     fn two_row_cell() -> (NetTable, CellRouting) {
         let mut t = NetTable::new();
-        let (a, b, z, y) = (t.intern("a"), t.intern("b"), t.intern("z"), t.intern("y"));
+        let (a, z, y) = (t.intern("a"), t.intern("z"), t.intern("y"));
         let (vdd, gnd) = (t.vdd(), t.gnd());
         // Row 0: inverter a -> z. Row 1: inverter z -> y (z crosses rows).
         let rows = vec![
@@ -270,10 +268,7 @@ mod tests {
         let (_, cell) = two_row_cell();
         for r in 0..2 {
             let profile = cell.congestion_profile(r);
-            assert_eq!(
-                profile.into_iter().max().unwrap_or(0),
-                cell.intra_tracks(r)
-            );
+            assert_eq!(profile.into_iter().max().unwrap_or(0), cell.intra_tracks(r));
         }
     }
 

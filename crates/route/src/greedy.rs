@@ -388,7 +388,11 @@ mod tests {
             let density = max_density(&spans, row.physical_columns());
             let spec = ChannelSpec::from_row(&row, &rails);
             let r = route_channel(&spec);
-            assert!(r.tracks >= density, "tracks {} < density {density}", r.tracks);
+            assert!(
+                r.tracks >= density,
+                "tracks {} < density {density}",
+                r.tracks
+            );
             assert!(r.tracks <= density + r.doglegs + 1);
         }
     }

@@ -38,7 +38,11 @@ pub fn assign_tracks(spans: &[(NetId, Span)]) -> Vec<Track> {
 pub fn density_of(spans: &[(NetId, Span)], num_columns: usize) -> usize {
     let mut density = vec![0usize; num_columns];
     for (_, s) in spans {
-        for d in density.iter_mut().take((s.hi + 1).min(num_columns)).skip(s.lo) {
+        for d in density
+            .iter_mut()
+            .take((s.hi + 1).min(num_columns))
+            .skip(s.lo)
+        {
             *d += 1;
         }
     }
@@ -90,9 +94,8 @@ mod tests {
     fn track_count_equals_density() {
         // Deterministic pseudo-random intervals; left-edge must match the
         // density lower bound exactly.
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(42);
+        use clip_rng::Rng;
+        let mut rng = Rng::seed_from_u64(42);
         for _ in 0..50 {
             let n = rng.gen_range(1..20usize);
             let spans: Vec<(NetId, Span)> = (0..n)

@@ -9,13 +9,11 @@
 //! `3s+2` and `3s+3` denote the *same physical column* (the shared
 //! diffusion contact).
 
-use serde::{Deserialize, Serialize};
-
 use clip_netlist::NetId;
 
 /// The terminal nets of one placed slot (a P/N pair in a fixed
 /// orientation).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SlotNets {
     /// Common gate net (the poly column).
     pub gate: NetId,
@@ -30,7 +28,7 @@ pub struct SlotNets {
 }
 
 /// One placed P/N row: slots plus merge flags.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PlacedRow {
     slots: Vec<SlotNets>,
     merged: Vec<bool>,
@@ -58,11 +56,13 @@ impl PlacedRow {
         for (s, &m) in merged.iter().enumerate() {
             if m {
                 assert_eq!(
-                    slots[s].p_right, slots[s + 1].p_left,
+                    slots[s].p_right,
+                    slots[s + 1].p_left,
                     "slot {s}: P diffusion abutment nets differ"
                 );
                 assert_eq!(
-                    slots[s].n_right, slots[s + 1].n_left,
+                    slots[s].n_right,
+                    slots[s + 1].n_left,
                     "slot {s}: N diffusion abutment nets differ"
                 );
             }
@@ -170,7 +170,7 @@ impl PlacedRow {
 }
 
 /// Which layer/strip an anchor sits on.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Strip {
     /// P diffusion strip (top).
     P,
@@ -294,12 +294,6 @@ mod tests {
         assert!(anchors
             .iter()
             .any(|x| x.strip == Strip::Poly && x.net == a && x.column == 1));
-        assert_eq!(
-            anchors
-                .iter()
-                .filter(|x| x.strip == Strip::P)
-                .count(),
-            2
-        );
+        assert_eq!(anchors.iter().filter(|x| x.strip == Strip::P).count(), 2);
     }
 }

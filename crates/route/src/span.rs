@@ -20,14 +20,12 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use clip_netlist::NetId;
 
 use crate::row::PlacedRow;
 
 /// An inclusive horizontal interval of physical columns.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Span {
     /// Leftmost column.
     pub lo: usize,
@@ -115,7 +113,10 @@ pub fn column_density(spans: &HashMap<NetId, Span>, num_columns: usize) -> Vec<u
 
 /// Maximum column density — the track count of the channel.
 pub fn max_density(spans: &HashMap<NetId, Span>, num_columns: usize) -> usize {
-    column_density(spans, num_columns).into_iter().max().unwrap_or(0)
+    column_density(spans, num_columns)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

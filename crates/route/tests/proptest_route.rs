@@ -3,11 +3,11 @@
 //! assignments.
 
 use clip_netlist::{NetId, NetTable};
+use clip_proptest::{gens, proptest_lite, Gen};
 use clip_route::density::{cell_height, CellRouting, HeightParams};
 use clip_route::leftedge::assign_tracks;
 use clip_route::row::{PlacedRow, SlotNets};
 use clip_route::span::{column_density, max_density, row_spans};
-use proptest::prelude::*;
 
 const NET_POOL: usize = 8;
 
@@ -18,22 +18,27 @@ struct RawRow {
     merge_wish: Vec<bool>,
 }
 
-fn raw_row() -> impl Strategy<Value = RawRow> {
-    (1usize..=6)
-        .prop_flat_map(|n| {
-            (
-                prop::collection::vec(prop::array::uniform5(0..NET_POOL), n),
-                prop::collection::vec(any::<bool>(), n.saturating_sub(1)),
-            )
+fn raw_row() -> Gen<RawRow> {
+    gens::int(1usize..=6).flat_map(|n| {
+        let slots = gens::int(0..NET_POOL).array::<5>().vec(n..=n);
+        let wishes = gens::bool().vec(n.saturating_sub(1)..=n.saturating_sub(1));
+        slots.flat_map(move |s| {
+            let s = s.clone();
+            wishes.clone().map(move |merge_wish| RawRow {
+                slots: s.clone(),
+                merge_wish,
+            })
         })
-        .prop_map(|(slots, merge_wish)| RawRow { slots, merge_wish })
+    })
 }
 
 /// Materializes a raw row, honouring merge wishes only where the facing
 /// nets happen to match (so `PlacedRow::new` always accepts).
 fn build(raw: &RawRow) -> (NetTable, PlacedRow) {
     let mut table = NetTable::new();
-    let pool: Vec<NetId> = (0..NET_POOL).map(|i| table.intern(&format!("n{i}"))).collect();
+    let pool: Vec<NetId> = (0..NET_POOL)
+        .map(|i| table.intern(&format!("n{i}")))
+        .collect();
     let slots: Vec<SlotNets> = raw
         .slots
         .iter()
@@ -57,41 +62,39 @@ fn build(raw: &RawRow) -> (NetTable, PlacedRow) {
     (table, PlacedRow::new(slots, merged))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+proptest_lite! {
+    cases: 128;
 
-    #[test]
     fn geometry_invariants(raw in raw_row()) {
         let (_, row) = build(&raw);
         let n = row.len();
-        prop_assert_eq!(row.virtual_columns(), 3 * n);
-        prop_assert_eq!(
+        assert_eq!(row.virtual_columns(), 3 * n);
+        assert_eq!(
             row.physical_columns(),
             3 * n - row.merged().iter().filter(|&&m| m).count()
         );
-        prop_assert_eq!(row.width(), n + row.gaps());
+        assert_eq!(row.width(), n + row.gaps());
         // Physical columns are monotone and collapse exactly merges.
         let mut prev = 0;
         for c in 0..row.virtual_columns() {
             let p = row.physical_column(c);
-            prop_assert!(p >= prev && p <= c);
-            prop_assert!(p - prev <= 1);
+            assert!(p >= prev && p <= c);
+            assert!(p - prev <= 1);
             prev = p;
         }
     }
 
-    #[test]
     fn spans_cover_their_nets(raw in raw_row()) {
         let (table, row) = build(&raw);
         let rails = [table.vdd(), table.gnd()];
         let spans = row_spans(&row, &rails);
         for (net, span) in &spans {
-            prop_assert!(!rails.contains(net));
+            assert!(!rails.contains(net));
             // Every anchor of a spanning net lies inside its span.
             for a in row.anchors().filter(|a| a.net == *net) {
-                prop_assert!(span.contains(a.column), "{net:?} anchor outside span");
+                assert!(span.contains(a.column), "{net:?} anchor outside span");
             }
-            prop_assert!(span.hi < row.physical_columns());
+            assert!(span.hi < row.physical_columns());
         }
         // Nets confined to one physical column never span.
         for a in row.anchors() {
@@ -107,45 +110,43 @@ proptest! {
                 c.len()
             };
             if distinct <= 1 {
-                prop_assert!(!spans.contains_key(&a.net));
+                assert!(!spans.contains_key(&a.net));
             }
         }
     }
 
-    #[test]
     fn left_edge_matches_density(raw in raw_row()) {
         let (table, row) = build(&raw);
         let spans = row_spans(&row, &[table.vdd(), table.gnd()]);
-        let list: Vec<(NetId, clip_route::span::Span)> = spans.iter().map(|(&n, &s)| (n, s)).collect();
+        let list: Vec<(NetId, clip_route::span::Span)> =
+            spans.iter().map(|(&n, &s)| (n, s)).collect();
         let tracks = assign_tracks(&list);
-        prop_assert_eq!(tracks.len(), max_density(&spans, row.physical_columns()));
+        assert_eq!(tracks.len(), max_density(&spans, row.physical_columns()));
         // Density column sums equal total span lengths.
-        let total_cells: usize = column_density(&spans, row.physical_columns()).iter().sum();
+        let total_cells: usize =
+            column_density(&spans, row.physical_columns()).iter().sum();
         let span_cells: usize = spans.values().map(|s| s.len()).sum();
-        prop_assert_eq!(total_cells, span_cells);
+        assert_eq!(total_cells, span_cells);
     }
 
-    #[test]
     fn greedy_router_output_always_verifies(raw in raw_row()) {
         use clip_route::greedy::{route_channel, verify_routing, ChannelSpec};
         let (table, row) = build(&raw);
         let rails = [table.vdd(), table.gnd()];
         let spec = ChannelSpec::from_row(&row, &rails);
         let routed = route_channel(&spec);
-        verify_routing(&spec, &routed)
-            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        verify_routing(&spec, &routed).unwrap_or_else(|e| panic!("{e}"));
         // Track count is bounded below by density and above by density
         // plus the doglegs the vertical constraints forced.
         let spans = row_spans(&row, &rails);
         let density = max_density(&spans, row.physical_columns());
-        prop_assert!(routed.tracks >= density);
-        prop_assert!(routed.tracks <= density + routed.doglegs + 1);
+        assert!(routed.tracks >= density);
+        assert!(routed.tracks <= density + routed.doglegs + 1);
     }
 
-    #[test]
     fn random_channels_route_and_verify(
-        top in prop::collection::vec(-1isize..6, 1..14),
-        bottom in prop::collection::vec(-1isize..6, 1..14),
+        top in gens::int(-1isize..6).vec(1..=13),
+        bottom in gens::int(-1isize..6).vec(1..=13),
     ) {
         use clip_route::greedy::{route_channel, verify_routing, ChannelSpec};
         let n = top.len().min(bottom.len());
@@ -160,17 +161,15 @@ proptest! {
             bottom: conv(&bottom),
         };
         let routed = route_channel(&spec);
-        verify_routing(&spec, &routed)
-            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        verify_routing(&spec, &routed).unwrap_or_else(|e| panic!("{e}"));
     }
 
-    #[test]
     fn cell_height_is_monotone_in_overheads(raw in raw_row()) {
         let (table, row) = build(&raw);
         let cell = CellRouting::new(vec![row], vec![table.vdd(), table.gnd()]);
         let h0 = cell_height(&cell, HeightParams { row_overhead: 0, rail_overhead: 0 });
         let h1 = cell_height(&cell, HeightParams::default());
-        prop_assert_eq!(h0, cell.total_tracks());
-        prop_assert_eq!(h1, h0 + 2 + 2);
+        assert_eq!(h0, cell.total_tracks());
+        assert_eq!(h1, h0 + 2 + 2);
     }
 }

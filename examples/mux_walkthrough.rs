@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nFig. 2b — share array ({} compatible abutments):",
         share.len()
     );
-    println!("{:<6} {:<8} {:<6} {:<8}", "pair", "orient", "pair", "orient");
+    println!(
+        "{:<6} {:<8} {:<6} {:<8}",
+        "pair", "orient", "pair", "orient"
+    );
     for e in share.entries() {
         println!(
             "{:<6} {:<8} {:<6} {:<8}",
@@ -45,14 +48,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The placements the paper's Table 3 row 4 is about.
     for rows in [1, 3] {
-        let cell = CellGenerator::new(
-            GenOptions::rows(rows).with_time_limit(Duration::from_secs(60)),
-        )
-        .generate(circuit.clone())?;
+        let cell =
+            CellGenerator::new(GenOptions::rows(rows).with_time_limit(Duration::from_secs(60)))
+                .generate(circuit.clone())?;
         println!(
             "\n=== {rows} row(s): width {} ({}), {} inter-row nets, solved in {:?}",
             cell.width,
-            if cell.optimal { "optimal" } else { "best found" },
+            if cell.optimal {
+                "optimal"
+            } else {
+                "best found"
+            },
             cell.inter_row_nets,
             cell.stats.duration,
         );

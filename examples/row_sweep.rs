@@ -43,9 +43,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "rows", "width", "height", "area", "inter-nets", "optimal", "time"
     );
     for rows in 1..=max_rows {
-        let gen = CellGenerator::new(
-            GenOptions::rows(rows).with_time_limit(Duration::from_secs(30)),
-        );
+        let gen =
+            CellGenerator::new(GenOptions::rows(rows).with_time_limit(Duration::from_secs(30)));
         match gen.generate(circuit.clone()) {
             Ok(cell) => println!(
                 "{:<6} {:<7} {:<7} {:<6} {:<11} {:<9} {:<10?}",

@@ -215,7 +215,11 @@ fn synth(args: SynthArgs) -> ExitCode {
         println!(
             "solve: {:?} ({}), model {} vars / {} constraints, {} nodes",
             cell.stats.duration,
-            if cell.optimal { "proved optimal" } else { "best found" },
+            if cell.optimal {
+                "proved optimal"
+            } else {
+                "best found"
+            },
             cell.model_vars,
             cell.model_constraints,
             cell.stats.nodes

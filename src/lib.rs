@@ -26,7 +26,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-
 /// Heuristic baselines (the Virtuoso comparator substitute).
 pub use clip_baselines as baselines;
 /// The CLIP models: CLIP-W, CLIP-WH, HCLIP, hierarchy, verification.

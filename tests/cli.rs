@@ -22,7 +22,11 @@ fn synth_renders_a_cell() {
         .args(["synth", "--cell", "xor2", "--rows", "2", "--limit", "60"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("width 3 pitches"), "{text}");
     assert!(text.contains("proved optimal"), "{text}");
@@ -52,7 +56,11 @@ fn synth_from_expression_writes_artifacts() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let svg_text = std::fs::read_to_string(&svg).expect("svg written");
     assert!(svg_text.starts_with("<svg"));
     let json_text = std::fs::read_to_string(&json).expect("json written");
@@ -86,12 +94,24 @@ fn bad_flags_fail_with_usage() {
 fn folding_flag_multiplies_pairs() {
     let out = clip()
         .args([
-            "synth", "--cell", "xor2", "--rows", "1", "--fold", "2", "--stacking", "--limit",
+            "synth",
+            "--cell",
+            "xor2",
+            "--rows",
+            "1",
+            "--fold",
+            "2",
+            "--stacking",
+            "--limit",
             "60",
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     // 5 pairs folded x2 = 10 pairs: single-row width of at least 10.
     let width: usize = text

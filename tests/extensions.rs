@@ -33,10 +33,14 @@ fn folded_circuits_synthesize_and_verify() {
 
 #[test]
 fn hierarchical_results_verify_across_the_suite() {
-    for circuit in [library::xor2(), library::two_level_z(), library::full_adder()] {
+    for circuit in [
+        library::xor2(),
+        library::two_level_z(),
+        library::full_adder(),
+    ] {
         let name = circuit.name().to_owned();
-        let cell = hier_generate(circuit, &HierOptions::rows(2))
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let cell =
+            hier_generate(circuit, &HierOptions::rows(2)).unwrap_or_else(|e| panic!("{name}: {e}"));
         verify::check_width(&cell.units, &cell.placement, cell.width)
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(cell.subcells_optimal, "{name}");

@@ -23,11 +23,10 @@ fn generator_results_verify_end_to_end() {
         }
         for rows in 1..=3usize.min(pairs) {
             let name = format!("{}x{rows}", circuit.name());
-            let cell = CellGenerator::new(
-                GenOptions::rows(rows).with_time_limit(Duration::from_secs(30)),
-            )
-            .generate(circuit.clone())
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let cell =
+                CellGenerator::new(GenOptions::rows(rows).with_time_limit(Duration::from_secs(30)))
+                    .generate(circuit.clone())
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
             verify::check_placement(&cell.units, &cell.placement)
                 .unwrap_or_else(|e| panic!("{name}: {e}"));
             assert_eq!(
@@ -92,11 +91,10 @@ fn optimizer_dominates_greedy_baseline() {
         for rows in 2..=3 {
             let name = format!("{}x{rows}", circuit.name());
             let greedy = baselines::greedy2d(&units, &share, rows).unwrap();
-            let cell = CellGenerator::new(
-                GenOptions::rows(rows).with_time_limit(Duration::from_secs(30)),
-            )
-            .generate(circuit.clone())
-            .unwrap();
+            let cell =
+                CellGenerator::new(GenOptions::rows(rows).with_time_limit(Duration::from_secs(30)))
+                    .generate(circuit.clone())
+                    .unwrap();
             assert!(
                 cell.width <= greedy.width,
                 "{name}: CLIP {} vs greedy {}",
@@ -200,7 +198,11 @@ fn spice_import_matches_library() {
     let original = library::two_level_z();
     let text = clip::netlist::spice::write(&original);
     let imported = clip::netlist::spice::parse("two_level_z", &text).unwrap();
-    let a = CellGenerator::new(GenOptions::rows(2)).generate(original).unwrap();
-    let b = CellGenerator::new(GenOptions::rows(2)).generate(imported).unwrap();
+    let a = CellGenerator::new(GenOptions::rows(2))
+        .generate(original)
+        .unwrap();
+    let b = CellGenerator::new(GenOptions::rows(2))
+        .generate(imported)
+        .unwrap();
     assert_eq!(a.width, b.width);
 }
