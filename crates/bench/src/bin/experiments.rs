@@ -94,10 +94,28 @@ fn run_smoke() {
     let report = timing::smoke();
     println!("{}", report.to_table());
     let dir = std::path::Path::new("results");
-    let write = std::fs::create_dir_all(dir)
-        .and_then(|()| std::fs::write(dir.join("bench_smoke.jsonl"), report.to_jsonl()));
+    let path = dir.join("bench_smoke.jsonl");
+    let write =
+        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, report.to_jsonl()));
     match write {
         Ok(()) => eprintln!("wrote results/bench_smoke.jsonl"),
-        Err(e) => eprintln!("could not write results/bench_smoke.jsonl: {e}"),
+        Err(e) => {
+            eprintln!("could not write results/bench_smoke.jsonl: {e}");
+            std::process::exit(1);
+        }
+    }
+    // Self-check: the written file must carry the pipeline trace fields
+    // (stage name, wall time, solver stats) CI depends on.
+    let text = std::fs::read_to_string(&path).unwrap_or_default();
+    let has_trace = text.lines().any(|line| {
+        clip_layout::jsonio::parse(line).is_ok_and(|v| {
+            v.get("stage").and_then(|s| s.as_str()).is_some()
+                && v.get("wall_ns").is_some_and(|w| w.as_u64().is_some())
+                && v.get("solve").is_some()
+        })
+    });
+    if !has_trace {
+        eprintln!("error: results/bench_smoke.jsonl carries no pipeline trace records");
+        std::process::exit(1);
     }
 }

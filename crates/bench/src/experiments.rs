@@ -23,7 +23,7 @@ use clip_core::Placement;
 use clip_layout::CellLayout;
 use clip_netlist::stats::CircuitStats;
 use clip_netlist::{library, NetTable};
-use clip_pb::{BranchHeuristic, SearchStrategy, Solver, SolverConfig};
+use clip_pb::{BranchHeuristic, Budget, SearchStrategy, Solver, SolverConfig};
 use clip_route::row::{PlacedRow, SlotNets};
 use clip_route::span::row_spans;
 
@@ -631,7 +631,7 @@ pub fn ablation(limit: Duration) -> String {
             heuristic,
             brancher: use_brancher.then(|| clipw.brancher()),
             warm_start: use_warm.then(|| warm.clone()).flatten(),
-            time_limit: Some(limit),
+            budget: Budget::timeout(limit),
             ..Default::default()
         };
         let outcome = Solver::with_config(clipw.model(), config).run();
@@ -846,7 +846,7 @@ pub fn wh_verification(limit: Duration) -> String {
             SolverConfig {
                 brancher: Some(wh.brancher()),
                 heuristic: BranchHeuristic::InputOrder,
-                time_limit: Some(limit),
+                budget: Budget::timeout(limit),
                 ..Default::default()
             },
         )

@@ -113,6 +113,9 @@ pub fn sink<T>(value: T) {
 pub struct Report {
     /// The measurements, in run order.
     pub measurements: Vec<Measurement>,
+    /// Extra JSONL records appended verbatim after the measurements —
+    /// e.g. per-stage pipeline trace lines from an instrumented run.
+    pub extras: Vec<Json>,
 }
 
 impl Report {
@@ -126,11 +129,16 @@ impl Report {
         self.measurements.push(m);
     }
 
-    /// JSON-lines rendering: one compact object per measurement.
+    /// JSON-lines rendering: one compact object per measurement, then one
+    /// per extra record.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for m in &self.measurements {
             out.push_str(&m.to_json().to_compact());
+            out.push('\n');
+        }
+        for e in &self.extras {
+            out.push_str(&e.to_compact());
             out.push('\n');
         }
         out
@@ -297,6 +305,23 @@ pub fn smoke() -> Report {
             let routing: CellRouting = placement.routing(&units);
             routing.total_tracks()
         });
+    }
+
+    // Pipeline observability: one budgeted, instrumented generate whose
+    // per-stage records become their own JSONL lines (same schema as
+    // `clip synth --trace`), so downstream tooling can chart where the
+    // time goes without re-running anything.
+    {
+        let cell = CellGenerator::new(GenOptions::rows(2).with_time_limit(limit))
+            .generate(library::xor2())
+            .expect("generates");
+        for rec in &cell.trace.stages {
+            let mut line = vec![("name".to_owned(), Json::Str("trace/xor2x2".into()))];
+            if let Json::Obj(pairs) = clip_layout::trace::stage_to_value(rec) {
+                line.extend(pairs);
+            }
+            report.extras.push(Json::Obj(line));
+        }
     }
 
     report

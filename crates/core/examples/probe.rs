@@ -81,7 +81,7 @@ fn main() {
             strategy,
             brancher: Some(clipw.brancher()),
             warm_start,
-            time_limit: Some(std::time::Duration::from_secs(30)),
+            budget: clip_pb::Budget::timeout(std::time::Duration::from_secs(30)),
             ..Default::default()
         },
     )

@@ -478,7 +478,7 @@ mod tests {
                 SolverConfig {
                     brancher: Some(model.brancher()),
                     warm_start: warm,
-                    time_limit: Some(std::time::Duration::from_secs(20)),
+                    budget: clip_pb::Budget::timeout(std::time::Duration::from_secs(20)),
                     ..Default::default()
                 },
             )

@@ -1,10 +1,12 @@
 //! The top-level cell generation API.
 //!
-//! [`CellGenerator`] drives the whole pipeline: pair the circuit,
-//! optionally cluster and-stacks (HCLIP), build the CLIP-W or CLIP-WH
-//! model, seed the solver with a greedy warm start, solve with the
-//! structure-aware brancher, verify the result combinatorially, and report
-//! the realized geometry.
+//! [`CellGenerator`] drives the staged pipeline (see [`crate::pipeline`]):
+//! pair the circuit, optionally cluster and-stacks (HCLIP), build the
+//! CLIP-W or CLIP-WH model, seed the solver with a greedy warm start,
+//! solve with the structure-aware brancher, verify the result
+//! combinatorially, and report the realized geometry. Every stage runs
+//! under one shared [`Budget`] and leaves a [`StageRecord`] in the
+//! [`PipelineTrace`] carried on the finished [`GeneratedCell`].
 
 use std::error::Error;
 use std::fmt;
@@ -18,6 +20,7 @@ use crate::cliph::{ClipWH, ClipWHError, ClipWHOptions};
 use crate::clipw::{ClipW, ClipWError, ClipWOptions};
 use crate::cluster;
 use crate::orient::Orient;
+use crate::pipeline::{Budget, Pipeline, PipelineTrace, Stage, StageRecord};
 use crate::share::ShareArray;
 use crate::solution::Placement;
 use crate::unit::UnitSet;
@@ -43,8 +46,10 @@ pub struct GenOptions {
     pub objective: Objective,
     /// Enable HCLIP and-stack clustering.
     pub stacking: bool,
-    /// Wall-clock limit for the ILP solve; on expiry the best incumbent is
-    /// returned with `optimal = false`.
+    /// Total wall-clock budget for the request, shared by every pipeline
+    /// stage — and, in [`CellGenerator::generate_best_area`], across *all*
+    /// row counts. On expiry the best incumbent is returned with
+    /// `optimal = false`.
     pub time_limit: Option<Duration>,
     /// Weight on inter-row nets in the width objective (Table 3 uses 0).
     pub interrow_weight: i64,
@@ -123,6 +128,8 @@ pub struct GeneratedCell {
     pub model_vars: usize,
     /// ILP size: number of constraints.
     pub model_constraints: usize,
+    /// Per-stage pipeline records (wall time, model sizes, solve stats).
+    pub trace: PipelineTrace,
 }
 
 /// Errors from [`CellGenerator::generate`].
@@ -184,19 +191,32 @@ impl CellGenerator {
         CellGenerator { options }
     }
 
-    /// Generates a layout for `circuit`.
+    /// Generates a layout for `circuit` under a budget derived from
+    /// [`GenOptions::time_limit`].
     ///
     /// # Errors
     ///
     /// See [`GenError`].
     pub fn generate(&self, circuit: Circuit) -> Result<GeneratedCell, GenError> {
-        let paired = circuit.into_paired()?;
-        let units = if self.options.stacking {
-            cluster::cluster_and_stacks(paired)
-        } else {
-            UnitSet::flat(paired)
-        };
-        self.generate_units(units)
+        self.generate_with_budget(circuit, &Budget::from_limit(self.options.time_limit))
+    }
+
+    /// Generates a layout for `circuit`, drawing on an externally supplied
+    /// [`Budget`] (shared deadlines across several requests, node pools).
+    ///
+    /// # Errors
+    ///
+    /// See [`GenError`].
+    pub fn generate_with_budget(
+        &self,
+        circuit: Circuit,
+        budget: &Budget,
+    ) -> Result<GeneratedCell, GenError> {
+        let mut pipeline = Pipeline::new(budget.clone());
+        pipeline.set_rows(Some(self.options.rows));
+        let mut cell = self.generate_staged(circuit, &mut pipeline, None)?;
+        cell.trace = pipeline.into_trace();
+        Ok(cell)
     }
 
     /// Generates a layout for an already-built unit set.
@@ -205,8 +225,58 @@ impl CellGenerator {
     ///
     /// See [`GenError`].
     pub fn generate_units(&self, units: UnitSet) -> Result<GeneratedCell, GenError> {
+        self.generate_units_with_budget(units, &Budget::from_limit(self.options.time_limit))
+    }
+
+    /// [`CellGenerator::generate_units`] with an external [`Budget`].
+    ///
+    /// # Errors
+    ///
+    /// See [`GenError`].
+    pub fn generate_units_with_budget(
+        &self,
+        units: UnitSet,
+        budget: &Budget,
+    ) -> Result<GeneratedCell, GenError> {
+        let mut pipeline = Pipeline::new(budget.clone());
+        pipeline.set_rows(Some(self.options.rows));
+        let mut cell = self.generate_units_staged(units, &mut pipeline, None)?;
+        cell.trace = pipeline.into_trace();
+        Ok(cell)
+    }
+
+    /// Pair + cluster stages, then the unit-set pipeline.
+    fn generate_staged(
+        &self,
+        circuit: Circuit,
+        pipeline: &mut Pipeline,
+        warm_hint: Option<&Placement>,
+    ) -> Result<GeneratedCell, GenError> {
+        let paired = pipeline.stage(Stage::Pair, |_, _| circuit.into_paired())?;
+        let units = if self.options.stacking {
+            pipeline.stage(Stage::Cluster, |_, _| cluster::cluster_and_stacks(paired))
+        } else {
+            UnitSet::flat(paired)
+        };
+        self.generate_units_staged(units, pipeline, warm_hint)
+    }
+
+    /// The core staged flow: seed → (HCLIP seed) → model build → solve →
+    /// route/verify, every stage drawing on the pipeline's shared budget
+    /// and appending its [`StageRecord`].
+    fn generate_units_staged(
+        &self,
+        units: UnitSet,
+        pipeline: &mut Pipeline,
+        warm_hint: Option<&Placement>,
+    ) -> Result<GeneratedCell, GenError> {
         let share = ShareArray::new(&units);
+        let rows = self.options.rows;
         let use_wh = self.options.objective == Objective::WidthThenHeight && units.is_flat();
+
+        // A warm hint from a neighbouring row count (best-area sweep):
+        // replay its unit order, re-split for this row count.
+        let replayed = warm_hint.and_then(|hint| replay_order(&units, &share, hint, rows));
 
         if use_wh {
             let table = units.paired().circuit().nets();
@@ -216,24 +286,40 @@ impl CellGenerator {
                 .iter()
                 .filter_map(|name| table.lookup(name))
                 .collect();
-            let wh_opts = ClipWHOptions::new(self.options.rows).with_critical_nets(critical);
-            let wh = ClipWH::build(&units, &share, &wh_opts).map_err(|e| match e {
-                ClipWHError::Width(w) => GenError::Model(w),
-                ClipWHError::NotFlat => unreachable!("flatness checked above"),
+            let wh_opts = ClipWHOptions::new(rows).with_critical_nets(critical);
+            let seed = pipeline.stage(Stage::GreedySeed, |_, _| {
+                [replayed, greedy_placement(&units, &share, rows)]
+                    .into_iter()
+                    .flatten()
+                    .min_by_key(|p| p.cell_width(&units))
+            });
+            let wh = pipeline.stage(Stage::ModelBuild, |_, rec| {
+                let wh = ClipWH::build(&units, &share, &wh_opts).map_err(|e| match e {
+                    ClipWHError::Width(w) => GenError::Model(w),
+                    ClipWHError::NotFlat => unreachable!("flatness checked above"),
+                })?;
+                rec.model_vars = Some(wh.model().num_vars());
+                rec.model_constraints = Some(wh.model().num_constraints());
+                Ok::<_, GenError>(wh)
             })?;
-            let warm = greedy_placement(&units, &share, self.options.rows)
-                .and_then(|p| wh.clipw().warm_assignment(&units, &p));
-            let out = Solver::with_config(
-                wh.model(),
-                SolverConfig {
-                    brancher: Some(wh.brancher()),
-                    heuristic: clip_pb::BranchHeuristic::InputOrder,
-                    time_limit: self.options.time_limit,
-                    warm_start: warm,
-                    ..Default::default()
-                },
-            )
-            .run();
+            let warm = seed.and_then(|p| wh.clipw().warm_assignment(&units, &p));
+            let out = pipeline.stage(Stage::Solve, |budget, rec| {
+                let out = Solver::with_config(
+                    wh.model(),
+                    SolverConfig {
+                        brancher: Some(wh.brancher()),
+                        heuristic: clip_pb::BranchHeuristic::InputOrder,
+                        budget: budget.clone(),
+                        warm_start: warm,
+                        ..Default::default()
+                    },
+                )
+                .run();
+                rec.model_vars = Some(wh.model().num_vars());
+                rec.model_constraints = Some(wh.model().num_constraints());
+                rec.solve = Some(out.stats().clone());
+                out
+            });
             let optimal = out.is_optimal();
             let stats = out.stats().clone();
             let sol = match out.best() {
@@ -243,33 +329,54 @@ impl CellGenerator {
             };
             let placement = wh.extract(&sol);
             let width = wh.width_of(&sol);
-            self.finish(units, placement, width, optimal, true, stats, wh.model())
+            let sizes = (wh.model().num_vars(), wh.model().num_constraints());
+            pipeline.stage(Stage::Route, |_, _| {
+                self.finish(units, placement, width, optimal, true, stats, sizes)
+            })
         } else {
-            let mut wopts = ClipWOptions::new(self.options.rows);
+            let mut wopts = ClipWOptions::new(rows);
             wopts.interrow_weight = self.options.interrow_weight;
-            let clipw = ClipW::build(&units, &share, &wopts).map_err(GenError::Model)?;
-            let greedy_seed = greedy_placement(&units, &share, self.options.rows);
+            let greedy_seed = pipeline.stage(Stage::GreedySeed, |_, _| {
+                greedy_placement(&units, &share, rows)
+            });
             // For larger flat problems, a quick HCLIP pass often yields a
             // stronger incumbent than the greedy heuristics: solve the
-            // clustered model briefly and expand its placement.
-            let hclip_seed = (units.is_flat() && units.len() > 8)
-                .then(|| self.hclip_seed(&units))
+            // clustered model briefly (on a slice of the shared budget)
+            // and expand its placement. Skipped once the budget is gone.
+            let hclip_seed = (units.is_flat() && units.len() > 8 && !pipeline.budget().expired())
+                .then(|| {
+                    pipeline.stage(Stage::HclipSeed, |budget, rec| {
+                        self.hclip_seed(&units, budget, rec)
+                    })
+                })
                 .flatten();
-            let warm = [hclip_seed, greedy_seed]
+            let clipw = pipeline.stage(Stage::ModelBuild, |_, rec| {
+                let m = ClipW::build(&units, &share, &wopts).map_err(GenError::Model)?;
+                rec.model_vars = Some(m.model().num_vars());
+                rec.model_constraints = Some(m.model().num_constraints());
+                Ok::<_, GenError>(m)
+            })?;
+            let warm = [replayed, hclip_seed, greedy_seed]
                 .into_iter()
                 .flatten()
                 .min_by_key(|p| p.cell_width(&units))
                 .and_then(|p| clipw.warm_assignment(&units, &p));
-            let out = Solver::with_config(
-                clipw.model(),
-                SolverConfig {
-                    brancher: Some(clipw.brancher()),
-                    time_limit: self.options.time_limit,
-                    warm_start: warm,
-                    ..Default::default()
-                },
-            )
-            .run();
+            let out = pipeline.stage(Stage::Solve, |budget, rec| {
+                let out = Solver::with_config(
+                    clipw.model(),
+                    SolverConfig {
+                        brancher: Some(clipw.brancher()),
+                        budget: budget.clone(),
+                        warm_start: warm,
+                        ..Default::default()
+                    },
+                )
+                .run();
+                rec.model_vars = Some(clipw.model().num_vars());
+                rec.model_constraints = Some(clipw.model().num_constraints());
+                rec.solve = Some(out.stats().clone());
+                out
+            });
             let optimal = out.is_optimal();
             let stats = out.stats().clone();
             let sol = match out.best() {
@@ -279,15 +386,10 @@ impl CellGenerator {
             };
             let placement = clipw.extract(&sol);
             let width = clipw.width_of(&sol);
-            self.finish(
-                units,
-                placement,
-                width,
-                optimal,
-                false,
-                stats,
-                clipw.model(),
-            )
+            let sizes = (clipw.model().num_vars(), clipw.model().num_constraints());
+            pipeline.stage(Stage::Route, |_, _| {
+                self.finish(units, placement, width, optimal, false, stats, sizes)
+            })
         }
     }
 
@@ -295,61 +397,94 @@ impl CellGenerator {
     /// the one with the smallest area (width × height), with ties broken
     /// toward fewer rows. Row counts exceeding the unit count are skipped.
     ///
+    /// The whole sweep shares **one** budget derived from
+    /// [`GenOptions::time_limit`] — a 4-row sweep with a 30 s limit takes
+    /// ~30 s total, not 30 s per row count — and each row count's solve is
+    /// warm-started from the previous row count's placement (its unit
+    /// order replayed and re-split). The winning cell's
+    /// [`GeneratedCell::trace`] covers the *entire* sweep, with each
+    /// record stamped with the row count it targeted.
+    ///
     /// This automates the paper's central trade-off study: the 2-D style's
     /// area optimum typically sits at an intermediate row count.
     ///
     /// # Errors
     ///
-    /// Returns the last error if no row count produces a cell.
+    /// Returns the first informative error if no row count produces a cell.
     pub fn generate_best_area(
         &self,
         circuit: Circuit,
         max_rows: usize,
     ) -> Result<GeneratedCell, GenError> {
+        let mut pipeline = Pipeline::new(Budget::from_limit(self.options.time_limit));
         let mut best: Option<GeneratedCell> = None;
-        let mut last_err = GenError::NoSolution;
+        let mut first_err: Option<GenError> = None;
+        let mut prev: Option<Placement> = None;
         for rows in 1..=max_rows.max(1) {
             let mut options = self.options.clone();
             options.rows = rows;
-            match CellGenerator::new(options).generate(circuit.clone()) {
+            pipeline.set_rows(Some(rows));
+            match CellGenerator::new(options).generate_staged(
+                circuit.clone(),
+                &mut pipeline,
+                prev.as_ref(),
+            ) {
                 Ok(cell) => {
+                    prev = Some(cell.placement.clone());
                     let area = cell.width * cell.height;
                     let better = best.as_ref().is_none_or(|b| area < b.width * b.height);
                     if better {
                         best = Some(cell);
                     }
                 }
-                Err(GenError::Model(ClipWError::TooManyRows { .. })) => break,
-                Err(e) => last_err = e,
+                Err(e @ GenError::Model(ClipWError::TooManyRows { .. })) => {
+                    note(&mut first_err, e);
+                    break;
+                }
+                Err(e) => note(&mut first_err, e),
             }
         }
-        best.ok_or(last_err)
+        match best {
+            Some(mut cell) => {
+                cell.trace = pipeline.into_trace();
+                Ok(cell)
+            }
+            None => Err(first_err.unwrap_or(GenError::NoSolution)),
+        }
     }
 
     /// Solves the HCLIP-clustered problem briefly and expands the result
     /// into a flat placement, as a warm-start seed for the exact model.
-    fn hclip_seed(&self, flat: &UnitSet) -> Option<Placement> {
+    /// The solve gets a *slice* of the shared budget (a quarter of what
+    /// remains, a few seconds at most) and reports its model size and
+    /// stats into the [`Stage::HclipSeed`] record.
+    fn hclip_seed(
+        &self,
+        flat: &UnitSet,
+        budget: &Budget,
+        rec: &mut StageRecord,
+    ) -> Option<Placement> {
         let stacked = cluster::cluster_and_stacks(flat.paired().clone());
         if stacked.len() == flat.len() {
             return None; // no stacks found: nothing to gain
         }
         let sshare = ShareArray::new(&stacked);
         let model = ClipW::build(&stacked, &sshare, &ClipWOptions::new(self.options.rows)).ok()?;
+        rec.model_vars = Some(model.model().num_vars());
+        rec.model_constraints = Some(model.model().num_constraints());
         let warm = greedy_placement(&stacked, &sshare, self.options.rows)
             .and_then(|p| model.warm_assignment(&stacked, &p));
-        let budget = self.options.time_limit.map_or(Duration::from_secs(5), |l| {
-            (l / 4).min(Duration::from_secs(5))
-        });
         let out = Solver::with_config(
             model.model(),
             SolverConfig {
                 brancher: Some(model.brancher()),
                 warm_start: warm,
-                time_limit: Some(budget),
+                budget: budget.slice(4, Duration::from_secs(5)),
                 ..Default::default()
             },
         )
         .run();
+        rec.solve = Some(out.stats().clone());
         let sol = out.best()?;
         let placement = model.extract(sol);
         cluster::expand_placement(&stacked, &placement, flat)
@@ -364,7 +499,7 @@ impl CellGenerator {
         optimal: bool,
         height_optimized: bool,
         stats: SolveStats,
-        model: &clip_pb::Model,
+        (model_vars, model_constraints): (usize, usize),
     ) -> Result<GeneratedCell, GenError> {
         verify::check_placement(&units, &placement)
             .map_err(|e| GenError::Verify(verify::VerifyError::Placement(e)))?;
@@ -389,12 +524,55 @@ impl CellGenerator {
             optimal,
             height_optimized,
             stats,
-            model_vars: model.num_vars(),
-            model_constraints: model.num_constraints(),
+            model_vars,
+            model_constraints,
+            trace: PipelineTrace::default(),
             placement,
             units,
         })
     }
+}
+
+/// Records a sweep error, keeping the first *informative* one: the slot
+/// only moves off an uninformative bare `NoSolution`, never off a real
+/// diagnosis — so neither a later `NoSolution` nor the `TooManyRows`
+/// break that ends a sweep can mask the error worth reporting.
+fn note(slot: &mut Option<GenError>, e: GenError) {
+    match slot {
+        None => *slot = Some(e),
+        Some(GenError::NoSolution) if !matches!(e, GenError::NoSolution) => *slot = Some(e),
+        _ => {}
+    }
+}
+
+/// Replays a placement from a *different* row count as a seed for `rows`:
+/// flattens the hint's unit order and re-splits it via the order DP. The
+/// hint must cover exactly this unit set (same length, each id once);
+/// anything else — e.g. a stacked placement replayed onto flat units —
+/// is rejected rather than trusted.
+fn replay_order(
+    units: &UnitSet,
+    share: &ShareArray,
+    hint: &Placement,
+    rows: usize,
+) -> Option<Placement> {
+    let n = units.len();
+    if rows == 0 || rows > n {
+        return None;
+    }
+    let order: Vec<usize> = hint.rows.iter().flatten().map(|pu| pu.unit).collect();
+    if order.len() != n {
+        return None;
+    }
+    let mut seen = vec![false; n];
+    for &u in &order {
+        if u >= n || seen[u] {
+            return None;
+        }
+        seen[u] = true;
+    }
+    let (_, placement) = evaluate_order(units, share, &order, rows);
+    Some(placement)
 }
 
 /// Greedy warm-start placement: multi-start nearest-neighbour chain growth
@@ -699,6 +877,72 @@ mod tests {
         // Row counts beyond the pair count are skipped, not errors.
         let tiny = gen.generate_best_area(library::inverter(), 4).unwrap();
         assert_eq!(tiny.placement.rows.len(), 1);
+    }
+
+    #[test]
+    fn best_area_breaks_ties_toward_fewer_rows() {
+        // nand4 areas tie at 20 for rows 1 (4x5) and 2 (2x10): the sweep
+        // must keep the earlier (fewer-rows) winner.
+        let gen = CellGenerator::new(GenOptions::rows(1).with_time_limit(Duration::from_secs(30)));
+        let best = gen.generate_best_area(library::nand4(), 2).unwrap();
+        assert_eq!(best.placement.rows.len(), 1);
+        assert_eq!(best.width, 4);
+        assert_eq!(best.width * best.height, 20);
+    }
+
+    #[test]
+    fn sweep_errors_keep_the_first_informative_one() {
+        let too_many = || GenError::Model(ClipWError::TooManyRows { rows: 4, units: 2 });
+        // The TooManyRows that ends a sweep is recorded when nothing
+        // preceded it (the old code returned a stale NoSolution default).
+        let mut slot = None;
+        note(&mut slot, too_many());
+        assert!(matches!(
+            slot,
+            Some(GenError::Model(ClipWError::TooManyRows { .. }))
+        ));
+        // A later bare NoSolution must not mask an informative error...
+        note(&mut slot, GenError::NoSolution);
+        assert!(matches!(
+            slot,
+            Some(GenError::Model(ClipWError::TooManyRows { .. }))
+        ));
+        // ...but an informative error replaces a bare NoSolution.
+        let mut slot = None;
+        note(&mut slot, GenError::NoSolution);
+        note(&mut slot, GenError::Infeasible);
+        assert!(matches!(slot, Some(GenError::Infeasible)));
+        // The first informative error wins over later ones.
+        note(&mut slot, too_many());
+        assert!(matches!(slot, Some(GenError::Infeasible)));
+    }
+
+    #[test]
+    fn generate_records_a_pipeline_trace() {
+        let cell = CellGenerator::new(GenOptions::rows(2))
+            .generate(library::xor2())
+            .unwrap();
+        let stages: Vec<crate::pipeline::Stage> =
+            cell.trace.stages.iter().map(|s| s.stage).collect();
+        use crate::pipeline::Stage::*;
+        assert_eq!(stages, vec![Pair, GreedySeed, ModelBuild, Solve, Route]);
+        let solve = &cell.trace.stages[3];
+        assert_eq!(solve.model_vars, Some(cell.model_vars));
+        assert_eq!(solve.model_constraints, Some(cell.model_constraints));
+        assert_eq!(solve.solve.as_ref().unwrap(), &cell.stats);
+        assert_eq!(solve.rows, Some(2));
+    }
+
+    #[test]
+    fn expired_budget_still_returns_the_warm_incumbent() {
+        // A zero budget: every solve hits its deadline immediately, but
+        // the greedy warm start keeps the pipeline feasible end to end.
+        let gen = CellGenerator::new(GenOptions::rows(2));
+        let cell = gen
+            .generate_with_budget(library::xor2(), &Budget::timeout(Duration::ZERO))
+            .unwrap();
+        assert!(!cell.optimal);
+        crate::verify::check_placement(&cell.units, &cell.placement).unwrap();
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use std::time::Duration;
 
 use clip_netlist::Circuit;
-use clip_pb::{Solver, SolverConfig};
+use clip_pb::{Budget, Solver, SolverConfig};
 
 use crate::clipw::{ClipW, ClipWOptions};
 use crate::cluster;
@@ -40,7 +40,8 @@ pub struct HierOptions {
     pub rows: usize,
     /// HCLIP stacking inside each sub-cell.
     pub stacking: bool,
-    /// Per-sub-cell ILP time limit.
+    /// Total ILP budget for the request, shared across *all* sub-cell
+    /// solves (a deadline, not a per-solve allowance).
     pub time_limit: Option<Duration>,
 }
 
@@ -145,7 +146,8 @@ pub fn generate_units(units: UnitSet, opts: &HierOptions) -> Result<HierCell, Ge
     let rows = opts.rows.clamp(1, max_group);
     let share = ShareArray::new(&units);
 
-    // Solve each sub-cell.
+    // Solve each sub-cell against one shared deadline.
+    let budget = Budget::from_limit(opts.time_limit);
     let mut sub_layouts: Vec<Vec<Vec<PlacedUnit>>> = Vec::with_capacity(partition.len());
     let mut solve_time = Duration::ZERO;
     let mut all_optimal = true;
@@ -163,7 +165,7 @@ pub fn generate_units(units: UnitSet, opts: &HierOptions) -> Result<HierCell, Ge
             SolverConfig {
                 brancher: Some(model.brancher()),
                 warm_start: warm,
-                time_limit: opts.time_limit,
+                budget: budget.clone(),
                 ..Default::default()
             },
         )

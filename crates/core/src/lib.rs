@@ -14,6 +14,8 @@
 //! * [`solution`] — extracted placements and geometric realization;
 //! * [`exhaustive`] — a brute-force oracle for small circuits;
 //! * [`verify`] — independent combinatorial re-checking of solutions;
+//! * [`pipeline`] — the staged solve pipeline: shared [`pipeline::Budget`]
+//!   deadlines and the per-stage [`pipeline::PipelineTrace`];
 //! * [`generator`] — the top-level [`generator::CellGenerator`] API.
 //!
 //! # Example
@@ -43,6 +45,7 @@ pub mod exhaustive;
 pub mod generator;
 pub mod hier;
 pub mod orient;
+pub mod pipeline;
 pub mod share;
 pub mod solution;
 pub mod unit;
@@ -52,6 +55,7 @@ pub use cliph::{ClipWH, ClipWHError, ClipWHOptions, WhObjective};
 pub use clipw::{ClipW, ClipWError, ClipWOptions};
 pub use generator::{CellGenerator, GenError, GenOptions, GeneratedCell, Objective};
 pub use orient::Orient;
+pub use pipeline::{Budget, Pipeline, PipelineTrace, Stage, StageRecord};
 pub use share::{ShareArray, ShareEntry};
 pub use solution::{PlacedUnit, Placement};
 pub use unit::{Unit, UnitId, UnitSet};

@@ -110,7 +110,7 @@ proptest_lite! {
             SolverConfig {
                 brancher: Some(wh.brancher()),
                 heuristic: clip_pb::BranchHeuristic::InputOrder,
-                time_limit: Some(std::time::Duration::from_secs(20)),
+                budget: clip_pb::Budget::timeout(std::time::Duration::from_secs(20)),
                 ..Default::default()
             },
         )

@@ -75,6 +75,22 @@ impl Json {
         }
     }
 
+    /// The value as an `i64`, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Int(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
     /// The value as a `bool`.
     pub fn as_bool(&self) -> Option<bool> {
         match *self {

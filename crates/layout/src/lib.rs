@@ -28,6 +28,7 @@ pub mod jsonio;
 pub mod metrics;
 pub mod render;
 pub mod svg;
+pub mod trace;
 
 use clip_core::generator::GeneratedCell;
 use clip_netlist::NetId;

@@ -1,0 +1,257 @@
+//! JSON serialization for [`PipelineTrace`] over [`crate::jsonio`].
+//!
+//! Schema (optional fields omitted when absent):
+//!
+//! ```json
+//! {"stages": [
+//!   {"stage": "solve", "rows": 2, "wall_ns": 1234,
+//!    "model_vars": 56, "model_constraints": 78,
+//!    "solve": {"nodes": 9, "propagations": 10, "conflicts": 1,
+//!              "learned": 0, "duration_ns": 1200, "proved_optimal": true,
+//!              "incumbents": [{"at_ns": 3, "objective": 4}]}}
+//! ]}
+//! ```
+//!
+//! Durations are integral nanoseconds, so emit → parse → emit is exact.
+//! `clip synth --trace FILE` writes this document, and the bench harness
+//! embeds the per-stage objects (via [`stage_to_value`]) in its JSONL.
+
+use std::fmt;
+use std::time::Duration;
+
+use clip_core::pipeline::{PipelineTrace, SolveStats, Stage, StageRecord};
+
+use crate::jsonio::{self, Json, JsonError};
+
+/// A trace deserialization failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceError {
+    /// The text is not valid JSON.
+    Json(JsonError),
+    /// The JSON does not match the trace schema.
+    Schema(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Json(e) => write!(f, "trace: {e}"),
+            TraceError::Schema(msg) => write!(f, "trace schema: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<JsonError> for TraceError {
+    fn from(e: JsonError) -> Self {
+        TraceError::Json(e)
+    }
+}
+
+fn dur_to_json(d: Duration) -> Json {
+    Json::Int(i64::try_from(d.as_nanos()).unwrap_or(i64::MAX))
+}
+
+fn stats_to_value(s: &SolveStats) -> Json {
+    let int = |v: u64| Json::Int(i64::try_from(v).unwrap_or(i64::MAX));
+    Json::obj([
+        ("nodes", int(s.nodes)),
+        ("propagations", int(s.propagations)),
+        ("conflicts", int(s.conflicts)),
+        ("learned", int(s.learned)),
+        ("duration_ns", dur_to_json(s.duration)),
+        ("proved_optimal", Json::Bool(s.proved_optimal)),
+        (
+            "incumbents",
+            Json::arr(&s.incumbents, |&(at, objective)| {
+                Json::obj([
+                    ("at_ns", dur_to_json(at)),
+                    ("objective", Json::Int(objective)),
+                ])
+            }),
+        ),
+    ])
+}
+
+/// Serializes one stage record as a JSON object. Reused by the bench
+/// harness to embed per-stage fields in its JSONL lines.
+pub fn stage_to_value(rec: &StageRecord) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![
+        ("stage".into(), Json::Str(rec.stage.name().into())),
+        ("wall_ns".into(), dur_to_json(rec.wall)),
+    ];
+    if let Some(rows) = rec.rows {
+        pairs.insert(1, ("rows".into(), Json::Int(rows as i64)));
+    }
+    if let Some(v) = rec.model_vars {
+        pairs.push(("model_vars".into(), Json::Int(v as i64)));
+    }
+    if let Some(c) = rec.model_constraints {
+        pairs.push(("model_constraints".into(), Json::Int(c as i64)));
+    }
+    if let Some(s) = &rec.solve {
+        pairs.push(("solve".into(), stats_to_value(s)));
+    }
+    Json::Obj(pairs)
+}
+
+/// Serializes a whole trace as a JSON value.
+pub fn to_value(trace: &PipelineTrace) -> Json {
+    Json::obj([("stages", Json::arr(&trace.stages, stage_to_value))])
+}
+
+/// Serializes a whole trace as a pretty-printed JSON document.
+pub fn to_json(trace: &PipelineTrace) -> String {
+    to_value(trace).to_pretty()
+}
+
+fn schema(msg: impl Into<String>) -> TraceError {
+    TraceError::Schema(msg.into())
+}
+
+fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json, TraceError> {
+    v.get(key).ok_or_else(|| schema(format!("missing `{key}`")))
+}
+
+fn dur_from(v: &Json, key: &str) -> Result<Duration, TraceError> {
+    v.as_u64()
+        .map(Duration::from_nanos)
+        .ok_or_else(|| schema(format!("`{key}` must be a non-negative integer")))
+}
+
+fn stats_from_value(v: &Json) -> Result<SolveStats, TraceError> {
+    let count = |key: &str| -> Result<u64, TraceError> {
+        req(v, key)?
+            .as_u64()
+            .ok_or_else(|| schema(format!("`{key}` must be a non-negative integer")))
+    };
+    let incumbents = req(v, "incumbents")?
+        .as_arr()
+        .ok_or_else(|| schema("`incumbents` must be an array"))?
+        .iter()
+        .map(|inc| {
+            let at = dur_from(req(inc, "at_ns")?, "at_ns")?;
+            let objective = req(inc, "objective")?
+                .as_i64()
+                .ok_or_else(|| schema("`objective` must be an integer"))?;
+            Ok((at, objective))
+        })
+        .collect::<Result<Vec<_>, TraceError>>()?;
+    Ok(SolveStats {
+        nodes: count("nodes")?,
+        propagations: count("propagations")?,
+        conflicts: count("conflicts")?,
+        learned: count("learned")?,
+        duration: dur_from(req(v, "duration_ns")?, "duration_ns")?,
+        proved_optimal: req(v, "proved_optimal")?
+            .as_bool()
+            .ok_or_else(|| schema("`proved_optimal` must be a boolean"))?,
+        incumbents,
+    })
+}
+
+fn stage_from_value(v: &Json) -> Result<StageRecord, TraceError> {
+    let name = req(v, "stage")?
+        .as_str()
+        .ok_or_else(|| schema("`stage` must be a string"))?;
+    let stage = Stage::from_name(name).ok_or_else(|| schema(format!("unknown stage `{name}`")))?;
+    let opt_usize = |key: &str| -> Result<Option<usize>, TraceError> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(f) => f
+                .as_usize()
+                .map(Some)
+                .ok_or_else(|| schema(format!("`{key}` must be a non-negative integer"))),
+        }
+    };
+    Ok(StageRecord {
+        stage,
+        rows: opt_usize("rows")?,
+        wall: dur_from(req(v, "wall_ns")?, "wall_ns")?,
+        model_vars: opt_usize("model_vars")?,
+        model_constraints: opt_usize("model_constraints")?,
+        solve: v.get("solve").map(stats_from_value).transpose()?,
+    })
+}
+
+/// Reconstructs a trace from its JSON value.
+///
+/// # Errors
+///
+/// [`TraceError::Schema`] when the value does not match the schema.
+pub fn from_value(v: &Json) -> Result<PipelineTrace, TraceError> {
+    let stages = req(v, "stages")?
+        .as_arr()
+        .ok_or_else(|| schema("`stages` must be an array"))?
+        .iter()
+        .map(stage_from_value)
+        .collect::<Result<Vec<_>, TraceError>>()?;
+    Ok(PipelineTrace { stages })
+}
+
+/// Parses a serialized trace document.
+///
+/// # Errors
+///
+/// [`TraceError::Json`] on malformed JSON, [`TraceError::Schema`] on a
+/// well-formed document that is not a trace.
+pub fn parse(text: &str) -> Result<PipelineTrace, TraceError> {
+    from_value(&jsonio::parse(text)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_core::generator::{CellGenerator, GenOptions};
+    use clip_netlist::library;
+
+    #[test]
+    fn real_generated_trace_round_trips() {
+        let cell = CellGenerator::new(GenOptions::rows(2).with_time_limit(Duration::from_secs(30)))
+            .generate(library::xor2())
+            .unwrap();
+        assert!(!cell.trace.stages.is_empty());
+        // The pipeline recorded a solve with its incumbent trajectory.
+        let solve = cell
+            .trace
+            .stages
+            .iter()
+            .find(|s| s.stage == Stage::Solve)
+            .expect("solve stage recorded");
+        let stats = solve.solve.as_ref().expect("solver stats recorded");
+        assert!(!stats.incumbents.is_empty());
+        assert!(solve.model_vars.is_some() && solve.model_constraints.is_some());
+
+        let text = to_json(&cell.trace);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, cell.trace);
+        // Emit → parse → emit is stable.
+        assert_eq!(to_json(&back), text);
+    }
+
+    #[test]
+    fn sweep_trace_round_trips_with_row_stamps() {
+        let cell = CellGenerator::new(GenOptions::rows(1).with_time_limit(Duration::from_secs(30)))
+            .generate_best_area(library::xor2(), 3)
+            .unwrap();
+        let rows_seen: Vec<usize> = cell.trace.stages.iter().filter_map(|s| s.rows).collect();
+        assert!(rows_seen.contains(&1) && rows_seen.contains(&3));
+        let back = parse(&to_json(&cell.trace)).unwrap();
+        assert_eq!(back, cell.trace);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        assert!(matches!(parse("not json"), Err(TraceError::Json(_))));
+        assert!(matches!(parse("{}"), Err(TraceError::Schema(_))));
+        assert!(matches!(
+            parse(r#"{"stages":[{"stage":"warp","wall_ns":1}]}"#),
+            Err(TraceError::Schema(_))
+        ));
+        assert!(matches!(
+            parse(r#"{"stages":[{"stage":"solve","wall_ns":-5}]}"#),
+            Err(TraceError::Schema(_))
+        ));
+    }
+}

@@ -42,6 +42,7 @@
 
 pub mod branch;
 pub mod brute;
+pub mod budget;
 pub mod encode;
 pub mod model;
 pub mod opb;
@@ -50,5 +51,6 @@ pub mod propagate;
 pub mod solve;
 
 pub use branch::BranchHeuristic;
+pub use budget::Budget;
 pub use model::{Constraint, LinTerm, Model, Var};
 pub use solve::{Brancher, Outcome, SearchStrategy, Solution, SolveStats, Solver, SolverConfig};

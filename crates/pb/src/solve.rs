@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 use std::sync::Arc;
 
 use crate::branch::{pick, BranchHeuristic, StaticScores};
+use crate::budget::Budget;
 use crate::model::{Model, Var};
 use crate::propagate::{Engine, PropOutcome};
 
@@ -38,10 +39,12 @@ pub struct SolverConfig {
     pub strategy: SearchStrategy,
     /// Branching heuristic (default [`BranchHeuristic::DynamicScore`]).
     pub heuristic: BranchHeuristic,
-    /// Wall-clock limit for the search.
-    pub time_limit: Option<Duration>,
-    /// Decision-node limit for the search.
-    pub node_limit: Option<u64>,
+    /// Solve budget: an absolute wall-clock deadline plus an optional
+    /// shared node pool. Budgets are created once per request and shared
+    /// across stages — a solve that starts late gets only the time that is
+    /// actually left. [`Solver::run`] debits the explored nodes from the
+    /// pool on exit. The default budget is unlimited.
+    pub budget: Budget,
     /// Warm-start assignment. If feasible, it seeds the incumbent before
     /// the search begins (its objective bound prunes immediately).
     pub warm_start: Option<Vec<bool>>,
@@ -58,8 +61,7 @@ impl std::fmt::Debug for SolverConfig {
         f.debug_struct("SolverConfig")
             .field("strategy", &self.strategy)
             .field("heuristic", &self.heuristic)
-            .field("time_limit", &self.time_limit)
-            .field("node_limit", &self.node_limit)
+            .field("budget", &self.budget)
             .field("warm_start", &self.warm_start.as_ref().map(Vec::len))
             .field("brancher", &self.brancher.is_some())
             .field("presolve", &self.presolve)
@@ -88,7 +90,7 @@ impl Solution {
 }
 
 /// Search statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SolveStats {
     /// Decision nodes explored.
     pub nodes: u64,
@@ -228,6 +230,7 @@ impl<'a> Solver<'a> {
 
         stats.propagations = engine.propagations;
         stats.duration = start.elapsed();
+        self.config.budget.consume_nodes(stats.nodes);
         match (best, stats.proved_optimal) {
             (Some(s), true) => Outcome::Optimal(s, stats),
             (Some(s), false) => Outcome::Feasible(s, stats),
@@ -262,21 +265,26 @@ impl<'a> Solver<'a> {
         let n = self.model.num_vars();
         let mut frames: Vec<Frame> = Vec::new();
         let mut limit_hit = false;
+        let deadline = self.config.budget.deadline();
+        let node_limit = self.config.budget.remaining_nodes();
+        // Deadline checks are paced on a local iteration counter, not on
+        // nodes+conflicts: those can advance by more than one per loop and
+        // jump over every multiple of 64, deferring the check indefinitely.
+        let mut ticks: u64 = 0;
         let mut conflict = match engine.propagate_all() {
             PropOutcome::Conflict(ci) => Some(ci),
             PropOutcome::Consistent => None,
         };
 
         'outer: loop {
-            if let Some(tl) = self.config.time_limit {
-                if stats.nodes.wrapping_add(stats.conflicts).is_multiple_of(64)
-                    && start.elapsed() > tl
-                {
+            if let Some(dl) = deadline {
+                if ticks.is_multiple_of(64) && Instant::now() >= dl {
                     limit_hit = true;
                     break;
                 }
             }
-            if let Some(nl) = self.config.node_limit {
+            ticks += 1;
+            if let Some(nl) = node_limit {
                 if stats.nodes > nl {
                     limit_hit = true;
                     break;
@@ -373,22 +381,25 @@ impl<'a> Solver<'a> {
     ) {
         let n = self.model.num_vars();
         let mut limit_hit = false;
+        let deadline = self.config.budget.deadline();
+        let node_limit = self.config.budget.remaining_nodes();
+        let mut ticks: u64 = 0;
         let mut conflict = match engine.propagate_all() {
             PropOutcome::Conflict(ci) => Some(ci),
             PropOutcome::Consistent => None,
         };
 
         loop {
-            // Limits, checked per iteration.
-            if let Some(tl) = self.config.time_limit {
-                if stats.nodes.wrapping_add(stats.conflicts).is_multiple_of(64)
-                    && start.elapsed() > tl
-                {
+            // Limits, paced on a local counter (nodes+conflicts can step
+            // over every multiple of 64 and defer the check indefinitely).
+            if let Some(dl) = deadline {
+                if ticks.is_multiple_of(64) && Instant::now() >= dl {
                     limit_hit = true;
                     break;
                 }
             }
-            if let Some(nl) = self.config.node_limit {
+            ticks += 1;
+            if let Some(nl) = node_limit {
                 if stats.nodes > nl {
                     limit_hit = true;
                     break;
@@ -615,7 +626,7 @@ mod tests {
         let out = Solver::with_config(
             &m,
             SolverConfig {
-                node_limit: Some(3),
+                budget: Budget::unlimited().with_node_budget(3),
                 ..Default::default()
             },
         )

@@ -60,7 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             SolverConfig {
                 brancher: Some(wh.brancher()),
                 heuristic: BranchHeuristic::InputOrder,
-                time_limit: Some(Duration::from_secs(30)),
+                budget: clip::pb::Budget::timeout(Duration::from_secs(30)),
                 ..Default::default()
             },
         )

@@ -26,6 +26,7 @@ struct SynthArgs {
     svg: Option<String>,
     json: Option<String>,
     cif: Option<String>,
+    trace: Option<String>,
     critical: Vec<String>,
     quiet: bool,
 }
@@ -43,6 +44,7 @@ impl Default for SynthArgs {
             svg: None,
             json: None,
             cif: None,
+            trace: None,
             critical: Vec::new(),
             quiet: false,
         }
@@ -77,7 +79,7 @@ fn usage() {
     eprintln!(
         "usage:\n  clip cells\n  clip synth (--cell NAME | --expr FORMULA | --spice FILE) \
          [--rows N|auto] [--stacking] [--height]\n             [--limit SECS] [--fold K] \
-         [--critical NET]... [--svg FILE] [--json FILE] [--cif FILE] [--quiet]"
+         [--critical NET]... [--svg FILE] [--json FILE] [--cif FILE] [--trace FILE] [--quiet]"
     );
 }
 
@@ -146,6 +148,7 @@ fn parse_synth(args: &[String]) -> Result<SynthArgs, String> {
             "--svg" => out.svg = Some(take(&mut i)?),
             "--json" => out.json = Some(take(&mut i)?),
             "--cif" => out.cif = Some(take(&mut i)?),
+            "--trace" => out.trace = Some(take(&mut i)?),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
@@ -224,7 +227,8 @@ fn synth(args: SynthArgs) -> ExitCode {
             cell.model_constraints,
             cell.stats.nodes
         );
-        println!("\n{}", layout.render());
+        println!("\npipeline:\n{}", cell.trace.render());
+        println!("{}", layout.render());
     }
     if let Some(path) = args.svg {
         if let Err(e) = std::fs::write(&path, layout.to_svg()) {
@@ -242,6 +246,13 @@ fn synth(args: SynthArgs) -> ExitCode {
     }
     if let Some(path) = args.cif {
         if let Err(e) = std::fs::write(&path, layout.to_cif()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.trace {
+        if let Err(e) = std::fs::write(&path, clip::layout::trace::to_json(&cell.trace)) {
             eprintln!("error: {path}: {e}");
             return ExitCode::FAILURE;
         }

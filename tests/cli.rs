@@ -71,6 +71,58 @@ fn synth_from_expression_writes_artifacts() {
 }
 
 #[test]
+fn trace_flag_writes_stage_records_within_the_budget() {
+    let dir = std::env::temp_dir().join(format!("clip_cli_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let trace = dir.join("trace.json");
+    let start = std::time::Instant::now();
+    let out = clip()
+        .args([
+            "synth",
+            "--cell",
+            "mux21",
+            "--rows",
+            "auto",
+            "--limit",
+            "5",
+            "--quiet",
+            "--trace",
+            trace.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    let elapsed = start.elapsed();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // One shared budget for the whole sweep: ~5 s total, NOT 5 s per row
+    // count (generous slop for the non-solver stages and a debug build).
+    assert!(
+        elapsed < std::time::Duration::from_secs(12),
+        "sweep overran its shared budget: {elapsed:?}"
+    );
+    let parsed = clip::layout::trace::parse(&std::fs::read_to_string(&trace).expect("written"))
+        .expect("valid trace document");
+    assert!(!parsed.stages.is_empty());
+    let solves: Vec<_> = parsed
+        .stages
+        .iter()
+        .filter(|s| s.stage == clip::core::pipeline::Stage::Solve)
+        .collect();
+    assert!(!solves.is_empty(), "no solve stage recorded");
+    for s in &solves {
+        let stats = s.solve.as_ref().expect("solver stats recorded");
+        assert!(s.rows.is_some(), "sweep records are row-stamped");
+        assert!(s.model_vars.is_some() && s.model_constraints.is_some());
+        // The trajectory is present whenever a feasible solution exists.
+        assert!(!stats.incumbents.is_empty());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_flags_fail_with_usage() {
     let out = clip()
         .args(["synth", "--frobnicate"])

@@ -74,7 +74,7 @@ fn critical_net_weighting_shrinks_output_span() {
             SolverConfig {
                 brancher: Some(wh.brancher()),
                 heuristic: BranchHeuristic::InputOrder,
-                time_limit: Some(Duration::from_secs(60)),
+                budget: clip::pb::Budget::timeout(Duration::from_secs(60)),
                 ..Default::default()
             },
         )

@@ -192,6 +192,45 @@ fn height_objective_improves_tracks() {
     }
 }
 
+/// A best-area sweep shares ONE budget across all row counts: with a
+/// total budget B, a 4-row sweep must finish in ~B, not rows×B. The
+/// full adder's flat models are hard enough that every solve would
+/// happily eat its full allowance, making over-budget sweeps obvious.
+#[test]
+fn best_area_sweep_shares_one_budget() {
+    use clip::core::pipeline::Stage;
+    let budget = Duration::from_millis(900);
+    let start = std::time::Instant::now();
+    let cell = CellGenerator::new(GenOptions::rows(1).with_time_limit(budget))
+        .generate_best_area(library::full_adder(), 4)
+        .unwrap();
+    let elapsed = start.elapsed();
+    // Generous slop: non-solver stages (greedy seed, routing, verify)
+    // run outside the deadline loop, but nowhere near 4x the budget.
+    assert!(
+        elapsed < budget * 3,
+        "sweep took {elapsed:?} against a {budget:?} budget"
+    );
+    verify::check_placement(&cell.units, &cell.placement).unwrap();
+    // The trace spans the sweep: several row counts, each with a solve.
+    let solve_rows: Vec<usize> = cell
+        .trace
+        .stages
+        .iter()
+        .filter(|s| s.stage == Stage::Solve)
+        .filter_map(|s| s.rows)
+        .collect();
+    assert!(
+        solve_rows.len() >= 2,
+        "expected solves at several row counts, got {solve_rows:?}"
+    );
+    assert_eq!(
+        cell.trace.total_wall().max(elapsed),
+        elapsed,
+        "trace wall within elapsed"
+    );
+}
+
 /// SPICE round trip feeds the generator identically.
 #[test]
 fn spice_import_matches_library() {
