@@ -118,4 +118,30 @@ fn run_smoke() {
         eprintln!("error: results/bench_smoke.jsonl carries no pipeline trace records");
         std::process::exit(1);
     }
+    // The parallel-search fields must be present too: a portfolio solve
+    // record naming its winner and thread count...
+    let has_portfolio = text.lines().any(|line| {
+        clip_layout::jsonio::parse(line).is_ok_and(|v| {
+            v.get("winner_strategy").and_then(|s| s.as_str()).is_some()
+                && v.get("threads").is_some_and(|t| t.as_u64().is_some())
+        })
+    });
+    if !has_portfolio {
+        eprintln!("error: results/bench_smoke.jsonl carries no portfolio solve record");
+        std::process::exit(1);
+    }
+    // ...and the jobs-sweep pair with identical areas at 1 and 4 workers.
+    let sweep_areas: Vec<u64> = text
+        .lines()
+        .filter_map(|line| clip_layout::jsonio::parse(line).ok())
+        .filter(|v| {
+            v.get("name").and_then(|n| n.as_str()) == Some("jobs_sweep/nand4x4")
+                && v.get("jobs").is_some()
+        })
+        .filter_map(|v| v.get("area").and_then(|a| a.as_u64()))
+        .collect();
+    if sweep_areas.len() < 2 || sweep_areas.windows(2).any(|w| w[0] != w[1]) {
+        eprintln!("error: jobs-sweep records missing or areas differ across job counts");
+        std::process::exit(1);
+    }
 }

@@ -307,12 +307,49 @@ pub fn smoke() -> Report {
         });
     }
 
+    // Parallel search: the jobs sweep the acceptance gate reads — the
+    // same nand4 best-area run at 1 and 4 workers under the same budget.
+    // Each jobs value gets a normal timing record plus an extras line
+    // carrying the resulting area, so downstream checks can confirm the
+    // parallel sweep returns the identical cell, not just a faster one.
+    {
+        use std::num::NonZeroUsize;
+        for jobs in [1usize, 4] {
+            let gen_opts = GenOptions::rows(1)
+                .with_time_limit(limit)
+                .with_jobs(NonZeroUsize::new(jobs).expect("non-zero"));
+            let area = std::cell::Cell::new(0usize);
+            report.run(&format!("jobs_sweep/nand4x4_jobs{jobs}"), opts, || {
+                let cell = CellGenerator::new(gen_opts.clone())
+                    .generate_best_area(library::nand4(), 4)
+                    .expect("generates");
+                area.set(cell.width * cell.height);
+                area.get()
+            });
+            let median = report
+                .measurements
+                .last()
+                .expect("just recorded")
+                .median
+                .as_nanos() as i64;
+            report.extras.push(Json::obj([
+                ("name", Json::Str("jobs_sweep/nand4x4".into())),
+                ("jobs", Json::Int(jobs as i64)),
+                ("median_ns", Json::Int(median)),
+                ("area", Json::Int(area.get() as i64)),
+            ]));
+        }
+    }
+
     // Pipeline observability: one budgeted, instrumented generate whose
     // per-stage records become their own JSONL lines (same schema as
     // `clip synth --trace`), so downstream tooling can chart where the
-    // time goes without re-running anything.
+    // time goes without re-running anything. Run with two jobs so the
+    // Solve record carries the portfolio fields (threads, winner
+    // strategy) the CI smoke check greps for.
     {
-        let cell = CellGenerator::new(GenOptions::rows(2).with_time_limit(limit))
+        let jobs = std::num::NonZeroUsize::new(2).expect("non-zero");
+        let cell = CellGenerator::new(GenOptions::rows(2).with_time_limit(limit).with_jobs(jobs))
             .generate(library::xor2())
             .expect("generates");
         for rec in &cell.trace.stages {

@@ -10,12 +10,19 @@
 
 use std::error::Error;
 use std::fmt;
-use std::time::Duration;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use clip_netlist::{Circuit, PairCircuitError};
-use clip_pb::{SolveStats, Solver, SolverConfig};
+use clip_pb::{
+    solve_portfolio_with, BranchHeuristic, SearchStrategy, SharedIncumbent, SolveStats, Solver,
+    SolverConfig,
+};
 use clip_route::density::{cell_height, CellRouting, HeightParams};
 
+use crate::bounds;
 use crate::cliph::{ClipWH, ClipWHError, ClipWHOptions};
 use crate::clipw::{ClipW, ClipWError, ClipWOptions};
 use crate::cluster;
@@ -59,6 +66,18 @@ pub struct GenOptions {
     /// with the width+height objective, their routed span length is
     /// additionally minimized.
     pub critical_nets: Vec<String>,
+    /// Worker threads for parallel search. [`CellGenerator::generate`]
+    /// races a CBJ/CDCL portfolio of this width over the model;
+    /// [`CellGenerator::generate_best_area`] fans its row counts out over
+    /// this many threads instead (each row solve then runs one strategy,
+    /// keeping the sweep result independent of thread scheduling).
+    /// Defaults to [`std::thread::available_parallelism`].
+    pub jobs: NonZeroUsize,
+}
+
+/// The default worker count: one per available core.
+pub(crate) fn default_jobs() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN)
 }
 
 impl GenOptions {
@@ -72,7 +91,14 @@ impl GenOptions {
             interrow_weight: 0,
             height_params: HeightParams::default(),
             critical_nets: Vec::new(),
+            jobs: default_jobs(),
         }
+    }
+
+    /// Sets the worker-thread count (`1` disables parallel search).
+    pub fn with_jobs(mut self, jobs: NonZeroUsize) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// Enables HCLIP stacking.
@@ -214,7 +240,7 @@ impl CellGenerator {
     ) -> Result<GeneratedCell, GenError> {
         let mut pipeline = Pipeline::new(budget.clone());
         pipeline.set_rows(Some(self.options.rows));
-        let mut cell = self.generate_staged(circuit, &mut pipeline, None)?;
+        let mut cell = self.generate_staged(circuit, &mut pipeline, None, None)?;
         cell.trace = pipeline.into_trace();
         Ok(cell)
     }
@@ -240,7 +266,7 @@ impl CellGenerator {
     ) -> Result<GeneratedCell, GenError> {
         let mut pipeline = Pipeline::new(budget.clone());
         pipeline.set_rows(Some(self.options.rows));
-        let mut cell = self.generate_units_staged(units, &mut pipeline, None)?;
+        let mut cell = self.generate_units_staged(units, &mut pipeline, None, None)?;
         cell.trace = pipeline.into_trace();
         Ok(cell)
     }
@@ -251,6 +277,7 @@ impl CellGenerator {
         circuit: Circuit,
         pipeline: &mut Pipeline,
         warm_hint: Option<&Placement>,
+        cancel: Option<&SharedIncumbent>,
     ) -> Result<GeneratedCell, GenError> {
         let paired = pipeline.stage(Stage::Pair, |_, _| circuit.into_paired())?;
         let units = if self.options.stacking {
@@ -258,7 +285,7 @@ impl CellGenerator {
         } else {
             UnitSet::flat(paired)
         };
-        self.generate_units_staged(units, pipeline, warm_hint)
+        self.generate_units_staged(units, pipeline, warm_hint, cancel)
     }
 
     /// The core staged flow: seed → (HCLIP seed) → model build → solve →
@@ -269,6 +296,7 @@ impl CellGenerator {
         units: UnitSet,
         pipeline: &mut Pipeline,
         warm_hint: Option<&Placement>,
+        cancel: Option<&SharedIncumbent>,
     ) -> Result<GeneratedCell, GenError> {
         let share = ShareArray::new(&units);
         let rows = self.options.rows;
@@ -304,21 +332,13 @@ impl CellGenerator {
             })?;
             let warm = seed.and_then(|p| wh.clipw().warm_assignment(&units, &p));
             let out = pipeline.stage(Stage::Solve, |budget, rec| {
-                let out = Solver::with_config(
-                    wh.model(),
-                    SolverConfig {
-                        brancher: Some(wh.brancher()),
-                        heuristic: clip_pb::BranchHeuristic::InputOrder,
-                        budget: budget.clone(),
-                        warm_start: warm,
-                        ..Default::default()
-                    },
-                )
-                .run();
-                rec.model_vars = Some(wh.model().num_vars());
-                rec.model_constraints = Some(wh.model().num_constraints());
-                rec.solve = Some(out.stats().clone());
-                out
+                let base = SolverConfig {
+                    brancher: Some(wh.brancher()),
+                    heuristic: BranchHeuristic::InputOrder,
+                    warm_start: warm,
+                    ..Default::default()
+                };
+                self.solve_stage(wh.model(), base, budget, cancel, rec)
             });
             let optimal = out.is_optimal();
             let stats = out.stats().clone();
@@ -362,20 +382,12 @@ impl CellGenerator {
                 .min_by_key(|p| p.cell_width(&units))
                 .and_then(|p| clipw.warm_assignment(&units, &p));
             let out = pipeline.stage(Stage::Solve, |budget, rec| {
-                let out = Solver::with_config(
-                    clipw.model(),
-                    SolverConfig {
-                        brancher: Some(clipw.brancher()),
-                        budget: budget.clone(),
-                        warm_start: warm,
-                        ..Default::default()
-                    },
-                )
-                .run();
-                rec.model_vars = Some(clipw.model().num_vars());
-                rec.model_constraints = Some(clipw.model().num_constraints());
-                rec.solve = Some(out.stats().clone());
-                out
+                let base = SolverConfig {
+                    brancher: Some(clipw.brancher()),
+                    warm_start: warm,
+                    ..Default::default()
+                };
+                self.solve_stage(clipw.model(), base, budget, cancel, rec)
             });
             let optimal = out.is_optimal();
             let stats = out.stats().clone();
@@ -399,11 +411,24 @@ impl CellGenerator {
     ///
     /// The whole sweep shares **one** budget derived from
     /// [`GenOptions::time_limit`] — a 4-row sweep with a 30 s limit takes
-    /// ~30 s total, not 30 s per row count — and each row count's solve is
-    /// warm-started from the previous row count's placement (its unit
-    /// order replayed and re-split). The winning cell's
-    /// [`GeneratedCell::trace`] covers the *entire* sweep, with each
-    /// record stamped with the row count it targeted.
+    /// ~30 s total, not 30 s per row count. With [`GenOptions::jobs`]
+    /// `> 1` the row counts fan out across that many scoped threads; a
+    /// finished row publishes its area, and any sibling whose area *lower
+    /// bound* (packing bound × row overheads) strictly exceeds the best
+    /// published area is skipped before it starts or cancelled mid-solve.
+    ///
+    /// The result is **deterministic** — identical placement and area for
+    /// any job count. Every row count gets the same warm hint (the greedy
+    /// single-row chain, replayed and re-split for that count), each row
+    /// solve runs a single strategy with a private mailbox (so no
+    /// external bound can steer its witness), the strict (`>`) prune
+    /// criterion only ever removes rows that provably lose, and the
+    /// winner is picked in ascending row order after all rows finish.
+    ///
+    /// The winning cell's [`GeneratedCell::trace`] covers the *entire*
+    /// sweep in row order, each record stamped with the row count it
+    /// targeted, capped by a [`Stage::Sweep`] summary carrying the thread
+    /// fan-out and the shared-bound prune count.
     ///
     /// This automates the paper's central trade-off study: the 2-D style's
     /// area optimum typically sits at an intermediate row count.
@@ -416,41 +441,140 @@ impl CellGenerator {
         circuit: Circuit,
         max_rows: usize,
     ) -> Result<GeneratedCell, GenError> {
-        let mut pipeline = Pipeline::new(Budget::from_limit(self.options.time_limit));
-        let mut best: Option<GeneratedCell> = None;
-        let mut first_err: Option<GenError> = None;
-        let mut prev: Option<Placement> = None;
-        for rows in 1..=max_rows.max(1) {
+        let sweep_start = Instant::now();
+        let budget = Budget::from_limit(self.options.time_limit);
+        let max_rows = max_rows.max(1);
+
+        // The deterministic cross-row warm hint: the greedy single-row
+        // chain over the (clustered) unit set, computed once. Each row
+        // count replays its unit order re-split to that count. The old
+        // sequential sweep seeded row r+1 from row r's *solved*
+        // placement, which would make results depend on completion order
+        // once rows run concurrently; a fixed hint keeps every row solve
+        // independent of its siblings.
+        let prep = self.sweep_prep(&circuit)?;
+
+        let shared = SweepShared::new();
+        let workers = self.options.jobs.get().min(max_rows);
+        let run_row = |rows: usize| -> RowOutcome {
+            let cancel = match shared
+                .register(rows, self.area_lower_bound(&prep.units, &prep.share, rows))
+            {
+                Some(cancel) => cancel,
+                None => return RowOutcome::Skipped,
+            };
             let mut options = self.options.clone();
             options.rows = rows;
+            // The sweep spends its parallelism on rows; the row solve
+            // itself stays a single deterministic strategy.
+            options.jobs = NonZeroUsize::MIN;
+            let mut pipeline = Pipeline::new(budget.clone());
             pipeline.set_rows(Some(rows));
-            match CellGenerator::new(options).generate_staged(
+            let result = CellGenerator::new(options).generate_staged(
                 circuit.clone(),
                 &mut pipeline,
-                prev.as_ref(),
-            ) {
-                Ok(cell) => {
-                    prev = Some(cell.placement.clone());
-                    let area = cell.width * cell.height;
-                    let better = best.as_ref().is_none_or(|b| area < b.width * b.height);
-                    if better {
-                        best = Some(cell);
+                prep.hint.as_ref(),
+                Some(&cancel),
+            );
+            shared.unregister(rows);
+            if let Ok(cell) = &result {
+                shared.publish((cell.width * cell.height) as u64);
+            }
+            RowOutcome::Done(Box::new(result), pipeline.into_trace())
+        };
+
+        let slots = crate::parallel::fan_out(max_rows, workers, |i| run_row(i + 1));
+
+        // Deterministic selection: scan in ascending row order, strict
+        // improvement only, so ties keep the fewest-rows winner exactly
+        // as the sequential sweep always has.
+        let mut best: Option<GeneratedCell> = None;
+        let mut first_err: Option<GenError> = None;
+        let mut trace = PipelineTrace::default();
+        for slot in slots {
+            match slot {
+                None | Some(RowOutcome::Skipped) => {}
+                Some(RowOutcome::Done(result, row_trace)) => {
+                    trace.stages.extend(row_trace.stages);
+                    match *result {
+                        Ok(cell) => {
+                            let area = cell.width * cell.height;
+                            if best.as_ref().is_none_or(|b| area < b.width * b.height) {
+                                best = Some(cell);
+                            }
+                        }
+                        Err(e) => note(&mut first_err, e),
                     }
                 }
-                Err(e @ GenError::Model(ClipWError::TooManyRows { .. })) => {
-                    note(&mut first_err, e);
-                    break;
-                }
-                Err(e) => note(&mut first_err, e),
             }
         }
+        let mut sweep_rec = StageRecord::new(Stage::Sweep, None);
+        sweep_rec.wall = sweep_start.elapsed();
+        sweep_rec.threads = Some(workers);
+        sweep_rec.shared_prunes = Some(shared.prunes());
+        trace.stages.push(sweep_rec);
         match best {
             Some(mut cell) => {
-                cell.trace = pipeline.into_trace();
+                cell.trace = trace;
                 Ok(cell)
             }
             None => Err(first_err.unwrap_or(GenError::NoSolution)),
         }
+    }
+
+    /// One-time sweep preparation: pair (and optionally cluster) the
+    /// circuit and compute the greedy single-row chain used as every row
+    /// count's warm hint.
+    fn sweep_prep(&self, circuit: &Circuit) -> Result<SweepPrep, GenError> {
+        let paired = circuit.clone().into_paired()?;
+        let units = if self.options.stacking {
+            cluster::cluster_and_stacks(paired)
+        } else {
+            UnitSet::flat(paired)
+        };
+        let share = ShareArray::new(&units);
+        let hint = greedy_placement(&units, &share, 1);
+        Ok(SweepPrep { units, share, hint })
+    }
+
+    /// A lower bound on the area any placement at `rows` can reach: the
+    /// packing/matching width bound times the routing-free height floor
+    /// (row and rail overheads; tracks only add to it). `None` when the
+    /// row count is infeasible or unbounded below.
+    fn area_lower_bound(&self, units: &UnitSet, share: &ShareArray, rows: usize) -> Option<u64> {
+        let width = bounds::width_lower_bound(units, share, rows)? as u64;
+        let height = (rows * self.options.height_params.row_overhead
+            + self.options.height_params.rail_overhead) as u64;
+        Some(width * height)
+    }
+
+    /// Runs one Solve stage through the strategy portfolio sized by
+    /// [`GenOptions::jobs`] and annotates `rec` with the combined stats,
+    /// the winning strategy, and the per-thread breakdown. A `cancel`
+    /// mailbox supplied by the best-area sweep is attached so the sweep
+    /// can stop a row that can no longer win; otherwise the portfolio
+    /// coordinates through a fresh mailbox of its own.
+    fn solve_stage(
+        &self,
+        model: &clip_pb::Model,
+        base: SolverConfig,
+        budget: &Budget,
+        cancel: Option<&SharedIncumbent>,
+        rec: &mut StageRecord,
+    ) -> clip_pb::Outcome {
+        let configs = portfolio_configs(base, self.options.jobs.get());
+        let incumbent = cancel.cloned().unwrap_or_default();
+        let p = solve_portfolio_with(model, configs, budget, incumbent);
+        rec.model_vars = Some(model.num_vars());
+        rec.model_constraints = Some(model.num_constraints());
+        rec.solve = Some(p.outcome.stats().clone());
+        rec.threads = Some(p.threads);
+        rec.winner_strategy = Some(p.winner.clone());
+        rec.shared_prunes = Some(p.outcome.stats().shared_prunes);
+        if p.threads > 1 {
+            rec.thread_solves = p.runs.into_iter().map(|(_, s)| s).collect();
+        }
+        p.outcome
     }
 
     /// Solves the HCLIP-clustered problem briefly and expands the result
@@ -531,6 +655,141 @@ impl CellGenerator {
             units,
         })
     }
+}
+
+/// One-time preparation shared by every row count of a best-area sweep.
+struct SweepPrep {
+    units: UnitSet,
+    share: ShareArray,
+    /// Greedy single-row chain placement, replayed per row count.
+    hint: Option<Placement>,
+}
+
+/// What one row count of a best-area sweep produced. Boxed because a
+/// [`GeneratedCell`] is large and most slots of a wide sweep hold one.
+enum RowOutcome {
+    /// The row count was skipped: infeasible, or its area lower bound
+    /// already exceeded a published result.
+    Skipped,
+    /// The row ran; its pipeline trace rides along for the merged report.
+    Done(Box<Result<GeneratedCell, GenError>>, PipelineTrace),
+}
+
+/// Cross-row coordination for a parallel best-area sweep: the best
+/// published area, cancel handles for in-flight rows, and a prune
+/// counter.
+///
+/// Correctness of the pruning rests on the *strict* comparison `lb >
+/// best`: a row is only skipped or cancelled when its area lower bound
+/// proves it cannot beat — or even tie — an area some other row already
+/// achieved. Ties survive, so the fewest-rows tie-break over completed
+/// rows is unaffected, and the final selection matches a sequential
+/// sweep exactly.
+struct SweepShared {
+    /// Best published area so far; `u64::MAX` until a row finishes.
+    best_area: AtomicU64,
+    /// Rows skipped before starting or cancelled mid-solve by the bound.
+    prunes: AtomicU64,
+    /// In-flight rows: `(rows, area lower bound, cancel handle)`.
+    watchers: Mutex<Vec<(usize, u64, SharedIncumbent)>>,
+}
+
+impl SweepShared {
+    fn new() -> Self {
+        SweepShared {
+            best_area: AtomicU64::new(u64::MAX),
+            prunes: AtomicU64::new(0),
+            watchers: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Admits row count `rows` with area lower bound `lb` into the sweep.
+    /// Returns the cancel handle to attach to its solves, or `None` when
+    /// the row is infeasible (`lb` is `None`) or provably cannot beat the
+    /// best published area (counted as a prune).
+    fn register(&self, rows: usize, lb: Option<u64>) -> Option<SharedIncumbent> {
+        let lb = lb?;
+        if lb > self.best_area.load(Ordering::Acquire) {
+            self.prunes.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let handle = SharedIncumbent::new();
+        self.watchers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((rows, lb, handle.clone()));
+        Some(handle)
+    }
+
+    /// Removes `rows` from the watcher list (its solve is over).
+    fn unregister(&self, rows: usize) {
+        self.watchers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|&(r, _, _)| r != rows);
+    }
+
+    /// Publishes a finished row's area and cancels every in-flight row
+    /// whose lower bound now strictly exceeds the best.
+    fn publish(&self, area: u64) {
+        let mut cur = self.best_area.load(Ordering::Acquire);
+        while area < cur {
+            match self.best_area.compare_exchange_weak(
+                cur,
+                area,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        let best = self.best_area.load(Ordering::Acquire);
+        for (_, lb, handle) in self
+            .watchers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            if *lb > best && !handle.cancelled() {
+                handle.cancel();
+                self.prunes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn prunes(&self) -> u64 {
+        self.prunes.load(Ordering::Relaxed)
+    }
+}
+
+/// The portfolio raced by a Solve stage: the structure-aware CBJ run
+/// (previously the only solver), a CDCL run, and a generic dynamic-score
+/// CBJ variant without the problem-specific brancher — capped by the
+/// requested job count (the strategies are meaningfully distinct only up
+/// to three ways).
+fn portfolio_configs(base: SolverConfig, jobs: usize) -> Vec<(String, SolverConfig)> {
+    let mut configs = vec![("cbj".to_string(), base.clone())];
+    if jobs >= 2 {
+        configs.push((
+            "cdcl".to_string(),
+            SolverConfig {
+                strategy: SearchStrategy::Cdcl,
+                ..base.clone()
+            },
+        ));
+    }
+    if jobs >= 3 {
+        configs.push((
+            "cbj-dyn".to_string(),
+            SolverConfig {
+                brancher: None,
+                heuristic: BranchHeuristic::DynamicScore,
+                ..base
+            },
+        ));
+    }
+    configs
 }
 
 /// Records a sweep error, keeping the first *informative* one: the slot
@@ -888,6 +1147,53 @@ mod tests {
         assert_eq!(best.placement.rows.len(), 1);
         assert_eq!(best.width, 4);
         assert_eq!(best.width * best.height, 20);
+    }
+
+    #[test]
+    fn best_area_is_identical_for_any_job_count() {
+        // The tentpole determinism guarantee: the parallel sweep returns
+        // byte-identical placements and areas no matter how many worker
+        // threads carve up the row counts.
+        let with_jobs = |jobs: usize| {
+            GenOptions::rows(1)
+                .with_time_limit(Duration::from_secs(30))
+                .with_jobs(NonZeroUsize::new(jobs).unwrap())
+        };
+        for circuit in [
+            library::xor2 as fn() -> Circuit,
+            library::mux21,
+            library::nand4,
+        ] {
+            let baseline = CellGenerator::new(with_jobs(1))
+                .generate_best_area(circuit(), 4)
+                .unwrap();
+            for jobs in [2usize, 8] {
+                let cell = CellGenerator::new(with_jobs(jobs))
+                    .generate_best_area(circuit(), 4)
+                    .unwrap();
+                assert_eq!(cell.placement, baseline.placement, "jobs={jobs}");
+                assert_eq!(cell.width, baseline.width, "jobs={jobs}");
+                assert_eq!(cell.height, baseline.height, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_trace_ends_with_a_summary_record() {
+        let gen = CellGenerator::new(
+            GenOptions::rows(1)
+                .with_time_limit(Duration::from_secs(30))
+                .with_jobs(NonZeroUsize::new(2).unwrap()),
+        );
+        let cell = gen.generate_best_area(library::xor2(), 3).unwrap();
+        let last = cell.trace.stages.last().unwrap();
+        assert_eq!(last.stage, Stage::Sweep);
+        assert_eq!(last.threads, Some(2));
+        assert!(last.shared_prunes.is_some());
+        // Row records stay in ascending row order regardless of which
+        // worker finished first.
+        let row_stamps: Vec<usize> = cell.trace.stages.iter().filter_map(|s| s.rows).collect();
+        assert!(row_stamps.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! flat model's reach (e.g. the 42-transistor `mux41`) lay out in
 //! milliseconds. `experiments hier` quantifies the trade.
 
+use std::num::NonZeroUsize;
 use std::time::Duration;
 
 use clip_netlist::Circuit;
@@ -43,6 +44,11 @@ pub struct HierOptions {
     /// Total ILP budget for the request, shared across *all* sub-cell
     /// solves (a deadline, not a per-solve allowance).
     pub time_limit: Option<Duration>,
+    /// Worker threads for the sub-cell solves. The partition makes the
+    /// solves fully independent, so fanning them out changes nothing but
+    /// wall-clock time: results are merged in partition order. Defaults
+    /// to [`std::thread::available_parallelism`].
+    pub jobs: NonZeroUsize,
 }
 
 impl HierOptions {
@@ -52,7 +58,14 @@ impl HierOptions {
             rows,
             stacking: false,
             time_limit: Some(Duration::from_secs(30)),
+            jobs: crate::generator::default_jobs(),
         }
+    }
+
+    /// Sets the worker-thread count (`1` disables parallel solves).
+    pub fn with_jobs(mut self, jobs: NonZeroUsize) -> Self {
+        self.jobs = jobs;
+        self
     }
 }
 
@@ -146,12 +159,12 @@ pub fn generate_units(units: UnitSet, opts: &HierOptions) -> Result<HierCell, Ge
     let rows = opts.rows.clamp(1, max_group);
     let share = ShareArray::new(&units);
 
-    // Solve each sub-cell against one shared deadline.
+    // Solve each sub-cell against one shared deadline. The sub-cells are
+    // independent (disjoint unit sets, private models), so they fan out
+    // across worker threads; merging in partition order below keeps the
+    // result identical for any job count.
     let budget = Budget::from_limit(opts.time_limit);
-    let mut sub_layouts: Vec<Vec<Vec<PlacedUnit>>> = Vec::with_capacity(partition.len());
-    let mut solve_time = Duration::ZERO;
-    let mut all_optimal = true;
-    for group in &partition {
+    let solve_sub = |group: &[usize]| -> Result<(Vec<Vec<PlacedUnit>>, Duration, bool), GenError> {
         let sub_units: Vec<Unit> = group.iter().map(|&u| units.units()[u].clone()).collect();
         let sub_set = UnitSet::from_units_partial(units.paired().clone(), sub_units);
         let sub_share = ShareArray::new(&sub_set);
@@ -170,8 +183,6 @@ pub fn generate_units(units: UnitSet, opts: &HierOptions) -> Result<HierCell, Ge
             },
         )
         .run();
-        all_optimal &= out.is_optimal();
-        solve_time += out.stats().duration;
         let sol = out.best().ok_or(GenError::NoSolution)?;
         let local = model.extract(sol);
         // Map local unit indices back to global ones.
@@ -188,7 +199,18 @@ pub fn generate_units(units: UnitSet, opts: &HierOptions) -> Result<HierCell, Ge
                     .collect()
             })
             .collect();
+        Ok((mapped, out.stats().duration, out.is_optimal()))
+    };
+    let workers = opts.jobs.get().min(partition.len().max(1));
+    let solved = crate::parallel::fan_out(partition.len(), workers, |g| solve_sub(&partition[g]));
+    let mut sub_layouts: Vec<Vec<Vec<PlacedUnit>>> = Vec::with_capacity(partition.len());
+    let mut solve_time = Duration::ZERO;
+    let mut all_optimal = true;
+    for result in solved {
+        let (mapped, duration, optimal) = result.expect("worker completed")?;
         sub_layouts.push(mapped);
+        solve_time += duration;
+        all_optimal &= optimal;
     }
 
     // Compose: search sub-cell orders. Small partitions exhaustively;
@@ -474,6 +496,24 @@ mod tests {
         assert!(cell.subcells_optimal);
         assert!(cell.width >= 11); // 21 pairs over 2 rows
         assert!(cell.solve_time < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn parallel_subcell_solves_match_sequential() {
+        // The fan-out must be invisible in the result: solves are merged
+        // in partition order, so any job count composes identically.
+        let seq = generate(
+            library::mux41(),
+            &HierOptions::rows(2).with_jobs(NonZeroUsize::MIN),
+        )
+        .unwrap();
+        let par = generate(
+            library::mux41(),
+            &HierOptions::rows(2).with_jobs(NonZeroUsize::new(4).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(par.placement, seq.placement);
+        assert_eq!(par.width, seq.width);
     }
 
     #[test]

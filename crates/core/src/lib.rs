@@ -45,6 +45,7 @@ pub mod exhaustive;
 pub mod generator;
 pub mod hier;
 pub mod orient;
+pub(crate) mod parallel;
 pub mod pipeline;
 pub mod share;
 pub mod solution;

@@ -1,0 +1,61 @@
+//! A minimal scoped fan-out helper for the crate's parallel stages.
+//!
+//! [`fan_out`] runs `f(0..count)` across a bounded pool of scoped worker
+//! threads pulling indices from a shared atomic counter, and returns the
+//! results **indexed by input position** — completion order never leaks
+//! into the output, which is what lets the best-area sweep and the
+//! hierarchical sub-cell solver stay deterministic under parallelism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f` over `0..count` on up to `workers` scoped threads and returns
+/// the results in index order. `workers <= 1` degenerates to a plain
+/// in-order loop on the calling thread (no spawn overhead).
+///
+/// Every slot is `Some` on normal return; a panicking worker propagates
+/// its panic out of the scope, so callers may `expect` the slots.
+pub(crate) fn fan_out<T, F>(count: usize, workers: usize, f: F) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || count <= 1 {
+        return (0..count).map(|i| Some(f(i))).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(count) {
+            let (f, next, slots) = (&f, &next, &slots);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= slots.len() {
+                    break;
+                }
+                let out = f(i);
+                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_stay_in_index_order_for_any_worker_count() {
+        for workers in [1, 2, 8, 16] {
+            let out = fan_out(37, workers, |i| i * i);
+            let got: Vec<usize> = out.into_iter().map(|v| v.unwrap()).collect();
+            let want: Vec<usize> = (0..37).map(|i| i * i).collect();
+            assert_eq!(got, want, "workers={workers}");
+        }
+        assert!(fan_out(0, 4, |i| i).is_empty());
+    }
+}

@@ -37,6 +37,8 @@ pub enum Stage {
     Solve,
     /// Routing-track computation and cell-height evaluation.
     Route,
+    /// Summary record for a parallel best-area row sweep.
+    Sweep,
 }
 
 impl Stage {
@@ -50,6 +52,7 @@ impl Stage {
             Stage::ModelBuild => "model_build",
             Stage::Solve => "solve",
             Stage::Route => "route",
+            Stage::Sweep => "sweep",
         }
     }
 
@@ -63,6 +66,7 @@ impl Stage {
             "model_build" => Stage::ModelBuild,
             "solve" => Stage::Solve,
             "route" => Stage::Route,
+            "sweep" => Stage::Sweep,
             _ => return None,
         })
     }
@@ -82,12 +86,26 @@ pub struct StageRecord {
     pub model_vars: Option<usize>,
     /// Constraints in the model the stage built or solved.
     pub model_constraints: Option<usize>,
-    /// Solver statistics, including the incumbent trajectory.
+    /// Solver statistics, including the incumbent trajectory. For a
+    /// portfolio solve these are the *combined* stats; the per-thread
+    /// breakdown is in [`StageRecord::thread_solves`].
     pub solve: Option<SolveStats>,
+    /// Worker threads used by the stage (portfolio width, or the
+    /// best-area sweep's fan-out on its [`Stage::Sweep`] record).
+    pub threads: Option<usize>,
+    /// Strategy that won the stage's solve (`"cbj"`, `"cdcl"`, ...).
+    pub winner_strategy: Option<String>,
+    /// Shared-bound prune events in this stage: bound adoptions for a
+    /// portfolio solve, rows skipped or cancelled for a sweep record.
+    pub shared_prunes: Option<u64>,
+    /// Per-thread solver statistics for a portfolio solve, in
+    /// configuration order (empty when the stage ran one solver).
+    pub thread_solves: Vec<SolveStats>,
 }
 
 impl StageRecord {
-    fn new(stage: Stage, rows: Option<usize>) -> Self {
+    /// An empty record for `stage`, stamped with the targeted row count.
+    pub fn new(stage: Stage, rows: Option<usize>) -> Self {
         StageRecord {
             stage,
             rows,
@@ -95,6 +113,10 @@ impl StageRecord {
             model_vars: None,
             model_constraints: None,
             solve: None,
+            threads: None,
+            winner_strategy: None,
+            shared_prunes: None,
+            thread_solves: Vec::new(),
         }
     }
 }
@@ -114,8 +136,9 @@ impl PipelineTrace {
 
     /// A human-readable stage table for CLI reporting.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("stage        rows     wall        vars  constrs     nodes  conflicts\n");
+        let mut out = String::from(
+            "stage        rows     wall        vars  constrs     nodes  conflicts  thr  winner\n",
+        );
         for s in &self.stages {
             let rows = s.rows.map_or(String::from("-"), |r| r.to_string());
             let vars = s.model_vars.map_or(String::from("-"), |v| v.to_string());
@@ -128,15 +151,19 @@ impl PipelineTrace {
                 .map_or((String::from("-"), String::from("-")), |st| {
                     (st.nodes.to_string(), st.conflicts.to_string())
                 });
+            let threads = s.threads.map_or(String::from("-"), |t| t.to_string());
+            let winner = s.winner_strategy.as_deref().unwrap_or("-");
             out.push_str(&format!(
-                "{:<12} {:>4} {:>9.1?} {:>9} {:>8} {:>9} {:>10}\n",
+                "{:<12} {:>4} {:>9.1?} {:>9} {:>8} {:>9} {:>10} {:>4}  {}\n",
                 s.stage.name(),
                 rows,
                 s.wall,
                 vars,
                 cons,
                 nodes,
-                conflicts
+                conflicts,
+                threads,
+                winner
             ));
         }
         out
@@ -210,6 +237,7 @@ mod tests {
             Stage::ModelBuild,
             Stage::Solve,
             Stage::Route,
+            Stage::Sweep,
         ] {
             assert_eq!(Stage::from_name(s.name()), Some(s));
         }

@@ -7,10 +7,19 @@
 //!   {"stage": "solve", "rows": 2, "wall_ns": 1234,
 //!    "model_vars": 56, "model_constraints": 78,
 //!    "solve": {"nodes": 9, "propagations": 10, "conflicts": 1,
-//!              "learned": 0, "duration_ns": 1200, "proved_optimal": true,
-//!              "incumbents": [{"at_ns": 3, "objective": 4}]}}
+//!              "learned": 0, "shared_prunes": 0, "duration_ns": 1200,
+//!              "proved_optimal": true,
+//!              "incumbents": [{"at_ns": 3, "objective": 4}]},
+//!    "threads": 2, "winner_strategy": "cbj",
+//!    "shared_prunes": 1, "thread_solves": [{"nodes": 9, "...": "..."}]}
 //! ]}
 //! ```
+//!
+//! `threads`, `winner_strategy`, and `shared_prunes` describe parallel
+//! search (a portfolio solve, or the best-area sweep's summary record);
+//! `thread_solves` carries the per-thread stats breakdown when a stage
+//! raced more than one solver. `shared_prunes` inside `solve` defaults to
+//! 0 when absent, so traces written before parallel search still parse.
 //!
 //! Durations are integral nanoseconds, so emit → parse → emit is exact.
 //! `clip synth --trace FILE` writes this document, and the bench harness
@@ -60,6 +69,7 @@ fn stats_to_value(s: &SolveStats) -> Json {
         ("propagations", int(s.propagations)),
         ("conflicts", int(s.conflicts)),
         ("learned", int(s.learned)),
+        ("shared_prunes", int(s.shared_prunes)),
         ("duration_ns", dur_to_json(s.duration)),
         ("proved_optimal", Json::Bool(s.proved_optimal)),
         (
@@ -92,6 +102,24 @@ pub fn stage_to_value(rec: &StageRecord) -> Json {
     }
     if let Some(s) = &rec.solve {
         pairs.push(("solve".into(), stats_to_value(s)));
+    }
+    if let Some(t) = rec.threads {
+        pairs.push(("threads".into(), Json::Int(t as i64)));
+    }
+    if let Some(w) = &rec.winner_strategy {
+        pairs.push(("winner_strategy".into(), Json::Str(w.clone())));
+    }
+    if let Some(p) = rec.shared_prunes {
+        pairs.push((
+            "shared_prunes".into(),
+            Json::Int(i64::try_from(p).unwrap_or(i64::MAX)),
+        ));
+    }
+    if !rec.thread_solves.is_empty() {
+        pairs.push((
+            "thread_solves".into(),
+            Json::arr(&rec.thread_solves, stats_to_value),
+        ));
     }
     Json::Obj(pairs)
 }
@@ -138,11 +166,19 @@ fn stats_from_value(v: &Json) -> Result<SolveStats, TraceError> {
             Ok((at, objective))
         })
         .collect::<Result<Vec<_>, TraceError>>()?;
+    // Absent in traces written before parallel search: default to 0.
+    let shared_prunes = match v.get("shared_prunes") {
+        None => 0,
+        Some(f) => f
+            .as_u64()
+            .ok_or_else(|| schema("`shared_prunes` must be a non-negative integer"))?,
+    };
     Ok(SolveStats {
         nodes: count("nodes")?,
         propagations: count("propagations")?,
         conflicts: count("conflicts")?,
         learned: count("learned")?,
+        shared_prunes,
         duration: dur_from(req(v, "duration_ns")?, "duration_ns")?,
         proved_optimal: req(v, "proved_optimal")?
             .as_bool()
@@ -165,6 +201,30 @@ fn stage_from_value(v: &Json) -> Result<StageRecord, TraceError> {
                 .ok_or_else(|| schema(format!("`{key}` must be a non-negative integer"))),
         }
     };
+    let winner_strategy = match v.get("winner_strategy") {
+        None => None,
+        Some(w) => Some(
+            w.as_str()
+                .ok_or_else(|| schema("`winner_strategy` must be a string"))?
+                .to_string(),
+        ),
+    };
+    let shared_prunes = match v.get("shared_prunes") {
+        None => None,
+        Some(p) => Some(
+            p.as_u64()
+                .ok_or_else(|| schema("`shared_prunes` must be a non-negative integer"))?,
+        ),
+    };
+    let thread_solves = match v.get("thread_solves") {
+        None => Vec::new(),
+        Some(arr) => arr
+            .as_arr()
+            .ok_or_else(|| schema("`thread_solves` must be an array"))?
+            .iter()
+            .map(stats_from_value)
+            .collect::<Result<Vec<_>, TraceError>>()?,
+    };
     Ok(StageRecord {
         stage,
         rows: opt_usize("rows")?,
@@ -172,6 +232,10 @@ fn stage_from_value(v: &Json) -> Result<StageRecord, TraceError> {
         model_vars: opt_usize("model_vars")?,
         model_constraints: opt_usize("model_constraints")?,
         solve: v.get("solve").map(stats_from_value).transpose()?,
+        threads: opt_usize("threads")?,
+        winner_strategy,
+        shared_prunes,
+        thread_solves,
     })
 }
 
@@ -239,6 +303,45 @@ mod tests {
         assert!(rows_seen.contains(&1) && rows_seen.contains(&3));
         let back = parse(&to_json(&cell.trace)).unwrap();
         assert_eq!(back, cell.trace);
+    }
+
+    #[test]
+    fn parallel_traces_round_trip_with_thread_fields() {
+        let jobs = std::num::NonZeroUsize::new(2).unwrap();
+        let cell = CellGenerator::new(
+            GenOptions::rows(2)
+                .with_time_limit(Duration::from_secs(30))
+                .with_jobs(jobs),
+        )
+        .generate(library::xor2())
+        .unwrap();
+        let solve = cell
+            .trace
+            .stages
+            .iter()
+            .find(|s| s.stage == Stage::Solve)
+            .expect("solve stage recorded");
+        assert_eq!(solve.threads, Some(2));
+        assert!(solve.winner_strategy.is_some());
+        assert_eq!(solve.thread_solves.len(), 2);
+        let text = to_json(&cell.trace);
+        assert!(text.contains("winner_strategy") && text.contains("thread_solves"));
+        let back = parse(&text).unwrap();
+        assert_eq!(back, cell.trace);
+        assert_eq!(to_json(&back), text);
+        // A sweep trace ends with the summary record carrying the fan-out.
+        let sweep = CellGenerator::new(
+            GenOptions::rows(1)
+                .with_time_limit(Duration::from_secs(30))
+                .with_jobs(jobs),
+        )
+        .generate_best_area(library::xor2(), 3)
+        .unwrap();
+        let back = parse(&to_json(&sweep.trace)).unwrap();
+        assert_eq!(back, sweep.trace);
+        let last = back.stages.last().unwrap();
+        assert_eq!(last.stage, Stage::Sweep);
+        assert_eq!(last.threads, Some(2));
     }
 
     #[test]

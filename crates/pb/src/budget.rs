@@ -110,6 +110,15 @@ impl Budget {
     /// whatever is left, at most a few seconds, instead of a hardcoded
     /// constant that ignores the caller's deadline.
     pub fn slice(&self, divisor: u32, cap: Duration) -> Budget {
+        // An exhausted parent yields an exhausted child: the sub-stage
+        // must not be granted a fresh `cap`-sized allowance after the
+        // request's own deadline has already passed.
+        if self.expired() {
+            return Budget {
+                deadline: self.deadline,
+                nodes: self.nodes.clone(),
+            };
+        }
         let slice = match self.remaining() {
             Some(rem) => (rem / divisor.max(1)).min(cap),
             None => cap,
@@ -154,6 +163,55 @@ mod tests {
         assert_eq!(b.remaining_nodes(), Some(70));
         b.consume_nodes(1000); // saturates
         assert_eq!(c.remaining_nodes(), Some(0));
+    }
+
+    #[test]
+    fn slicing_an_expired_budget_stays_expired() {
+        let parent = Budget::timeout(Duration::ZERO);
+        assert!(parent.expired());
+        let child = parent.slice(4, Duration::from_secs(5));
+        assert!(child.expired(), "expired parent must not refresh the cap");
+        assert_eq!(child.remaining(), Some(Duration::ZERO));
+        // The shared node pool still rides along on the expired child.
+        let parent = Budget::timeout(Duration::ZERO).with_node_budget(7);
+        let child = parent.slice(4, Duration::from_secs(5));
+        assert!(child.expired());
+        child.consume_nodes(3);
+        assert_eq!(parent.remaining_nodes(), Some(4));
+    }
+
+    #[test]
+    fn node_pool_survives_concurrent_hammering() {
+        // Eight threads drain one pool in unit steps: every debit lands
+        // exactly once and the count never wraps.
+        let pool = Budget::unlimited().with_node_budget(8 * 1_000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let b = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        b.consume_nodes(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.remaining_nodes(), Some(0));
+        // Over-debiting under contention saturates instead of underflowing:
+        // 8 threads try to take 7x50 = 350 nodes each from a pool of 100.
+        let pool = Budget::unlimited().with_node_budget(100);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let b = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        b.consume_nodes(7);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.remaining_nodes(), Some(0));
+        pool.consume_nodes(u64::MAX);
+        assert_eq!(pool.remaining_nodes(), Some(0));
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod budget;
 pub mod encode;
 pub mod model;
 pub mod opb;
+pub mod portfolio;
 pub mod presolve;
 pub mod propagate;
 pub mod solve;
@@ -53,4 +54,5 @@ pub mod solve;
 pub use branch::BranchHeuristic;
 pub use budget::Budget;
 pub use model::{Constraint, LinTerm, Model, Var};
+pub use portfolio::{solve_portfolio, solve_portfolio_with, PortfolioOutcome, SharedIncumbent};
 pub use solve::{Brancher, Outcome, SearchStrategy, Solution, SolveStats, Solver, SolverConfig};

@@ -1,0 +1,501 @@
+//! Portfolio solving: race several solver configurations over one model,
+//! sharing incumbents through a [`SharedIncumbent`] so every run prunes
+//! against the *global* upper bound.
+//!
+//! The portfolio is the parallel counterpart of the solver ablation bench:
+//! CBJ with the structure-aware brancher, CDCL, and a generic-heuristic
+//! variant attack the same model on scoped threads. Each run publishes its
+//! improving solutions and adopts tighter published bounds at its deadline
+//! tick (see `crate::solve`), so a good incumbent found by any strategy
+//! immediately shrinks everyone else's search. The first run to *prove*
+//! optimality wins and cancels the others through the shared flag; losers
+//! stop at their next tick and report `proved_optimal = false`.
+//!
+//! Soundness of the combined result: a run that exhausts its search under a
+//! final bound `B` (its own best, tightened by every adopted bound) proves
+//! no solution with objective `< B` exists. The global best solution has
+//! objective `<= B` — every incumbent is published before the bound it
+//! implies can be adopted — so on a proof the shared solution is optimal.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::budget::Budget;
+use crate::model::Model;
+use crate::solve::{Outcome, Solution, SolveStats, Solver, SolverConfig};
+
+/// Objective value marking an empty [`SharedIncumbent`].
+const UNSET: i64 = i64::MAX;
+
+#[derive(Debug)]
+struct Shared {
+    /// Objective of the best published solution (`UNSET` when empty).
+    bound: AtomicI64,
+    /// The best published solution itself.
+    best: Mutex<Option<Solution>>,
+    /// Cooperative cancellation flag, checked at every deadline tick.
+    cancelled: AtomicBool,
+}
+
+/// A bound-and-solution mailbox shared by concurrently running solvers.
+///
+/// Attach a clone to each [`SolverConfig`] in a portfolio: the solver
+/// publishes every improving incumbent via [`SharedIncumbent::offer`],
+/// adopts the global bound at its deadline ticks, and stops early once
+/// [`SharedIncumbent::cancel`] is called. The objective bound lives in an
+/// `AtomicI64` so readers never block; the witness solution sits behind a
+/// `Mutex` touched only on improvements.
+#[derive(Clone, Debug)]
+pub struct SharedIncumbent {
+    inner: Arc<Shared>,
+}
+
+impl Default for SharedIncumbent {
+    fn default() -> Self {
+        SharedIncumbent {
+            inner: Arc::new(Shared {
+                bound: AtomicI64::new(UNSET),
+                best: Mutex::new(None),
+                cancelled: AtomicBool::new(false),
+            }),
+        }
+    }
+}
+
+impl SharedIncumbent {
+    /// An empty incumbent: no bound, no solution, not cancelled.
+    pub fn new() -> Self {
+        SharedIncumbent::default()
+    }
+
+    /// The global upper bound: the objective of the best published
+    /// solution, or `None` while nothing has been published.
+    pub fn bound(&self) -> Option<i64> {
+        match self.inner.bound.load(Ordering::Acquire) {
+            UNSET => None,
+            b => Some(b),
+        }
+    }
+
+    /// Publishes `solution` if it strictly improves the global incumbent;
+    /// returns whether it did. Concurrent offers race on the atomic bound
+    /// first, so only genuine improvements ever touch the mutex.
+    pub fn offer(&self, solution: &Solution) -> bool {
+        let obj = solution.objective;
+        let mut current = self.inner.bound.load(Ordering::Acquire);
+        loop {
+            if obj >= current {
+                return false;
+            }
+            match self.inner.bound.compare_exchange_weak(
+                current,
+                obj,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+        let mut best = self.inner.best.lock().unwrap_or_else(|e| e.into_inner());
+        // A racing offer may have installed an even better witness between
+        // our CAS and the lock; never overwrite it with a worse one.
+        if best.as_ref().is_none_or(|b| obj < b.objective) {
+            *best = Some(solution.clone());
+        }
+        true
+    }
+
+    /// A snapshot of the best published solution.
+    pub fn best(&self) -> Option<Solution> {
+        self.inner
+            .best
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Asks every attached solver to stop at its next deadline tick
+    /// (reporting its outcome as unproved).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once [`SharedIncumbent::cancel`] has been called.
+    pub fn cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// Result of a [`solve_portfolio`] race.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The combined outcome: the globally best solution, proved optimal
+    /// when any run exhausted its search. Its stats aggregate the whole
+    /// portfolio (total nodes/conflicts, longest duration, merged
+    /// strictly-improving incumbent log).
+    pub outcome: Outcome,
+    /// Label of the winning run: the first to prove optimality, else the
+    /// run holding the best solution, else the first configuration.
+    pub winner: String,
+    /// Number of runs raced (one thread each).
+    pub threads: usize,
+    /// Per-run labels and statistics, in configuration order.
+    pub runs: Vec<(String, SolveStats)>,
+}
+
+/// Races `configs` (label + configuration pairs) over `model` on scoped
+/// threads, all drawing on `budget` and sharing one [`SharedIncumbent`].
+///
+/// Each configuration's own `budget`/`incumbent` fields are overwritten
+/// with the shared ones. A single-entry portfolio runs inline on the
+/// calling thread — same result, no thread setup.
+///
+/// # Panics
+///
+/// Panics when `configs` is empty.
+pub fn solve_portfolio(
+    model: &Model,
+    configs: Vec<(String, SolverConfig)>,
+    budget: &Budget,
+) -> PortfolioOutcome {
+    solve_portfolio_with(model, configs, budget, SharedIncumbent::new())
+}
+
+/// [`solve_portfolio`] against a caller-supplied [`SharedIncumbent`] — the
+/// best-area sweep hands each row solve a mailbox it can cancel when the
+/// row's area lower bound is beaten.
+///
+/// # Panics
+///
+/// Panics when `configs` is empty.
+pub fn solve_portfolio_with(
+    model: &Model,
+    configs: Vec<(String, SolverConfig)>,
+    budget: &Budget,
+    incumbent: SharedIncumbent,
+) -> PortfolioOutcome {
+    assert!(!configs.is_empty(), "portfolio needs at least one config");
+    let labels: Vec<String> = configs.iter().map(|(l, _)| l.clone()).collect();
+    let first_proof = AtomicUsize::new(usize::MAX);
+
+    let outcomes: Vec<Outcome> = if configs.len() == 1 {
+        let (_, config) = configs.into_iter().next().expect("one config");
+        vec![run_one(model, config, budget, &incumbent, 0, &first_proof)]
+    } else {
+        let slots: Vec<Mutex<Option<Outcome>>> = configs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for (i, (_, config)) in configs.into_iter().enumerate() {
+                let (incumbent, first_proof, slots) = (&incumbent, &first_proof, &slots);
+                s.spawn(move || {
+                    let out = run_one(model, config, budget, incumbent, i, first_proof);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every run reports an outcome")
+            })
+            .collect()
+    };
+
+    combine(
+        labels,
+        &outcomes,
+        &incumbent,
+        first_proof.load(Ordering::Acquire),
+    )
+}
+
+fn run_one(
+    model: &Model,
+    mut config: SolverConfig,
+    budget: &Budget,
+    incumbent: &SharedIncumbent,
+    index: usize,
+    first_proof: &AtomicUsize,
+) -> Outcome {
+    config.budget = budget.clone();
+    config.incumbent = Some(incumbent.clone());
+    let out = Solver::with_config(model, config).run();
+    if out.stats().proved_optimal
+        && first_proof
+            .compare_exchange(usize::MAX, index, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    {
+        // First proof wins: losers stop at their next deadline tick.
+        incumbent.cancel();
+    }
+    out
+}
+
+fn combine(
+    labels: Vec<String>,
+    outcomes: &[Outcome],
+    incumbent: &SharedIncumbent,
+    first_proof: usize,
+) -> PortfolioOutcome {
+    let runs: Vec<(String, SolveStats)> = labels
+        .iter()
+        .cloned()
+        .zip(outcomes.iter().map(|o| o.stats().clone()))
+        .collect();
+    let proved = first_proof != usize::MAX;
+    let best = incumbent.best();
+
+    // Aggregate stats: total work across the portfolio, the duration of
+    // the longest run, and the merged strictly-improving incumbent log.
+    let mut stats = SolveStats::default();
+    for (_, s) in &runs {
+        stats.nodes += s.nodes;
+        stats.propagations += s.propagations;
+        stats.conflicts += s.conflicts;
+        stats.learned += s.learned;
+        stats.shared_prunes += s.shared_prunes;
+        stats.duration = stats.duration.max(s.duration);
+    }
+    let mut log: Vec<(Duration, i64)> = runs
+        .iter()
+        .flat_map(|(_, s)| s.incumbents.iter().copied())
+        .collect();
+    log.sort_unstable();
+    for (at, obj) in log {
+        if stats.incumbents.last().is_none_or(|&(_, last)| obj < last) {
+            stats.incumbents.push((at, obj));
+        }
+    }
+    stats.proved_optimal = proved;
+
+    let winner_index = if proved {
+        first_proof
+    } else {
+        // No proof: credit the run whose log reached the global best
+        // objective (ties to the earlier configuration).
+        best.as_ref()
+            .and_then(|b| {
+                runs.iter()
+                    .position(|(_, s)| s.incumbents.last().is_some_and(|&(_, o)| o == b.objective))
+            })
+            .unwrap_or(0)
+    };
+    let winner = labels[winner_index].clone();
+    let threads = labels.len();
+
+    let outcome = match (best, proved) {
+        (Some(s), true) => Outcome::Optimal(s, stats),
+        (Some(s), false) => Outcome::Feasible(s, stats),
+        (None, true) => Outcome::Infeasible(stats),
+        (None, false) => Outcome::Unknown(stats),
+    };
+    PortfolioOutcome {
+        outcome,
+        winner,
+        threads,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+    use crate::model::Var;
+    use crate::solve::SearchStrategy;
+
+    /// The 3x3 assignment problem used across the solver tests.
+    fn assignment_model() -> Model {
+        let costs = [[3, 1, 4], [1, 5, 9], [2, 6, 5]];
+        let mut m = Model::new();
+        let mut grid = Vec::new();
+        for i in 0..3 {
+            let row: Vec<Var> = (0..3).map(|j| m.new_var(format!("a{i}{j}"))).collect();
+            grid.push(row);
+        }
+        for (i, row) in grid.iter().enumerate() {
+            encode::exactly_one(&mut m, row);
+            let col: Vec<Var> = (0..3).map(|j| grid[j][i]).collect();
+            encode::exactly_one(&mut m, &col);
+        }
+        let mut obj = Vec::new();
+        for (cost_row, var_row) in costs.iter().zip(&grid) {
+            for (&c, &v) in cost_row.iter().zip(var_row) {
+                obj.push((c, v));
+            }
+        }
+        m.minimize(obj.iter().copied());
+        m
+    }
+
+    #[test]
+    fn incumbent_offers_keep_the_best() {
+        let inc = SharedIncumbent::new();
+        assert_eq!(inc.bound(), None);
+        assert!(inc.best().is_none());
+        let s5 = Solution::from_parts(vec![true], 5);
+        let s3 = Solution::from_parts(vec![false], 3);
+        assert!(inc.offer(&s5));
+        assert_eq!(inc.bound(), Some(5));
+        assert!(inc.offer(&s3));
+        assert_eq!(inc.bound(), Some(3));
+        // Equal or worse offers are rejected and change nothing.
+        assert!(!inc.offer(&s3));
+        assert!(!inc.offer(&s5));
+        assert_eq!(inc.best().unwrap().objective, 3);
+        assert!(!inc.cancelled());
+        inc.cancel();
+        assert!(inc.cancelled());
+    }
+
+    #[test]
+    fn portfolio_matches_single_strategy_optimum() {
+        let m = assignment_model();
+        let brute = crate::brute::solve(&m).unwrap().1;
+        let configs = vec![
+            ("cbj".to_string(), SolverConfig::default()),
+            (
+                "cdcl".to_string(),
+                SolverConfig {
+                    strategy: SearchStrategy::Cdcl,
+                    ..Default::default()
+                },
+            ),
+            (
+                "cbj-input".to_string(),
+                SolverConfig {
+                    heuristic: crate::BranchHeuristic::InputOrder,
+                    ..Default::default()
+                },
+            ),
+        ];
+        let p = solve_portfolio(&m, configs, &Budget::unlimited());
+        assert!(p.outcome.is_optimal());
+        assert_eq!(p.outcome.best().unwrap().objective, brute);
+        assert_eq!(p.threads, 3);
+        assert_eq!(p.runs.len(), 3);
+        assert!(["cbj", "cdcl", "cbj-input"].contains(&p.winner.as_str()));
+        // The merged incumbent log strictly improves.
+        for w in p.outcome.stats().incumbents.windows(2) {
+            assert!(w[1].1 < w[0].1);
+        }
+    }
+
+    #[test]
+    fn single_entry_portfolio_matches_plain_solver() {
+        let m = assignment_model();
+        let plain = Solver::new(&m).run();
+        let p = solve_portfolio(
+            &m,
+            vec![("cbj".to_string(), SolverConfig::default())],
+            &Budget::unlimited(),
+        );
+        assert!(p.outcome.is_optimal());
+        assert_eq!(p.threads, 1);
+        assert_eq!(p.winner, "cbj");
+        assert_eq!(
+            p.outcome.best().unwrap().values(),
+            plain.best().unwrap().values()
+        );
+        assert_eq!(p.outcome.stats().nodes, plain.stats().nodes);
+    }
+
+    #[test]
+    fn infeasible_models_are_proved_infeasible() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        m.fix(x, true);
+        m.fix(x, false);
+        let configs = vec![
+            ("cbj".to_string(), SolverConfig::default()),
+            (
+                "cdcl".to_string(),
+                SolverConfig {
+                    strategy: SearchStrategy::Cdcl,
+                    ..Default::default()
+                },
+            ),
+        ];
+        let p = solve_portfolio(&m, configs, &Budget::unlimited());
+        assert!(matches!(p.outcome, Outcome::Infeasible(_)));
+        assert!(p.outcome.stats().proved_optimal);
+    }
+
+    /// The satellite scenario: CDCL has already published an optimal
+    /// incumbent; a CBJ run attached to the same mailbox must adopt the
+    /// published bound and count the prune. Runs sequentially so the
+    /// hand-off does not depend on thread scheduling.
+    #[test]
+    fn published_incumbent_prunes_a_later_cbj_run() {
+        // A chain model with a big search space: minimize the number of
+        // true vars with every adjacent pair required to contain one.
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..20).map(|i| m.new_var(format!("v{i}"))).collect();
+        for w in vars.windows(2) {
+            m.add_ge([(1, w[0]), (1, w[1])], 1);
+        }
+        m.minimize(vars.iter().map(|&v| (1, v)));
+
+        let inc = SharedIncumbent::new();
+        let cdcl = Solver::with_config(
+            &m,
+            SolverConfig {
+                strategy: SearchStrategy::Cdcl,
+                incumbent: Some(inc.clone()),
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(cdcl.is_optimal());
+        let published = inc.bound().expect("CDCL published its incumbents");
+        assert_eq!(published, cdcl.best().unwrap().objective);
+
+        // A fresh CBJ run on the same mailbox, with a deliberately bad
+        // heuristic and no warm start: its first local incumbent is worse
+        // than the published bound, so the tick check must adopt it.
+        let cbj = Solver::with_config(
+            &m,
+            SolverConfig {
+                heuristic: crate::BranchHeuristic::InputOrder,
+                incumbent: Some(inc.clone()),
+                ..Default::default()
+            },
+        )
+        .run();
+        // The adopted bound makes CBJ's outcome *relative*: it exhausts
+        // under the published bound (proving nothing beats it) without
+        // necessarily holding a solution of its own.
+        assert!(cbj.stats().proved_optimal);
+        assert!(
+            cbj.stats().shared_prunes >= 1,
+            "CBJ never adopted the published bound: {:?}",
+            cbj.stats()
+        );
+        // The shared solution is still the proved optimum.
+        assert_eq!(inc.best().unwrap().objective, published);
+    }
+
+    #[test]
+    fn cancellation_stops_a_run_unproved() {
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..24).map(|i| m.new_var(format!("v{i}"))).collect();
+        for w in vars.windows(2) {
+            m.add_ge([(1, w[0]), (1, w[1])], 1);
+        }
+        m.minimize(vars.iter().map(|&v| (1, v)));
+        let inc = SharedIncumbent::new();
+        inc.cancel();
+        let out = Solver::with_config(
+            &m,
+            SolverConfig {
+                incumbent: Some(inc),
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(!out.stats().proved_optimal);
+    }
+}

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use crate::branch::{pick, BranchHeuristic, StaticScores};
 use crate::budget::Budget;
 use crate::model::{Model, Var};
+use crate::portfolio::SharedIncumbent;
 use crate::propagate::{Engine, PropOutcome};
 
 /// A custom branching strategy: returns the next decision
@@ -54,6 +55,13 @@ pub struct SolverConfig {
     /// Run the presolve pass (root fixing, trivial removal, coefficient
     /// saturation) before searching.
     pub presolve: bool,
+    /// Shared incumbent mailbox for portfolio runs. When attached, the
+    /// solver publishes every improving solution to it, adopts tighter
+    /// *global* bounds at each deadline tick, and stops (unproved) once
+    /// the mailbox is cancelled. The run's own [`Outcome`] is then
+    /// relative to the shared bound: a proof means "nothing beats the
+    /// global incumbent", even when this run holds no solution itself.
+    pub incumbent: Option<SharedIncumbent>,
 }
 
 impl std::fmt::Debug for SolverConfig {
@@ -65,6 +73,7 @@ impl std::fmt::Debug for SolverConfig {
             .field("warm_start", &self.warm_start.as_ref().map(Vec::len))
             .field("brancher", &self.brancher.is_some())
             .field("presolve", &self.presolve)
+            .field("incumbent", &self.incumbent.is_some())
             .finish()
     }
 }
@@ -78,6 +87,12 @@ pub struct Solution {
 }
 
 impl Solution {
+    /// Assembles a solution from raw parts (in-crate test use only).
+    #[cfg(test)]
+    pub(crate) fn from_parts(values: Vec<bool>, objective: i64) -> Self {
+        Solution { values, objective }
+    }
+
     /// Value of a variable in this solution.
     pub fn value(&self, v: Var) -> bool {
         self.values[v.index()]
@@ -100,6 +115,10 @@ pub struct SolveStats {
     pub conflicts: u64,
     /// Learned clauses added by conflict analysis.
     pub learned: u64,
+    /// Times a tighter *global* bound published by a portfolio sibling
+    /// was adopted into this search (each adoption prunes the subtree
+    /// the local incumbent alone would still have explored).
+    pub shared_prunes: u64,
     /// Total wall-clock time.
     pub duration: Duration,
     /// Every improving incumbent: `(when, objective)`.
@@ -155,6 +174,55 @@ impl Outcome {
     /// True if the outcome is proved optimal.
     pub fn is_optimal(&self) -> bool {
         matches!(self, Outcome::Optimal(..))
+    }
+}
+
+/// Incremental accounting against the budget's shared node pool: nodes
+/// explored since the last settlement are debited at every deadline tick,
+/// so concurrent solvers drain one pool *while* searching instead of
+/// settling only on exit.
+struct NodePool<'a> {
+    budget: &'a Budget,
+    enabled: bool,
+    /// Nodes already debited from the shared pool.
+    debited: u64,
+    /// Local node count at which the pool, as last observed, runs dry.
+    allowance: u64,
+}
+
+impl<'a> NodePool<'a> {
+    fn new(budget: &'a Budget) -> Self {
+        let remaining = budget.remaining_nodes();
+        NodePool {
+            budget,
+            enabled: remaining.is_some(),
+            debited: 0,
+            allowance: remaining.unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Cheap per-iteration check against the last allowance snapshot.
+    fn drained(&self, nodes: u64) -> bool {
+        self.enabled && nodes > self.allowance
+    }
+
+    /// Debits the nodes explored since the last settlement and refreshes
+    /// the allowance from the shared pool (concurrent siblings may have
+    /// drained it in the meantime). Returns true when the pool is dry.
+    fn settle(&mut self, nodes: u64) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.budget.consume_nodes(nodes - self.debited);
+        self.debited = nodes;
+        match self.budget.remaining_nodes() {
+            Some(0) => true,
+            Some(rem) => {
+                self.allowance = nodes.saturating_add(rem);
+                false
+            }
+            None => false,
+        }
     }
 }
 
@@ -218,6 +286,11 @@ impl<'a> Solver<'a> {
                 });
             }
         }
+        // Publish the seed: portfolio siblings prune against it even if
+        // this run never gets past its first deadline tick.
+        if let (Some(inc), Some(b)) = (&self.config.incumbent, &best) {
+            inc.offer(b);
+        }
 
         match self.config.strategy {
             SearchStrategy::Cbj => {
@@ -230,13 +303,55 @@ impl<'a> Solver<'a> {
 
         stats.propagations = engine.propagations;
         stats.duration = start.elapsed();
-        self.config.budget.consume_nodes(stats.nodes);
         match (best, stats.proved_optimal) {
             (Some(s), true) => Outcome::Optimal(s, stats),
             (Some(s), false) => Outcome::Feasible(s, stats),
             (None, true) => Outcome::Infeasible(stats),
             (None, false) => Outcome::Unknown(stats),
         }
+    }
+
+    /// The coordination block run every 64th loop tick: the wall-clock
+    /// deadline, node-pool settlement, portfolio cancellation, and the
+    /// adoption of a tighter global bound published by a portfolio
+    /// sibling. Adopting re-propagates the objective constraint, which
+    /// may surface an immediate conflict. Returns true when the search
+    /// must stop.
+    fn tick_check(
+        &self,
+        deadline: Option<Instant>,
+        pool: &mut NodePool<'_>,
+        engine: &mut Engine,
+        conflict: &mut Option<usize>,
+        bound_obj: &mut Option<i64>,
+        stats: &mut SolveStats,
+    ) -> bool {
+        if deadline.is_some_and(|dl| Instant::now() >= dl) {
+            return true;
+        }
+        if pool.settle(stats.nodes) {
+            return true;
+        }
+        if let Some(inc) = &self.config.incumbent {
+            if inc.cancelled() {
+                return true;
+            }
+            if let Some(gb) = inc.bound() {
+                if bound_obj.is_none_or(|b| gb < b) {
+                    *bound_obj = Some(gb);
+                    stats.shared_prunes += 1;
+                    engine.set_objective_bound(gb - 1 - self.model.objective().base);
+                    if conflict.is_none() {
+                        if let Some(oi) = engine.objective_index() {
+                            if let PropOutcome::Conflict(c) = engine.propagate_from(oi) {
+                                *conflict = Some(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
     }
 
     /// Conflict-directed backjumping (Prosser's CBJ) with branch-and-bound
@@ -266,7 +381,10 @@ impl<'a> Solver<'a> {
         let mut frames: Vec<Frame> = Vec::new();
         let mut limit_hit = false;
         let deadline = self.config.budget.deadline();
-        let node_limit = self.config.budget.remaining_nodes();
+        let mut pool = NodePool::new(&self.config.budget);
+        // The objective value backing the engine's current bound: the
+        // local incumbent or an adopted global bound, whichever is lower.
+        let mut bound_obj: Option<i64> = best.as_ref().map(|b| b.objective);
         // Deadline checks are paced on a local iteration counter, not on
         // nodes+conflicts: those can advance by more than one per loop and
         // jump over every multiple of 64, deferring the check indefinitely.
@@ -277,18 +395,23 @@ impl<'a> Solver<'a> {
         };
 
         'outer: loop {
-            if let Some(dl) = deadline {
-                if ticks.is_multiple_of(64) && Instant::now() >= dl {
-                    limit_hit = true;
-                    break;
-                }
+            if ticks.is_multiple_of(64)
+                && self.tick_check(
+                    deadline,
+                    &mut pool,
+                    engine,
+                    &mut conflict,
+                    &mut bound_obj,
+                    stats,
+                )
+            {
+                limit_hit = true;
+                break;
             }
             ticks += 1;
-            if let Some(nl) = node_limit {
-                if stats.nodes > nl {
-                    limit_hit = true;
-                    break;
-                }
+            if pool.drained(stats.nodes) {
+                limit_hit = true;
+                break;
             }
 
             if let Some(ci) = conflict.take() {
@@ -337,7 +460,11 @@ impl<'a> Solver<'a> {
                 if improved {
                     stats.incumbents.push((start.elapsed(), objective));
                     engine.set_objective_bound(objective - 1 - self.model.objective().base);
+                    bound_obj = Some(objective);
                     *best = Some(Solution { values, objective });
+                    if let (Some(inc), Some(b)) = (&self.config.incumbent, best.as_ref()) {
+                        inc.offer(b);
+                    }
                 }
                 match engine.objective_index() {
                     Some(oi) => conflict = Some(oi),
@@ -365,6 +492,7 @@ impl<'a> Solver<'a> {
             }
         }
 
+        let _ = pool.settle(stats.nodes);
         stats.proved_optimal = !limit_hit;
     }
 
@@ -382,7 +510,8 @@ impl<'a> Solver<'a> {
         let n = self.model.num_vars();
         let mut limit_hit = false;
         let deadline = self.config.budget.deadline();
-        let node_limit = self.config.budget.remaining_nodes();
+        let mut pool = NodePool::new(&self.config.budget);
+        let mut bound_obj: Option<i64> = best.as_ref().map(|b| b.objective);
         let mut ticks: u64 = 0;
         let mut conflict = match engine.propagate_all() {
             PropOutcome::Conflict(ci) => Some(ci),
@@ -392,18 +521,23 @@ impl<'a> Solver<'a> {
         loop {
             // Limits, paced on a local counter (nodes+conflicts can step
             // over every multiple of 64 and defer the check indefinitely).
-            if let Some(dl) = deadline {
-                if ticks.is_multiple_of(64) && Instant::now() >= dl {
-                    limit_hit = true;
-                    break;
-                }
+            if ticks.is_multiple_of(64)
+                && self.tick_check(
+                    deadline,
+                    &mut pool,
+                    engine,
+                    &mut conflict,
+                    &mut bound_obj,
+                    stats,
+                )
+            {
+                limit_hit = true;
+                break;
             }
             ticks += 1;
-            if let Some(nl) = node_limit {
-                if stats.nodes > nl {
-                    limit_hit = true;
-                    break;
-                }
+            if pool.drained(stats.nodes) {
+                limit_hit = true;
+                break;
             }
 
             if let Some(ci) = conflict.take() {
@@ -437,7 +571,11 @@ impl<'a> Solver<'a> {
                 if improved {
                     stats.incumbents.push((start.elapsed(), objective));
                     engine.set_objective_bound(objective - 1 - self.model.objective().base);
+                    bound_obj = Some(objective);
                     *best = Some(Solution { values, objective });
+                    if let (Some(inc), Some(b)) = (&self.config.incumbent, best.as_ref()) {
+                        inc.offer(b);
+                    }
                 }
                 match engine.objective_index() {
                     Some(oi) => conflict = Some(oi),
@@ -460,6 +598,7 @@ impl<'a> Solver<'a> {
             }
         }
 
+        let _ = pool.settle(stats.nodes);
         stats.proved_optimal = !limit_hit;
     }
 }

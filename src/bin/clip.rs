@@ -7,6 +7,7 @@
 //! clip synth --spice cell.sp --stacking --json out.json
 //! ```
 
+use std::num::NonZeroUsize;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -23,6 +24,7 @@ struct SynthArgs {
     height: bool,
     limit: Duration,
     fold: usize,
+    jobs: Option<NonZeroUsize>,
     svg: Option<String>,
     json: Option<String>,
     cif: Option<String>,
@@ -41,6 +43,7 @@ impl Default for SynthArgs {
             height: false,
             limit: Duration::from_secs(60),
             fold: 1,
+            jobs: None,
             svg: None,
             json: None,
             cif: None,
@@ -79,7 +82,8 @@ fn usage() {
     eprintln!(
         "usage:\n  clip cells\n  clip synth (--cell NAME | --expr FORMULA | --spice FILE) \
          [--rows N|auto] [--stacking] [--height]\n             [--limit SECS] [--fold K] \
-         [--critical NET]... [--svg FILE] [--json FILE] [--cif FILE] [--trace FILE] [--quiet]"
+         [--jobs N] [--critical NET]...\n             [--svg FILE] [--json FILE] [--cif FILE] \
+         [--trace FILE] [--quiet]"
     );
 }
 
@@ -141,6 +145,13 @@ fn parse_synth(args: &[String]) -> Result<SynthArgs, String> {
                 out.limit = Duration::from_secs(take(&mut i)?.parse().map_err(|_| "bad --limit")?)
             }
             "--fold" => out.fold = take(&mut i)?.parse().map_err(|_| "bad --fold")?,
+            "--jobs" => {
+                out.jobs = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|_| "bad --jobs (need N >= 1)")?,
+                )
+            }
             "--stacking" => out.stacking = true,
             "--height" => out.height = true,
             "--quiet" => out.quiet = true,
@@ -189,6 +200,9 @@ fn synth(args: SynthArgs) -> ExitCode {
     }
     if !args.critical.is_empty() {
         opts = opts.with_critical_nets(args.critical);
+    }
+    if let Some(jobs) = args.jobs {
+        opts = opts.with_jobs(jobs);
     }
     let max_rows = args.rows;
     let generator = CellGenerator::new(opts);

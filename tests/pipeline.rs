@@ -201,7 +201,10 @@ fn best_area_sweep_shares_one_budget() {
     use clip::core::pipeline::Stage;
     let budget = Duration::from_millis(900);
     let start = std::time::Instant::now();
-    let cell = CellGenerator::new(GenOptions::rows(1).with_time_limit(budget))
+    // jobs=1: with parallel rows the per-stage walls overlap, so their
+    // sum (asserted below) is only meaningful for a sequential sweep.
+    let jobs = std::num::NonZeroUsize::MIN;
+    let cell = CellGenerator::new(GenOptions::rows(1).with_time_limit(budget).with_jobs(jobs))
         .generate_best_area(library::full_adder(), 4)
         .unwrap();
     let elapsed = start.elapsed();
@@ -224,11 +227,24 @@ fn best_area_sweep_shares_one_budget() {
         solve_rows.len() >= 2,
         "expected solves at several row counts, got {solve_rows:?}"
     );
+    // Per-row stage walls must fit inside the observed elapsed time.
+    // The Stage::Sweep summary record spans the whole sweep (it would
+    // double-count the row stages), so it is excluded from the sum.
+    let stage_wall: Duration = cell
+        .trace
+        .stages
+        .iter()
+        .filter(|s| s.stage != Stage::Sweep)
+        .map(|s| s.wall)
+        .sum();
     assert_eq!(
-        cell.trace.total_wall().max(elapsed),
+        stage_wall.max(elapsed),
         elapsed,
         "trace wall within elapsed"
     );
+    let sweep = cell.trace.stages.last().unwrap();
+    assert_eq!(sweep.stage, Stage::Sweep);
+    assert_eq!(sweep.threads, Some(1));
 }
 
 /// SPICE round trip feeds the generator identically.
