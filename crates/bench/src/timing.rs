@@ -341,6 +341,82 @@ pub fn smoke() -> Report {
         }
     }
 
+    // Tuner training: one probe per (cell, rows, jobs) point, each a
+    // full generate tagged with the circuit's feature key so `clip tune`
+    // can learn a profile from the smoke JSONL. The seed/solve split
+    // comes from the pipeline trace; the area rides along so downstream
+    // checks can confirm tuned re-runs reproduce the identical cell.
+    {
+        use clip_core::pipeline::Stage;
+        use clip_tune::CircuitFeatures;
+        use std::num::NonZeroUsize;
+
+        let mut probe = |name: &str,
+                         build: fn() -> clip_netlist::Circuit,
+                         rows: usize,
+                         jobs: usize,
+                         limit: Duration| {
+            let circuit = build();
+            let features = CircuitFeatures::extract(&circuit).expect("pairs");
+            let key = features.key(false).to_string();
+            let gen_opts = GenOptions::rows(rows)
+                .with_time_limit(limit)
+                .with_jobs(NonZeroUsize::new(jobs).expect("non-zero"));
+            let start = Instant::now();
+            let cell = CellGenerator::new(gen_opts)
+                .generate(circuit)
+                .expect("generates");
+            let wall = start.elapsed();
+            let stage_ns = |stage: Stage| {
+                cell.trace
+                    .stages
+                    .iter()
+                    .find(|s| s.stage == stage)
+                    .map_or(0, |s| s.wall.as_nanos() as i64)
+            };
+            let solve = cell.trace.stages.iter().find(|s| s.stage == Stage::Solve);
+            let seed = cell
+                .trace
+                .stages
+                .iter()
+                .any(|s| s.stage == Stage::HclipSeed);
+            let mut line = vec![
+                ("record".to_owned(), Json::Str(format!("tune/{name}"))),
+                ("feature_key".to_owned(), Json::Str(key.clone())),
+                ("pairs".to_owned(), Json::Int(features.pairs as i64)),
+                ("nets".to_owned(), Json::Int(features.nets as i64)),
+                ("max_chain".to_owned(), Json::Int(features.max_chain as i64)),
+                ("rows".to_owned(), Json::Int(rows as i64)),
+                ("jobs".to_owned(), Json::Int(jobs as i64)),
+                ("seed".to_owned(), Json::Bool(seed)),
+                ("seed_ns".to_owned(), Json::Int(stage_ns(Stage::HclipSeed))),
+                ("wall_ns".to_owned(), Json::Int(wall.as_nanos() as i64)),
+                ("solve_ns".to_owned(), Json::Int(stage_ns(Stage::Solve))),
+            ];
+            if let Some(winner) = solve.and_then(|s| s.winner_strategy.clone()) {
+                line.push(("winner_strategy".to_owned(), Json::Str(winner)));
+            }
+            line.push((
+                "area".to_owned(),
+                Json::Int((cell.width * cell.height) as i64),
+            ));
+            report.extras.push(Json::Obj(line));
+            eprintln!("  tune/{name:<34} key {key}, wall {wall:?}");
+        };
+        probe("xor2x2", library::xor2, 2, 2, limit);
+        probe("mux21x3", library::mux21, 3, 1, limit);
+        probe("nand4x1", library::nand4, 1, 2, limit);
+        // full_adder is flat with 14 pairs, so the HCLIP warm-start seed
+        // fires; a short limit keeps the anytime solve smoke-sized.
+        probe(
+            "full_adderx2",
+            library::full_adder,
+            2,
+            2,
+            Duration::from_secs(2),
+        );
+    }
+
     // Pipeline observability: one budgeted, instrumented generate whose
     // per-stage records become their own JSONL lines (same schema as
     // `clip synth --trace`), so downstream tooling can chart where the

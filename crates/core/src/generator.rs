@@ -17,8 +17,7 @@ use std::time::{Duration, Instant};
 
 use clip_netlist::{Circuit, PairCircuitError};
 use clip_pb::{
-    solve_portfolio_with, BranchHeuristic, SearchStrategy, SharedIncumbent, SolveStats, Solver,
-    SolverConfig,
+    solve_portfolio_with, BranchHeuristic, SharedIncumbent, SolveStats, Solver, SolverConfig,
 };
 use clip_route::density::{cell_height, CellRouting, HeightParams};
 
@@ -30,6 +29,7 @@ use crate::orient::Orient;
 use crate::pipeline::{Budget, Pipeline, PipelineTrace, Stage, StageRecord};
 use crate::share::ShareArray;
 use crate::solution::Placement;
+use crate::tuning::TuningPlan;
 use crate::unit::UnitSet;
 use crate::verify;
 
@@ -73,6 +73,11 @@ pub struct GenOptions {
     /// keeping the sweep result independent of thread scheduling).
     /// Defaults to [`std::thread::available_parallelism`].
     pub jobs: NonZeroUsize,
+    /// Stage-boundary tuning decisions, usually distilled from a learned
+    /// profile by `clip-tune`. The default plan reproduces today's
+    /// hardcoded behavior exactly; see [`crate::tuning`] for the
+    /// speed-not-results constraints on each lever.
+    pub tuning: TuningPlan,
 }
 
 /// The default worker count: one per available core.
@@ -92,6 +97,7 @@ impl GenOptions {
             height_params: HeightParams::default(),
             critical_nets: Vec::new(),
             jobs: default_jobs(),
+            tuning: TuningPlan::default(),
         }
     }
 
@@ -123,6 +129,12 @@ impl GenOptions {
     /// objective.
     pub fn with_critical_nets(mut self, nets: Vec<String>) -> Self {
         self.critical_nets = nets;
+        self
+    }
+
+    /// Installs a tuning plan (see [`crate::tuning::TuningPlan`]).
+    pub fn with_tuning(mut self, plan: TuningPlan) -> Self {
+        self.tuning = plan;
         self
     }
 }
@@ -220,15 +232,24 @@ impl CellGenerator {
     /// Generates a layout for `circuit` under a budget derived from
     /// [`GenOptions::time_limit`].
     ///
+    /// Thin shim over [`crate::request::SynthRequest`], kept so existing
+    /// callers compile unchanged; prefer the request builder for new
+    /// code (it also returns the applied tuning decisions).
+    ///
     /// # Errors
     ///
     /// See [`GenError`].
     pub fn generate(&self, circuit: Circuit) -> Result<GeneratedCell, GenError> {
-        self.generate_with_budget(circuit, &Budget::from_limit(self.options.time_limit))
+        crate::request::SynthRequest::with_options(circuit, self.options.clone())
+            .build()
+            .map(crate::request::SynthResult::into_cell)
     }
 
     /// Generates a layout for `circuit`, drawing on an externally supplied
     /// [`Budget`] (shared deadlines across several requests, node pools).
+    ///
+    /// Thin shim over [`crate::request::SynthRequest::budget`]; prefer
+    /// the request builder for new code.
     ///
     /// # Errors
     ///
@@ -238,11 +259,10 @@ impl CellGenerator {
         circuit: Circuit,
         budget: &Budget,
     ) -> Result<GeneratedCell, GenError> {
-        let mut pipeline = Pipeline::new(budget.clone());
-        pipeline.set_rows(Some(self.options.rows));
-        let mut cell = self.generate_staged(circuit, &mut pipeline, None, None)?;
-        cell.trace = pipeline.into_trace();
-        Ok(cell)
+        crate::request::SynthRequest::with_options(circuit, self.options.clone())
+            .budget(budget.clone())
+            .build()
+            .map(crate::request::SynthResult::into_cell)
     }
 
     /// Generates a layout for an already-built unit set.
@@ -272,7 +292,7 @@ impl CellGenerator {
     }
 
     /// Pair + cluster stages, then the unit-set pipeline.
-    fn generate_staged(
+    pub(crate) fn generate_staged(
         &self,
         circuit: Circuit,
         pipeline: &mut Pipeline,
@@ -363,13 +383,19 @@ impl CellGenerator {
             // stronger incumbent than the greedy heuristics: solve the
             // clustered model briefly (on a slice of the shared budget)
             // and expand its placement. Skipped once the budget is gone.
-            let hclip_seed = (units.is_flat() && units.len() > 8 && !pipeline.budget().expired())
-                .then(|| {
-                    pipeline.stage(Stage::HclipSeed, |budget, rec| {
-                        self.hclip_seed(&units, budget, rec)
+            // A tuning plan may *veto* the stage (seed off, or a zero
+            // slice), but can never force it onto circuits the structural
+            // gate would skip.
+            let seed_wanted = self.options.tuning.hclip_seed != Some(false)
+                && self.options.tuning.seed_slice != Some(0);
+            let hclip_seed =
+                (units.is_flat() && units.len() > 8 && seed_wanted && !pipeline.budget().expired())
+                    .then(|| {
+                        pipeline.stage(Stage::HclipSeed, |budget, rec| {
+                            self.hclip_seed(&units, budget, rec)
+                        })
                     })
-                })
-                .flatten();
+                    .flatten();
             let clipw = pipeline.stage(Stage::ModelBuild, |_, rec| {
                 let m = ClipW::build(&units, &share, &wopts).map_err(GenError::Model)?;
                 rec.model_vars = Some(m.model().num_vars());
@@ -433,6 +459,9 @@ impl CellGenerator {
     /// This automates the paper's central trade-off study: the 2-D style's
     /// area optimum typically sits at an intermediate row count.
     ///
+    /// Thin shim over [`crate::request::SynthRequest::best_area`]; prefer
+    /// the request builder for new code.
+    ///
     /// # Errors
     ///
     /// Returns the first informative error if no row count produces a cell.
@@ -441,8 +470,25 @@ impl CellGenerator {
         circuit: Circuit,
         max_rows: usize,
     ) -> Result<GeneratedCell, GenError> {
+        crate::request::SynthRequest::with_options(circuit, self.options.clone())
+            .best_area(max_rows)
+            .build()
+            .map(crate::request::SynthResult::into_cell)
+    }
+
+    /// [`CellGenerator::generate_best_area`] with an external [`Budget`]
+    /// shared across the whole sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first informative error if no row count produces a cell.
+    pub fn generate_best_area_with_budget(
+        &self,
+        circuit: Circuit,
+        max_rows: usize,
+        budget: &Budget,
+    ) -> Result<GeneratedCell, GenError> {
         let sweep_start = Instant::now();
-        let budget = Budget::from_limit(self.options.time_limit);
         let max_rows = max_rows.max(1);
 
         // The deterministic cross-row warm hint: the greedy single-row
@@ -554,6 +600,11 @@ impl CellGenerator {
     /// mailbox supplied by the best-area sweep is attached so the sweep
     /// can stop a row that can no longer win; otherwise the portfolio
     /// coordinates through a fresh mailbox of its own.
+    ///
+    /// The portfolio composition comes from the tuning plan when one is
+    /// set, sanitized by [`clip_pb::portfolio::named_configs`] so the
+    /// reference strategy always runs first — a one-thread solve is
+    /// therefore identical with or without a plan.
     fn solve_stage(
         &self,
         model: &clip_pb::Model,
@@ -562,7 +613,11 @@ impl CellGenerator {
         cancel: Option<&SharedIncumbent>,
         rec: &mut StageRecord,
     ) -> clip_pb::Outcome {
-        let configs = portfolio_configs(base, self.options.jobs.get());
+        let configs = clip_pb::portfolio::named_configs(
+            &base,
+            self.options.tuning.portfolio.as_deref(),
+            self.options.jobs.get(),
+        );
         let incumbent = cancel.cloned().unwrap_or_default();
         let p = solve_portfolio_with(model, configs, budget, incumbent);
         rec.model_vars = Some(model.num_vars());
@@ -573,6 +628,9 @@ impl CellGenerator {
         rec.shared_prunes = Some(p.outcome.stats().shared_prunes);
         if p.threads > 1 {
             rec.thread_solves = p.runs.into_iter().map(|(_, s)| s).collect();
+        }
+        if !self.options.tuning.is_default() {
+            rec.tuning = Some(self.options.tuning.to_string());
         }
         p.outcome
     }
@@ -603,7 +661,10 @@ impl CellGenerator {
             SolverConfig {
                 brancher: Some(model.brancher()),
                 warm_start: warm,
-                budget: budget.slice(4, Duration::from_secs(5)),
+                budget: budget.slice(
+                    self.options.tuning.seed_slice.unwrap_or(4),
+                    Duration::from_secs(5),
+                ),
                 ..Default::default()
             },
         )
@@ -615,7 +676,7 @@ impl CellGenerator {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn finish(
+    pub(crate) fn finish(
         &self,
         units: UnitSet,
         placement: Placement,
@@ -761,35 +822,6 @@ impl SweepShared {
     fn prunes(&self) -> u64 {
         self.prunes.load(Ordering::Relaxed)
     }
-}
-
-/// The portfolio raced by a Solve stage: the structure-aware CBJ run
-/// (previously the only solver), a CDCL run, and a generic dynamic-score
-/// CBJ variant without the problem-specific brancher — capped by the
-/// requested job count (the strategies are meaningfully distinct only up
-/// to three ways).
-fn portfolio_configs(base: SolverConfig, jobs: usize) -> Vec<(String, SolverConfig)> {
-    let mut configs = vec![("cbj".to_string(), base.clone())];
-    if jobs >= 2 {
-        configs.push((
-            "cdcl".to_string(),
-            SolverConfig {
-                strategy: SearchStrategy::Cdcl,
-                ..base.clone()
-            },
-        ));
-    }
-    if jobs >= 3 {
-        configs.push((
-            "cbj-dyn".to_string(),
-            SolverConfig {
-                brancher: None,
-                heuristic: BranchHeuristic::DynamicScore,
-                ..base
-            },
-        ));
-    }
-    configs
 }
 
 /// Records a sweep error, keeping the first *informative* one: the slot

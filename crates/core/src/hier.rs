@@ -28,7 +28,6 @@ use clip_netlist::Circuit;
 use clip_pb::{Budget, Solver, SolverConfig};
 
 use crate::clipw::{ClipW, ClipWOptions};
-use crate::cluster;
 use crate::generator::{greedy_placement, GenError};
 use crate::share::ShareArray;
 use crate::solution::{PlacedUnit, Placement};
@@ -135,17 +134,21 @@ pub fn partition_by_gates(units: &UnitSet) -> Vec<Vec<usize>> {
 
 /// Generates a layout hierarchically.
 ///
+/// Thin shim over [`crate::request::SynthRequest::hierarchical`], kept so
+/// existing callers compile unchanged; prefer the request builder for new
+/// code (it also records a trace and the applied tuning decisions).
+///
 /// # Errors
 ///
 /// Propagates pairing and per-sub-cell model/solve failures.
 pub fn generate(circuit: Circuit, opts: &HierOptions) -> Result<HierCell, GenError> {
-    let paired = circuit.into_paired()?;
-    let units = if opts.stacking {
-        cluster::cluster_and_stacks(paired)
-    } else {
-        UnitSet::flat(paired)
-    };
-    generate_units(units, opts)
+    let mut options = crate::generator::GenOptions::rows(opts.rows).with_jobs(opts.jobs);
+    options.stacking = opts.stacking;
+    options.time_limit = opts.time_limit;
+    let result = crate::request::SynthRequest::with_options(circuit, options)
+        .hierarchical()
+        .build()?;
+    Ok(result.into_hier().expect("hier mode yields a HierCell"))
 }
 
 /// Generates a layout hierarchically from an existing unit set.
@@ -154,6 +157,20 @@ pub fn generate(circuit: Circuit, opts: &HierOptions) -> Result<HierCell, GenErr
 ///
 /// See [`generate`].
 pub fn generate_units(units: UnitSet, opts: &HierOptions) -> Result<HierCell, GenError> {
+    generate_units_with_budget(units, opts, &Budget::from_limit(opts.time_limit))
+}
+
+/// [`generate_units`] drawing on an externally supplied [`Budget`]
+/// (shared deadlines across several requests, node pools).
+///
+/// # Errors
+///
+/// See [`generate`].
+pub fn generate_units_with_budget(
+    units: UnitSet,
+    opts: &HierOptions,
+    budget: &Budget,
+) -> Result<HierCell, GenError> {
     let partition = partition_by_gates(&units);
     let max_group = partition.iter().map(Vec::len).max().unwrap_or(1);
     let rows = opts.rows.clamp(1, max_group);
@@ -163,7 +180,6 @@ pub fn generate_units(units: UnitSet, opts: &HierOptions) -> Result<HierCell, Ge
     // independent (disjoint unit sets, private models), so they fan out
     // across worker threads; merging in partition order below keeps the
     // result identical for any job count.
-    let budget = Budget::from_limit(opts.time_limit);
     let solve_sub = |group: &[usize]| -> Result<(Vec<Vec<PlacedUnit>>, Duration, bool), GenError> {
         let sub_units: Vec<Unit> = group.iter().map(|&u| units.units()[u].clone()).collect();
         let sub_set = UnitSet::from_units_partial(units.paired().clone(), sub_units);
@@ -507,13 +523,15 @@ mod tests {
             &HierOptions::rows(2).with_jobs(NonZeroUsize::MIN),
         )
         .unwrap();
-        let par = generate(
-            library::mux41(),
-            &HierOptions::rows(2).with_jobs(NonZeroUsize::new(4).unwrap()),
-        )
-        .unwrap();
-        assert_eq!(par.placement, seq.placement);
-        assert_eq!(par.width, seq.width);
+        for jobs in [2usize, 4, 8] {
+            let par = generate(
+                library::mux41(),
+                &HierOptions::rows(2).with_jobs(NonZeroUsize::new(jobs).unwrap()),
+            )
+            .unwrap();
+            assert_eq!(par.placement, seq.placement, "jobs={jobs}");
+            assert_eq!(par.width, seq.width, "jobs={jobs}");
+        }
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! * [`verify`] — independent combinatorial re-checking of solutions;
 //! * [`pipeline`] — the staged solve pipeline: shared [`pipeline::Budget`]
 //!   deadlines and the per-stage [`pipeline::PipelineTrace`];
-//! * [`generator`] — the top-level [`generator::CellGenerator`] API.
+//! * [`generator`] — the top-level [`generator::CellGenerator`] API;
+//! * [`request`] — the consolidated [`request::SynthRequest`] builder
+//!   every synthesis mode funnels through;
+//! * [`tuning`] — the stage-boundary [`tuning::TuningPlan`] consumed
+//!   from learned profiles (see the `clip-tune` crate).
 //!
 //! # Example
 //!
@@ -47,8 +51,10 @@ pub mod hier;
 pub mod orient;
 pub(crate) mod parallel;
 pub mod pipeline;
+pub mod request;
 pub mod share;
 pub mod solution;
+pub mod tuning;
 pub mod unit;
 pub mod verify;
 
@@ -57,6 +63,8 @@ pub use clipw::{ClipW, ClipWError, ClipWOptions};
 pub use generator::{CellGenerator, GenError, GenOptions, GeneratedCell, Objective};
 pub use orient::Orient;
 pub use pipeline::{Budget, Pipeline, PipelineTrace, Stage, StageRecord};
+pub use request::{AppliedTuning, SynthRequest, SynthResult};
 pub use share::{ShareArray, ShareEntry};
 pub use solution::{PlacedUnit, Placement};
+pub use tuning::TuningPlan;
 pub use unit::{Unit, UnitId, UnitSet};

@@ -39,6 +39,9 @@ pub enum Stage {
     Route,
     /// Summary record for a parallel best-area row sweep.
     Sweep,
+    /// Summary record for a hierarchical generation request (partition,
+    /// sub-cell solves, composition).
+    Hier,
 }
 
 impl Stage {
@@ -53,6 +56,7 @@ impl Stage {
             Stage::Solve => "solve",
             Stage::Route => "route",
             Stage::Sweep => "sweep",
+            Stage::Hier => "hier",
         }
     }
 
@@ -67,6 +71,7 @@ impl Stage {
             "solve" => Stage::Solve,
             "route" => Stage::Route,
             "sweep" => Stage::Sweep,
+            "hier" => Stage::Hier,
             _ => return None,
         })
     }
@@ -101,6 +106,10 @@ pub struct StageRecord {
     /// Per-thread solver statistics for a portfolio solve, in
     /// configuration order (empty when the stage ran one solver).
     pub thread_solves: Vec<SolveStats>,
+    /// The tuning decisions applied to this stage, in the compact
+    /// `TuningPlan` display form. `None` when the stage ran on the
+    /// hardcoded defaults (no profile, or an empty plan).
+    pub tuning: Option<String>,
 }
 
 impl StageRecord {
@@ -117,6 +126,7 @@ impl StageRecord {
             winner_strategy: None,
             shared_prunes: None,
             thread_solves: Vec::new(),
+            tuning: None,
         }
     }
 }
@@ -238,6 +248,7 @@ mod tests {
             Stage::Solve,
             Stage::Route,
             Stage::Sweep,
+            Stage::Hier,
         ] {
             assert_eq!(Stage::from_name(s.name()), Some(s));
         }

@@ -3,14 +3,15 @@
 //! Schema (optional fields omitted when absent):
 //!
 //! ```json
-//! {"stages": [
+//! {"schema": 2,
+//!  "stages": [
 //!   {"stage": "solve", "rows": 2, "wall_ns": 1234,
 //!    "model_vars": 56, "model_constraints": 78,
 //!    "solve": {"nodes": 9, "propagations": 10, "conflicts": 1,
 //!              "learned": 0, "shared_prunes": 0, "duration_ns": 1200,
 //!              "proved_optimal": true,
 //!              "incumbents": [{"at_ns": 3, "objective": 4}]},
-//!    "threads": 2, "winner_strategy": "cbj",
+//!    "threads": 2, "winner_strategy": "cbj", "tuning": "seed=off",
 //!    "shared_prunes": 1, "thread_solves": [{"nodes": 9, "...": "..."}]}
 //! ]}
 //! ```
@@ -20,6 +21,13 @@
 //! `thread_solves` carries the per-thread stats breakdown when a stage
 //! raced more than one solver. `shared_prunes` inside `solve` defaults to
 //! 0 when absent, so traces written before parallel search still parse.
+//!
+//! The document is versioned: writers emit `"schema":` [`TRACE_SCHEMA`].
+//! Version 2 added the per-stage `tuning` stamp (the compact rendering of
+//! the applied `TuningPlan`, present only on stages a plan shaped). The
+//! parser accepts version 1 documents — with or without an explicit
+//! `schema` key, since version 1 predates the key — and rejects any
+//! other version rather than misreading a future layout.
 //!
 //! Durations are integral nanoseconds, so emit → parse → emit is exact.
 //! `clip synth --trace FILE` writes this document, and the bench harness
@@ -31,6 +39,11 @@ use std::time::Duration;
 use clip_core::pipeline::{PipelineTrace, SolveStats, Stage, StageRecord};
 
 use crate::jsonio::{self, Json, JsonError};
+
+/// The trace schema version this crate writes. Version 2 added the
+/// per-stage `tuning` stamp; version 1 (no `schema` key) is still
+/// accepted by [`parse`].
+pub const TRACE_SCHEMA: i64 = 2;
 
 /// A trace deserialization failure.
 #[derive(Clone, Debug, PartialEq)]
@@ -109,6 +122,9 @@ pub fn stage_to_value(rec: &StageRecord) -> Json {
     if let Some(w) = &rec.winner_strategy {
         pairs.push(("winner_strategy".into(), Json::Str(w.clone())));
     }
+    if let Some(t) = &rec.tuning {
+        pairs.push(("tuning".into(), Json::Str(t.clone())));
+    }
     if let Some(p) = rec.shared_prunes {
         pairs.push((
             "shared_prunes".into(),
@@ -124,9 +140,12 @@ pub fn stage_to_value(rec: &StageRecord) -> Json {
     Json::Obj(pairs)
 }
 
-/// Serializes a whole trace as a JSON value.
+/// Serializes a whole trace as a JSON value (schema [`TRACE_SCHEMA`]).
 pub fn to_value(trace: &PipelineTrace) -> Json {
-    Json::obj([("stages", Json::arr(&trace.stages, stage_to_value))])
+    Json::obj([
+        ("schema", Json::Int(TRACE_SCHEMA)),
+        ("stages", Json::arr(&trace.stages, stage_to_value)),
+    ])
 }
 
 /// Serializes a whole trace as a pretty-printed JSON document.
@@ -225,6 +244,15 @@ fn stage_from_value(v: &Json) -> Result<StageRecord, TraceError> {
             .map(stats_from_value)
             .collect::<Result<Vec<_>, TraceError>>()?,
     };
+    // Absent in schema-1 traces (and on untuned stages): stays `None`.
+    let tuning = match v.get("tuning") {
+        None => None,
+        Some(t) => Some(
+            t.as_str()
+                .ok_or_else(|| schema("`tuning` must be a string"))?
+                .to_string(),
+        ),
+    };
     Ok(StageRecord {
         stage,
         rows: opt_usize("rows")?,
@@ -236,15 +264,31 @@ fn stage_from_value(v: &Json) -> Result<StageRecord, TraceError> {
         winner_strategy,
         shared_prunes,
         thread_solves,
+        tuning,
     })
 }
 
-/// Reconstructs a trace from its JSON value.
+/// Reconstructs a trace from its JSON value. Accepts the current schema
+/// version and version 1 (which predates the `schema` key, so a missing
+/// key means 1); any other version is rejected.
 ///
 /// # Errors
 ///
 /// [`TraceError::Schema`] when the value does not match the schema.
 pub fn from_value(v: &Json) -> Result<PipelineTrace, TraceError> {
+    match v.get("schema") {
+        None => {} // version 1: written before the key existed
+        Some(s) => {
+            let version = s
+                .as_i64()
+                .ok_or_else(|| schema("`schema` must be an integer"))?;
+            if version != 1 && version != TRACE_SCHEMA {
+                return Err(schema(format!(
+                    "unsupported trace schema version {version} (supported: 1, {TRACE_SCHEMA})"
+                )));
+            }
+        }
+    }
     let stages = req(v, "stages")?
         .as_arr()
         .ok_or_else(|| schema("`stages` must be an array"))?
@@ -356,5 +400,39 @@ mod tests {
             parse(r#"{"stages":[{"stage":"solve","wall_ns":-5}]}"#),
             Err(TraceError::Schema(_))
         ));
+    }
+
+    #[test]
+    fn schema_versions_are_enforced() {
+        // Writers stamp the current version as the first key.
+        let text = to_json(&PipelineTrace::default());
+        assert!(
+            text.trim_start().starts_with("{\n  \"schema\": 2"),
+            "{text}"
+        );
+        // Version 1 parses with or without an explicit schema key.
+        parse(r#"{"stages":[]}"#).unwrap();
+        parse(r#"{"schema":1,"stages":[]}"#).unwrap();
+        parse(r#"{"schema":2,"stages":[]}"#).unwrap();
+        // Unknown versions are rejected, not misread.
+        let err = parse(r#"{"schema":99,"stages":[]}"#).unwrap_err();
+        assert!(
+            matches!(&err, TraceError::Schema(m) if m.contains("99")),
+            "{err}"
+        );
+        assert!(matches!(
+            parse(r#"{"schema":"two","stages":[]}"#),
+            Err(TraceError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn tuning_stamps_round_trip() {
+        let mut rec = StageRecord::new(Stage::Solve, Some(2));
+        rec.tuning = Some("key=small-sparse-deep-flat seed=off".into());
+        let trace = PipelineTrace { stages: vec![rec] };
+        let text = to_json(&trace);
+        assert!(text.contains("\"tuning\""), "{text}");
+        assert_eq!(parse(&text).unwrap(), trace);
     }
 }

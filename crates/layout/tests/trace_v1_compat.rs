@@ -1,0 +1,52 @@
+//! Backward compatibility: a committed schema-1 trace document (written
+//! before the `schema` key existed) must keep parsing, and re-emitting it
+//! must upgrade it to the current schema version without losing a field.
+
+use clip_layout::trace;
+
+const V1_FIXTURE: &str = include_str!("fixtures/trace_v1.json");
+
+#[test]
+fn v1_fixture_parses_and_upgrades_to_current_schema() {
+    let parsed = trace::parse(V1_FIXTURE).expect("schema-1 fixture parses");
+    assert_eq!(parsed.stages.len(), 5);
+
+    let solve = &parsed.stages[3];
+    assert_eq!(solve.stage.name(), "solve");
+    assert_eq!(solve.rows, Some(2));
+    assert_eq!(solve.model_vars, Some(118));
+    assert_eq!(solve.threads, Some(2));
+    assert_eq!(solve.winner_strategy.as_deref(), Some("cbj"));
+    assert_eq!(solve.thread_solves.len(), 2);
+    // Fields introduced after schema 1 default cleanly.
+    assert_eq!(solve.tuning, None);
+    assert_eq!(solve.solve.as_ref().unwrap().shared_prunes, 0);
+    let stats = solve.solve.as_ref().unwrap();
+    assert_eq!(stats.nodes, 87);
+    assert_eq!(stats.incumbents.len(), 2);
+    assert!(stats.proved_optimal);
+
+    // Re-emitting stamps the current schema version; the round trip is
+    // lossless from there on.
+    let reemitted = trace::to_json(&parsed);
+    assert!(
+        reemitted.contains(&format!("\"schema\": {}", trace::TRACE_SCHEMA)),
+        "{reemitted}"
+    );
+    let back = trace::parse(&reemitted).expect("re-emitted trace parses");
+    assert_eq!(back, parsed);
+    assert_eq!(trace::to_json(&back), reemitted);
+}
+
+#[test]
+fn explicit_v1_and_current_headers_both_parse() {
+    // Some writers may stamp `"schema": 1` explicitly on old documents.
+    let explicit = V1_FIXTURE.replacen('{', "{\"schema\":1,", 1);
+    let parsed = trace::parse(&explicit).expect("explicit schema-1 parses");
+    assert_eq!(parsed, trace::parse(V1_FIXTURE).unwrap());
+
+    // A hypothetical future version is rejected, not misread.
+    let future = V1_FIXTURE.replacen('{', "{\"schema\":99,", 1);
+    let err = trace::parse(&future).unwrap_err();
+    assert!(matches!(err, trace::TraceError::Schema(_)), "{err}");
+}

@@ -106,10 +106,22 @@ impl Budget {
     /// remaining time, capped at `cap`, never past the parent deadline.
     /// The node pool (if any) stays shared with the parent.
     ///
+    /// A `divisor` of zero asks for a zero-width slice: the child is
+    /// immediately expired (the sub-stage is effectively skipped), not a
+    /// division-by-zero and not a full-remaining grant. This is how a
+    /// tuning profile disables an auxiliary stage without a special case
+    /// at every call site.
+    ///
     /// This is how the pipeline sizes its HCLIP seed solve: a quarter of
     /// whatever is left, at most a few seconds, instead of a hardcoded
     /// constant that ignores the caller's deadline.
     pub fn slice(&self, divisor: u32, cap: Duration) -> Budget {
+        if divisor == 0 {
+            return Budget {
+                deadline: Some(Instant::now()),
+                nodes: self.nodes.clone(),
+            };
+        }
         // An exhausted parent yields an exhausted child: the sub-stage
         // must not be granted a fresh `cap`-sized allowance after the
         // request's own deadline has already passed.
@@ -120,7 +132,7 @@ impl Budget {
             };
         }
         let slice = match self.remaining() {
-            Some(rem) => (rem / divisor.max(1)).min(cap),
+            Some(rem) => (rem / divisor).min(cap),
             None => cap,
         };
         let at = Instant::now() + slice;
@@ -178,6 +190,27 @@ mod tests {
         assert!(child.expired());
         child.consume_nodes(3);
         assert_eq!(parent.remaining_nodes(), Some(4));
+    }
+
+    #[test]
+    fn zero_ratio_slice_is_immediately_expired() {
+        // A zero divisor must not panic, and must not hand the child the
+        // parent's full remaining time (the old `divisor.max(1)` reading):
+        // it yields a zero-width slice, expiring the child on arrival.
+        let parent = Budget::timeout(Duration::from_secs(100));
+        let child = parent.slice(0, Duration::from_secs(5));
+        assert!(child.expired(), "zero-ratio slice must expire immediately");
+        assert_eq!(child.remaining(), Some(Duration::ZERO));
+        assert!(!parent.expired(), "the parent is untouched");
+        // An unbounded parent expires its zero-ratio child all the same.
+        let child = Budget::unlimited().slice(0, Duration::from_secs(5));
+        assert!(child.expired());
+        // The shared node pool still rides along on the expired child.
+        let parent = Budget::unlimited().with_node_budget(9);
+        let child = parent.slice(0, Duration::from_secs(5));
+        assert!(child.expired());
+        child.consume_nodes(4);
+        assert_eq!(parent.remaining_nodes(), Some(5));
     }
 
     #[test]

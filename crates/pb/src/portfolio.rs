@@ -21,9 +21,10 @@ use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use crate::branch::BranchHeuristic;
 use crate::budget::Budget;
 use crate::model::Model;
-use crate::solve::{Outcome, Solution, SolveStats, Solver, SolverConfig};
+use crate::solve::{Outcome, SearchStrategy, Solution, SolveStats, Solver, SolverConfig};
 
 /// Objective value marking an empty [`SharedIncumbent`].
 const UNSET: i64 = i64::MAX;
@@ -143,6 +144,76 @@ pub struct PortfolioOutcome {
     pub threads: usize,
     /// Per-run labels and statistics, in configuration order.
     pub runs: Vec<(String, SolveStats)>,
+}
+
+/// The reference strategy label: the structure-aware CBJ configuration
+/// that was the solver before portfolios existed. Every sanitized
+/// portfolio contains it, listed first, so a single-slot portfolio is
+/// always exactly the reference solver — a tuning profile can add or
+/// reorder racers, never replace the deterministic baseline.
+pub const REFERENCE_STRATEGY: &str = "cbj";
+
+/// Known strategy labels, in the default racing order.
+pub const STRATEGIES: [&str; 3] = ["cbj", "cdcl", "cbj-dyn"];
+
+/// Builds the solver configuration for a known strategy label, derived
+/// from `base` (which carries the model-specific brancher and warm start).
+/// Returns `None` for unknown labels.
+pub fn named_config(label: &str, base: &SolverConfig) -> Option<SolverConfig> {
+    match label {
+        "cbj" => Some(base.clone()),
+        "cdcl" => Some(SolverConfig {
+            strategy: SearchStrategy::Cdcl,
+            ..base.clone()
+        }),
+        "cbj-dyn" => Some(SolverConfig {
+            brancher: None,
+            heuristic: BranchHeuristic::DynamicScore,
+            ..base.clone()
+        }),
+        _ => None,
+    }
+}
+
+/// Sanitizes a requested strategy list into a racing order: unknown
+/// labels are dropped, duplicates keep their first position, and
+/// [`REFERENCE_STRATEGY`] is forced to exist and come first. The result
+/// is never empty, so truncating it to any `cap >= 1` still yields the
+/// reference configuration — this is what keeps profile-driven portfolio
+/// composition a speed lever rather than a result lever.
+pub fn sanitize_strategies(names: &[String]) -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = vec![REFERENCE_STRATEGY];
+    for name in names {
+        if let Some(&known) = STRATEGIES.iter().find(|&&s| s == name.as_str()) {
+            if !out.contains(&known) {
+                out.push(known);
+            }
+        }
+    }
+    out
+}
+
+/// Builds the portfolio for one solve: the sanitized `names` order (the
+/// default [`STRATEGIES`] order when `names` is `None`), each derived
+/// from `base` via [`named_config`], truncated to at most `cap` entries
+/// (at least one — the reference strategy always races).
+pub fn named_configs(
+    base: &SolverConfig,
+    names: Option<&[String]>,
+    cap: usize,
+) -> Vec<(String, SolverConfig)> {
+    let order: Vec<&'static str> = match names {
+        Some(names) => sanitize_strategies(names),
+        None => STRATEGIES.to_vec(),
+    };
+    order
+        .into_iter()
+        .take(cap.max(1))
+        .map(|label| {
+            let config = named_config(label, base).expect("sanitized labels are known");
+            (label.to_string(), config)
+        })
+        .collect()
 }
 
 /// Races `configs` (label + configuration pairs) over `model` on scoped
@@ -476,6 +547,48 @@ mod tests {
         );
         // The shared solution is still the proved optimum.
         assert_eq!(inc.best().unwrap().objective, published);
+    }
+
+    #[test]
+    fn sanitized_strategies_always_lead_with_the_reference() {
+        let s = |names: &[&str]| -> Vec<String> { names.iter().map(|n| n.to_string()).collect() };
+        // Reordering keeps cbj first; duplicates and unknowns drop out.
+        assert_eq!(
+            sanitize_strategies(&s(&["cdcl", "cbj", "cdcl", "warp"])),
+            vec!["cbj", "cdcl"]
+        );
+        // An empty or fully-unknown request degrades to the reference.
+        assert_eq!(sanitize_strategies(&[]), vec!["cbj"]);
+        assert_eq!(sanitize_strategies(&s(&["warp"])), vec!["cbj"]);
+        assert_eq!(
+            sanitize_strategies(&s(&["cbj-dyn", "cdcl"])),
+            vec!["cbj", "cbj-dyn", "cdcl"]
+        );
+    }
+
+    #[test]
+    fn named_configs_cap_and_derive_from_base() {
+        let base = SolverConfig::default();
+        // Default order, capped: a one-slot portfolio is the reference.
+        let configs = named_configs(&base, None, 1);
+        assert_eq!(configs.len(), 1);
+        assert_eq!(configs[0].0, "cbj");
+        assert_eq!(configs[0].1.strategy, base.strategy);
+        // A zero cap still races the reference strategy.
+        assert_eq!(named_configs(&base, None, 0).len(), 1);
+        // Full default order matches STRATEGIES.
+        let labels: Vec<String> = named_configs(&base, None, 8)
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(labels, STRATEGIES.to_vec());
+        // A named order flows through, sanitized, with derived configs.
+        let names = vec!["cdcl".to_string()];
+        let configs = named_configs(&base, Some(&names), 8);
+        assert_eq!(configs.len(), 2);
+        assert_eq!(configs[1].0, "cdcl");
+        assert_eq!(configs[1].1.strategy, SearchStrategy::Cdcl);
+        assert!(named_config("warp", &base).is_none());
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Circuit feature extraction and the coarse feature key.
+//!
+//! The tuner does not memorize circuits — it buckets them. A
+//! [`FeatureKey`] combines four coarse dimensions (pair-count size
+//! class, net density, series-chain depth, flat vs. hierarchical
+//! request) into a small closed key space, so a profile learned on one
+//! cell transfers to structurally similar ones and a handful of bench
+//! runs covers the space. The buckets follow the paper's problem-size
+//! story: the flat ILP is comfortable through "small" cells, the HCLIP
+//! seed starts paying off on deep-chained "medium" ones, and
+//! hierarchical mode takes over beyond that.
+
+use std::fmt;
+
+use clip_core::cluster;
+use clip_netlist::{Circuit, PairedCircuit};
+
+/// Raw structural features of one circuit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitFeatures {
+    /// Number of P/N transistor pairs.
+    pub pairs: usize,
+    /// Number of nets (including rails).
+    pub nets: usize,
+    /// Longest series chain (and-stack) found, in pairs; 1 when the
+    /// circuit has no stacks.
+    pub max_chain: usize,
+}
+
+impl CircuitFeatures {
+    /// Extracts features from a circuit. `None` when the circuit cannot
+    /// be paired (such a circuit cannot be synthesized either, so it has
+    /// no useful key).
+    pub fn extract(circuit: &Circuit) -> Option<CircuitFeatures> {
+        Some(Self::from_paired(&circuit.clone().into_paired().ok()?))
+    }
+
+    /// Extracts features from an already-paired circuit.
+    pub fn from_paired(paired: &PairedCircuit) -> CircuitFeatures {
+        let max_chain = cluster::find_stacks(paired)
+            .iter()
+            .map(|s| s.members.len())
+            .max()
+            .unwrap_or(1);
+        CircuitFeatures {
+            pairs: paired.len(),
+            nets: paired.circuit().nets().len(),
+            max_chain,
+        }
+    }
+
+    /// Buckets the features into a [`FeatureKey`]. `hier` marks a
+    /// hierarchical request — a request property, not a circuit one, but
+    /// it changes which levers matter, so it is part of the key.
+    pub fn key(&self, hier: bool) -> FeatureKey {
+        FeatureKey {
+            size: SizeBucket::of(self.pairs),
+            nets: NetBucket::of(self.nets),
+            chain: ChainBucket::of(self.max_chain),
+            hier,
+        }
+    }
+}
+
+/// Pair-count size class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SizeBucket {
+    /// Up to 4 pairs: the exhaustive-seed regime.
+    Tiny,
+    /// 5–8 pairs: comfortable flat ILP.
+    Small,
+    /// 9–16 pairs: where the HCLIP seed starts paying off.
+    Medium,
+    /// 17+ pairs: hierarchical territory.
+    Large,
+}
+
+impl SizeBucket {
+    fn of(pairs: usize) -> SizeBucket {
+        match pairs {
+            0..=4 => SizeBucket::Tiny,
+            5..=8 => SizeBucket::Small,
+            9..=16 => SizeBucket::Medium,
+            _ => SizeBucket::Large,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            SizeBucket::Tiny => "tiny",
+            SizeBucket::Small => "small",
+            SizeBucket::Medium => "medium",
+            SizeBucket::Large => "large",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<SizeBucket> {
+        Some(match name {
+            "tiny" => SizeBucket::Tiny,
+            "small" => SizeBucket::Small,
+            "medium" => SizeBucket::Medium,
+            "large" => SizeBucket::Large,
+            _ => return None,
+        })
+    }
+}
+
+/// Net-count density class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NetBucket {
+    /// Up to 10 nets.
+    Sparse,
+    /// 11+ nets.
+    Dense,
+}
+
+impl NetBucket {
+    fn of(nets: usize) -> NetBucket {
+        if nets <= 10 {
+            NetBucket::Sparse
+        } else {
+            NetBucket::Dense
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            NetBucket::Sparse => "sparse",
+            NetBucket::Dense => "dense",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<NetBucket> {
+        Some(match name {
+            "sparse" => NetBucket::Sparse,
+            "dense" => NetBucket::Dense,
+            _ => return None,
+        })
+    }
+}
+
+/// Series-chain depth class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChainBucket {
+    /// Longest and-stack under 3 pairs: clustering has little to merge.
+    Shallow,
+    /// A 3+ deep stack exists: HCLIP clustering meaningfully shrinks the
+    /// model.
+    Deep,
+}
+
+impl ChainBucket {
+    fn of(max_chain: usize) -> ChainBucket {
+        if max_chain < 3 {
+            ChainBucket::Shallow
+        } else {
+            ChainBucket::Deep
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            ChainBucket::Shallow => "shallow",
+            ChainBucket::Deep => "deep",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<ChainBucket> {
+        Some(match name {
+            "shallow" => ChainBucket::Shallow,
+            "deep" => ChainBucket::Deep,
+            _ => return None,
+        })
+    }
+}
+
+/// The coarse bucketed key a profile is indexed by.
+///
+/// Renders as `size-nets-chain-mode`, e.g. `small-sparse-deep-flat`;
+/// [`FeatureKey::parse`] is the exact inverse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FeatureKey {
+    /// Pair-count size class.
+    pub size: SizeBucket,
+    /// Net density class.
+    pub nets: NetBucket,
+    /// Series-chain depth class.
+    pub chain: ChainBucket,
+    /// True for hierarchical requests.
+    pub hier: bool,
+}
+
+impl FeatureKey {
+    /// Parses the `size-nets-chain-mode` rendering back into a key.
+    pub fn parse(text: &str) -> Option<FeatureKey> {
+        let mut parts = text.split('-');
+        let key = FeatureKey {
+            size: SizeBucket::from_name(parts.next()?)?,
+            nets: NetBucket::from_name(parts.next()?)?,
+            chain: ChainBucket::from_name(parts.next()?)?,
+            hier: match parts.next()? {
+                "flat" => false,
+                "hier" => true,
+                _ => return None,
+            },
+        };
+        parts.next().is_none().then_some(key)
+    }
+}
+
+impl fmt::Display for FeatureKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-{}-{}-{}",
+            self.size.name(),
+            self.nets.name(),
+            self.chain.name(),
+            if self.hier { "hier" } else { "flat" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_netlist::library;
+
+    #[test]
+    fn known_cells_land_in_expected_buckets() {
+        let xor2 = CircuitFeatures::extract(&library::xor2()).unwrap();
+        assert_eq!(xor2.pairs, 5);
+        assert_eq!(xor2.key(false).size, SizeBucket::Small);
+
+        let nand4 = CircuitFeatures::extract(&library::nand4()).unwrap();
+        assert_eq!(nand4.pairs, 4);
+        assert_eq!(nand4.max_chain, 4, "nand4 is one 4-deep stack");
+        let key = nand4.key(false);
+        assert_eq!(key.size, SizeBucket::Tiny);
+        assert_eq!(key.chain, ChainBucket::Deep);
+
+        let fa = CircuitFeatures::extract(&library::full_adder()).unwrap();
+        assert!(fa.pairs > 8, "full adder is medium-sized");
+        assert_eq!(fa.key(false).size, SizeBucket::Medium);
+
+        let mux41 = CircuitFeatures::extract(&library::mux41()).unwrap();
+        assert_eq!(mux41.key(true).size, SizeBucket::Large);
+    }
+
+    #[test]
+    fn keys_render_and_parse_round_trip() {
+        for size in [
+            SizeBucket::Tiny,
+            SizeBucket::Small,
+            SizeBucket::Medium,
+            SizeBucket::Large,
+        ] {
+            for nets in [NetBucket::Sparse, NetBucket::Dense] {
+                for chain in [ChainBucket::Shallow, ChainBucket::Deep] {
+                    for hier in [false, true] {
+                        let key = FeatureKey {
+                            size,
+                            nets,
+                            chain,
+                            hier,
+                        };
+                        assert_eq!(FeatureKey::parse(&key.to_string()), Some(key));
+                    }
+                }
+            }
+        }
+        assert_eq!(FeatureKey::parse("small-sparse-deep"), None);
+        assert_eq!(FeatureKey::parse("small-sparse-deep-flat-extra"), None);
+        assert_eq!(FeatureKey::parse("huge-sparse-deep-flat"), None);
+    }
+}

@@ -5,16 +5,20 @@
 //! clip synth --cell mux21 --rows 3        synthesize a library cell
 //! clip synth --expr "(a&b|c)'" --rows 2 --height --svg out.svg
 //! clip synth --spice cell.sp --stacking --json out.json
+//! clip tune results/bench.jsonl -o profile.json   learn a tuning profile
+//! clip synth --cell xor2 --profile profile.json   synthesize with it
 //! ```
 
 use std::num::NonZeroUsize;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use clip::core::generator::{CellGenerator, GenOptions};
+use clip::core::request::SynthRequest;
+use clip::core::tuning::TuningPlan;
 use clip::layout::CellLayout;
 use clip::netlist::fold::fold_uniform;
 use clip::netlist::{library, spice, Circuit, Expr};
+use clip::tune::{learn, CircuitFeatures, TuningProfile};
 
 struct SynthArgs {
     circuit: Option<Circuit>,
@@ -30,6 +34,7 @@ struct SynthArgs {
     cif: Option<String>,
     trace: Option<String>,
     critical: Vec<String>,
+    profile: Option<String>,
     quiet: bool,
 }
 
@@ -49,6 +54,7 @@ impl Default for SynthArgs {
             cif: None,
             trace: None,
             critical: Vec::new(),
+            profile: None,
             quiet: false,
         }
     }
@@ -60,6 +66,14 @@ fn main() -> ExitCode {
         Some("cells") => cells(),
         Some("synth") => match parse_synth(&args[1..]) {
             Ok(a) => synth(a),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                ExitCode::from(2)
+            }
+        },
+        Some("tune") => match parse_tune(&args[1..]) {
+            Ok((input, out)) => tune(&input, &out),
             Err(e) => {
                 eprintln!("error: {e}");
                 usage();
@@ -82,8 +96,9 @@ fn usage() {
     eprintln!(
         "usage:\n  clip cells\n  clip synth (--cell NAME | --expr FORMULA | --spice FILE) \
          [--rows N|auto] [--stacking] [--height]\n             [--limit SECS] [--fold K] \
-         [--jobs N] [--critical NET]...\n             [--svg FILE] [--json FILE] [--cif FILE] \
-         [--trace FILE] [--quiet]"
+         [--jobs N] [--critical NET]... [--profile FILE]\n             [--svg FILE] \
+         [--json FILE] [--cif FILE] [--trace FILE] [--quiet]\n  clip tune INPUT.jsonl \
+         [-o FILE]     learn a tuning profile from bench JSONL"
     );
 }
 
@@ -160,6 +175,7 @@ fn parse_synth(args: &[String]) -> Result<SynthArgs, String> {
             "--json" => out.json = Some(take(&mut i)?),
             "--cif" => out.cif = Some(take(&mut i)?),
             "--trace" => out.trace = Some(take(&mut i)?),
+            "--profile" => out.profile = Some(take(&mut i)?),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
@@ -191,33 +207,60 @@ fn synth(args: SynthArgs) -> ExitCode {
         }
     }
 
-    let mut opts = GenOptions::rows(args.rows).with_time_limit(args.limit);
+    // Distill a tuning plan from the profile (if any) before the circuit
+    // moves into the request. An unknown shape gets the default plan, so
+    // a stale profile can only cost speed, never change results.
+    let mut plan = TuningPlan::default();
+    if let Some(path) = &args.profile {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let profile = match TuningProfile::parse(&text) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(features) = CircuitFeatures::extract(&circuit) {
+            plan = profile.plan_for(&features.key(false));
+        }
+    }
+
+    let mut request = SynthRequest::new(circuit)
+        .rows(args.rows)
+        .time_limit(args.limit)
+        .profile(plan);
     if args.stacking {
-        opts = opts.with_stacking();
+        request = request.stacking();
     }
     if args.height {
-        opts = opts.with_height();
+        request = request.height();
     }
     if !args.critical.is_empty() {
-        opts = opts.with_critical_nets(args.critical);
+        request = request.critical_nets(args.critical);
     }
     if let Some(jobs) = args.jobs {
-        opts = opts.with_jobs(jobs);
+        request = request.jobs(jobs);
     }
-    let max_rows = args.rows;
-    let generator = CellGenerator::new(opts);
-    let result = if args.auto_rows {
-        generator.generate_best_area(circuit, max_rows)
-    } else {
-        generator.generate(circuit)
-    };
-    let cell = match result {
-        Ok(c) => c,
+    if args.auto_rows {
+        request = request.best_area(args.rows);
+    }
+    let result = match request.build() {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if !args.quiet && !result.applied.plan.is_default() {
+        println!("tuning: {}", result.applied.plan);
+    }
+    let cell = result.cell;
     let layout = CellLayout::build(&cell);
 
     if !args.quiet {
@@ -272,5 +315,59 @@ fn synth(args: SynthArgs) -> ExitCode {
         }
         eprintln!("wrote {path}");
     }
+    ExitCode::SUCCESS
+}
+
+fn parse_tune(args: &[String]) -> Result<(String, String), String> {
+    let mut input: Option<String> = None;
+    let mut out = "profile.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--out" => {
+                i += 1;
+                out = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| format!("{} needs a value", args[i - 1]))?;
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            path => {
+                if input.replace(path.to_string()).is_some() {
+                    return Err("tune takes exactly one INPUT.jsonl".into());
+                }
+            }
+        }
+        i += 1;
+    }
+    Ok((input.ok_or("tune needs an INPUT.jsonl argument")?, out))
+}
+
+fn tune(input: &str, out: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let profile = match learn(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if profile.is_empty() {
+        eprintln!("warning: {input} holds no training records (lines with \"feature_key\")");
+    }
+    if let Err(e) = std::fs::write(out, profile.to_json()) {
+        eprintln!("error: {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "learned {} bucket(s) from {input}; wrote {out}",
+        profile.len()
+    );
     ExitCode::SUCCESS
 }

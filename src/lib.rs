@@ -38,3 +38,5 @@ pub use clip_netlist as netlist;
 pub use clip_pb as pb;
 /// Track density, net spans, channel routing.
 pub use clip_route as route;
+/// Trace-driven autotuning: circuit features, learned profiles, plans.
+pub use clip_tune as tune;
