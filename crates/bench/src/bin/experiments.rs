@@ -95,11 +95,17 @@ fn run_smoke() {
     println!("{}", report.to_table());
     let dir = std::path::Path::new("results");
     let path = dir.join("bench_smoke.jsonl");
-    let write =
-        std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, report.to_jsonl()));
+    // Atomic replace: write a sibling temp file, then rename over the
+    // target. A killed run leaves the previous JSONL intact instead of
+    // a truncated file that would poison `clip tune`.
+    let tmp = dir.join(format!("bench_smoke.jsonl.tmp.{}", std::process::id()));
+    let write = std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&tmp, report.to_jsonl()))
+        .and_then(|()| std::fs::rename(&tmp, &path));
     match write {
         Ok(()) => eprintln!("wrote results/bench_smoke.jsonl"),
         Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
             eprintln!("could not write results/bench_smoke.jsonl: {e}");
             std::process::exit(1);
         }

@@ -1,0 +1,110 @@
+//! `gate` — the bench regression gate CLI.
+//!
+//! ```text
+//! gate --check results/bench_smoke.jsonl --baseline results/bench_baseline.json
+//! gate --write results/bench_smoke.jsonl --baseline results/bench_baseline.json
+//! ```
+//!
+//! `--check` compares a fresh smoke run against the committed baseline
+//! (machine-speed calibrated, see `clip_bench::gate`) and exits 1 on any
+//! regression or missing benchmark. `--write` regenerates the baseline
+//! from a smoke run — commit the result when the trajectory moves for a
+//! good reason.
+
+use std::process::ExitCode;
+
+use clip_bench::gate::{self, GateOptions};
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage:\n  gate --check SMOKE.jsonl --baseline BASELINE.json \
+                 [--tolerance X] [--floor-ms N]\n  gate --write SMOKE.jsonl --baseline BASELINE.json"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut check: Option<String> = None;
+    let mut write: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut opts = GateOptions::default();
+    let mut i = 0;
+    let take = |i: &mut usize, args: &[String]| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => check = Some(take(&mut i, args)?),
+            "--write" => write = Some(take(&mut i, args)?),
+            "--baseline" => baseline_path = Some(take(&mut i, args)?),
+            "--tolerance" => {
+                opts.tolerance = take(&mut i, args)?
+                    .parse()
+                    .map_err(|_| "bad --tolerance".to_string())?;
+                if opts.tolerance.is_nan() || opts.tolerance <= 1.0 {
+                    return Err("--tolerance must exceed 1.0".into());
+                }
+            }
+            "--floor-ms" => {
+                let ms: u64 = take(&mut i, args)?
+                    .parse()
+                    .map_err(|_| "bad --floor-ms".to_string())?;
+                opts.floor_ns = ms * 1_000_000;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let baseline_path = baseline_path.ok_or("--baseline is required")?;
+
+    match (check, write) {
+        (Some(smoke), None) => {
+            let current = gate::medians(&read(&smoke)?);
+            if current.is_empty() {
+                return Err(format!("{smoke}: no measurements found"));
+            }
+            let baseline = gate::parse_baseline(&read(&baseline_path)?)
+                .map_err(|e| format!("{baseline_path}: {e}"))?;
+            let report = gate::compare(&baseline, &current, opts);
+            print!("{}", report.render());
+            if report.pass() {
+                println!("gate: PASS ({} benchmarks)", report.comparisons.len());
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!(
+                    "gate: FAIL ({} regression(s), {} missing)",
+                    report.regressions().len(),
+                    report.missing.len()
+                );
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        (None, Some(smoke)) => {
+            let medians = gate::medians(&read(&smoke)?);
+            if medians.is_empty() {
+                return Err(format!("{smoke}: no measurements found"));
+            }
+            std::fs::write(&baseline_path, gate::baseline_to_json(&medians))
+                .map_err(|e| format!("{baseline_path}: {e}"))?;
+            println!(
+                "wrote {baseline_path} ({} benchmark medians)",
+                medians.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err("exactly one of --check or --write is required".into()),
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}

@@ -1,0 +1,298 @@
+//! The bench regression gate.
+//!
+//! CI runs the smoke benchmarks on every push; this module turns that
+//! from observability into enforcement. A committed baseline
+//! (`results/bench_baseline.json`) pins the expected median for every
+//! smoke measurement; [`compare`] checks a fresh run against it and
+//! reports which benchmarks regressed.
+//!
+//! Raw medians are not comparable across machines — the CI runner, a
+//! laptop, and the machine that committed the baseline all have
+//! different clocks. The gate therefore **calibrates** first: it
+//! computes the per-benchmark ratio `current / baseline` and takes the
+//! median ratio as the machine-speed factor. A benchmark regresses only
+//! when it is slower than `tolerance ×` the calibrated expectation —
+//! i.e. slower *relative to the other benchmarks in the same run*, which
+//! is exactly what a real regression looks like and exactly what a slow
+//! runner does not.
+//!
+//! Two guards keep the gate quiet on noise:
+//!
+//! * an absolute floor (default 1 ms): microsecond-scale benchmarks are
+//!   jitter-dominated and never flagged;
+//! * missing benchmarks are reported separately, not as regressions —
+//!   renames fail loudly but distinctly.
+
+use std::collections::BTreeMap;
+
+use clip_layout::jsonio::{self, Json};
+
+/// Gate thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct GateOptions {
+    /// A benchmark regresses when its calibrated ratio exceeds this
+    /// (1.5 = 50% slower than the machine-speed-adjusted baseline).
+    pub tolerance: f64,
+    /// Benchmarks whose current median is below this never regress
+    /// (jitter dominates down there).
+    pub floor_ns: u64,
+}
+
+impl Default for GateOptions {
+    fn default() -> Self {
+        GateOptions {
+            tolerance: 1.5,
+            floor_ns: 1_000_000,
+        }
+    }
+}
+
+/// One benchmark's verdict.
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Committed baseline median, nanoseconds.
+    pub baseline_ns: u64,
+    /// This run's median, nanoseconds.
+    pub current_ns: u64,
+    /// `current / (baseline × calibration)` — 1.0 means exactly on
+    /// trend for this machine.
+    pub ratio: f64,
+    /// True when the ratio exceeds tolerance and the floor allows it.
+    pub regressed: bool,
+}
+
+/// The gate's full verdict.
+#[derive(Clone, Debug, Default)]
+pub struct GateReport {
+    /// The machine-speed factor applied (median raw ratio).
+    pub calibration: f64,
+    /// Per-benchmark verdicts, baseline order.
+    pub comparisons: Vec<Comparison>,
+    /// Baseline benchmarks absent from the current run.
+    pub missing: Vec<String>,
+}
+
+impl GateReport {
+    /// Benchmarks that regressed.
+    pub fn regressions(&self) -> Vec<&Comparison> {
+        self.comparisons.iter().filter(|c| c.regressed).collect()
+    }
+
+    /// True when nothing regressed and nothing is missing.
+    pub fn pass(&self) -> bool {
+        self.missing.is_empty() && self.comparisons.iter().all(|c| !c.regressed)
+    }
+
+    /// Human-readable table, worst ratio first.
+    pub fn render(&self) -> String {
+        let mut rows = self.comparisons.clone();
+        rows.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+        let mut out = format!(
+            "calibration x{:.3} (machine speed vs. baseline)\n{:<40} {:>12} {:>12} {:>7}\n",
+            self.calibration, "benchmark", "baseline", "current", "ratio"
+        );
+        for c in &rows {
+            out.push_str(&format!(
+                "{:<40} {:>10}us {:>10}us {:>6.2}x{}\n",
+                c.name,
+                c.baseline_ns / 1_000,
+                c.current_ns / 1_000,
+                c.ratio,
+                if c.regressed { "  REGRESSED" } else { "" }
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("{name:<40} MISSING from current run\n"));
+        }
+        out
+    }
+}
+
+/// Extracts `name -> median_ns` from bench JSONL text (measurement
+/// lines only; extras and training records have no `median_ns`/`name`
+/// pair with samples).
+pub fn medians(jsonl: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in jsonl.lines() {
+        let Ok(v) = jsonio::parse(line) else { continue };
+        let (Some(name), Some(median)) = (
+            v.get("name").and_then(Json::as_str),
+            v.get("median_ns").and_then(Json::as_u64),
+        ) else {
+            continue;
+        };
+        // Only true measurements carry a sample count; extras lines
+        // (jobs sweeps, traces) reuse the name/median fields.
+        if v.get("samples").and_then(Json::as_u64).is_some() {
+            out.insert(name.to_string(), median);
+        }
+    }
+    out
+}
+
+/// Renders a baseline document from measured medians.
+pub fn baseline_to_json(medians: &BTreeMap<String, u64>) -> String {
+    let entries: Vec<(String, Json)> = medians
+        .iter()
+        .map(|(name, &ns)| (name.clone(), Json::Int(ns as i64)))
+        .collect();
+    Json::obj([
+        ("record", Json::Str("bench_baseline".into())),
+        ("unit", Json::Str("ns".into())),
+        ("medians", Json::Obj(entries)),
+    ])
+    .to_pretty()
+}
+
+/// Parses a baseline document back into medians.
+///
+/// # Errors
+///
+/// A description of the first structural problem found.
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let v = jsonio::parse(text).map_err(|e| e.to_string())?;
+    let Some(Json::Obj(entries)) = v.get("medians") else {
+        return Err("baseline has no `medians` object".into());
+    };
+    let mut out = BTreeMap::new();
+    for (name, value) in entries {
+        let ns = value
+            .as_u64()
+            .ok_or_else(|| format!("baseline median `{name}` is not an integer"))?;
+        out.insert(name.clone(), ns);
+    }
+    if out.is_empty() {
+        return Err("baseline `medians` is empty".into());
+    }
+    Ok(out)
+}
+
+/// Compares a current run against the baseline.
+pub fn compare(
+    baseline: &BTreeMap<String, u64>,
+    current: &BTreeMap<String, u64>,
+    opts: GateOptions,
+) -> GateReport {
+    // Machine-speed calibration: the median of raw current/baseline
+    // ratios. The median is robust — a single genuine regression cannot
+    // drag the calibration up and hide itself.
+    let mut ratios: Vec<f64> = baseline
+        .iter()
+        .filter_map(|(name, &base)| {
+            let cur = *current.get(name)?;
+            (base > 0).then(|| cur as f64 / base as f64)
+        })
+        .collect();
+    ratios.sort_by(f64::total_cmp);
+    let calibration = if ratios.is_empty() {
+        1.0
+    } else {
+        ratios[ratios.len() / 2].max(f64::MIN_POSITIVE)
+    };
+
+    let mut report = GateReport {
+        calibration,
+        ..GateReport::default()
+    };
+    for (name, &base) in baseline {
+        let Some(&cur) = current.get(name) else {
+            report.missing.push(name.clone());
+            continue;
+        };
+        let expected = base as f64 * calibration;
+        let ratio = if expected > 0.0 {
+            cur as f64 / expected
+        } else {
+            1.0
+        };
+        report.comparisons.push(Comparison {
+            name: name.clone(),
+            baseline_ns: base,
+            current_ns: cur,
+            ratio,
+            regressed: ratio > opts.tolerance && cur > opts.floor_ns,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(entries: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        entries.iter().map(|&(n, v)| (n.to_string(), v)).collect()
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = map(&[("a", 10_000_000), ("b", 20_000_000), ("c", 5_000_000)]);
+        let report = compare(&base, &base, GateOptions::default());
+        assert!(report.pass());
+        assert!((report.calibration - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniformly_slow_machines_pass() {
+        let base = map(&[("a", 10_000_000), ("b", 20_000_000), ("c", 5_000_000)]);
+        let slow: BTreeMap<String, u64> = base.iter().map(|(n, v)| (n.clone(), v * 3)).collect();
+        let report = compare(&base, &slow, GateOptions::default());
+        assert!(report.pass(), "3x slower machine is not a regression");
+        assert!((report.calibration - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn a_single_regression_is_caught_despite_calibration() {
+        let base = map(&[
+            ("a", 10_000_000),
+            ("b", 20_000_000),
+            ("c", 5_000_000),
+            ("d", 8_000_000),
+            ("regressed", 10_000_000),
+        ]);
+        let mut current = base.clone();
+        current.insert("regressed".into(), 40_000_000);
+        let report = compare(&base, &current, GateOptions::default());
+        assert!(!report.pass());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "regressed");
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn jitter_below_the_floor_never_regresses() {
+        let base = map(&[("big", 50_000_000), ("tiny", 5_000)]);
+        let mut current = base.clone();
+        current.insert("tiny".into(), 100_000); // 20x, but 0.1 ms
+        let report = compare(&base, &current, GateOptions::default());
+        assert!(report.pass(), "sub-floor benchmarks are jitter");
+    }
+
+    #[test]
+    fn missing_benchmarks_fail_distinctly() {
+        let base = map(&[("a", 10_000_000), ("gone", 10_000_000)]);
+        let current = map(&[("a", 10_000_000)]);
+        let report = compare(&base, &current, GateOptions::default());
+        assert!(!report.pass());
+        assert_eq!(report.missing, vec!["gone".to_string()]);
+        assert!(report.regressions().is_empty());
+    }
+
+    #[test]
+    fn baseline_round_trips_and_medians_skip_extras() {
+        let jsonl = concat!(
+            "{\"name\":\"a/x\",\"samples\":5,\"min_ns\":1,\"median_ns\":1000,\"mean_ns\":2}\n",
+            "{\"name\":\"jobs_sweep/n\",\"jobs\":1,\"median_ns\":5,\"area\":4}\n",
+            "{\"record\":\"tune/x\",\"feature_key\":\"k\",\"wall_ns\":9}\n",
+        );
+        let m = medians(jsonl);
+        assert_eq!(m.len(), 1, "extras and training records are skipped");
+        assert_eq!(m["a/x"], 1000);
+        let text = baseline_to_json(&m);
+        assert_eq!(parse_baseline(&text).expect("round-trips"), m);
+        assert!(parse_baseline("{}").is_err());
+    }
+}

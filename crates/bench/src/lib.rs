@@ -6,7 +6,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corpus;
 pub mod experiments;
+pub mod gate;
 pub mod timing;
 
 use clip_netlist::{library, Circuit};

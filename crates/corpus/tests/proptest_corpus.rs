@@ -1,0 +1,89 @@
+//! Property tests for the corpus generator: every cell any seed can
+//! produce must be a valid complementary circuit whose baseline bounds
+//! are mutually consistent — the cross-check the corpus driver applies
+//! to solver results must hold vacuously on the baselines themselves.
+
+use clip_baselines::{euler_1d, greedy2d, oned};
+use clip_core::share::ShareArray;
+use clip_core::unit::UnitSet;
+use clip_corpus::{generate, CorpusCell, CorpusSpec};
+use clip_proptest::{gens, proptest_lite};
+
+fn baseline_cross_check(cell: &CorpusCell) {
+    let tag = format!("cell {} ({})", cell.index, cell.circuit.name());
+    assert!(cell.circuit.validate().is_ok(), "{tag}: invalid circuit");
+    let units = UnitSet::flat(
+        cell.circuit
+            .clone()
+            .into_paired()
+            .unwrap_or_else(|e| panic!("{tag}: does not pair: {e}")),
+    );
+    let share = ShareArray::new(&units);
+    let n = units.len();
+    assert_eq!(n, cell.features.pairs, "{tag}: pair count drifted");
+    assert!(cell.rows >= 1 && cell.rows <= n, "{tag}: rows out of range");
+
+    // Euler 1-D exists for every non-empty cell and covers all units.
+    let euler = euler_1d(&units, &share).unwrap_or_else(|| panic!("{tag}: no euler_1d"));
+    assert!(euler.width >= n, "{tag}: 1-row width below unit count");
+
+    // The greedy 2-D placer must produce a legal placement at the
+    // cell's solve row count, no narrower than the packing bound and
+    // no wider than the single-row chain.
+    let greedy = greedy2d(&units, &share, cell.rows)
+        .unwrap_or_else(|| panic!("{tag}: greedy2d failed at {} rows", cell.rows));
+    assert!(
+        greedy.width >= n.div_ceil(cell.rows),
+        "{tag}: greedy width {} below packing bound",
+        greedy.width
+    );
+    assert!(
+        greedy.width <= euler.width,
+        "{tag}: greedy {} rows ({}) wider than the 1-row chain ({})",
+        cell.rows,
+        greedy.width,
+        euler.width
+    );
+
+    // Where the exact 1-D DP is tractable, the heuristic chain must not
+    // beat it — exact lower-bounds heuristic, pinning both baselines.
+    if n <= 10 {
+        if let Some((opt_w, _)) = oned::optimal_1d(&units, &share) {
+            let g1 = greedy2d(&units, &share, 1).unwrap_or_else(|| panic!("{tag}: greedy 1-row"));
+            assert!(opt_w <= euler.width, "{tag}: exact 1-D above euler");
+            assert!(opt_w <= g1.width, "{tag}: exact 1-D above greedy 1-row");
+            assert!(opt_w >= n, "{tag}: exact 1-D below unit count");
+        }
+    }
+}
+
+proptest_lite! {
+    cases: 12;
+
+    fn every_corpus_cell_passes_the_baselines_cross_check(
+        seed in gens::int(0..10_000u64),
+        cells in gens::int(4usize..=12)
+    ) {
+        let corpus = generate(&CorpusSpec { seed, cells });
+        assert_eq!(corpus.len(), cells);
+        let mut hashes = std::collections::BTreeSet::new();
+        for cell in &corpus {
+            assert!(hashes.insert(cell.hash.clone()), "duplicate hash {}", cell.hash);
+            baseline_cross_check(cell);
+        }
+    }
+
+    fn generation_is_a_pure_function_of_the_seed(seed in gens::int(0..10_000u64)) {
+        let spec = CorpusSpec { seed, cells: 6 };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.hash, y.hash);
+            assert_eq!(x.rows, y.rows);
+            assert_eq!(
+                clip_netlist::spice::write(&x.circuit),
+                clip_netlist::spice::write(&y.circuit)
+            );
+        }
+    }
+}

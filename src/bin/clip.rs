@@ -80,6 +80,14 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some("bench") => match parse_bench(&args[1..]) {
+            Ok((opts, summary)) => bench_corpus(&opts, summary.as_deref()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                ExitCode::from(2)
+            }
+        },
         Some("help") | None => {
             usage();
             ExitCode::SUCCESS
@@ -98,7 +106,9 @@ fn usage() {
          [--rows N|auto] [--stacking] [--height]\n             [--limit SECS] [--fold K] \
          [--jobs N] [--critical NET]... [--profile FILE]\n             [--svg FILE] \
          [--json FILE] [--cif FILE] [--trace FILE] [--quiet]\n  clip tune INPUT.jsonl \
-         [-o FILE]     learn a tuning profile from bench JSONL"
+         [-o FILE]     learn a tuning profile from bench JSONL\n  clip bench --corpus \
+         --checkpoint FILE [--seed N] [--cells N] [--shards N]\n             [--budget SECS] \
+         [--summary FILE] [--quiet]   sharded, resumable corpus run"
     );
 }
 
@@ -316,6 +326,79 @@ fn synth(args: SynthArgs) -> ExitCode {
         eprintln!("wrote {path}");
     }
     ExitCode::SUCCESS
+}
+
+fn parse_bench(
+    args: &[String],
+) -> Result<(clip::bench::corpus::CorpusOptions, Option<String>), String> {
+    let mut corpus = false;
+    let mut checkpoint: Option<String> = None;
+    let mut summary: Option<String> = None;
+    let mut opts = clip::bench::corpus::CorpusOptions::new("");
+    let mut i = 0;
+    let take = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--corpus" => corpus = true,
+            "--checkpoint" => checkpoint = Some(take(&mut i)?),
+            "--summary" => summary = Some(take(&mut i)?),
+            "--seed" => opts.seed = take(&mut i)?.parse().map_err(|_| "bad --seed")?,
+            "--cells" => opts.cells = take(&mut i)?.parse().map_err(|_| "bad --cells")?,
+            "--shards" => {
+                opts.shards = take(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --shards (need N >= 1)")?
+            }
+            "--budget" => {
+                opts.budget =
+                    Duration::from_secs(take(&mut i)?.parse().map_err(|_| "bad --budget")?)
+            }
+            "--quiet" => opts.progress = false,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if !corpus {
+        return Err("bench requires --corpus (the only bench mode so far)".into());
+    }
+    opts.checkpoint = checkpoint
+        .ok_or("--checkpoint FILE is required (the resumable JSONL)")?
+        .into();
+    if opts.cells == 0 {
+        return Err("--cells must be positive".into());
+    }
+    Ok((opts, summary))
+}
+
+fn bench_corpus(opts: &clip::bench::corpus::CorpusOptions, summary_path: Option<&str>) -> ExitCode {
+    let summary = match clip::bench::corpus::run(opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {}: {e}", opts.checkpoint.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("corpus: {summary}");
+    for v in &summary.violations {
+        eprintln!("violation: {v}");
+    }
+    if let Some(path) = summary_path {
+        if let Err(e) = std::fs::write(path, summary.to_json().to_pretty()) {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if summary.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn parse_tune(args: &[String]) -> Result<(String, String), String> {

@@ -28,8 +28,12 @@
 
 /// Heuristic baselines (the Virtuoso comparator substitute).
 pub use clip_baselines as baselines;
+/// Benchmark harness: timing, corpus driver, regression gate.
+pub use clip_bench as bench;
 /// The CLIP models: CLIP-W, CLIP-WH, HCLIP, hierarchy, verification.
 pub use clip_core as core;
+/// Seeded, stratified netlist corpus generation.
+pub use clip_corpus as corpus;
 /// Symbolic layout assembly, ASCII/SVG rendering, JSON export.
 pub use clip_layout as layout;
 /// Circuits, pairing, expression compiler, simulator, benchmark library.

@@ -201,6 +201,129 @@ fn tune_learns_a_profile_that_synth_applies() {
 }
 
 #[test]
+fn bench_corpus_resumes_and_feeds_tune() {
+    let dir = std::env::temp_dir().join(format!("clip_cli_corpus_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let ck = dir.join("corpus.jsonl");
+    let ck_arg = ck.to_str().expect("utf8 path");
+
+    // First pass: a 3-cell prefix of the seeded corpus.
+    let out = clip()
+        .args([
+            "bench",
+            "--corpus",
+            "--checkpoint",
+            ck_arg,
+            "--seed",
+            "11",
+            "--cells",
+            "3",
+            "--shards",
+            "1",
+            "--budget",
+            "2",
+            "--quiet",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Second pass extends to 6 cells against the same checkpoint: the
+    // prefix must be skipped, not re-solved (generation is prefix-stable).
+    let summary = dir.join("summary.json");
+    let out = clip()
+        .args([
+            "bench",
+            "--corpus",
+            "--checkpoint",
+            ck_arg,
+            "--seed",
+            "11",
+            "--cells",
+            "6",
+            "--shards",
+            "2",
+            "--budget",
+            "2",
+            "--quiet",
+            "--summary",
+            summary.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("3 resumed"), "{text}");
+    let doc = std::fs::read_to_string(&summary).expect("summary written");
+    assert!(doc.contains("\"errors\": 0"), "{doc}");
+    assert!(doc.contains("\"violations\": []"), "{doc}");
+
+    // Exactly one record per cell in the checkpoint, all hashes distinct.
+    let jsonl = std::fs::read_to_string(&ck).expect("checkpoint written");
+    let hashes: Vec<&str> = jsonl
+        .lines()
+        .filter_map(|l| l.split("\"hash\":\"").nth(1))
+        .filter_map(|rest| rest.split('"').next())
+        .collect();
+    assert_eq!(hashes.len(), 6, "{jsonl}");
+    let unique: std::collections::BTreeSet<_> = hashes.iter().collect();
+    assert_eq!(unique.len(), 6, "{jsonl}");
+
+    // The checkpoint doubles as tuner training data.
+    let profile = dir.join("profile.json");
+    let out = clip()
+        .args(["tune", ck_arg, "-o", profile.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&profile).expect("profile written");
+    assert!(doc.contains("\"schema\": 1"), "{doc}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bench_flags_are_validated() {
+    // --corpus is mandatory, as is --checkpoint.
+    let out = clip().arg("bench").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--corpus"), "{err}");
+
+    let out = clip()
+        .args(["bench", "--corpus"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--checkpoint"), "{err}");
+
+    let out = clip()
+        .args([
+            "bench",
+            "--corpus",
+            "--checkpoint",
+            "/tmp/x.jsonl",
+            "--cells",
+            "0",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
 fn bad_flags_fail_with_usage() {
     let out = clip()
         .args(["synth", "--frobnicate"])
