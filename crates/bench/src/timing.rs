@@ -437,6 +437,46 @@ pub fn smoke() -> Report {
         }
     }
 
+    // Theory observability: two more instrumented generates at one job,
+    // whose ModelBuild/Solve records carry the schema-3 constraint-class
+    // histogram and per-class propagation counters. CI greps these
+    // lines. nand4 is the histogram guard — a nand4 model whose
+    // histogram shows no counting-class rows would mean the stamped
+    // encoder regressed to generic linear emission. full_adder is the
+    // counter guard: the trivial cells prove optimality at the root
+    // with zero propagations (so their empty counter objects are
+    // omitted), but a one-second full_adder solve does real search and
+    // must report where its propagations went.
+    for (name, build, rows, limit) in [
+        (
+            "trace/nand4x1",
+            library::nand4 as fn() -> clip_netlist::Circuit,
+            1usize,
+            limit,
+        ),
+        (
+            "trace/full_adderx2",
+            library::full_adder,
+            2,
+            Duration::from_secs(1),
+        ),
+    ] {
+        let cell = CellGenerator::new(
+            GenOptions::rows(rows)
+                .with_time_limit(limit)
+                .with_jobs(std::num::NonZeroUsize::MIN),
+        )
+        .generate(build())
+        .expect("generates");
+        for rec in &cell.trace.stages {
+            let mut line = vec![("name".to_owned(), Json::Str(name.into()))];
+            if let Json::Obj(pairs) = clip_layout::trace::stage_to_value(rec) {
+                line.extend(pairs);
+            }
+            report.extras.push(Json::Obj(line));
+        }
+    }
+
     report
 }
 

@@ -78,6 +78,12 @@ pub struct GenOptions {
     /// hardcoded behavior exactly; see [`crate::tuning`] for the
     /// speed-not-results constraints on each lever.
     pub tuning: TuningPlan,
+    /// Typed constraint-theory engines in the solver (default `true`).
+    /// The engines change propagation *speed only, never results* — the
+    /// `--no-theories` escape hatch exists so a theory-engine bug can be
+    /// bisected without touching anything else. See
+    /// [`clip_pb::ConstraintClass`].
+    pub use_theories: bool,
 }
 
 /// The default worker count: one per available core.
@@ -98,7 +104,15 @@ impl GenOptions {
             critical_nets: Vec::new(),
             jobs: default_jobs(),
             tuning: TuningPlan::default(),
+            use_theories: true,
         }
+    }
+
+    /// Disables the typed constraint-theory engines (all rows ride the
+    /// generic slack path). Results are identical either way.
+    pub fn without_theories(mut self) -> Self {
+        self.use_theories = false;
+        self
     }
 
     /// Sets the worker-thread count (`1` disables parallel search).
@@ -348,6 +362,7 @@ impl CellGenerator {
                 })?;
                 rec.model_vars = Some(wh.model().num_vars());
                 rec.model_constraints = Some(wh.model().num_constraints());
+                rec.classes = Some(wh.model().class_histogram());
                 Ok::<_, GenError>(wh)
             })?;
             let warm = seed.and_then(|p| wh.clipw().warm_assignment(&units, &p));
@@ -356,6 +371,7 @@ impl CellGenerator {
                     brancher: Some(wh.brancher()),
                     heuristic: BranchHeuristic::InputOrder,
                     warm_start: warm,
+                    use_theories: self.options.use_theories,
                     ..Default::default()
                 };
                 self.solve_stage(wh.model(), base, budget, cancel, rec)
@@ -400,6 +416,7 @@ impl CellGenerator {
                 let m = ClipW::build(&units, &share, &wopts).map_err(GenError::Model)?;
                 rec.model_vars = Some(m.model().num_vars());
                 rec.model_constraints = Some(m.model().num_constraints());
+                rec.classes = Some(m.model().class_histogram());
                 Ok::<_, GenError>(m)
             })?;
             let warm = [replayed, hclip_seed, greedy_seed]
@@ -411,6 +428,7 @@ impl CellGenerator {
                 let base = SolverConfig {
                     brancher: Some(clipw.brancher()),
                     warm_start: warm,
+                    use_theories: self.options.use_theories,
                     ..Default::default()
                 };
                 self.solve_stage(clipw.model(), base, budget, cancel, rec)
@@ -622,6 +640,7 @@ impl CellGenerator {
         let p = solve_portfolio_with(model, configs, budget, incumbent);
         rec.model_vars = Some(model.num_vars());
         rec.model_constraints = Some(model.num_constraints());
+        rec.classes = Some(model.class_histogram());
         rec.solve = Some(p.outcome.stats().clone());
         rec.threads = Some(p.threads);
         rec.winner_strategy = Some(p.winner.clone());
@@ -654,6 +673,7 @@ impl CellGenerator {
         let model = ClipW::build(&stacked, &sshare, &ClipWOptions::new(self.options.rows)).ok()?;
         rec.model_vars = Some(model.model().num_vars());
         rec.model_constraints = Some(model.model().num_constraints());
+        rec.classes = Some(model.model().class_histogram());
         let warm = greedy_placement(&stacked, &sshare, self.options.rows)
             .and_then(|p| model.warm_assignment(&stacked, &p));
         let out = Solver::with_config(
@@ -665,6 +685,7 @@ impl CellGenerator {
                     self.options.tuning.seed_slice.unwrap_or(4),
                     Duration::from_secs(5),
                 ),
+                use_theories: self.options.use_theories,
                 ..Default::default()
             },
         )

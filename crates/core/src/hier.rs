@@ -48,6 +48,9 @@ pub struct HierOptions {
     /// wall-clock time: results are merged in partition order. Defaults
     /// to [`std::thread::available_parallelism`].
     pub jobs: NonZeroUsize,
+    /// Typed constraint-theory engines in the sub-cell solves (default
+    /// `true`; speed only, never results).
+    pub use_theories: bool,
 }
 
 impl HierOptions {
@@ -58,6 +61,7 @@ impl HierOptions {
             stacking: false,
             time_limit: Some(Duration::from_secs(30)),
             jobs: crate::generator::default_jobs(),
+            use_theories: true,
         }
     }
 
@@ -145,6 +149,7 @@ pub fn generate(circuit: Circuit, opts: &HierOptions) -> Result<HierCell, GenErr
     let mut options = crate::generator::GenOptions::rows(opts.rows).with_jobs(opts.jobs);
     options.stacking = opts.stacking;
     options.time_limit = opts.time_limit;
+    options.use_theories = opts.use_theories;
     let result = crate::request::SynthRequest::with_options(circuit, options)
         .hierarchical()
         .build()?;
@@ -195,6 +200,7 @@ pub fn generate_units_with_budget(
                 brancher: Some(model.brancher()),
                 warm_start: warm,
                 budget: budget.clone(),
+                use_theories: opts.use_theories,
                 ..Default::default()
             },
         )

@@ -18,7 +18,7 @@
 
 use std::time::{Duration, Instant};
 
-pub use clip_pb::{Budget, SolveStats};
+pub use clip_pb::{Budget, ClassCounts, ConstraintClass, SolveStats};
 
 /// Identity of a pipeline stage, in execution order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -91,6 +91,9 @@ pub struct StageRecord {
     pub model_vars: Option<usize>,
     /// Constraints in the model the stage built or solved.
     pub model_constraints: Option<usize>,
+    /// Per-class constraint histogram of that model (clause / at-most-one
+    /// / cardinality / general-linear; see [`clip_pb::ConstraintClass`]).
+    pub classes: Option<ClassCounts>,
     /// Solver statistics, including the incumbent trajectory. For a
     /// portfolio solve these are the *combined* stats; the per-thread
     /// breakdown is in [`StageRecord::thread_solves`].
@@ -121,6 +124,7 @@ impl StageRecord {
             wall: Duration::ZERO,
             model_vars: None,
             model_constraints: None,
+            classes: None,
             solve: None,
             threads: None,
             winner_strategy: None,

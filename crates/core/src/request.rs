@@ -150,6 +150,15 @@ impl SynthRequest {
         self
     }
 
+    /// Disables the typed constraint-theory engines — every row rides the
+    /// generic slack path. Results are identical either way (the engines
+    /// change speed, never placements); the flag exists so a theory bug
+    /// can be bisected without touching anything else.
+    pub fn no_theories(mut self) -> Self {
+        self.options.use_theories = false;
+        self
+    }
+
     /// Sets the worker-thread count explicitly. An explicit count always
     /// wins over a profile's `jobs` advice.
     pub fn jobs(mut self, jobs: NonZeroUsize) -> Self {
@@ -236,6 +245,7 @@ impl SynthRequest {
                     stacking: self.options.stacking,
                     time_limit: self.options.time_limit,
                     jobs: self.options.jobs,
+                    use_theories: self.options.use_theories,
                 };
                 let hier = pipeline.stage(Stage::Hier, |budget, rec| {
                     let result = crate::hier::generate_units_with_budget(units, &hopts, budget);

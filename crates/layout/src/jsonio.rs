@@ -59,6 +59,14 @@ impl Json {
         }
     }
 
+    /// The key/value pairs, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// The string contents, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

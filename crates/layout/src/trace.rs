@@ -3,13 +3,16 @@
 //! Schema (optional fields omitted when absent):
 //!
 //! ```json
-//! {"schema": 2,
+//! {"schema": 3,
 //!  "stages": [
 //!   {"stage": "solve", "rows": 2, "wall_ns": 1234,
 //!    "model_vars": 56, "model_constraints": 78,
+//!    "classes": {"clause": 60, "amo": 10, "card": 6, "linear": 2},
 //!    "solve": {"nodes": 9, "propagations": 10, "conflicts": 1,
 //!              "learned": 0, "shared_prunes": 0, "duration_ns": 1200,
 //!              "proved_optimal": true,
+//!              "props_by_class": {"clause": 7, "amo": 2, "card": 1, "linear": 0},
+//!              "conflicts_by_class": {"clause": 1, "amo": 0, "card": 0, "linear": 0},
 //!              "incumbents": [{"at_ns": 3, "objective": 4}]},
 //!    "threads": 2, "winner_strategy": "cbj", "tuning": "seed=off",
 //!    "shared_prunes": 1, "thread_solves": [{"nodes": 9, "...": "..."}]}
@@ -24,10 +27,16 @@
 //!
 //! The document is versioned: writers emit `"schema":` [`TRACE_SCHEMA`].
 //! Version 2 added the per-stage `tuning` stamp (the compact rendering of
-//! the applied `TuningPlan`, present only on stages a plan shaped). The
-//! parser accepts version 1 documents — with or without an explicit
-//! `schema` key, since version 1 predates the key — and rejects any
-//! other version rather than misreading a future layout.
+//! the applied `TuningPlan`, present only on stages a plan shaped).
+//! Version 3 added the constraint-theory fields: the per-stage `classes`
+//! histogram (how the model's constraints classify into clause /
+//! at-most-one / cardinality / general-linear) and the `props_by_class` /
+//! `conflicts_by_class` counters inside solver stats; all three are
+//! omitted when empty and default to zero on parse, so older documents
+//! keep reading. The parser accepts versions 1 (with or without an
+//! explicit `schema` key, since version 1 predates the key) through the
+//! current version and rejects any other rather than misreading a future
+//! layout.
 //!
 //! Durations are integral nanoseconds, so emit → parse → emit is exact.
 //! `clip synth --trace FILE` writes this document, and the bench harness
@@ -36,14 +45,17 @@
 use std::fmt;
 use std::time::Duration;
 
-use clip_core::pipeline::{PipelineTrace, SolveStats, Stage, StageRecord};
+use clip_core::pipeline::{
+    ClassCounts, ConstraintClass, PipelineTrace, SolveStats, Stage, StageRecord,
+};
 
 use crate::jsonio::{self, Json, JsonError};
 
-/// The trace schema version this crate writes. Version 2 added the
-/// per-stage `tuning` stamp; version 1 (no `schema` key) is still
-/// accepted by [`parse`].
-pub const TRACE_SCHEMA: i64 = 2;
+/// The trace schema version this crate writes. Version 3 added the
+/// constraint-theory fields (`classes`, `props_by_class`,
+/// `conflicts_by_class`); version 2 added the per-stage `tuning` stamp;
+/// versions 1 (no `schema` key) through 3 are all accepted by [`parse`].
+pub const TRACE_SCHEMA: i64 = 3;
 
 /// A trace deserialization failure.
 #[derive(Clone, Debug, PartialEq)]
@@ -75,9 +87,37 @@ fn dur_to_json(d: Duration) -> Json {
     Json::Int(i64::try_from(d.as_nanos()).unwrap_or(i64::MAX))
 }
 
+/// Serializes a per-class counter set (`{"clause": n, "amo": n, ...}`).
+fn classes_to_value(c: &ClassCounts) -> Json {
+    Json::obj(ConstraintClass::ALL.iter().map(|&cl| {
+        (
+            cl.name(),
+            Json::Int(i64::try_from(c.get(cl)).unwrap_or(i64::MAX)),
+        )
+    }))
+}
+
+/// Parses a per-class counter object; unknown keys are rejected so a
+/// future class rename cannot be silently dropped.
+fn classes_from_value(v: &Json, key: &str) -> Result<ClassCounts, TraceError> {
+    let pairs = v
+        .as_obj()
+        .ok_or_else(|| schema(format!("`{key}` must be an object")))?;
+    let mut out = ClassCounts::default();
+    for (name, count) in pairs {
+        let class = ConstraintClass::from_name(name)
+            .ok_or_else(|| schema(format!("`{key}` has unknown class `{name}`")))?;
+        let n = count
+            .as_u64()
+            .ok_or_else(|| schema(format!("`{key}.{name}` must be a non-negative integer")))?;
+        out.add_n(class, n);
+    }
+    Ok(out)
+}
+
 fn stats_to_value(s: &SolveStats) -> Json {
     let int = |v: u64| Json::Int(i64::try_from(v).unwrap_or(i64::MAX));
-    Json::obj([
+    let mut pairs: Vec<(&'static str, Json)> = vec![
         ("nodes", int(s.nodes)),
         ("propagations", int(s.propagations)),
         ("conflicts", int(s.conflicts)),
@@ -85,16 +125,26 @@ fn stats_to_value(s: &SolveStats) -> Json {
         ("shared_prunes", int(s.shared_prunes)),
         ("duration_ns", dur_to_json(s.duration)),
         ("proved_optimal", Json::Bool(s.proved_optimal)),
-        (
-            "incumbents",
-            Json::arr(&s.incumbents, |&(at, objective)| {
-                Json::obj([
-                    ("at_ns", dur_to_json(at)),
-                    ("objective", Json::Int(objective)),
-                ])
-            }),
-        ),
-    ])
+    ];
+    if !s.props_by_class.is_empty() {
+        pairs.push(("props_by_class", classes_to_value(&s.props_by_class)));
+    }
+    if !s.conflicts_by_class.is_empty() {
+        pairs.push((
+            "conflicts_by_class",
+            classes_to_value(&s.conflicts_by_class),
+        ));
+    }
+    pairs.push((
+        "incumbents",
+        Json::arr(&s.incumbents, |&(at, objective)| {
+            Json::obj([
+                ("at_ns", dur_to_json(at)),
+                ("objective", Json::Int(objective)),
+            ])
+        }),
+    ));
+    Json::obj(pairs)
 }
 
 /// Serializes one stage record as a JSON object. Reused by the bench
@@ -112,6 +162,9 @@ pub fn stage_to_value(rec: &StageRecord) -> Json {
     }
     if let Some(c) = rec.model_constraints {
         pairs.push(("model_constraints".into(), Json::Int(c as i64)));
+    }
+    if let Some(c) = &rec.classes {
+        pairs.push(("classes".into(), classes_to_value(c)));
     }
     if let Some(s) = &rec.solve {
         pairs.push(("solve".into(), stats_to_value(s)));
@@ -192,6 +245,13 @@ fn stats_from_value(v: &Json) -> Result<SolveStats, TraceError> {
             .as_u64()
             .ok_or_else(|| schema("`shared_prunes` must be a non-negative integer"))?,
     };
+    // Absent in pre-theory (schema ≤ 2) traces: default to all-zero.
+    let by_class = |key: &str| -> Result<ClassCounts, TraceError> {
+        match v.get(key) {
+            None => Ok(ClassCounts::default()),
+            Some(f) => classes_from_value(f, key),
+        }
+    };
     Ok(SolveStats {
         nodes: count("nodes")?,
         propagations: count("propagations")?,
@@ -202,6 +262,8 @@ fn stats_from_value(v: &Json) -> Result<SolveStats, TraceError> {
         proved_optimal: req(v, "proved_optimal")?
             .as_bool()
             .ok_or_else(|| schema("`proved_optimal` must be a boolean"))?,
+        props_by_class: by_class("props_by_class")?,
+        conflicts_by_class: by_class("conflicts_by_class")?,
         incumbents,
     })
 }
@@ -259,6 +321,10 @@ fn stage_from_value(v: &Json) -> Result<StageRecord, TraceError> {
         wall: dur_from(req(v, "wall_ns")?, "wall_ns")?,
         model_vars: opt_usize("model_vars")?,
         model_constraints: opt_usize("model_constraints")?,
+        classes: v
+            .get("classes")
+            .map(|c| classes_from_value(c, "classes"))
+            .transpose()?,
         solve: v.get("solve").map(stats_from_value).transpose()?,
         threads: opt_usize("threads")?,
         winner_strategy,
@@ -282,9 +348,9 @@ pub fn from_value(v: &Json) -> Result<PipelineTrace, TraceError> {
             let version = s
                 .as_i64()
                 .ok_or_else(|| schema("`schema` must be an integer"))?;
-            if version != 1 && version != TRACE_SCHEMA {
+            if !(1..=TRACE_SCHEMA).contains(&version) {
                 return Err(schema(format!(
-                    "unsupported trace schema version {version} (supported: 1, {TRACE_SCHEMA})"
+                    "unsupported trace schema version {version} (supported: 1..={TRACE_SCHEMA})"
                 )));
             }
         }
@@ -330,6 +396,11 @@ mod tests {
         let stats = solve.solve.as_ref().expect("solver stats recorded");
         assert!(!stats.incumbents.is_empty());
         assert!(solve.model_vars.is_some() && solve.model_constraints.is_some());
+        // Schema-3 theory fields: the class histogram and the per-class
+        // propagation attribution ride on the solve stage.
+        let classes = solve.classes.as_ref().expect("class histogram recorded");
+        assert!(!classes.is_empty());
+        assert_eq!(stats.props_by_class.total(), stats.propagations);
 
         let text = to_json(&cell.trace);
         let back = parse(&text).unwrap();
@@ -407,13 +478,14 @@ mod tests {
         // Writers stamp the current version as the first key.
         let text = to_json(&PipelineTrace::default());
         assert!(
-            text.trim_start().starts_with("{\n  \"schema\": 2"),
+            text.trim_start().starts_with("{\n  \"schema\": 3"),
             "{text}"
         );
         // Version 1 parses with or without an explicit schema key.
         parse(r#"{"stages":[]}"#).unwrap();
         parse(r#"{"schema":1,"stages":[]}"#).unwrap();
         parse(r#"{"schema":2,"stages":[]}"#).unwrap();
+        parse(r#"{"schema":3,"stages":[]}"#).unwrap();
         // Unknown versions are rejected, not misread.
         let err = parse(r#"{"schema":99,"stages":[]}"#).unwrap_err();
         assert!(
@@ -424,6 +496,24 @@ mod tests {
             parse(r#"{"schema":"two","stages":[]}"#),
             Err(TraceError::Schema(_))
         ));
+    }
+
+    #[test]
+    fn class_fields_round_trip_and_reject_unknown_names() {
+        let mut rec = StageRecord::new(Stage::ModelBuild, None);
+        let mut h = ClassCounts::default();
+        h.add_n(ConstraintClass::Clause, 5);
+        h.add_n(ConstraintClass::Cardinality, 2);
+        rec.classes = Some(h);
+        let trace = PipelineTrace { stages: vec![rec] };
+        let text = to_json(&trace);
+        assert!(text.contains("\"classes\""), "{text}");
+        assert_eq!(parse(&text).unwrap(), trace);
+        assert_eq!(to_json(&parse(&text).unwrap()), text);
+        // Unknown class names are rejected, not silently dropped.
+        let bad =
+            r#"{"schema":3,"stages":[{"stage":"model_build","wall_ns":1,"classes":{"frob":1}}]}"#;
+        assert!(matches!(parse(bad), Err(TraceError::Schema(_))));
     }
 
     #[test]

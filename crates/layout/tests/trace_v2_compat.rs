@@ -1,0 +1,46 @@
+//! Backward compatibility: a committed schema-2 trace document (written
+//! before the constraint-theory fields existed) must keep parsing, with
+//! the theory fields defaulting cleanly, and re-emitting must upgrade it
+//! to the current schema version without losing a field.
+
+use clip_layout::trace;
+
+const V2_FIXTURE: &str = include_str!("fixtures/trace_v2.json");
+
+#[test]
+fn v2_fixture_parses_and_upgrades_to_current_schema() {
+    let parsed = trace::parse(V2_FIXTURE).expect("schema-2 fixture parses");
+    assert_eq!(parsed.stages.len(), 4);
+
+    // Fields schema 2 already carried survive.
+    let solve = &parsed.stages[2];
+    assert_eq!(solve.stage.name(), "solve");
+    assert_eq!(solve.rows, Some(2));
+    assert_eq!(solve.model_vars, Some(118));
+    assert_eq!(solve.winner_strategy.as_deref(), Some("cbj"));
+    assert_eq!(
+        solve.tuning.as_deref(),
+        Some("key=small-sparse-deep-flat seed=off")
+    );
+    let stats = solve.solve.as_ref().unwrap();
+    assert_eq!(stats.nodes, 91);
+    assert_eq!(stats.shared_prunes, 2);
+    assert_eq!(stats.incumbents.len(), 2);
+
+    // Fields introduced by schema 3 default cleanly: no class histogram,
+    // all-zero per-class counters.
+    assert!(parsed.stages.iter().all(|s| s.classes.is_none()));
+    assert!(stats.props_by_class.is_empty());
+    assert!(stats.conflicts_by_class.is_empty());
+
+    // Re-emitting stamps the current schema version; the round trip is
+    // lossless from there on.
+    let reemitted = trace::to_json(&parsed);
+    assert!(
+        reemitted.contains(&format!("\"schema\": {}", trace::TRACE_SCHEMA)),
+        "{reemitted}"
+    );
+    let back = trace::parse(&reemitted).expect("re-emitted trace parses");
+    assert_eq!(back, parsed);
+    assert_eq!(trace::to_json(&back), reemitted);
+}

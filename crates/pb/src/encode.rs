@@ -17,47 +17,51 @@
 
 use crate::model::{Lit, Model, Var};
 
-/// Adds `Σ vars = 1`.
+// Every helper below knows the theory class of the rows it emits and
+// stamps them through the model's typed adders (`add_clause`,
+// `add_at_most_one`, `add_exactly_one`) rather than leaving the class to
+// post-hoc reclassification — the stamps are verified against
+// `crate::theory::classify` (see `Model::push_stamped`), so an encoding
+// change that degrades a row's class is caught at emission.
+
+/// Adds `Σ vars = 1` (a stamped clause/at-most-one row pair).
 pub fn exactly_one(m: &mut Model, vars: &[Var]) {
-    m.add_eq(vars.iter().map(|&v| (1, v)), 1);
+    m.add_exactly_one(vars.iter().map(|&v| v.pos()));
 }
 
-/// Adds `Σ vars ≤ 1`.
+/// Adds `Σ vars ≤ 1` (stamped at-most-one).
 pub fn at_most_one(m: &mut Model, vars: &[Var]) {
-    m.add_le(vars.iter().map(|&v| (1, v)), 1);
+    m.add_at_most_one(vars.iter().map(|&v| v.pos()));
 }
 
-/// Adds `Σ vars ≥ 1`.
+/// Adds `Σ vars ≥ 1` (stamped clause).
 pub fn at_least_one(m: &mut Model, vars: &[Var]) {
-    m.add_ge(vars.iter().map(|&v| (1, v)), 1);
+    m.add_clause(vars.iter().map(|&v| v.pos()));
 }
 
-/// Adds `a → b` (i.e. `b ≥ a`).
+/// Adds `a → b` — the stamped clause `b ∨ ā`.
 pub fn implies(m: &mut Model, a: Lit, b: Lit) {
-    m.add_ge_lits([(1, b), (-1, a)], 0);
+    m.add_clause([b, a.negated()]);
 }
 
 /// Defines `y = AND(lits)`:
-/// `y ≤ litᵢ` for each `i`, and `y ≥ Σ litᵢ − (k−1)`.
+/// `y ≤ litᵢ` for each `i`, and `y ≥ Σ litᵢ − (k−1)` — all clauses.
 pub fn and_def(m: &mut Model, y: Var, lits: &[Lit]) {
     for &l in lits {
         implies(m, y.pos(), l);
     }
-    let k = lits.len() as i64;
-    let mut terms: Vec<(i64, Lit)> = vec![(1, y.pos())];
-    terms.extend(lits.iter().map(|&l| (-1, l)));
-    m.add_ge_lits(terms, 1 - k);
+    // Normalized, the linking row is the clause y ∨ ⋁ᵢ l̄ᵢ.
+    m.add_clause(std::iter::once(y.pos()).chain(lits.iter().map(|l| l.negated())));
 }
 
 /// Defines `y = OR(lits)`:
-/// `y ≥ litᵢ` for each `i`, and `y ≤ Σ litᵢ`.
+/// `y ≥ litᵢ` for each `i`, and `y ≤ Σ litᵢ` — all clauses.
 pub fn or_def(m: &mut Model, y: Var, lits: &[Lit]) {
     for &l in lits {
         implies(m, l, y.pos());
     }
-    let mut terms: Vec<(i64, Lit)> = vec![(-1, y.pos())];
-    terms.extend(lits.iter().map(|&l| (1, l)));
-    m.add_ge_lits(terms, 0);
+    // Normalized, the linking row is the clause ȳ ∨ ⋁ᵢ lᵢ.
+    m.add_clause(std::iter::once(y.neg()).chain(lits.iter().copied()));
 }
 
 /// Defines `y = ⋁ᵢ (aᵢ ∧ ⋁ⱼ bᵢⱼ)` **without intermediate variables**,
@@ -86,20 +90,22 @@ pub fn or_of_and_pairs(m: &mut Model, y: Var, cases: &[(Var, Vec<Var>)]) {
         assert!(!seen.contains(a), "duplicate case head {a:?}");
         seen.push(*a);
 
-        // y >= a + sum(bs) - 1
+        // y >= a + sum(bs) - 1: normalizes to y + ā + Σ b̄ⱼ ≥ |bs|, a
+        // cardinality row for |bs| ≥ 2 (clause for a single b) — left to
+        // the classifier rather than stamped.
         let mut lower: Vec<(i64, Lit)> = vec![(1, y.pos()), (-1, a.pos())];
         lower.extend(bs.iter().map(|&b| (-1, b.pos())));
         m.add_ge_lits(lower, -1);
 
-        // y <= (1 - a) + sum(bs)
-        let mut upper: Vec<(i64, Lit)> = vec![(-1, y.pos()), (-1, a.pos())];
-        upper.extend(bs.iter().map(|&b| (1, b.pos())));
-        m.add_ge_lits(upper, -1);
+        // y <= (1 - a) + sum(bs): the clause ȳ ∨ ā ∨ ⋁ⱼ bⱼ.
+        m.add_clause(
+            [y.neg(), a.neg()]
+                .into_iter()
+                .chain(bs.iter().map(|&b| b.pos())),
+        );
     }
-    // y <= sum of case heads
-    let mut global: Vec<(i64, Lit)> = vec![(-1, y.pos())];
-    global.extend(seen.iter().map(|&a| (1, a.pos())));
-    m.add_ge_lits(global, 0);
+    // y <= sum of case heads: the clause ȳ ∨ ⋁ᵢ aᵢ.
+    m.add_clause(std::iter::once(y.neg()).chain(seen.iter().map(|&a| a.pos())));
 }
 
 /// A bounded integer `value = lb + Σ bits`, expressed in unary.
@@ -268,6 +274,37 @@ mod tests {
         let a = m.new_var("a");
         let b = m.new_var("b");
         or_of_and_pairs(&mut m, y, &[(a, vec![b]), (a, vec![b])]);
+    }
+
+    #[test]
+    fn emitted_rows_carry_their_stamped_classes() {
+        use crate::theory::ConstraintClass;
+        let mut m = Model::new();
+        let y = m.new_var("y");
+        let avars: Vec<Var> = (0..3).map(|i| m.new_var(format!("a{i}"))).collect();
+        let bvars: Vec<Var> = (0..3).map(|i| m.new_var(format!("b{i}"))).collect();
+        exactly_one(&mut m, &avars);
+        exactly_one(&mut m, &bvars);
+        or_of_and_pairs(
+            &mut m,
+            y,
+            &[
+                (avars[0], vec![bvars[0], bvars[1]]),
+                (avars[1], vec![bvars[2]]),
+            ],
+        );
+        let h = m.class_histogram();
+        // Two exactly-one pairs: 2 clauses + 2 AMOs; or_of_and_pairs: a
+        // cardinality lower row (|bs| = 2), a clause lower row (|bs| = 1),
+        // two clause upper rows, one global clause.
+        assert_eq!(h.get(ConstraintClass::Clause), 6);
+        assert_eq!(h.get(ConstraintClass::AtMostOne), 2);
+        assert_eq!(h.get(ConstraintClass::Cardinality), 1);
+        assert_eq!(h.get(ConstraintClass::GeneralLinear), 0);
+        // Each stored class agrees with the classifier.
+        for (c, &class) in m.constraints().iter().zip(m.classes()) {
+            assert_eq!(crate::theory::classify(c), class);
+        }
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! implicit enumeration over Boolean variables with:
 //!
 //! * bound-consistency **propagation** over normalized `≥` constraints
-//!   ([`propagate`]);
+//!   ([`propagate`]), with rows classified into typed constraint
+//!   **theories** ([`theory`]) — clause / at-most-one / cardinality rows
+//!   ride a counter-based engine, the general-linear residue keeps the
+//!   incremental slack path;
 //! * **objective bounding** against the incumbent, strengthened after every
 //!   improving solution (branch-and-bound);
 //! * pluggable **branching heuristics** ([`branch`]), including a dynamic
@@ -50,9 +53,11 @@ pub mod portfolio;
 pub mod presolve;
 pub mod propagate;
 pub mod solve;
+pub mod theory;
 
 pub use branch::BranchHeuristic;
 pub use budget::Budget;
 pub use model::{Constraint, LinTerm, Model, Var};
 pub use portfolio::{solve_portfolio, solve_portfolio_with, PortfolioOutcome, SharedIncumbent};
 pub use solve::{Brancher, Outcome, SearchStrategy, Solution, SolveStats, Solver, SolverConfig};
+pub use theory::{classify, ClassCounts, ConstraintClass};

@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use crate::theory::{self, ClassCounts, ConstraintClass};
+
 /// A 0-1 decision variable.
 #[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Var(pub(crate) u32);
@@ -213,6 +215,10 @@ impl Objective {
 pub struct Model {
     names: Vec<String>,
     constraints: Vec<Constraint>,
+    /// Theory class of each stored constraint, parallel to `constraints`.
+    classes: Vec<ConstraintClass>,
+    /// Incrementally maintained per-class constraint histogram.
+    histogram: ClassCounts,
     objective: Objective,
 }
 
@@ -247,6 +253,23 @@ impl Model {
     /// The normalized constraints.
     pub fn constraints(&self) -> &[Constraint] {
         &self.constraints
+    }
+
+    /// Theory class of constraint `i` (see [`crate::theory`]).
+    pub fn class_of(&self, i: usize) -> ConstraintClass {
+        self.classes[i]
+    }
+
+    /// Theory classes of every constraint, parallel to
+    /// [`Model::constraints`].
+    pub fn classes(&self) -> &[ConstraintClass] {
+        &self.classes
+    }
+
+    /// Per-class constraint histogram (maintained incrementally as
+    /// constraints are added; no rescan).
+    pub fn class_histogram(&self) -> ClassCounts {
+        self.histogram
     }
 
     /// The normalized objective.
@@ -299,6 +322,34 @@ impl Model {
         };
     }
 
+    /// Adds the clause `lit₁ ∨ … ∨ litₙ` (at least one literal holds),
+    /// stamped as [`ConstraintClass::Clause`] at emission.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let c = Constraint::ge_lits(lits.into_iter().map(|l| (1, l)), 1);
+        self.push_stamped(c, ConstraintClass::Clause);
+    }
+
+    /// Adds `Σ litᵢ ≤ 1` (at most one literal holds), stamped as
+    /// [`ConstraintClass::AtMostOne`] at emission (a 2-literal
+    /// at-most-one normalizes to a clause and is stamped as such).
+    pub fn add_at_most_one(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let c = Constraint::ge_lits(lits.into_iter().map(|l| (-1, l)), -1);
+        let stamp = if c.bound == 1 {
+            ConstraintClass::Clause
+        } else {
+            ConstraintClass::AtMostOne
+        };
+        self.push_stamped(c, stamp);
+    }
+
+    /// Adds `Σ litᵢ = 1` (exactly one literal holds) as its
+    /// clause/at-most-one row pair, both stamped at emission.
+    pub fn add_exactly_one(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        let lits: Vec<Lit> = lits.into_iter().collect();
+        self.add_clause(lits.iter().copied());
+        self.add_at_most_one(lits);
+    }
+
     /// Fixes a variable to a value (unit constraint).
     pub fn fix(&mut self, v: Var, value: bool) {
         if value {
@@ -310,8 +361,33 @@ impl Model {
 
     fn push(&mut self, c: Constraint) {
         if !c.is_trivial() {
+            let class = theory::classify(&c);
+            self.classes.push(class);
+            self.histogram.add(class);
             self.constraints.push(c);
         }
+    }
+
+    /// Pushes a constraint whose class the emitter already knows.
+    ///
+    /// The stamp is an assertion about encoder intent: it must agree with
+    /// [`theory::classify`] on the normalized row. Normalization can
+    /// degrade a stamped shape (duplicate literals merge into a non-unit
+    /// coefficient, complementary literals cancel), so the stamp is
+    /// verified — in release the classifier's verdict wins, in debug a
+    /// mismatch panics to flag the encoder bug.
+    fn push_stamped(&mut self, c: Constraint, stamp: ConstraintClass) {
+        if c.is_trivial() {
+            return;
+        }
+        let class = theory::classify(&c);
+        debug_assert_eq!(
+            class, stamp,
+            "emitter stamped {stamp:?} but the normalized row classifies as {class:?}: {c:?}"
+        );
+        self.classes.push(class);
+        self.histogram.add(class);
+        self.constraints.push(c);
     }
 
     /// Pushes an already-normalized constraint (presolve-internal).
@@ -511,5 +587,69 @@ mod tests {
         let x = m.new_var("alpha");
         assert_eq!(m.name(x), "alpha");
         assert_eq!(m.num_vars(), 1);
+    }
+
+    #[test]
+    fn constraints_are_classified_on_push() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let z = m.new_var("z");
+        m.add_ge([(1, x), (1, y), (1, z)], 1); // clause
+        m.add_le([(1, x), (1, y), (1, z)], 1); // at-most-one
+        m.add_ge([(1, x), (1, y), (1, z), (2, z)], 2); // merged coeff: linear
+        assert_eq!(m.class_of(0), ConstraintClass::Clause);
+        assert_eq!(m.class_of(1), ConstraintClass::AtMostOne);
+        assert_eq!(m.class_of(2), ConstraintClass::GeneralLinear);
+        assert_eq!(m.classes().len(), m.num_constraints());
+        let h = m.class_histogram();
+        assert_eq!(h.get(ConstraintClass::Clause), 1);
+        assert_eq!(h.get(ConstraintClass::AtMostOne), 1);
+        assert_eq!(h.get(ConstraintClass::GeneralLinear), 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn stamped_adders_match_the_classifier() {
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let z = m.new_var("z");
+        m.add_clause([x.pos(), y.neg()]);
+        m.add_at_most_one([x.pos(), y.pos(), z.pos()]);
+        m.add_exactly_one([x.pos(), y.pos(), z.pos()]);
+        m.add_at_most_one([x.pos(), y.pos()]); // 2-lit AMO stamps as clause
+        assert_eq!(
+            m.classes(),
+            &[
+                ConstraintClass::Clause,
+                ConstraintClass::AtMostOne,
+                ConstraintClass::Clause,
+                ConstraintClass::AtMostOne,
+                ConstraintClass::Clause,
+            ]
+        );
+        for (c, &class) in m.constraints().iter().zip(m.classes()) {
+            assert_eq!(crate::theory::classify(c), class);
+        }
+        // Semantics match the generic adders.
+        assert!(m.is_feasible(&[true, false, false]));
+        assert!(!m.is_feasible(&[true, true, false]));
+    }
+
+    #[test]
+    fn degenerate_stamped_rows_are_still_sound() {
+        // A tautological clause (x ∨ x̄) is trivial and dropped.
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        m.add_clause([x.pos(), x.neg()]);
+        assert_eq!(m.num_constraints(), 0);
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        m.add_exactly_one([x.pos()]);
+        // "at least one of {x}" stores a unit clause; "at most one of {x}"
+        // is trivial and dropped.
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.class_of(0), ConstraintClass::Clause);
     }
 }

@@ -22,7 +22,10 @@ use crate::model::{Model, Var};
 /// Serializes a model in OPB format.
 ///
 /// Variables are named `x1..xN` in index order (OPB has no symbolic
-/// names); constraints are emitted in normalized `>=` form.
+/// names); constraints are emitted in normalized `>=` form, each
+/// preceded by a `* class: <name>` comment carrying its theory class
+/// (see [`crate::theory`]) so dumped models show the classification.
+/// Comments are ignored by [`parse`], so the round trip is unaffected.
 pub fn write(model: &Model) -> String {
     let mut out = format!(
         "* #variable= {} #constraint= {}\n",
@@ -45,7 +48,8 @@ pub fn write(model: &Model) -> String {
         }
         out.push_str(" ;\n");
     }
-    for c in model.constraints() {
+    for (i, c) in model.constraints().iter().enumerate() {
+        out.push_str(&format!("* class: {}\n", model.class_of(i).name()));
         let mut bound = c.bound;
         for t in &c.terms {
             // c·x̄ = −c·x + c  ⇒ move the constant to the bound.
@@ -220,5 +224,43 @@ mod tests {
         let m = parse("* header\n\n+1 x1 >= 1 ;\n").unwrap();
         assert_eq!(m.num_vars(), 1);
         assert_eq!(m.num_constraints(), 1);
+    }
+
+    #[test]
+    fn class_comments_are_emitted_and_ignored_on_parse() {
+        use crate::theory::ConstraintClass;
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..4).map(|i| m.new_var(format!("v{i}"))).collect();
+        m.add_clause(vars[..3].iter().map(|v| v.pos()));
+        m.add_at_most_one(vars[..3].iter().map(|v| v.pos()));
+        // b = 2 over 4 literals: genuine cardinality (b ≠ n−1, b ≠ 1).
+        m.add_ge(vars.iter().map(|&v| (1, v)), 2);
+        m.add_ge([(2, vars[0]), (1, vars[1])], 2);
+        m.minimize(vars.iter().map(|&v| (1, v)));
+        let text = write(&m);
+        // One class comment per constraint, naming its class.
+        assert!(
+            text.contains("* class: clause\n+1 x1 +1 x2 +1 x3 >= 1"),
+            "{text}"
+        );
+        assert!(text.contains("* class: amo\n"), "{text}");
+        assert!(text.contains("* class: card\n"), "{text}");
+        assert!(text.contains("* class: linear\n"), "{text}");
+        assert_eq!(
+            text.matches("* class: ").count(),
+            m.num_constraints(),
+            "{text}"
+        );
+        // The comments are ignored on parse: the model round-trips and
+        // re-classifies identically.
+        let back = parse(&text).expect("round trip parses");
+        assert_eq!(back.num_constraints(), m.num_constraints());
+        assert_eq!(back.classes(), m.classes());
+        assert_eq!(back.class_histogram(), m.class_histogram());
+        assert_eq!(write(&back), text, "re-export is byte-identical");
+        let a = Solver::new(&m).run();
+        let b = Solver::new(&back).run();
+        assert_eq!(a.best().map(|s| s.objective), b.best().map(|s| s.objective));
+        let _ = ConstraintClass::ALL; // classes referenced above by name
     }
 }

@@ -328,6 +328,8 @@ fn combine(
         stats.conflicts += s.conflicts;
         stats.learned += s.learned;
         stats.shared_prunes += s.shared_prunes;
+        stats.props_by_class.merge(&s.props_by_class);
+        stats.conflicts_by_class.merge(&s.conflicts_by_class);
         stats.duration = stats.duration.max(s.duration);
     }
     let mut log: Vec<(Duration, i64)> = runs

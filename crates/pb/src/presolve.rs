@@ -18,6 +18,7 @@
 
 use crate::model::{Constraint, LinTerm, Model};
 use crate::propagate::{Engine, PropOutcome, Value};
+use crate::theory::ClassCounts;
 
 /// Outcome of presolving.
 #[derive(Clone, Debug)]
@@ -38,11 +39,20 @@ pub struct PresolveStats {
     pub removed_constraints: usize,
     /// Coefficients lowered by saturation.
     pub saturated_coeffs: usize,
+    /// Per-class constraint histogram of the presolved model.
+    pub classes: ClassCounts,
 }
 
-/// Presolves `model`.
+/// Presolves `model` with the theory engines enabled.
 pub fn presolve(model: &Model) -> Presolved {
-    let mut engine = Engine::new(model);
+    presolve_with(model, true)
+}
+
+/// Presolves `model`, honoring the `--no-theories` escape hatch for the
+/// root-propagation engine (results are identical either way; the flag
+/// exists so a theory-engine bug cannot hide inside presolve).
+pub fn presolve_with(model: &Model, use_theories: bool) -> Presolved {
+    let mut engine = Engine::with_theories(model, use_theories);
     if matches!(engine.propagate_all(), PropOutcome::Conflict(_)) {
         return Presolved::Infeasible;
     }
@@ -62,7 +72,7 @@ pub fn presolve(model: &Model) -> Presolved {
         }
     }
 
-    for c in model.constraints() {
+    for (i, c) in model.constraints().iter().enumerate() {
         let mut bound = c.bound;
         let mut terms: Vec<LinTerm> = Vec::with_capacity(c.terms.len());
         for t in &c.terms {
@@ -79,11 +89,15 @@ pub fn presolve(model: &Model) -> Presolved {
             stats.removed_constraints += 1;
             continue;
         }
-        // Coefficient saturation.
-        for t in &mut terms {
-            if t.coeff > bound {
-                t.coeff = bound;
-                stats.saturated_coeffs += 1;
+        // Coefficient saturation. Counting classes guarantee all-unit
+        // coefficients, and 1 > bound is impossible here (bound ≥ 1), so
+        // the scan is skipped for them.
+        if !model.class_of(i).is_counting() {
+            for t in &mut terms {
+                if t.coeff > bound {
+                    t.coeff = bound;
+                    stats.saturated_coeffs += 1;
+                }
             }
         }
         out.push_normalized(Constraint { terms, bound });
@@ -93,6 +107,7 @@ pub fn presolve(model: &Model) -> Presolved {
     let obj = model.objective().clone();
     out.set_objective_raw(obj);
 
+    stats.classes = out.class_histogram();
     Presolved::Model(out, stats)
 }
 
@@ -134,6 +149,12 @@ mod tests {
             panic!("feasible model");
         };
         assert!(stats.fixed_vars >= 1);
+        assert_eq!(
+            stats.classes,
+            p.class_histogram(),
+            "stats carry the presolved model's class histogram"
+        );
+        assert!(!stats.classes.is_empty());
         assert_equivalent(&m);
         let out = Solver::new(&p).run();
         assert_eq!(out.best().unwrap().objective, 1);

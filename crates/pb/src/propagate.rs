@@ -11,11 +11,41 @@
 //! true. This is exactly the implication rule of logic-based 0-1
 //! programming (OPBDP's "fixing" step).
 //!
+//! # Typed theory engines
+//!
+//! Every constraint carries the [`ConstraintClass`] assigned by the model
+//! (see [`crate::theory`]), and the engine routes each class to a
+//! specialized representation:
+//!
+//! * **Counting engine** — clause / at-most-one / cardinality rows (all
+//!   coefficients 1) keep a packed false/true assignment counter per row
+//!   instead of the slack pair: with `cap = n − b`, the row conflicts iff
+//!   `false_count > cap` and forces every unassigned literal iff
+//!   `false_count = cap`. One dense `u64` add per occurrence, and the hot
+//!   check reads two flat arrays instead of the constraint store.
+//! * **Watched-literal engine** — learned clauses use the two-watched-
+//!   literal scheme ([`Engine::add_learned_clause`]); only the watch
+//!   lists of a falsified literal are visited.
+//! * **Slack engine** — the general-linear residue keeps the incremental
+//!   max/fixed-LHS path described above.
+//!
+//! Routing never changes *results*: for unit-coefficient rows the counting
+//! thresholds are algebraically identical to the slack tests, literals are
+//! forced in term order either way, and every engine is checked at the
+//! same per-occurrence visitation points, so the search tree — and
+//! therefore every placement — is bit-for-bit the same with the theory
+//! engines on or off (`Engine::with_theories(model, false)` keeps
+//! everything on the slack path; classification is still recorded for
+//! stats attribution). `crates/pb/tests/proptest_theories.rs` checks this
+//! equivalence on random models.
+//!
 //! The engine also owns the dynamic *objective bound* constraint
 //! `objective ≤ incumbent − 1` used for branch-and-bound pruning; call
 //! [`Engine::set_objective_bound`] whenever a better incumbent is found.
+//! Its bound moves during search, so it always stays on the slack path.
 
 use crate::model::{Constraint, Lit, Model, Var};
+use crate::theory::{ClassCounts, ConstraintClass};
 
 /// Tri-state variable assignment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,9 +111,25 @@ struct Occurrence {
 #[derive(Debug)]
 pub struct Engine {
     constraints: Vec<Constraint>,
-    /// Incrementally maintained max achievable LHS per constraint.
+    /// Theory class per constraint (objective bound: general-linear).
+    class: Vec<ConstraintClass>,
+    /// True where the row rides the counting engine (unit coefficients
+    /// and theories enabled).
+    counting: Vec<bool>,
+    /// Dense copy of each constraint's bound — the hot checks never touch
+    /// the constraint store.
+    bounds: Vec<i64>,
+    /// Counting engine state: false count in the low 32 bits, true count
+    /// in the high 32 bits. Zero for slack-path rows.
+    counts: Vec<u64>,
+    /// Counting engine conflict threshold `n − b` (false count above it
+    /// is a conflict, at it forces the rest). Zero for slack-path rows.
+    caps: Vec<i64>,
+    /// Incrementally maintained max achievable LHS per slack-path
+    /// constraint (stale for counting rows — never read there).
     max_lhs: Vec<i64>,
-    /// Incrementally maintained fixed (true-literal) LHS per constraint.
+    /// Incrementally maintained fixed (true-literal) LHS per slack-path
+    /// constraint (stale for counting rows — never read there).
     fixed_lhs: Vec<i64>,
     /// Largest coefficient per constraint (forcing-scan filter).
     max_coeff: Vec<i64>,
@@ -110,14 +156,27 @@ pub struct Engine {
     /// Number of variable assignments performed by propagation (not by
     /// decisions).
     pub propagations: u64,
+    /// Propagations attributed to the class of the forcing constraint
+    /// (learned clauses count as clause-theory).
+    props_by_class: ClassCounts,
 }
 
 impl Engine {
-    /// Builds the engine for `model`.
+    /// Builds the engine for `model` with the theory engines enabled.
     ///
     /// The objective-bound constraint is created disabled (bound far below
     /// reach) and activated by [`Engine::set_objective_bound`].
     pub fn new(model: &Model) -> Self {
+        Self::with_theories(model, true)
+    }
+
+    /// Builds the engine for `model`, routing unit-coefficient classes to
+    /// the counting engine only when `use_theories` holds.
+    ///
+    /// With theories off every row stays on the generic slack path — the
+    /// `--no-theories` escape hatch. Classification is still recorded so
+    /// per-class stats attribution is identical either way.
+    pub fn with_theories(model: &Model, use_theories: bool) -> Self {
         let mut constraints: Vec<Constraint> = model.constraints().to_vec();
 
         // Objective bound in negated-literal form:
@@ -142,7 +201,18 @@ impl Engine {
             Some(constraints.len() - 1)
         };
 
+        let mut class: Vec<ConstraintClass> = model.classes().to_vec();
+        if obj_index.is_some() {
+            // The objective bound's RHS moves during search; it is always
+            // a general-linear row regardless of its coefficients.
+            class.push(ConstraintClass::GeneralLinear);
+        }
+
         let mut occurs: Vec<Vec<Occurrence>> = vec![Vec::new(); model.num_vars()];
+        let mut counting = Vec::with_capacity(constraints.len());
+        let mut bounds = Vec::with_capacity(constraints.len());
+        let mut counts = Vec::with_capacity(constraints.len());
+        let mut caps = Vec::with_capacity(constraints.len());
         let mut max_lhs = Vec::with_capacity(constraints.len());
         let mut fixed_lhs = Vec::with_capacity(constraints.len());
         let mut max_coeff = Vec::with_capacity(constraints.len());
@@ -154,6 +224,17 @@ impl Engine {
                     positive: t.lit.positive,
                 });
             }
+            // Counting classes guarantee all-unit coefficients, the only
+            // property the counter representation needs.
+            let on = use_theories && class[i].is_counting();
+            counting.push(on);
+            bounds.push(c.bound);
+            counts.push(0);
+            caps.push(if on {
+                c.terms.len() as i64 - c.bound
+            } else {
+                0
+            });
             max_lhs.push(c.max_lhs());
             fixed_lhs.push(0);
             max_coeff.push(c.terms.iter().map(|t| t.coeff).max().unwrap_or(0));
@@ -161,6 +242,11 @@ impl Engine {
 
         Engine {
             constraints,
+            class,
+            counting,
+            bounds,
+            counts,
+            caps,
             max_lhs,
             fixed_lhs,
             max_coeff,
@@ -176,12 +262,16 @@ impl Engine {
             watches: vec![Vec::new(); 2 * model.num_vars()],
             qhead: 0,
             propagations: 0,
+            props_by_class: ClassCounts::new(),
         }
     }
 
     /// Tag distinguishing clause reasons/conflicts from PB constraint
     /// indices.
     const CLAUSE_TAG: usize = 1 << 30;
+
+    /// Mask extracting the false count from a packed counting-engine word.
+    const FALSE_MASK: u64 = 0xFFFF_FFFF;
 
     fn lit_code(l: Lit) -> usize {
         l.var.index() * 2 + usize::from(l.positive)
@@ -214,13 +304,17 @@ impl Engine {
             let was = self.values[v.index()];
             self.values[v.index()] = Value::Unassigned;
             self.reasons[v.index()] = None;
-            // Reverse the incremental slack updates.
+            // Reverse the incremental per-engine updates.
             let value = was == Value::True;
             for k in 0..self.occurs[v.index()].len() {
                 let occ = self.occurs[v.index()][k];
                 let lit_was_false = occ.positive != value;
                 let ci = occ.constraint as usize;
-                if lit_was_false {
+                if self.counting[ci] {
+                    // False count lives in the low half, true count in
+                    // the high half.
+                    self.counts[ci] -= 1u64 << (32 * u32::from(!lit_was_false));
+                } else if lit_was_false {
                     self.max_lhs[ci] += occ.coeff;
                 } else {
                     self.fixed_lhs[ci] -= occ.coeff;
@@ -235,6 +329,7 @@ impl Engine {
     pub fn set_objective_bound(&mut self, ub_minus_base: i64) {
         if let Some(i) = self.obj_index {
             self.constraints[i].bound = self.obj_total - ub_minus_base;
+            self.bounds[i] = self.constraints[i].bound;
         }
     }
 
@@ -289,7 +384,9 @@ impl Engine {
                     let occ = self.occurs[v.index()][k];
                     let lit_false = occ.positive != value;
                     let ci = occ.constraint as usize;
-                    if lit_false {
+                    if self.counting[ci] {
+                        self.counts[ci] += 1u64 << (32 * u32::from(!lit_false));
+                    } else if lit_false {
                         self.max_lhs[ci] -= occ.coeff;
                     } else {
                         self.fixed_lhs[ci] += occ.coeff;
@@ -317,18 +414,9 @@ impl Engine {
                 return PropOutcome::Conflict(c);
             }
             for k in 0..self.occurs[v.index()].len() {
-                let occ = self.occurs[v.index()][k];
-                let ci = occ.constraint as usize;
-                let bound = self.constraints[ci].bound;
-                if self.max_lhs[ci] < bound {
-                    return PropOutcome::Conflict(ci);
-                }
-                // Forcing possible only when some coefficient loss would
-                // break the bound.
-                if self.max_lhs[ci] - self.max_coeff[ci] < bound {
-                    if let PropOutcome::Conflict(c) = self.force_scan(ci) {
-                        return PropOutcome::Conflict(c);
-                    }
+                let ci = self.occurs[v.index()][k].constraint as usize;
+                if let PropOutcome::Conflict(c) = self.examine(ci) {
+                    return PropOutcome::Conflict(c);
                 }
             }
         }
@@ -339,13 +427,8 @@ impl Engine {
     /// runs to fixpoint.
     pub fn propagate_all(&mut self) -> PropOutcome {
         for ci in 0..self.constraints.len() {
-            if self.max_lhs[ci] < self.constraints[ci].bound {
-                return PropOutcome::Conflict(ci);
-            }
-            if self.max_lhs[ci] - self.max_coeff[ci] < self.constraints[ci].bound {
-                if let PropOutcome::Conflict(c) = self.force_scan(ci) {
-                    return PropOutcome::Conflict(c);
-                }
+            if let PropOutcome::Conflict(c) = self.examine(ci) {
+                return PropOutcome::Conflict(c);
             }
         }
         self.propagate()
@@ -355,26 +438,82 @@ impl Engine {
     /// after a backjump, when no new assignment would otherwise trigger
     /// it), then runs propagation to fixpoint.
     pub fn propagate_from(&mut self, ci: usize) -> PropOutcome {
-        if self.max_lhs[ci] < self.constraints[ci].bound {
-            return PropOutcome::Conflict(ci);
-        }
-        if self.max_lhs[ci] - self.max_coeff[ci] < self.constraints[ci].bound {
-            if let PropOutcome::Conflict(c) = self.force_scan(ci) {
-                return PropOutcome::Conflict(c);
-            }
+        if let PropOutcome::Conflict(c) = self.examine(ci) {
+            return PropOutcome::Conflict(c);
         }
         self.propagate()
     }
 
+    /// Conflict/forcing check of one constraint, dispatched to the row's
+    /// theory engine.
+    ///
+    /// The two paths test algebraically identical conditions for
+    /// unit-coefficient rows (`false_count > n − b` ⇔ `max_lhs < b`,
+    /// `false_count = n − b` ⇔ `max_lhs − max_coeff < b` once the
+    /// conflict case is excluded) and force literals in the same order,
+    /// which is what keeps results independent of the routing.
+    #[inline]
+    fn examine(&mut self, ci: usize) -> PropOutcome {
+        if self.counting[ci] {
+            let fc = (self.counts[ci] & Self::FALSE_MASK) as i64;
+            let cap = self.caps[ci];
+            if fc > cap {
+                return PropOutcome::Conflict(ci);
+            }
+            if fc == cap {
+                if let PropOutcome::Conflict(c) = self.force_rest(ci) {
+                    return PropOutcome::Conflict(c);
+                }
+            }
+        } else {
+            let bound = self.bounds[ci];
+            if self.max_lhs[ci] < bound {
+                return PropOutcome::Conflict(ci);
+            }
+            // Forcing possible only when some coefficient loss would
+            // break the bound.
+            if self.max_lhs[ci] - self.max_coeff[ci] < bound {
+                if let PropOutcome::Conflict(c) = self.force_scan(ci) {
+                    return PropOutcome::Conflict(c);
+                }
+            }
+        }
+        PropOutcome::Consistent
+    }
+
+    /// Counting-engine forcing: with the false count at the cap, every
+    /// unassigned literal must hold. Forces them in term order — the same
+    /// order [`Engine::force_scan`] uses.
+    fn force_rest(&mut self, ci: usize) -> PropOutcome {
+        let n_terms = self.constraints[ci].terms.len();
+        for t in 0..n_terms {
+            let lit = self.constraints[ci].terms[t].lit;
+            if self.lit_value(lit) == Value::Unassigned {
+                self.propagations += 1;
+                self.props_by_class.add(self.class[ci]);
+                let ok = self.assign_with_reason(lit.var, lit.positive, Some(ci as u32));
+                debug_assert!(ok, "forced literal was unassigned");
+            }
+        }
+        // Forcing our own literals true never raises the false count, but
+        // the recheck mirrors the slack engine's post-scan conflict test.
+        if (self.counts[ci] & Self::FALSE_MASK) as i64 > self.caps[ci] {
+            PropOutcome::Conflict(ci)
+        } else {
+            PropOutcome::Consistent
+        }
+    }
+
     /// Forces every unassigned literal whose loss would break `ci`.
     fn force_scan(&mut self, ci: usize) -> PropOutcome {
-        let bound = self.constraints[ci].bound;
+        let bound = self.bounds[ci];
         let max_lhs = self.max_lhs[ci];
         let n_terms = self.constraints[ci].terms.len();
         for t in 0..n_terms {
             let term = self.constraints[ci].terms[t];
             if self.lit_value(term.lit) == Value::Unassigned && max_lhs - term.coeff < bound {
                 self.propagations += 1;
+                self.props_by_class.add(self.class[ci]);
                 let ok = self.assign_with_reason(term.lit.var, term.lit.positive, Some(ci as u32));
                 debug_assert!(ok, "forced literal was unassigned");
                 // Assigning may have changed slacks of other constraints,
@@ -438,6 +577,7 @@ impl Engine {
                 None => match self.lit_value(first) {
                     Value::Unassigned => {
                         self.propagations += 1;
+                        self.props_by_class.add(ConstraintClass::Clause);
                         let ok = self.assign_with_reason(
                             first.var,
                             first.positive,
@@ -604,9 +744,43 @@ impl Engine {
     }
     /// Slack information of a constraint under the current assignment:
     /// `(max_achievable_lhs − bound, fixed_true_lhs − bound)`.
+    ///
+    /// For counting rows both components are reconstructed from the
+    /// packed counters (`max_lhs = n − false_count`,
+    /// `fixed_lhs = true_count`), so branching heuristics that read
+    /// slacks see identical numbers on either engine.
     pub fn slack(&self, ci: usize) -> (i64, i64) {
-        let c = &self.constraints[ci];
-        (self.max_lhs[ci] - c.bound, self.fixed_lhs[ci] - c.bound)
+        if self.counting[ci] {
+            let fc = (self.counts[ci] & Self::FALSE_MASK) as i64;
+            let tc = (self.counts[ci] >> 32) as i64;
+            (self.caps[ci] - fc, tc - self.bounds[ci])
+        } else {
+            let bound = self.bounds[ci];
+            (self.max_lhs[ci] - bound, self.fixed_lhs[ci] - bound)
+        }
+    }
+
+    /// Theory class of a constraint (the objective-bound row is
+    /// general-linear).
+    pub fn class_of(&self, ci: usize) -> ConstraintClass {
+        self.class[ci]
+    }
+
+    /// Theory class of a conflict or reason tag as returned by
+    /// [`Engine::propagate`]: learned clauses are clause-theory, PB rows
+    /// carry their model class.
+    pub fn class_of_conflict(&self, tag: usize) -> ConstraintClass {
+        if tag & Self::CLAUSE_TAG != 0 {
+            ConstraintClass::Clause
+        } else {
+            self.class[tag]
+        }
+    }
+
+    /// Propagations attributed to each theory class (learned-clause
+    /// propagations count as clause-theory).
+    pub fn props_by_class(&self) -> ClassCounts {
+        self.props_by_class
     }
 }
 
@@ -810,6 +984,113 @@ mod tests {
         assert_eq!(e.value(vars[0]), Value::True);
         for &v in &vars[1..] {
             assert_eq!(e.value(v), Value::Unassigned);
+        }
+    }
+
+    #[test]
+    fn counting_rows_force_and_conflict_like_the_slack_path() {
+        // exactly-one over {a,b,c}: falsifying a and b forces c;
+        // falsifying all three conflicts on the clause row.
+        let mut m = Model::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let c = m.new_var("c");
+        m.add_exactly_one([a.pos(), b.pos(), c.pos()]);
+        let mut e = Engine::new(&m);
+        assert_eq!(e.class_of(0), ConstraintClass::Clause);
+        assert_eq!(e.class_of(1), ConstraintClass::AtMostOne);
+        assert_eq!(e.propagate_all(), PropOutcome::Consistent);
+        e.assign(a, false);
+        e.assign(b, false);
+        assert_eq!(e.propagate(), PropOutcome::Consistent);
+        assert_eq!(e.value(c), Value::True, "clause row forces the rest");
+        assert_eq!(
+            e.props_by_class().get(ConstraintClass::Clause),
+            e.propagations
+        );
+        // And the AMO row forces the complements: a=true pins b,c false.
+        let mut e = Engine::new(&m);
+        e.propagate_all();
+        e.assign(a, true);
+        assert_eq!(e.propagate(), PropOutcome::Consistent);
+        assert_eq!(e.value(b), Value::False);
+        assert_eq!(e.value(c), Value::False);
+        assert!(e.props_by_class().get(ConstraintClass::AtMostOne) >= 2);
+        // Conflict: nothing true.
+        let mut e = Engine::new(&m);
+        e.propagate_all();
+        e.assign(a, false);
+        e.assign(b, false);
+        e.assign(c, false);
+        let PropOutcome::Conflict(ci) = e.propagate() else {
+            panic!("expected a conflict");
+        };
+        assert_eq!(e.class_of_conflict(ci), ConstraintClass::Clause);
+    }
+
+    #[test]
+    fn theories_off_keeps_everything_on_the_slack_path() {
+        let mut m = Model::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let c = m.new_var("c");
+        m.add_exactly_one([a.pos(), b.pos(), c.pos()]);
+        let mut e = Engine::with_theories(&m, false);
+        assert_eq!(e.propagate_all(), PropOutcome::Consistent);
+        e.assign(a, false);
+        e.assign(b, false);
+        assert_eq!(e.propagate(), PropOutcome::Consistent);
+        assert_eq!(e.value(c), Value::True);
+        // Attribution still uses the recorded classes.
+        assert_eq!(
+            e.props_by_class().get(ConstraintClass::Clause),
+            e.propagations
+        );
+    }
+
+    #[test]
+    fn engines_agree_in_lockstep_on_random_walks() {
+        // Drive a theories-on and a theories-off engine through the same
+        // random decision/undo sequence over a model mixing all classes;
+        // values, slacks, outcomes, and counters must match at every step.
+        use clip_rng::Rng;
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..10).map(|i| m.new_var(format!("v{i}"))).collect();
+        m.add_exactly_one(vars[0..4].iter().map(|v| v.pos()));
+        m.add_at_most_one(vars[3..6].iter().map(|v| v.pos()));
+        m.add_clause([vars[6].pos(), vars[7].neg(), vars[8].pos()]);
+        m.add_ge(vars[4..8].iter().map(|&v| (1, v)), 2); // cardinality
+        m.add_ge([(2, vars[8]), (1, vars[9]), (-1, vars[0])], 1); // linear
+        m.minimize(vars.iter().map(|&v| (1, v)));
+        let mut rng = Rng::seed_from_u64(42);
+        let mut on = Engine::new(&m);
+        let mut off = Engine::with_theories(&m, false);
+        on.set_objective_bound(6);
+        off.set_objective_bound(6);
+        assert_eq!(on.propagate_all(), off.propagate_all());
+        for _ in 0..200 {
+            let v = vars[rng.gen_range(0..10)];
+            if on.value(v) != Value::Unassigned {
+                on.backjump_to(0);
+                off.backjump_to(0);
+                continue;
+            }
+            let val = rng.gen_bool(0.5);
+            assert_eq!(on.assign_decision(v, val), off.assign_decision(v, val));
+            let (a, b) = (on.propagate(), off.propagate());
+            assert_eq!(a, b, "outcomes diverge");
+            assert_eq!(on.values(), off.values(), "assignments diverge");
+            assert_eq!(on.propagations, off.propagations);
+            assert_eq!(on.props_by_class(), off.props_by_class());
+            for ci in 0..on.constraints().len() {
+                assert_eq!(on.slack(ci), off.slack(ci), "slack diverges at {ci}");
+            }
+            if let PropOutcome::Conflict(ci) = a {
+                assert_eq!(on.class_of_conflict(ci), off.class_of_conflict(ci));
+                let jump = on.decision_level().saturating_sub(1);
+                on.backjump_to(jump);
+                off.backjump_to(jump);
+            }
         }
     }
 

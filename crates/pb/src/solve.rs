@@ -9,6 +9,7 @@ use crate::budget::Budget;
 use crate::model::{Model, Var};
 use crate::portfolio::SharedIncumbent;
 use crate::propagate::{Engine, PropOutcome};
+use crate::theory::ClassCounts;
 
 /// A custom branching strategy: returns the next decision
 /// `(variable, first value)`, or `None` to fall back to the configured
@@ -34,7 +35,7 @@ pub enum SearchStrategy {
 }
 
 /// Solver configuration.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct SolverConfig {
     /// Search strategy (default [`SearchStrategy::Cbj`]).
     pub strategy: SearchStrategy,
@@ -62,6 +63,27 @@ pub struct SolverConfig {
     /// relative to the shared bound: a proof means "nothing beats the
     /// global incumbent", even when this run holds no solution itself.
     pub incumbent: Option<SharedIncumbent>,
+    /// Route unit-coefficient constraint classes to the specialized
+    /// counting engine (default true). Turning this off — the
+    /// `--no-theories` escape hatch — keeps every row on the generic
+    /// slack path; results and stats are identical either way, only
+    /// speed changes.
+    pub use_theories: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            strategy: SearchStrategy::default(),
+            heuristic: BranchHeuristic::default(),
+            budget: Budget::default(),
+            warm_start: None,
+            brancher: None,
+            presolve: false,
+            incumbent: None,
+            use_theories: true,
+        }
+    }
 }
 
 impl std::fmt::Debug for SolverConfig {
@@ -74,6 +96,7 @@ impl std::fmt::Debug for SolverConfig {
             .field("brancher", &self.brancher.is_some())
             .field("presolve", &self.presolve)
             .field("incumbent", &self.incumbent.is_some())
+            .field("use_theories", &self.use_theories)
             .finish()
     }
 }
@@ -125,6 +148,12 @@ pub struct SolveStats {
     pub incumbents: Vec<(Duration, i64)>,
     /// True if optimality was proved (search exhausted).
     pub proved_optimal: bool,
+    /// Propagations attributed to the theory class of the forcing
+    /// constraint (learned clauses count as clause-theory).
+    pub props_by_class: ClassCounts,
+    /// Conflicts attributed to the theory class of the conflicting
+    /// constraint (the objective-bound row counts as general-linear).
+    pub conflicts_by_class: ClassCounts,
 }
 
 impl SolveStats {
@@ -252,7 +281,7 @@ impl<'a> Solver<'a> {
     /// Runs the search to completion or until a limit fires.
     pub fn run(&self) -> Outcome {
         if self.config.presolve {
-            match crate::presolve::presolve(self.model) {
+            match crate::presolve::presolve_with(self.model, self.config.use_theories) {
                 crate::presolve::Presolved::Infeasible => {
                     let stats = SolveStats {
                         proved_optimal: true,
@@ -270,7 +299,7 @@ impl<'a> Solver<'a> {
         }
         let start = Instant::now();
         let mut stats = SolveStats::default();
-        let mut engine = Engine::new(self.model);
+        let mut engine = Engine::with_theories(self.model, self.config.use_theories);
         let scores = StaticScores::new(self.model);
         let mut best: Option<Solution> = None;
 
@@ -302,6 +331,7 @@ impl<'a> Solver<'a> {
         }
 
         stats.propagations = engine.propagations;
+        stats.props_by_class = engine.props_by_class();
         stats.duration = start.elapsed();
         match (best, stats.proved_optimal) {
             (Some(s), true) => Outcome::Optimal(s, stats),
@@ -416,6 +446,7 @@ impl<'a> Solver<'a> {
 
             if let Some(ci) = conflict.take() {
                 stats.conflicts += 1;
+                stats.conflicts_by_class.add(engine.class_of_conflict(ci));
                 let mut confset = engine.involved_decisions(ci);
                 loop {
                     if confset.is_empty() {
@@ -542,6 +573,7 @@ impl<'a> Solver<'a> {
 
             if let Some(ci) = conflict.take() {
                 stats.conflicts += 1;
+                stats.conflicts_by_class.add(engine.class_of_conflict(ci));
                 match engine.analyze(ci) {
                     None => break, // conflict at the root: search exhausted
                     Some(lc) => {
@@ -822,6 +854,70 @@ mod tests {
             );
             if let Some(s) = pre.best() {
                 assert!(m.is_feasible(s.values()), "presolved solution infeasible");
+            }
+        }
+    }
+
+    #[test]
+    fn theories_off_reproduces_search_exactly() {
+        // The routing flag changes speed, never the search: every stat
+        // except wall-clock timing must match on random models, under
+        // both strategies.
+        use clip_rng::Rng;
+        let mut rng = Rng::seed_from_u64(0x7E0);
+        for trial in 0..25 {
+            let n = rng.gen_range(2..=9usize);
+            let mut m = Model::new();
+            let vars: Vec<Var> = (0..n).map(|i| m.new_var(format!("v{i}"))).collect();
+            for _ in 0..rng.gen_range(1..=6) {
+                let k = rng.gen_range(1..=n.min(4));
+                let unit = rng.gen_bool(0.7); // bias toward counting classes
+                let terms: Vec<(i64, Var)> = (0..k)
+                    .map(|_| {
+                        let c = if unit { 1 } else { rng.gen_range(-3i64..=3) };
+                        (c, vars[rng.gen_range(0..n)])
+                    })
+                    .collect();
+                let bound = rng.gen_range(-2i64..=3);
+                if rng.gen_bool(0.5) {
+                    m.add_ge(terms, bound);
+                } else {
+                    m.add_le(terms, bound);
+                }
+            }
+            m.minimize(vars.iter().map(|&v| (rng.gen_range(-3i64..=3), v)));
+            for strategy in [SearchStrategy::Cbj, SearchStrategy::Cdcl] {
+                let run = |use_theories: bool| {
+                    Solver::with_config(
+                        &m,
+                        SolverConfig {
+                            strategy,
+                            use_theories,
+                            ..Default::default()
+                        },
+                    )
+                    .run()
+                };
+                let (on, off) = (run(true), run(false));
+                assert_eq!(
+                    on.best().map(|s| s.values().to_vec()),
+                    off.best().map(|s| s.values().to_vec()),
+                    "trial {trial} {strategy:?}: solutions diverge"
+                );
+                let (a, b) = (on.stats(), off.stats());
+                assert_eq!(a.nodes, b.nodes, "trial {trial} {strategy:?}");
+                assert_eq!(a.propagations, b.propagations, "trial {trial} {strategy:?}");
+                assert_eq!(a.conflicts, b.conflicts, "trial {trial} {strategy:?}");
+                assert_eq!(a.learned, b.learned, "trial {trial} {strategy:?}");
+                assert_eq!(a.proved_optimal, b.proved_optimal);
+                assert_eq!(a.props_by_class, b.props_by_class);
+                assert_eq!(a.conflicts_by_class, b.conflicts_by_class);
+                assert_eq!(a.props_by_class.total(), a.propagations);
+                assert_eq!(a.conflicts_by_class.total(), a.conflicts);
+                assert_eq!(
+                    a.incumbents.iter().map(|&(_, o)| o).collect::<Vec<_>>(),
+                    b.incumbents.iter().map(|&(_, o)| o).collect::<Vec<_>>()
+                );
             }
         }
     }

@@ -1,0 +1,284 @@
+//! Typed constraint theories: classification of normalized PB rows.
+//!
+//! CLIP's 0-1 model (paper Eqs. 7–13) is dominated by cardinality
+//! structure — "exactly one slot per pair", "at most one pair per slot" —
+//! plus a thin residue of general linear rows. This module names that
+//! structure: every normalized constraint `Σ aᵢ·litᵢ ≥ b` is assigned a
+//! [`ConstraintClass`] at the moment it enters the [`crate::model::Model`],
+//! and the propagation engine routes each class to a specialized engine
+//! (see `propagate.rs`): a packed false/true counter for the unit-coefficient
+//! classes, the two-watched-literal scheme for learned clauses, and the
+//! generic incremental-slack path for the general-linear residue.
+//!
+//! Classification happens on the *normalized* form, so surface syntax does
+//! not matter: `Σ xᵢ ≤ 1` arrives as `Σ x̄ᵢ ≥ n−1` and is recognized as
+//! [`ConstraintClass::AtMostOne`]; an `exactly-one` arrives as a
+//! clause/at-most-one row pair. The classifier is *sound by construction*
+//! for the engines: every class except [`ConstraintClass::GeneralLinear`]
+//! guarantees all-unit coefficients, which is the only property the
+//! counting engine relies on (`crates/pb/tests/proptest_theories.rs`
+//! checks the agreement against the generic path on random models).
+
+use std::fmt;
+
+use crate::model::Constraint;
+
+/// The theory class of one normalized constraint `Σ aᵢ·litᵢ ≥ b`
+/// (`n` literals, all `aᵢ > 0`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConstraintClass {
+    /// All-unit coefficients, `b = 1`: at least one literal holds.
+    Clause,
+    /// All-unit coefficients, `b = n − 1 ≥ 2`: at most one of the
+    /// complement literals holds (the normalized form of `Σ xᵢ ≤ 1`).
+    AtMostOne,
+    /// All-unit coefficients, `2 ≤ b ≤ n` otherwise: a general
+    /// cardinality bound (at least `b` of `n`).
+    Cardinality,
+    /// Everything else: some coefficient exceeds 1, or the bound is
+    /// unsatisfiable (`b > n`). The dynamic objective-bound row is
+    /// always in this class because its bound moves during search.
+    GeneralLinear,
+}
+
+impl ConstraintClass {
+    /// Every class, in serialization order (the order of
+    /// [`ClassCounts`] slots).
+    pub const ALL: [ConstraintClass; 4] = [
+        ConstraintClass::Clause,
+        ConstraintClass::AtMostOne,
+        ConstraintClass::Cardinality,
+        ConstraintClass::GeneralLinear,
+    ];
+
+    /// Dense index of the class (slot in [`ClassCounts`]).
+    pub fn index(self) -> usize {
+        match self {
+            ConstraintClass::Clause => 0,
+            ConstraintClass::AtMostOne => 1,
+            ConstraintClass::Cardinality => 2,
+            ConstraintClass::GeneralLinear => 3,
+        }
+    }
+
+    /// Stable short name used in OPB comments, traces, and bench JSONL.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConstraintClass::Clause => "clause",
+            ConstraintClass::AtMostOne => "amo",
+            ConstraintClass::Cardinality => "card",
+            ConstraintClass::GeneralLinear => "linear",
+        }
+    }
+
+    /// Inverse of [`ConstraintClass::name`].
+    pub fn from_name(name: &str) -> Option<ConstraintClass> {
+        Self::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// True when the class rides the counting engine (all coefficients
+    /// are 1, so false/true counters fully describe the row's state).
+    pub fn is_counting(self) -> bool {
+        !matches!(self, ConstraintClass::GeneralLinear)
+    }
+}
+
+impl fmt::Display for ConstraintClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Classifies a normalized constraint.
+///
+/// The rules, in priority order (`n` = literal count, `b` = bound):
+///
+/// 1. any coefficient ≠ 1 → [`ConstraintClass::GeneralLinear`];
+/// 2. `b = 1` → [`ConstraintClass::Clause`] (a 2-literal at-most-one
+///    normalizes to a 2-literal clause and is deliberately classified as
+///    one — the engines treat them identically);
+/// 3. `b = n − 1` and `b ≥ 2` → [`ConstraintClass::AtMostOne`];
+/// 4. `2 ≤ b ≤ n` → [`ConstraintClass::Cardinality`];
+/// 5. otherwise (`b > n`: a contradiction, or `b ≤ 0`: trivial — the
+///    model never stores those) → [`ConstraintClass::GeneralLinear`].
+pub fn classify(c: &Constraint) -> ConstraintClass {
+    if c.terms.iter().any(|t| t.coeff != 1) {
+        return ConstraintClass::GeneralLinear;
+    }
+    let n = c.terms.len() as i64;
+    let b = c.bound;
+    if b == 1 {
+        ConstraintClass::Clause
+    } else if b >= 2 && b == n - 1 {
+        ConstraintClass::AtMostOne
+    } else if b >= 2 && b <= n {
+        ConstraintClass::Cardinality
+    } else {
+        ConstraintClass::GeneralLinear
+    }
+}
+
+/// A per-class counter vector: constraint histograms, propagation
+/// counts, conflict counts — anything indexed by [`ConstraintClass`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    counts: [u64; 4],
+}
+
+impl ClassCounts {
+    /// All-zero counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds counts from raw per-class values in [`ConstraintClass::ALL`]
+    /// order (trace deserialization).
+    pub fn from_array(counts: [u64; 4]) -> Self {
+        ClassCounts { counts }
+    }
+
+    /// The count for one class.
+    pub fn get(&self, class: ConstraintClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Increments one class by 1.
+    pub fn add(&mut self, class: ConstraintClass) {
+        self.counts[class.index()] += 1;
+    }
+
+    /// Adds `n` to one class.
+    pub fn add_n(&mut self, class: ConstraintClass, n: u64) {
+        self.counts[class.index()] += n;
+    }
+
+    /// Adds every slot of `other` (portfolio stat combination).
+    pub fn merge(&mut self, other: &ClassCounts) {
+        for (slot, v) in self.counts.iter_mut().zip(other.counts) {
+            *slot += v;
+        }
+    }
+
+    /// Sum over all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// True when every slot is zero.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// `(class, count)` pairs in [`ConstraintClass::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (ConstraintClass, u64)> + '_ {
+        ConstraintClass::ALL.into_iter().map(|c| (c, self.get(c)))
+    }
+}
+
+impl fmt::Display for ClassCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (class, n) in self.iter() {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{class}={n}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Var};
+
+    fn ge(terms: &[(i64, Var)], bound: i64) -> Constraint {
+        Constraint::ge(terms.iter().copied(), bound)
+    }
+
+    #[test]
+    fn clause_and_cardinality_rules() {
+        let v: Vec<Var> = (0..5).map(Var::from_index_for_io).collect();
+        // Unit clause and wide clause.
+        assert_eq!(classify(&ge(&[(1, v[0])], 1)), ConstraintClass::Clause);
+        assert_eq!(
+            classify(&ge(&[(1, v[0]), (1, v[1]), (1, v[2])], 1)),
+            ConstraintClass::Clause
+        );
+        // 2-of-3 is the normalized at-most-one shape.
+        assert_eq!(
+            classify(&ge(&[(1, v[0]), (1, v[1]), (1, v[2])], 2)),
+            ConstraintClass::AtMostOne
+        );
+        // 2-of-4 and all-of-n are plain cardinality.
+        assert_eq!(
+            classify(&ge(&[(1, v[0]), (1, v[1]), (1, v[2]), (1, v[3])], 2)),
+            ConstraintClass::Cardinality
+        );
+        assert_eq!(
+            classify(&ge(&[(1, v[0]), (1, v[1])], 2)),
+            ConstraintClass::Cardinality
+        );
+    }
+
+    #[test]
+    fn non_unit_and_contradictory_rows_are_linear() {
+        let v: Vec<Var> = (0..3).map(Var::from_index_for_io).collect();
+        assert_eq!(
+            classify(&ge(&[(2, v[0]), (1, v[1])], 2)),
+            ConstraintClass::GeneralLinear
+        );
+        // b > n cannot be satisfied: stays on the slack path.
+        assert_eq!(
+            classify(&ge(&[(1, v[0]), (1, v[1])], 3)),
+            ConstraintClass::GeneralLinear
+        );
+    }
+
+    #[test]
+    fn surface_syntax_does_not_matter() {
+        // x + y + z <= 1 normalizes to x̄ + ȳ + z̄ >= 2: an at-most-one.
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        let z = m.new_var("z");
+        m.add_le([(1, x), (1, y), (1, z)], 1);
+        assert_eq!(classify(&m.constraints()[0]), ConstraintClass::AtMostOne);
+        // A 2-literal at-most-one is a 2-literal clause.
+        let mut m = Model::new();
+        let x = m.new_var("x");
+        let y = m.new_var("y");
+        m.add_le([(1, x), (1, y)], 1);
+        assert_eq!(classify(&m.constraints()[0]), ConstraintClass::Clause);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for class in ConstraintClass::ALL {
+            assert_eq!(ConstraintClass::from_name(class.name()), Some(class));
+        }
+        assert_eq!(ConstraintClass::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn counts_accumulate_and_merge() {
+        let mut a = ClassCounts::new();
+        a.add(ConstraintClass::Clause);
+        a.add(ConstraintClass::Clause);
+        a.add_n(ConstraintClass::AtMostOne, 3);
+        let mut b = ClassCounts::new();
+        b.add(ConstraintClass::GeneralLinear);
+        b.merge(&a);
+        assert_eq!(b.get(ConstraintClass::Clause), 2);
+        assert_eq!(b.get(ConstraintClass::AtMostOne), 3);
+        assert_eq!(b.get(ConstraintClass::GeneralLinear), 1);
+        assert_eq!(b.total(), 6);
+        assert!(!b.is_empty());
+        assert!(ClassCounts::new().is_empty());
+        assert_eq!(b.to_string(), "clause=2 amo=3 card=0 linear=1");
+        let raw = ClassCounts::from_array([1, 2, 3, 4]);
+        assert_eq!(raw.get(ConstraintClass::Cardinality), 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests for the typed constraint theories.
+//!
+//! Two guarantees, checked over thousands of random models:
+//!
+//! 1. **Classifier soundness** — every stamped [`ConstraintClass`] is a
+//!    faithful logical description of its normalized row, verified by
+//!    brute-force enumeration of the row's own variables.
+//! 2. **Engine equivalence** — the specialized per-class engines are a
+//!    pure speed optimization: a solve with theories on and one with
+//!    theories off produce the *same search tree*, not merely the same
+//!    optimum (node, propagation, conflict, and per-class counters all
+//!    match exactly).
+
+use clip_pb::{theory, Constraint, ConstraintClass, Model, Solver, SolverConfig, Var};
+use clip_proptest::{gens, proptest_lite, Gen};
+
+/// A generated constraint: signed terms and a bound, plus direction.
+/// Coefficients are biased toward ±1 so clause/AMO/cardinality rows
+/// appear often instead of drowning in general-linear noise.
+#[derive(Clone, Debug)]
+struct RawConstraint {
+    terms: Vec<(i64, usize)>,
+    bound: i64,
+    is_ge: bool,
+}
+
+fn raw_constraint(n: usize) -> Gen<RawConstraint> {
+    Gen::new(move |rng| {
+        let unit_only = rng.gen_bool(0.7);
+        RawConstraint {
+            terms: (0..rng.gen_range(1..=5usize))
+                .map(|_| {
+                    let coeff = if unit_only {
+                        if rng.gen_bool(0.5) {
+                            1
+                        } else {
+                            -1
+                        }
+                    } else {
+                        rng.gen_range(-4i64..=4)
+                    };
+                    (coeff, rng.gen_range(0..n))
+                })
+                .collect(),
+            bound: rng.gen_range(-5i64..=5),
+            is_ge: rng.gen_bool(0.5),
+        }
+    })
+}
+
+#[derive(Clone, Debug)]
+struct RawModel {
+    n: usize,
+    constraints: Vec<RawConstraint>,
+    objective: Vec<i64>,
+}
+
+fn raw_model() -> Gen<RawModel> {
+    gens::int(1usize..=9).flat_map(|n| {
+        raw_constraint(n).vec(0..=7).flat_map(move |constraints| {
+            let constraints = constraints.clone();
+            gens::int(-5i64..=5)
+                .vec(n..=n)
+                .map(move |objective| RawModel {
+                    n,
+                    constraints: constraints.clone(),
+                    objective,
+                })
+        })
+    })
+}
+
+fn build(raw: &RawModel) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<Var> = (0..raw.n).map(|i| m.new_var(format!("v{i}"))).collect();
+    for c in &raw.constraints {
+        let terms: Vec<(i64, Var)> = c.terms.iter().map(|&(w, i)| (w, vars[i])).collect();
+        if c.is_ge {
+            m.add_ge(terms, c.bound);
+        } else {
+            m.add_le(terms, c.bound);
+        }
+    }
+    m.minimize(raw.objective.iter().enumerate().map(|(i, &w)| (w, vars[i])));
+    m
+}
+
+/// Evaluates one normalized row under a total assignment.
+fn row_satisfied(c: &Constraint, values: &[bool]) -> bool {
+    let lhs: i64 = c
+        .terms
+        .iter()
+        .map(|t| {
+            if t.lit.eval(values[t.lit.var.index()]) {
+                t.coeff
+            } else {
+                0
+            }
+        })
+        .sum();
+    lhs >= c.bound
+}
+
+/// Brute-force semantic check of a stamped class under every total
+/// assignment (≤ 9 model variables, so ≤ 512 assignments).
+fn class_is_sound(c: &Constraint, class: ConstraintClass, num_vars: usize) {
+    for bits in 0u32..(1 << num_vars) {
+        let values: Vec<bool> = (0..num_vars).map(|i| bits >> i & 1 == 1).collect();
+        let sat = row_satisfied(c, &values);
+        let true_lits = c
+            .terms
+            .iter()
+            .filter(|t| t.lit.eval(values[t.lit.var.index()]))
+            .count() as i64;
+        match class {
+            // A clause holds iff at least one literal is true.
+            ConstraintClass::Clause => assert_eq!(sat, true_lits >= 1, "{c:?}"),
+            // `Σ lit ≥ n−1` holds iff at most one literal is *false* —
+            // the at-most-one over the complement literals.
+            ConstraintClass::AtMostOne => {
+                let false_lits = c.terms.len() as i64 - true_lits;
+                assert_eq!(sat, false_lits <= 1, "{c:?}");
+            }
+            // A cardinality row counts true literals against its bound.
+            ConstraintClass::Cardinality => {
+                assert_eq!(sat, true_lits >= c.bound, "{c:?}");
+                assert!(c.bound >= 2 && c.bound <= c.terms.len() as i64, "{c:?}");
+            }
+            // General-linear is the catch-all; nothing to refute, but a
+            // unit-coefficient row must not have leaked past the
+            // counting classes.
+            ConstraintClass::GeneralLinear => {
+                if c.terms.iter().all(|t| t.coeff == 1) {
+                    let n = c.terms.len() as i64;
+                    assert!(
+                        c.bound <= 0 || c.bound > n,
+                        "unit row {c:?} should be a counting class"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest_lite! {
+    cases: 256;
+
+    fn classifier_is_sound(raw in raw_model()) {
+        let m = build(&raw);
+        assert_eq!(m.classes().len(), m.num_constraints());
+        let mut histogram = clip_pb::ClassCounts::new();
+        for (i, c) in m.constraints().iter().enumerate() {
+            let class = m.class_of(i);
+            // The stamp matches a fresh classification of the stored row.
+            assert_eq!(class, theory::classify(c));
+            histogram.add(class);
+            class_is_sound(c, class, m.num_vars());
+            // Counting classes really are all-unit-coefficient.
+            if class.is_counting() {
+                assert!(c.terms.iter().all(|t| t.coeff == 1), "{c:?}");
+            }
+        }
+        assert_eq!(m.class_histogram(), histogram);
+        assert_eq!(m.class_histogram().total() as usize, m.num_constraints());
+    }
+
+    fn theories_on_and_off_trace_the_same_search(raw in raw_model()) {
+        let m = build(&raw);
+        let run = |use_theories: bool| {
+            Solver::with_config(
+                &m,
+                SolverConfig { use_theories, ..Default::default() },
+            )
+            .run()
+        };
+        let on = run(true);
+        let off = run(false);
+        // Same answer...
+        assert_eq!(
+            on.best().map(|s| s.objective),
+            off.best().map(|s| s.objective)
+        );
+        assert_eq!(
+            on.best().map(|s| s.values().to_vec()),
+            off.best().map(|s| s.values().to_vec())
+        );
+        // ...via the same search tree: every counter matches exactly.
+        let (a, b) = (on.stats(), off.stats());
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.propagations, b.propagations);
+        assert_eq!(a.conflicts, b.conflicts);
+        assert_eq!(a.learned, b.learned);
+        assert_eq!(a.props_by_class, b.props_by_class);
+        assert_eq!(a.conflicts_by_class, b.conflicts_by_class);
+        assert_eq!(a.props_by_class.total(), a.propagations);
+        assert_eq!(a.conflicts_by_class.total(), a.conflicts);
+        assert_eq!(a.proved_optimal, b.proved_optimal);
+    }
+}

@@ -35,6 +35,7 @@ struct SynthArgs {
     trace: Option<String>,
     critical: Vec<String>,
     profile: Option<String>,
+    no_theories: bool,
     quiet: bool,
 }
 
@@ -55,6 +56,7 @@ impl Default for SynthArgs {
             trace: None,
             critical: Vec::new(),
             profile: None,
+            no_theories: false,
             quiet: false,
         }
     }
@@ -105,7 +107,7 @@ fn usage() {
         "usage:\n  clip cells\n  clip synth (--cell NAME | --expr FORMULA | --spice FILE) \
          [--rows N|auto] [--stacking] [--height]\n             [--limit SECS] [--fold K] \
          [--jobs N] [--critical NET]... [--profile FILE]\n             [--svg FILE] \
-         [--json FILE] [--cif FILE] [--trace FILE] [--quiet]\n  clip tune INPUT.jsonl \
+         [--json FILE] [--cif FILE] [--trace FILE] [--no-theories] [--quiet]\n  clip tune INPUT.jsonl \
          [-o FILE]     learn a tuning profile from bench JSONL\n  clip bench --corpus \
          --checkpoint FILE [--seed N] [--cells N] [--shards N]\n             [--budget SECS] \
          [--summary FILE] [--quiet]   sharded, resumable corpus run"
@@ -179,6 +181,7 @@ fn parse_synth(args: &[String]) -> Result<SynthArgs, String> {
             }
             "--stacking" => out.stacking = true,
             "--height" => out.height = true,
+            "--no-theories" => out.no_theories = true,
             "--quiet" => out.quiet = true,
             "--critical" => out.critical.push(take(&mut i)?),
             "--svg" => out.svg = Some(take(&mut i)?),
@@ -250,6 +253,11 @@ fn synth(args: SynthArgs) -> ExitCode {
     }
     if args.height {
         request = request.height();
+    }
+    if args.no_theories {
+        // Escape hatch for bisecting the typed constraint-theory engines:
+        // identical placements and traces, generic slack propagation only.
+        request = request.no_theories();
     }
     if !args.critical.is_empty() {
         request = request.critical_nets(args.critical);

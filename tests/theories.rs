@@ -1,0 +1,165 @@
+//! Pinned guarantee of the typed constraint theories: the specialized
+//! per-class propagation engines (counter-based AMO/cardinality, watched
+//! learned clauses) change *speed only, never results*. Each pinned cell
+//! is synthesized with theories on (the default) and with
+//! `--no-theories` (every row on the generic slack path), and the
+//! outputs must be identical — at one job the entire trace up to
+//! wall-clock noise, at higher job counts the placement and the class
+//! histogram (portfolio timing makes the winning thread's stats racy).
+
+use std::num::NonZeroUsize;
+use std::time::Duration;
+
+use clip::core::generator::GeneratedCell;
+use clip::core::pipeline::{PipelineTrace, Stage};
+use clip::core::SynthRequest;
+use clip::netlist::{library, Circuit};
+
+/// One pinned determinism case: cell name, builder, row count.
+type PinnedCase = (&'static str, fn() -> Circuit, usize);
+
+const CELLS: [PinnedCase; 3] = [
+    ("xor2", library::xor2, 2),
+    ("mux21", library::mux21, 3),
+    ("nand4", library::nand4, 1),
+];
+
+/// Strips wall-clock noise from a trace so two runs compare
+/// field-for-field: the search is deterministic, the clock is not.
+fn normalized(trace: &PipelineTrace) -> PipelineTrace {
+    let mut t = trace.clone();
+    for stage in &mut t.stages {
+        stage.wall = Duration::ZERO;
+        let solves = stage.solve.iter_mut().chain(stage.thread_solves.iter_mut());
+        for stats in solves {
+            stats.duration = Duration::ZERO;
+            for inc in &mut stats.incumbents {
+                inc.0 = Duration::ZERO;
+            }
+        }
+    }
+    t
+}
+
+fn assert_same_cell(name: &str, off: &GeneratedCell, on: &GeneratedCell) {
+    assert_eq!(off.placement, on.placement, "{name}: placement drifted");
+    assert_eq!(off.width, on.width, "{name}: width drifted");
+    assert_eq!(off.height, on.height, "{name}: height drifted");
+    assert_eq!(off.tracks, on.tracks, "{name}: tracks drifted");
+    assert_eq!(off.optimal, on.optimal, "{name}: optimality drifted");
+}
+
+fn solve_stage(cell: &GeneratedCell) -> &clip::core::pipeline::StageRecord {
+    cell.trace
+        .stages
+        .iter()
+        .find(|s| s.stage == Stage::Solve)
+        .expect("solve stage recorded")
+}
+
+#[test]
+fn theories_off_is_trace_identical_at_one_job() {
+    for (name, build, rows) in CELLS {
+        let on = SynthRequest::new(build())
+            .rows(rows)
+            .jobs(NonZeroUsize::MIN)
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: theories-on fails: {e}"));
+        let off = SynthRequest::new(build())
+            .rows(rows)
+            .jobs(NonZeroUsize::MIN)
+            .no_theories()
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: theories-off fails: {e}"));
+        assert_same_cell(name, &off.cell, &on.cell);
+        // The full trace — node counts, per-class propagation and
+        // conflict tallies, incumbent trail — matches exactly, which
+        // pins the counting engines to the slack path's search tree.
+        assert_eq!(
+            normalized(&off.cell.trace),
+            normalized(&on.cell.trace),
+            "{name}: trace drifted"
+        );
+        // Classification is recorded either way, and the per-class
+        // counters partition the totals.
+        let solve = solve_stage(&on.cell);
+        let classes = solve
+            .classes
+            .as_ref()
+            .unwrap_or_else(|| panic!("{name}: solve stage lost its class histogram"));
+        assert!(!classes.is_empty(), "{name}: empty class histogram");
+        let stats = solve.solve.as_ref().expect("solve stats");
+        assert_eq!(
+            stats.props_by_class.total(),
+            stats.propagations,
+            "{name}: per-class propagation counters do not tally"
+        );
+        assert_eq!(
+            stats.conflicts_by_class.total(),
+            stats.conflicts,
+            "{name}: per-class conflict counters do not tally"
+        );
+    }
+}
+
+#[test]
+fn theories_off_matches_placements_across_job_counts() {
+    for (name, build, rows) in CELLS {
+        let reference = SynthRequest::new(build())
+            .rows(rows)
+            .jobs(NonZeroUsize::MIN)
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: reference fails: {e}"));
+        for jobs in [2usize, 8] {
+            for theories in [true, false] {
+                let mut request = SynthRequest::new(build())
+                    .rows(rows)
+                    .jobs(NonZeroUsize::new(jobs).expect("non-zero"));
+                if !theories {
+                    request = request.no_theories();
+                }
+                let run = request
+                    .build()
+                    .unwrap_or_else(|e| panic!("{name} jobs={jobs} theories={theories}: {e}"));
+                assert_same_cell(
+                    &format!("{name} jobs={jobs} theories={theories}"),
+                    &run.cell,
+                    &reference.cell,
+                );
+                // The histogram is a property of the model, not the
+                // search: identical regardless of jobs or theories.
+                assert_eq!(
+                    solve_stage(&run.cell).classes,
+                    solve_stage(&reference.cell).classes,
+                    "{name} jobs={jobs} theories={theories}: histogram drifted"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theories_off_is_identical_in_hierarchical_mode() {
+    for (name, build, rows) in [
+        ("xor2", library::xor2 as fn() -> Circuit, 2usize),
+        ("mux21", library::mux21, 3),
+    ] {
+        let on = SynthRequest::new(build())
+            .rows(rows)
+            .hierarchical()
+            .jobs(NonZeroUsize::MIN)
+            .build()
+            .unwrap_or_else(|e| panic!("{name} hier: theories-on fails: {e}"));
+        let off = SynthRequest::new(build())
+            .rows(rows)
+            .hierarchical()
+            .jobs(NonZeroUsize::MIN)
+            .no_theories()
+            .build()
+            .unwrap_or_else(|e| panic!("{name} hier: theories-off fails: {e}"));
+        assert_same_cell(&format!("{name} hier"), &off.cell, &on.cell);
+        let (h_on, h_off) = (on.hier.expect("hier"), off.hier.expect("hier"));
+        assert_eq!(h_off.placement, h_on.placement, "{name}: hier placement");
+        assert_eq!(h_off.width, h_on.width, "{name}: hier width");
+    }
+}
