@@ -160,6 +160,22 @@ impl Report {
     }
 }
 
+/// One modern-default CDCL solve of `model`, returning its stats so the
+/// smoke JSONL can embed the engine-core counters (restarts, learned-DB
+/// churn, PLBD histogram).
+fn solve_modern_stats(model: &clip_pb::Model) -> clip_pb::SolveStats {
+    use clip_pb::{SearchStrategy, Solver, SolverConfig};
+    let out = Solver::with_config(
+        model,
+        SolverConfig {
+            strategy: SearchStrategy::Cdcl,
+            ..Default::default()
+        },
+    )
+    .run();
+    out.stats().clone()
+}
+
 /// The smoke benchmark suite: one quick case per workload family the
 /// retired criterion benches covered. Returns the report; callers decide
 /// where to persist the JSONL.
@@ -244,24 +260,92 @@ pub fn smoke() -> Report {
     }
 
     // bench_solver: strategy and heuristic ablations on the xor2 model.
+    // `Cbj` and `Cdcl` pin the committed classic search loops; `evsids`
+    // is the modern default engine core (EVSIDS activity branching, Luby
+    // restarts, PLBD-managed learned deletion) on the same CDCL strategy.
     {
         let (units, share) = setup(library::xor2);
         let clipw = ClipW::build(&units, &share, &ClipWOptions::new(2)).expect("builds");
-        for strategy in [SearchStrategy::Cbj, SearchStrategy::Cdcl] {
-            report.run(&format!("solver_strategy/{strategy:?}"), opts, || {
-                let out = Solver::with_config(
-                    clipw.model(),
-                    SolverConfig {
-                        strategy,
-                        brancher: Some(clipw.brancher()),
-                        ..Default::default()
-                    },
-                )
-                .run();
+        for (name, strategy, classic) in [
+            ("Cbj", SearchStrategy::Cbj, true),
+            ("Cdcl", SearchStrategy::Cdcl, true),
+            ("evsids", SearchStrategy::Cdcl, false),
+        ] {
+            report.run(&format!("solver_strategy/{name}"), opts, || {
+                let mut config = SolverConfig {
+                    strategy,
+                    brancher: Some(clipw.brancher()),
+                    ..Default::default()
+                };
+                if classic {
+                    config = config.classic();
+                }
+                let out = Solver::with_config(clipw.model(), config).run();
                 assert!(out.is_optimal());
                 out.best().expect("optimal").objective
             });
         }
+        // Engine-core ablation on nand4-class models, without the
+        // structure brancher so the search heuristics themselves compete:
+        // the committed classic CDCL loop (static branching, no restarts,
+        // keep-everything learned DB) against the modern default core.
+        // Both must prove the same optimum; the extras line carries the
+        // medians plus the modern run's new stats fields (restarts,
+        // learned_kept/deleted, PLBD histogram) so the CI smoke check can
+        // grep them and hold the modern core to its speedup bar.
+        let (nunits, nshare) = setup(library::nand4);
+        let nand4 = ClipW::build(&nunits, &nshare, &ClipWOptions::new(2)).expect("builds");
+        let mut medians = [0i64; 2];
+        let mut objectives = [0i64; 2];
+        for (slot, (label, classic)) in [("Cdcl_nand4", true), ("evsids_nand4", false)]
+            .into_iter()
+            .enumerate()
+        {
+            let solve = || {
+                let mut config = SolverConfig {
+                    strategy: SearchStrategy::Cdcl,
+                    ..Default::default()
+                };
+                if classic {
+                    config = config.classic();
+                }
+                let out = Solver::with_config(nand4.model(), config).run();
+                assert!(out.is_optimal());
+                out
+            };
+            report.run(&format!("solver_strategy/{label}"), opts, || {
+                solve().best().expect("optimal").objective
+            });
+            medians[slot] = report
+                .measurements
+                .last()
+                .expect("just recorded")
+                .median
+                .as_nanos() as i64;
+            objectives[slot] = solve().best().expect("optimal").objective;
+        }
+        assert_eq!(
+            objectives[0], objectives[1],
+            "classic and modern engines must prove the same nand4 optimum"
+        );
+        let modern = solve_modern_stats(nand4.model());
+        report.extras.push(Json::obj([
+            ("name", Json::Str("engine_core/nand4x2".into())),
+            ("classic_median_ns", Json::Int(medians[0])),
+            ("modern_median_ns", Json::Int(medians[1])),
+            (
+                "speedup",
+                Json::Float(medians[0] as f64 / medians[1].max(1) as f64),
+            ),
+            ("objective", Json::Int(objectives[1])),
+            ("restarts", Json::Int(modern.restarts as i64)),
+            ("learned_kept", Json::Int(modern.learned_kept as i64)),
+            ("learned_deleted", Json::Int(modern.learned_deleted as i64)),
+            (
+                "plbd_hist",
+                Json::arr(&modern.plbd_hist, |&n| Json::Int(n as i64)),
+            ),
+        ]));
         for heuristic in [BranchHeuristic::InputOrder, BranchHeuristic::DynamicScore] {
             report.run(&format!("solver_heuristic/{heuristic:?}"), opts, || {
                 let out = Solver::with_config(
@@ -312,6 +396,10 @@ pub fn smoke() -> Report {
     // Each jobs value gets a normal timing record plus an extras line
     // carrying the resulting area, so downstream checks can confirm the
     // parallel sweep returns the identical cell, not just a faster one.
+    // The job counts here are *advisory* (`with_jobs`), so the small-
+    // sweep fan-out gate applies: nand4 is under the work floor, the
+    // jobs=4 run stays sequential, and the old regression (jobs=4 slower
+    // than jobs=1 on a sub-millisecond sweep) cannot recur.
     {
         use std::num::NonZeroUsize;
         for jobs in [1usize, 4] {

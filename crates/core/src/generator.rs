@@ -72,7 +72,16 @@ pub struct GenOptions {
     /// this many threads instead (each row solve then runs one strategy,
     /// keeping the sweep result independent of thread scheduling).
     /// Defaults to [`std::thread::available_parallelism`].
+    ///
+    /// A best-area sweep over a *small* model skips the fan-out entirely
+    /// (thread setup costs more than sub-millisecond row solves return)
+    /// unless [`GenOptions::jobs_explicit`] is set.
     pub jobs: NonZeroUsize,
+    /// True when the job count was chosen explicitly (CLI `--jobs`,
+    /// [`GenOptions::with_explicit_jobs`]) rather than defaulted: an
+    /// explicit count is honored verbatim, bypassing the small-sweep
+    /// fan-out gate. Results are identical either way.
+    pub jobs_explicit: bool,
     /// Stage-boundary tuning decisions, usually distilled from a learned
     /// profile by `clip-tune`. The default plan reproduces today's
     /// hardcoded behavior exactly; see [`crate::tuning`] for the
@@ -84,6 +93,15 @@ pub struct GenOptions {
     /// bisected without touching anything else. See
     /// [`clip_pb::ConstraintClass`].
     pub use_theories: bool,
+    /// Disables the modern CDCL engine core (EVSIDS activity branching,
+    /// Luby restarts, PLBD-managed learned-constraint deletion) in every
+    /// solver the pipeline spawns, falling back to the classic
+    /// exhaustive-rescan search loop (default `false`). The modern core
+    /// changes *speed only, never results*: proved-optimal objectives and
+    /// the emitted placements are pinned equal either way. The
+    /// `--classic-search` escape hatch exists so an engine-core bug can
+    /// be bisected without touching anything else.
+    pub classic_search: bool,
 }
 
 /// The default worker count: one per available core.
@@ -103,8 +121,10 @@ impl GenOptions {
             height_params: HeightParams::default(),
             critical_nets: Vec::new(),
             jobs: default_jobs(),
+            jobs_explicit: false,
             tuning: TuningPlan::default(),
             use_theories: true,
+            classic_search: false,
         }
     }
 
@@ -115,9 +135,29 @@ impl GenOptions {
         self
     }
 
-    /// Sets the worker-thread count (`1` disables parallel search).
+    /// Sets the worker-thread count (`1` disables parallel search). The
+    /// count stays *advisory*: a best-area sweep over a small model still
+    /// skips the fan-out. Use [`GenOptions::with_explicit_jobs`] to force
+    /// the count.
     pub fn with_jobs(mut self, jobs: NonZeroUsize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Sets the worker-thread count *explicitly* (the CLI `--jobs` path):
+    /// the count is honored verbatim, bypassing the small-sweep fan-out
+    /// gate.
+    pub fn with_explicit_jobs(mut self, jobs: NonZeroUsize) -> Self {
+        self.jobs = jobs;
+        self.jobs_explicit = true;
+        self
+    }
+
+    /// Disables the modern CDCL engine core (EVSIDS + restarts + learned
+    /// deletion), falling back to the classic search loop. Results are
+    /// identical either way.
+    pub fn with_classic_search(mut self) -> Self {
+        self.classic_search = true;
         self
     }
 
@@ -367,13 +407,13 @@ impl CellGenerator {
             })?;
             let warm = seed.and_then(|p| wh.clipw().warm_assignment(&units, &p));
             let out = pipeline.stage(Stage::Solve, |budget, rec| {
-                let base = SolverConfig {
+                let base = self.engine_config(SolverConfig {
                     brancher: Some(wh.brancher()),
                     heuristic: BranchHeuristic::InputOrder,
                     warm_start: warm,
                     use_theories: self.options.use_theories,
                     ..Default::default()
-                };
+                });
                 self.solve_stage(wh.model(), base, budget, cancel, rec)
             });
             let optimal = out.is_optimal();
@@ -425,12 +465,12 @@ impl CellGenerator {
                 .min_by_key(|p| p.cell_width(&units))
                 .and_then(|p| clipw.warm_assignment(&units, &p));
             let out = pipeline.stage(Stage::Solve, |budget, rec| {
-                let base = SolverConfig {
+                let base = self.engine_config(SolverConfig {
                     brancher: Some(clipw.brancher()),
                     warm_start: warm,
                     use_theories: self.options.use_theories,
                     ..Default::default()
-                };
+                });
                 self.solve_stage(clipw.model(), base, budget, cancel, rec)
             });
             let optimal = out.is_optimal();
@@ -519,7 +559,20 @@ impl CellGenerator {
         let prep = self.sweep_prep(&circuit)?;
 
         let shared = SweepShared::new();
-        let workers = self.options.jobs.get().min(max_rows);
+        // Fanning a tiny sweep across threads costs more than it saves:
+        // spawn and coordination overhead dominates sub-millisecond row
+        // solves (the nand4 `jobs_sweep` regression, where jobs=4 ran
+        // slower than jobs=1). Estimate the sweep's work as units² × rows
+        // and keep small sweeps sequential — unless the caller chose the
+        // job count explicitly, which is honored verbatim. Results are
+        // identical either way; only the thread count changes.
+        const FANOUT_WORK_FLOOR: usize = 256;
+        let work = prep.units.len() * prep.units.len() * max_rows;
+        let workers = if self.options.jobs_explicit || work >= FANOUT_WORK_FLOOR {
+            self.options.jobs.get().min(max_rows)
+        } else {
+            1
+        };
         let run_row = |rows: usize| -> RowOutcome {
             let cancel = match shared
                 .register(rows, self.area_lower_bound(&prep.units, &prep.share, rows))
@@ -612,6 +665,16 @@ impl CellGenerator {
         Some(width * height)
     }
 
+    /// Applies the `--classic-search` escape hatch to a stage's base
+    /// solver configuration.
+    fn engine_config(&self, base: SolverConfig) -> SolverConfig {
+        if self.options.classic_search {
+            base.classic()
+        } else {
+            base
+        }
+    }
+
     /// Runs one Solve stage through the strategy portfolio sized by
     /// [`GenOptions::jobs`] and annotates `rec` with the combined stats,
     /// the winning strategy, and the per-thread breakdown. A `cancel`
@@ -678,7 +741,7 @@ impl CellGenerator {
             .and_then(|p| model.warm_assignment(&stacked, &p));
         let out = Solver::with_config(
             model.model(),
-            SolverConfig {
+            self.engine_config(SolverConfig {
                 brancher: Some(model.brancher()),
                 warm_start: warm,
                 budget: budget.slice(
@@ -687,7 +750,7 @@ impl CellGenerator {
                 ),
                 use_theories: self.options.use_theories,
                 ..Default::default()
-            },
+            }),
         )
         .run();
         rec.solve = Some(out.stats().clone());
@@ -1210,7 +1273,7 @@ mod tests {
         let with_jobs = |jobs: usize| {
             GenOptions::rows(1)
                 .with_time_limit(Duration::from_secs(30))
-                .with_jobs(NonZeroUsize::new(jobs).unwrap())
+                .with_explicit_jobs(NonZeroUsize::new(jobs).unwrap())
         };
         for circuit in [
             library::xor2 as fn() -> Circuit,
@@ -1236,7 +1299,7 @@ mod tests {
         let gen = CellGenerator::new(
             GenOptions::rows(1)
                 .with_time_limit(Duration::from_secs(30))
-                .with_jobs(NonZeroUsize::new(2).unwrap()),
+                .with_explicit_jobs(NonZeroUsize::new(2).unwrap()),
         );
         let cell = gen.generate_best_area(library::xor2(), 3).unwrap();
         let last = cell.trace.stages.last().unwrap();
@@ -1247,6 +1310,33 @@ mod tests {
         // worker finished first.
         let row_stamps: Vec<usize> = cell.trace.stages.iter().filter_map(|s| s.rows).collect();
         assert!(row_stamps.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn small_sweeps_skip_the_fan_out_unless_jobs_are_explicit() {
+        // An *advisory* job count (the available-parallelism default) is
+        // gated on small models: the nand4 sweep runs sequentially...
+        let advisory = CellGenerator::new(
+            GenOptions::rows(1)
+                .with_time_limit(Duration::from_secs(30))
+                .with_jobs(NonZeroUsize::new(4).unwrap()),
+        );
+        let cell = advisory.generate_best_area(library::nand4(), 4).unwrap();
+        let sweep = cell.trace.stages.last().unwrap();
+        assert_eq!(sweep.stage, Stage::Sweep);
+        assert_eq!(sweep.threads, Some(1), "small sweep must not fan out");
+        // ...while an explicit --jobs count is honored verbatim, and both
+        // paths land on the identical cell.
+        let explicit = CellGenerator::new(
+            GenOptions::rows(1)
+                .with_time_limit(Duration::from_secs(30))
+                .with_explicit_jobs(NonZeroUsize::new(4).unwrap()),
+        );
+        let forced = explicit.generate_best_area(library::nand4(), 4).unwrap();
+        assert_eq!(forced.trace.stages.last().unwrap().threads, Some(4));
+        assert_eq!(forced.placement, cell.placement);
+        assert_eq!(forced.width, cell.width);
+        assert_eq!(forced.height, cell.height);
     }
 
     #[test]

@@ -51,6 +51,9 @@ pub struct HierOptions {
     /// Typed constraint-theory engines in the sub-cell solves (default
     /// `true`; speed only, never results).
     pub use_theories: bool,
+    /// Classic search loop in the sub-cell solves instead of the modern
+    /// CDCL engine core (default `false`; speed only, never results).
+    pub classic_search: bool,
 }
 
 impl HierOptions {
@@ -62,6 +65,7 @@ impl HierOptions {
             time_limit: Some(Duration::from_secs(30)),
             jobs: crate::generator::default_jobs(),
             use_theories: true,
+            classic_search: false,
         }
     }
 
@@ -150,6 +154,7 @@ pub fn generate(circuit: Circuit, opts: &HierOptions) -> Result<HierCell, GenErr
     options.stacking = opts.stacking;
     options.time_limit = opts.time_limit;
     options.use_theories = opts.use_theories;
+    options.classic_search = opts.classic_search;
     let result = crate::request::SynthRequest::with_options(circuit, options)
         .hierarchical()
         .build()?;
@@ -194,17 +199,19 @@ pub fn generate_units_with_budget(
             .map_err(GenError::Model)?;
         let warm = greedy_placement(&sub_set, &sub_share, sub_rows)
             .and_then(|p| model.warm_assignment(&sub_set, &p));
-        let out = Solver::with_config(
-            model.model(),
-            SolverConfig {
-                brancher: Some(model.brancher()),
-                warm_start: warm,
-                budget: budget.clone(),
-                use_theories: opts.use_theories,
-                ..Default::default()
-            },
-        )
-        .run();
+        let config = SolverConfig {
+            brancher: Some(model.brancher()),
+            warm_start: warm,
+            budget: budget.clone(),
+            use_theories: opts.use_theories,
+            ..Default::default()
+        };
+        let config = if opts.classic_search {
+            config.classic()
+        } else {
+            config
+        };
+        let out = Solver::with_config(model.model(), config).run();
         let sol = out.best().ok_or(GenError::NoSolution)?;
         let local = model.extract(sol);
         // Map local unit indices back to global ones.

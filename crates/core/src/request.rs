@@ -160,10 +160,23 @@ impl SynthRequest {
     }
 
     /// Sets the worker-thread count explicitly. An explicit count always
-    /// wins over a profile's `jobs` advice.
+    /// wins over a profile's `jobs` advice, and bypasses the small-sweep
+    /// fan-out gate (see [`GenOptions::jobs_explicit`]).
     pub fn jobs(mut self, jobs: NonZeroUsize) -> Self {
         self.options.jobs = jobs;
+        self.options.jobs_explicit = true;
         self.explicit_jobs = true;
+        self
+    }
+
+    /// Disables the modern CDCL engine core (EVSIDS activity branching,
+    /// Luby restarts, PLBD-managed learned-constraint deletion) in every
+    /// solver the request spawns, falling back to the classic search
+    /// loop. Results are identical either way (the engine core changes
+    /// speed, never placements); the flag exists so an engine-core bug
+    /// can be bisected without touching anything else.
+    pub fn classic_search(mut self) -> Self {
+        self.options.classic_search = true;
         self
     }
 
@@ -246,6 +259,7 @@ impl SynthRequest {
                     time_limit: self.options.time_limit,
                     jobs: self.options.jobs,
                     use_theories: self.options.use_theories,
+                    classic_search: self.options.classic_search,
                 };
                 let hier = pipeline.stage(Stage::Hier, |budget, rec| {
                     let result = crate::hier::generate_units_with_budget(units, &hopts, budget);

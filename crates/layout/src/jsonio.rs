@@ -99,6 +99,15 @@ impl Json {
         }
     }
 
+    /// The value as an `f64`, if this is any number (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Int(v) => Some(v as f64),
+            Json::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
     /// The value as a `bool`.
     pub fn as_bool(&self) -> Option<bool> {
         match *self {

@@ -3,16 +3,18 @@
 //! Schema (optional fields omitted when absent):
 //!
 //! ```json
-//! {"schema": 3,
+//! {"schema": 4,
 //!  "stages": [
 //!   {"stage": "solve", "rows": 2, "wall_ns": 1234,
 //!    "model_vars": 56, "model_constraints": 78,
 //!    "classes": {"clause": 60, "amo": 10, "card": 6, "linear": 2},
 //!    "solve": {"nodes": 9, "propagations": 10, "conflicts": 1,
-//!              "learned": 0, "shared_prunes": 0, "duration_ns": 1200,
-//!              "proved_optimal": true,
+//!              "learned": 0, "restarts": 0, "learned_kept": 0,
+//!              "learned_deleted": 0, "shared_prunes": 0,
+//!              "duration_ns": 1200, "proved_optimal": true,
 //!              "props_by_class": {"clause": 7, "amo": 2, "card": 1, "linear": 0},
 //!              "conflicts_by_class": {"clause": 1, "amo": 0, "card": 0, "linear": 0},
+//!              "plbd_hist": [3, 1, 0, 0, 0, 0, 0, 0],
 //!              "incumbents": [{"at_ns": 3, "objective": 4}]},
 //!    "threads": 2, "winner_strategy": "cbj", "tuning": "seed=off",
 //!    "shared_prunes": 1, "thread_solves": [{"nodes": 9, "...": "..."}]}
@@ -33,10 +35,14 @@
 //! at-most-one / cardinality / general-linear) and the `props_by_class` /
 //! `conflicts_by_class` counters inside solver stats; all three are
 //! omitted when empty and default to zero on parse, so older documents
-//! keep reading. The parser accepts versions 1 (with or without an
-//! explicit `schema` key, since version 1 predates the key) through the
-//! current version and rejects any other rather than misreading a future
-//! layout.
+//! keep reading. Version 4 added the modern-CDCL engine counters inside
+//! solver stats: `restarts`, `learned_kept`, `learned_deleted`, and the
+//! `plbd_hist` array (learned constraints by PLBD bucket 1..=8, last
+//! bucket absorbing deeper; omitted when the engine recorded none);
+//! all default to zero/empty on parse. The parser accepts versions 1
+//! (with or without an explicit `schema` key, since version 1 predates
+//! the key) through the current version and rejects any other rather
+//! than misreading a future layout.
 //!
 //! Durations are integral nanoseconds, so emit → parse → emit is exact.
 //! `clip synth --trace FILE` writes this document, and the bench harness
@@ -51,11 +57,13 @@ use clip_core::pipeline::{
 
 use crate::jsonio::{self, Json, JsonError};
 
-/// The trace schema version this crate writes. Version 3 added the
+/// The trace schema version this crate writes. Version 4 added the
+/// modern-CDCL engine counters (`restarts`, `learned_kept`,
+/// `learned_deleted`, `plbd_hist`); version 3 added the
 /// constraint-theory fields (`classes`, `props_by_class`,
 /// `conflicts_by_class`); version 2 added the per-stage `tuning` stamp;
-/// versions 1 (no `schema` key) through 3 are all accepted by [`parse`].
-pub const TRACE_SCHEMA: i64 = 3;
+/// versions 1 (no `schema` key) through 4 are all accepted by [`parse`].
+pub const TRACE_SCHEMA: i64 = 4;
 
 /// A trace deserialization failure.
 #[derive(Clone, Debug, PartialEq)]
@@ -122,6 +130,9 @@ fn stats_to_value(s: &SolveStats) -> Json {
         ("propagations", int(s.propagations)),
         ("conflicts", int(s.conflicts)),
         ("learned", int(s.learned)),
+        ("restarts", int(s.restarts)),
+        ("learned_kept", int(s.learned_kept)),
+        ("learned_deleted", int(s.learned_deleted)),
         ("shared_prunes", int(s.shared_prunes)),
         ("duration_ns", dur_to_json(s.duration)),
         ("proved_optimal", Json::Bool(s.proved_optimal)),
@@ -134,6 +145,9 @@ fn stats_to_value(s: &SolveStats) -> Json {
             "conflicts_by_class",
             classes_to_value(&s.conflicts_by_class),
         ));
+    }
+    if !s.plbd_hist.is_empty() {
+        pairs.push(("plbd_hist", Json::arr(&s.plbd_hist, |&n| int(n))));
     }
     pairs.push((
         "incumbents",
@@ -245,6 +259,27 @@ fn stats_from_value(v: &Json) -> Result<SolveStats, TraceError> {
             .as_u64()
             .ok_or_else(|| schema("`shared_prunes` must be a non-negative integer"))?,
     };
+    // Absent in pre-modern-engine (schema ≤ 3) traces: default to 0.
+    let opt_count = |key: &str| -> Result<u64, TraceError> {
+        match v.get(key) {
+            None => Ok(0),
+            Some(f) => f
+                .as_u64()
+                .ok_or_else(|| schema(format!("`{key}` must be a non-negative integer"))),
+        }
+    };
+    let plbd_hist = match v.get("plbd_hist") {
+        None => Vec::new(),
+        Some(arr) => arr
+            .as_arr()
+            .ok_or_else(|| schema("`plbd_hist` must be an array"))?
+            .iter()
+            .map(|n| {
+                n.as_u64()
+                    .ok_or_else(|| schema("`plbd_hist` entries must be non-negative integers"))
+            })
+            .collect::<Result<Vec<_>, TraceError>>()?,
+    };
     // Absent in pre-theory (schema ≤ 2) traces: default to all-zero.
     let by_class = |key: &str| -> Result<ClassCounts, TraceError> {
         match v.get(key) {
@@ -257,6 +292,10 @@ fn stats_from_value(v: &Json) -> Result<SolveStats, TraceError> {
         propagations: count("propagations")?,
         conflicts: count("conflicts")?,
         learned: count("learned")?,
+        restarts: opt_count("restarts")?,
+        learned_kept: opt_count("learned_kept")?,
+        learned_deleted: opt_count("learned_deleted")?,
+        plbd_hist,
         shared_prunes,
         duration: dur_from(req(v, "duration_ns")?, "duration_ns")?,
         proved_optimal: req(v, "proved_optimal")?
@@ -448,7 +487,7 @@ mod tests {
         let sweep = CellGenerator::new(
             GenOptions::rows(1)
                 .with_time_limit(Duration::from_secs(30))
-                .with_jobs(jobs),
+                .with_explicit_jobs(jobs),
         )
         .generate_best_area(library::xor2(), 3)
         .unwrap();
@@ -478,7 +517,7 @@ mod tests {
         // Writers stamp the current version as the first key.
         let text = to_json(&PipelineTrace::default());
         assert!(
-            text.trim_start().starts_with("{\n  \"schema\": 3"),
+            text.trim_start().starts_with("{\n  \"schema\": 4"),
             "{text}"
         );
         // Version 1 parses with or without an explicit schema key.
@@ -486,6 +525,7 @@ mod tests {
         parse(r#"{"schema":1,"stages":[]}"#).unwrap();
         parse(r#"{"schema":2,"stages":[]}"#).unwrap();
         parse(r#"{"schema":3,"stages":[]}"#).unwrap();
+        parse(r#"{"schema":4,"stages":[]}"#).unwrap();
         // Unknown versions are rejected, not misread.
         let err = parse(r#"{"schema":99,"stages":[]}"#).unwrap_err();
         assert!(

@@ -1,0 +1,46 @@
+//! Backward compatibility: a committed schema-3 trace document (written
+//! before the modern-CDCL engine counters existed) must keep parsing,
+//! with the engine fields defaulting cleanly, and re-emitting must
+//! upgrade it to the current schema version without losing a field.
+
+use clip_layout::trace;
+
+const V3_FIXTURE: &str = include_str!("fixtures/trace_v3.json");
+
+#[test]
+fn v3_fixture_parses_and_upgrades_to_current_schema() {
+    let parsed = trace::parse(V3_FIXTURE).expect("schema-3 fixture parses");
+    assert_eq!(parsed.stages.len(), 4);
+
+    // Fields schema 3 already carried survive.
+    let solve = &parsed.stages[2];
+    assert_eq!(solve.stage.name(), "solve");
+    assert_eq!(solve.rows, Some(2));
+    assert_eq!(solve.model_vars, Some(118));
+    assert_eq!(solve.winner_strategy.as_deref(), Some("cbj"));
+    assert!(solve.classes.is_some());
+    let stats = solve.solve.as_ref().unwrap();
+    assert_eq!(stats.nodes, 91);
+    assert_eq!(stats.learned, 10);
+    assert_eq!(stats.shared_prunes, 2);
+    assert_eq!(stats.props_by_class.total(), 1301);
+    assert_eq!(stats.incumbents.len(), 2);
+
+    // Fields introduced by schema 4 default cleanly: zero restart and
+    // learned-DB counters, empty PLBD histogram.
+    assert_eq!(stats.restarts, 0);
+    assert_eq!(stats.learned_kept, 0);
+    assert_eq!(stats.learned_deleted, 0);
+    assert!(stats.plbd_hist.is_empty());
+
+    // Re-emitting stamps the current schema version; the round trip is
+    // lossless from there on.
+    let reemitted = trace::to_json(&parsed);
+    assert!(
+        reemitted.contains(&format!("\"schema\": {}", trace::TRACE_SCHEMA)),
+        "{reemitted}"
+    );
+    let back = trace::parse(&reemitted).expect("re-emitted trace parses");
+    assert_eq!(back, parsed);
+    assert_eq!(trace::to_json(&back), reemitted);
+}

@@ -1,0 +1,258 @@
+//! Activity-ordered variable heap for EVSIDS-style branching.
+//!
+//! A binary max-heap over variable indices with a position map, giving
+//! O(log n) insertion, removal of the maximum, and in-place priority
+//! increase ("bump"). Activities are exponentially decayed the standard
+//! EVSIDS way: instead of scaling every activity down after each
+//! conflict, the *increment* added by a bump grows geometrically, and
+//! all activities are rescaled in one pass when they threaten `f64`
+//! overflow. Ties are broken toward the smaller variable index so the
+//! branching order is a pure function of the bump history — no pointer
+//! or hash-iteration order leaks in, which keeps searches using the
+//! heap byte-reproducible.
+
+/// Activities are rescaled once any of them exceeds this threshold.
+const RESCALE_LIMIT: f64 = 1e100;
+
+/// An indexed binary max-heap of variable activities.
+///
+/// Every variable in `0..n` has an activity (initially zero); a
+/// variable may be *in* the heap (a branching candidate) or out of it
+/// (currently assigned). [`ActivityHeap::bump`] raises a variable's
+/// activity whether or not it is queued, and restores the heap order
+/// when it is.
+#[derive(Clone, Debug)]
+pub struct ActivityHeap {
+    /// Heap array of variable indices, max at the root.
+    heap: Vec<u32>,
+    /// `pos[v]` is the heap slot of `v`, or `NOT_QUEUED`.
+    pos: Vec<u32>,
+    /// Per-variable activity score.
+    act: Vec<f64>,
+    /// Current bump increment; grows by `1/decay` per decay step.
+    inc: f64,
+    /// Decay factor in `(0, 1]`; smaller forgets old conflicts faster.
+    decay: f64,
+}
+
+const NOT_QUEUED: u32 = u32::MAX;
+
+impl ActivityHeap {
+    /// Creates a heap over `n` variables, all queued with zero activity.
+    ///
+    /// With no bumps recorded the pop order is variable index order, so
+    /// a fresh heap reproduces the input-order heuristic.
+    pub fn new(n: usize, decay: f64) -> Self {
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+        let mut h = Self {
+            heap: Vec::with_capacity(n),
+            pos: vec![NOT_QUEUED; n],
+            act: vec![0.0; n],
+            inc: 1.0,
+            decay,
+        };
+        for v in 0..n {
+            h.push(v);
+        }
+        h
+    }
+
+    /// Number of queued variables.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no variable is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True when `v` is currently queued.
+    pub fn contains(&self, v: usize) -> bool {
+        self.pos[v] != NOT_QUEUED
+    }
+
+    /// Current activity of `v` (valid whether or not `v` is queued).
+    pub fn activity(&self, v: usize) -> f64 {
+        self.act[v]
+    }
+
+    /// Raises `v`'s activity by the current increment and restores the
+    /// heap order if `v` is queued. Rescales everything when the
+    /// activity grows past `RESCALE_LIMIT` (1e100).
+    pub fn bump(&mut self, v: usize) {
+        self.act[v] += self.inc;
+        if self.act[v] > RESCALE_LIMIT {
+            self.rescale();
+        }
+        if self.pos[v] != NOT_QUEUED {
+            self.sift_up(self.pos[v] as usize);
+        }
+    }
+
+    /// One decay step: future bumps weigh `1/decay` more than past ones.
+    pub fn decay(&mut self) {
+        self.inc /= self.decay;
+    }
+
+    /// Queues `v` if it is not already queued.
+    pub fn push(&mut self, v: usize) {
+        if self.pos[v] != NOT_QUEUED {
+            return;
+        }
+        self.pos[v] = self.heap.len() as u32;
+        self.heap.push(v as u32);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Removes and returns the queued variable with the highest
+    /// activity (smallest index on ties), or `None` when empty.
+    pub fn pop(&mut self) -> Option<usize> {
+        let top = *self.heap.first()? as usize;
+        self.pos[top] = NOT_QUEUED;
+        let last = self.heap.pop().expect("non-empty heap");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0);
+        }
+        Some(top)
+    }
+
+    /// True when variable `a` outranks variable `b`.
+    fn before(&self, a: u32, b: u32) -> bool {
+        let (aa, ab) = (self.act[a as usize], self.act[b as usize]);
+        aa > ab || (aa == ab && a < b)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let v = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if !self.before(v, self.heap[parent]) {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            self.pos[self.heap[i] as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let v = self.heap[i];
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let best = if right < self.heap.len() && self.before(self.heap[right], self.heap[left])
+            {
+                right
+            } else {
+                left
+            };
+            if !self.before(self.heap[best], v) {
+                break;
+            }
+            self.heap[i] = self.heap[best];
+            self.pos[self.heap[i] as usize] = i as u32;
+            i = best;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as u32;
+    }
+
+    /// Scales every activity (and the increment) down so relative
+    /// order is preserved while magnitudes return to a safe range.
+    fn rescale(&mut self) {
+        for a in &mut self.act {
+            *a *= 1.0 / RESCALE_LIMIT;
+        }
+        self.inc *= 1.0 / RESCALE_LIMIT;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_heap_pops_in_index_order() {
+        let mut h = ActivityHeap::new(5, 0.95);
+        let order: Vec<usize> = std::iter::from_fn(|| h.pop()).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+        assert!(h.is_empty());
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn bumped_variables_pop_first() {
+        let mut h = ActivityHeap::new(6, 0.95);
+        h.bump(4);
+        h.bump(4);
+        h.bump(2);
+        assert_eq!(h.pop(), Some(4));
+        assert_eq!(h.pop(), Some(2));
+        assert_eq!(h.pop(), Some(0));
+    }
+
+    #[test]
+    fn decay_makes_recent_bumps_outweigh_older_ones() {
+        let mut h = ActivityHeap::new(4, 0.5);
+        h.bump(1); // activity 1.0
+        h.decay(); // future bumps worth 2.0
+        h.bump(3); // activity 2.0 > 1.0
+        assert_eq!(h.pop(), Some(3));
+        assert_eq!(h.pop(), Some(1));
+    }
+
+    #[test]
+    fn push_requeues_and_is_idempotent() {
+        let mut h = ActivityHeap::new(3, 0.95);
+        h.bump(2);
+        assert_eq!(h.pop(), Some(2));
+        assert!(!h.contains(2));
+        h.push(2);
+        h.push(2); // no-op: already queued
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.pop(), Some(2));
+    }
+
+    #[test]
+    fn rescale_preserves_relative_order() {
+        let mut h = ActivityHeap::new(3, 0.5);
+        // Drive the increment past the rescale threshold: each decay
+        // doubles it, so ~400 steps overflow 1e100 comfortably.
+        h.bump(0);
+        for _ in 0..400 {
+            h.decay();
+        }
+        h.bump(1); // triggers a rescale
+        assert!(h.act.iter().all(|a| a.is_finite()));
+        assert!(h.activity(1) > h.activity(0));
+        assert_eq!(h.pop(), Some(1));
+        assert_eq!(h.pop(), Some(0));
+        assert_eq!(h.pop(), Some(2));
+    }
+
+    #[test]
+    fn ties_break_toward_the_smaller_index() {
+        let mut h = ActivityHeap::new(5, 0.95);
+        h.bump(3);
+        h.bump(1); // same activity as 3
+        assert_eq!(h.pop(), Some(1));
+        assert_eq!(h.pop(), Some(3));
+    }
+
+    #[test]
+    fn bump_outside_the_heap_still_counts() {
+        let mut h = ActivityHeap::new(3, 0.95);
+        assert_eq!(h.pop(), Some(0));
+        h.bump(0);
+        h.push(0);
+        assert_eq!(h.pop(), Some(0), "dequeued bump is honored on requeue");
+    }
+}

@@ -47,6 +47,7 @@ pub mod branch;
 pub mod brute;
 pub mod budget;
 pub mod encode;
+pub mod heap;
 pub mod model;
 pub mod opb;
 pub mod portfolio;

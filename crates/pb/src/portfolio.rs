@@ -35,8 +35,11 @@ struct Shared {
     bound: AtomicI64,
     /// The best published solution itself.
     best: Mutex<Option<Solution>>,
-    /// Cooperative cancellation flag, checked at every deadline tick.
-    cancelled: AtomicBool,
+    /// Cooperative cancellation flag, checked at every deadline tick
+    /// and polled inside the propagation drain (see
+    /// [`crate::propagate::Engine::set_cancel`]), so cancellation
+    /// latency is bounded even mid-batch.
+    cancelled: Arc<AtomicBool>,
 }
 
 /// A bound-and-solution mailbox shared by concurrently running solvers.
@@ -58,7 +61,7 @@ impl Default for SharedIncumbent {
             inner: Arc::new(Shared {
                 bound: AtomicI64::new(UNSET),
                 best: Mutex::new(None),
-                cancelled: AtomicBool::new(false),
+                cancelled: Arc::new(AtomicBool::new(false)),
             }),
         }
     }
@@ -127,6 +130,12 @@ impl SharedIncumbent {
     pub fn cancelled(&self) -> bool {
         self.inner.cancelled.load(Ordering::Acquire)
     }
+
+    /// The raw cancellation flag, for wiring into the propagation
+    /// engine's mid-batch poll ([`crate::propagate::Engine::set_cancel`]).
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.inner.cancelled)
+    }
 }
 
 /// Result of a [`solve_portfolio`] race.
@@ -153,8 +162,11 @@ pub struct PortfolioOutcome {
 /// reorder racers, never replace the deterministic baseline.
 pub const REFERENCE_STRATEGY: &str = "cbj";
 
-/// Known strategy labels, in the default racing order.
-pub const STRATEGIES: [&str; 3] = ["cbj", "cdcl", "cbj-dyn"];
+/// Known strategy labels, in the default racing order. `evsids` is the
+/// modern CDCL engine (activity branching, Luby restarts, PLBD
+/// database reduction); `cdcl` is the classic clause-learning loop kept
+/// for the ablation bench and `--classic-search`.
+pub const STRATEGIES: [&str; 4] = ["cbj", "evsids", "cdcl", "cbj-dyn"];
 
 /// Builds the solver configuration for a known strategy label, derived
 /// from `base` (which carries the model-specific brancher and warm start).
@@ -162,10 +174,20 @@ pub const STRATEGIES: [&str; 3] = ["cbj", "cdcl", "cbj-dyn"];
 pub fn named_config(label: &str, base: &SolverConfig) -> Option<SolverConfig> {
     match label {
         "cbj" => Some(base.clone()),
-        "cdcl" => Some(SolverConfig {
+        // Inherits the base's modern knobs: under `--classic-search`
+        // this degenerates to the classic loop and the portfolio stays
+        // genuinely classic.
+        "evsids" => Some(SolverConfig {
             strategy: SearchStrategy::Cdcl,
             ..base.clone()
         }),
+        "cdcl" => Some(
+            SolverConfig {
+                strategy: SearchStrategy::Cdcl,
+                ..base.clone()
+            }
+            .classic(),
+        ),
         "cbj-dyn" => Some(SolverConfig {
             brancher: None,
             heuristic: BranchHeuristic::DynamicScore,
@@ -328,6 +350,17 @@ fn combine(
         stats.conflicts += s.conflicts;
         stats.learned += s.learned;
         stats.shared_prunes += s.shared_prunes;
+        stats.restarts += s.restarts;
+        stats.learned_kept += s.learned_kept;
+        stats.learned_deleted += s.learned_deleted;
+        if !s.plbd_hist.is_empty() {
+            if stats.plbd_hist.is_empty() {
+                stats.plbd_hist = vec![0; s.plbd_hist.len()];
+            }
+            for (total, &count) in stats.plbd_hist.iter_mut().zip(&s.plbd_hist) {
+                *total += count;
+            }
+        }
         stats.props_by_class.merge(&s.props_by_class);
         stats.conflicts_by_class.merge(&s.conflicts_by_class);
         stats.duration = stats.duration.max(s.duration);
@@ -591,6 +624,15 @@ mod tests {
         assert_eq!(configs[1].0, "cdcl");
         assert_eq!(configs[1].1.strategy, SearchStrategy::Cdcl);
         assert!(named_config("warp", &base).is_none());
+        // "evsids" is the modern CDCL engine; "cdcl" stays classic.
+        let modern = named_config("evsids", &base).unwrap();
+        assert_eq!(modern.strategy, SearchStrategy::Cdcl);
+        assert!(modern.evsids && modern.restarts && modern.reduce_db);
+        let classic = named_config("cdcl", &base).unwrap();
+        assert!(!classic.evsids && !classic.restarts && !classic.reduce_db);
+        // A classic base keeps the whole portfolio classic.
+        let modern_of_classic = named_config("evsids", &base.clone().classic()).unwrap();
+        assert!(!modern_of_classic.evsids && !modern_of_classic.restarts);
     }
 
     #[test]
@@ -612,5 +654,38 @@ mod tests {
         )
         .run();
         assert!(!out.stats().proved_optimal);
+    }
+
+    /// The satellite scenario: a run cancelled *mid-propagation* stops
+    /// inside the implication chain instead of draining it first — the
+    /// engine polls the shared flag every 64 queue pops.
+    #[test]
+    fn cancellation_interrupts_a_long_propagation_batch() {
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..200).map(|i| m.new_var(format!("v{i}"))).collect();
+        m.fix(vars[0], true);
+        // Reverse constraint order so the chain cascades through the
+        // propagation queue (where the poll lives) rather than through
+        // the initial one-pass examine sweep.
+        for w in vars.windows(2).rev() {
+            m.add_ge([(1, w[1]), (-1, w[0])], 0); // v_{i+1} >= v_i
+        }
+        m.minimize(vars.iter().map(|&v| (1, v)));
+        let inc = SharedIncumbent::new();
+        inc.cancel();
+        let out = Solver::with_config(
+            &m,
+            SolverConfig {
+                incumbent: Some(inc),
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(!out.stats().proved_optimal);
+        assert!(
+            out.stats().propagations < 150,
+            "root propagation ran the whole 200-variable chain: {:?}",
+            out.stats().propagations
+        );
     }
 }

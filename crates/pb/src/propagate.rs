@@ -44,6 +44,9 @@
 //! [`Engine::set_objective_bound`] whenever a better incumbent is found.
 //! Its bound moves during search, so it always stays on the slack path.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use crate::model::{Constraint, Lit, Model, Var};
 use crate::theory::{ClassCounts, ConstraintClass};
 
@@ -150,9 +153,19 @@ pub struct Engine {
     /// Learned clauses (2-watched-literal scheme; watches are the first
     /// two literals of each clause).
     clauses: Vec<Vec<Lit>>,
+    /// Pseudo-LBD of each learned clause at creation: the number of
+    /// distinct decision levels among its literals. Glue clauses
+    /// (PLBD ≤ 2) are exempt from database reduction.
+    clause_plbd: Vec<u32>,
     /// Watch lists per literal code (`2·var + positive`).
     watches: Vec<Vec<u32>>,
     qhead: usize,
+    /// Cooperative cancellation flag, polled inside the propagation
+    /// drain so portfolio losers stop mid-batch.
+    cancel: Option<Arc<AtomicBool>>,
+    /// Set once propagation was interrupted by the cancel flag; the
+    /// queue may then hold pending work.
+    interrupted: bool,
     /// Number of variable assignments performed by propagation (not by
     /// decisions).
     pub propagations: u64,
@@ -259,8 +272,11 @@ impl Engine {
             trail: Vec::new(),
             level_marks: Vec::new(),
             clauses: Vec::new(),
+            clause_plbd: Vec::new(),
             watches: vec![Vec::new(); 2 * model.num_vars()],
             qhead: 0,
+            cancel: None,
+            interrupted: false,
             propagations: 0,
             props_by_class: ClassCounts::new(),
         }
@@ -400,8 +416,25 @@ impl Engine {
 
     /// Runs propagation to fixpoint over constraints touched by new
     /// assignments.
+    ///
+    /// Polls the cooperative cancel flag (see [`Engine::set_cancel`])
+    /// every 64 queue pops; on cancellation the round stops mid-drain
+    /// with `Consistent` and [`Engine::interrupted`] set — the queue may
+    /// then still hold pending work, so callers must abandon the search
+    /// without trusting the partial fixpoint.
     pub fn propagate(&mut self) -> PropOutcome {
+        let mut pops: u32 = 0;
         while self.qhead < self.trail.len() {
+            pops += 1;
+            if pops.is_multiple_of(64)
+                && self
+                    .cancel
+                    .as_ref()
+                    .is_some_and(|flag| flag.load(Ordering::Relaxed))
+            {
+                self.interrupted = true;
+                return PropOutcome::Consistent;
+            }
             let v = self.trail[self.qhead];
             self.qhead += 1;
             // Learned clauses first (cheap, 2-watched literals).
@@ -606,6 +639,12 @@ impl Engine {
     pub fn add_learned_clause(&mut self, mut lits: Vec<Lit>, assert_index: usize) -> usize {
         assert!(!lits.is_empty(), "empty learned clause");
         lits.swap(0, assert_index);
+        // Pseudo-LBD at creation: distinct decision levels among the
+        // clause's literals (all assigned when the conflict was analyzed).
+        let mut lvls: Vec<u32> = lits.iter().map(|l| self.levels[l.var.index()]).collect();
+        lvls.sort_unstable();
+        lvls.dedup();
+        self.clause_plbd.push(lvls.len() as u32);
         let cid = self.clauses.len();
         if lits.len() >= 2 {
             // Second watch: the deepest-assigned literal.
@@ -635,6 +674,171 @@ impl Engine {
     /// Number of learned clauses.
     pub fn num_learned(&self) -> usize {
         self.clauses.len()
+    }
+
+    /// Pseudo-LBD recorded when the learned clause behind `reason_tag`
+    /// was created.
+    pub fn learned_plbd(&self, reason_tag: usize) -> u32 {
+        self.clause_plbd[reason_tag & !Self::CLAUSE_TAG]
+    }
+
+    /// The assignment trail, oldest assignment first.
+    pub fn trail(&self) -> &[Var] {
+        &self.trail
+    }
+
+    /// Trail length when decision level `target` was current: the
+    /// variables at `trail()[mark..]` are exactly the ones a
+    /// [`Engine::backjump_to`]`(target)` would unassign.
+    pub fn trail_mark_of_level(&self, target: u32) -> usize {
+        self.level_marks
+            .get(target as usize)
+            .copied()
+            .unwrap_or(self.trail.len())
+    }
+
+    /// Attaches a cooperative cancellation flag, polled every 64 queue
+    /// pops inside [`Engine::propagate`] so a portfolio loser stops
+    /// mid-batch instead of finishing a long implication chain first.
+    pub fn set_cancel(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
+    }
+
+    /// True once a propagation round was cut short by the cancel flag.
+    /// The propagation queue may hold pending work; the engine state is
+    /// only good for abandoning the search.
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
+    }
+
+    /// PLBD-scored learned-database reduction. Call at decision level 0
+    /// (a restart boundary) with propagation at fixpoint.
+    ///
+    /// Deletes the worst half of the deletable learned clauses, ranked
+    /// worst-first by PLBD (ties: longer clause first, then older).
+    /// Exempt from deletion: glue clauses (PLBD ≤ 2), unit clauses, and
+    /// locked clauses (currently the reason of an assigned variable).
+    /// Watch lists are rebuilt from scratch and reason tags remapped to
+    /// the compacted indices.
+    ///
+    /// Returns `(kept, deleted, outcome)`. The outcome is a conflict in
+    /// the rare case a surviving clause is falsified at the root — the
+    /// search under the current objective bound is then exhausted. It
+    /// can also assert root-level units discovered during the rebuild
+    /// (counted as propagations), so run [`Engine::propagate`] after.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called above decision level 0.
+    pub fn reduce_learned(&mut self) -> (u64, u64, PropOutcome) {
+        assert_eq!(self.decision_level(), 0, "reduce only at the root");
+        // Locked clauses: those serving as the reason of an assignment.
+        let mut locked = vec![false; self.clauses.len()];
+        for &v in &self.trail {
+            if let Some(r) = self.reasons[v.index()] {
+                let r = r as usize;
+                if r & Self::CLAUSE_TAG != 0 {
+                    locked[r & !Self::CLAUSE_TAG] = true;
+                }
+            }
+        }
+        // Deletable candidates sorted worst-first: higher PLBD, then
+        // longer, then smaller id (older). Glue and unit clauses never
+        // qualify.
+        let mut candidates: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&cid| {
+                let c = cid as usize;
+                self.clause_plbd[c] > 2 && self.clauses[c].len() > 2 && !locked[c]
+            })
+            .collect();
+        candidates.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            (self.clause_plbd[b], self.clauses[b].len())
+                .cmp(&(self.clause_plbd[a], self.clauses[a].len()))
+                .then(a.cmp(&b))
+        });
+        let deleted = candidates.len() / 2;
+        let mut keep = vec![true; self.clauses.len()];
+        for &cid in &candidates[..deleted] {
+            keep[cid as usize] = false;
+        }
+        // Compact the store and build the old-id → new-id map.
+        let mut remap = vec![u32::MAX; self.clauses.len()];
+        let old_plbd = std::mem::take(&mut self.clause_plbd);
+        let mut clauses = Vec::with_capacity(self.clauses.len() - deleted);
+        let mut plbd = Vec::with_capacity(self.clauses.len() - deleted);
+        for (cid, cl) in std::mem::take(&mut self.clauses).into_iter().enumerate() {
+            if keep[cid] {
+                remap[cid] = clauses.len() as u32;
+                clauses.push(cl);
+                plbd.push(old_plbd[cid]);
+            }
+        }
+        self.clauses = clauses;
+        self.clause_plbd = plbd;
+        // Remap clause reason tags on the trail (all kept: locked are
+        // exempt above).
+        for i in 0..self.trail.len() {
+            let v = self.trail[i];
+            if let Some(r) = self.reasons[v.index()] {
+                let r = r as usize;
+                if r & Self::CLAUSE_TAG != 0 {
+                    let new = remap[r & !Self::CLAUSE_TAG];
+                    debug_assert_ne!(new, u32::MAX, "reason clause was deleted");
+                    self.reasons[v.index()] = Some((Self::CLAUSE_TAG | new as usize) as u32);
+                }
+            }
+        }
+        // Rebuild every watch list from scratch. Order each clause so
+        // positions 0/1 hold sound watches: a satisfying literal (the
+        // clause is then inert until backtracking below the root — which
+        // never happens for root-satisfied literals), else two non-false
+        // literals. A clause with fewer than two non-false literals is
+        // unit or false *at the root*: assert or conflict right here.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        let mut outcome = PropOutcome::Consistent;
+        for cid in 0..self.clauses.len() {
+            if self.clauses[cid].len() < 2 {
+                continue; // units were asserted at creation, never watched
+            }
+            let sat = self.clauses[cid]
+                .iter()
+                .position(|&l| self.lit_value(l) == Value::True);
+            if let Some(k) = sat {
+                self.clauses[cid].swap(0, k);
+            } else {
+                let mut free = 0usize;
+                for k in 0..self.clauses[cid].len() {
+                    if self.lit_value(self.clauses[cid][k]) != Value::False {
+                        self.clauses[cid].swap(free, k);
+                        free += 1;
+                        if free == 2 {
+                            break;
+                        }
+                    }
+                }
+                if free == 0 {
+                    outcome = PropOutcome::Conflict(Self::CLAUSE_TAG | cid);
+                } else if free == 1 {
+                    // Root-level unit discovered by the rebuild.
+                    let lit = self.clauses[cid][0];
+                    self.propagations += 1;
+                    self.props_by_class.add(ConstraintClass::Clause);
+                    let ok = self.assign_with_reason(
+                        lit.var,
+                        lit.positive,
+                        Some((Self::CLAUSE_TAG | cid) as u32),
+                    );
+                    debug_assert!(ok, "unit literal was unassigned");
+                }
+            }
+            let (w0, w1) = (self.clauses[cid][0], self.clauses[cid][1]);
+            self.watches[Self::lit_code(w0)].push(cid as u32);
+            self.watches[Self::lit_code(w1)].push(cid as u32);
+        }
+        (self.clauses.len() as u64, deleted as u64, outcome)
     }
 
     /// The false literals of a conflict or reason source (PB constraint or
@@ -694,6 +898,26 @@ impl Engine {
     /// at the root, i.e. the problem (under the current objective bound)
     /// is exhausted.
     pub fn analyze(&self, conflict: usize) -> Option<LearnedClause> {
+        self.analyze_impl(conflict, None)
+    }
+
+    /// [`Engine::analyze`], additionally appending every above-root
+    /// variable visited by the reason walk (decisions *and* propagated
+    /// variables) to `visited` — the bump set for activity-driven
+    /// branching. The learned clause is identical to `analyze`'s.
+    pub fn analyze_collecting(
+        &self,
+        conflict: usize,
+        visited: &mut Vec<Var>,
+    ) -> Option<LearnedClause> {
+        self.analyze_impl(conflict, Some(visited))
+    }
+
+    fn analyze_impl(
+        &self,
+        conflict: usize,
+        mut visited: Option<&mut Vec<Var>>,
+    ) -> Option<LearnedClause> {
         let mut seen = vec![false; self.values.len()];
         let mut stack: Vec<Var> = Vec::new();
         self.false_vars_of(conflict, &mut stack);
@@ -705,6 +929,9 @@ impl Engine {
             seen[v.index()] = true;
             if self.levels[v.index()] == 0 {
                 continue; // root-level fact
+            }
+            if let Some(out) = visited.as_deref_mut() {
+                out.push(v);
             }
             match self.reasons[v.index()] {
                 None => decisions.push(v),
@@ -1092,6 +1319,104 @@ mod tests {
                 off.backjump_to(jump);
             }
         }
+    }
+
+    #[test]
+    fn reduce_learned_drops_the_worst_half_and_keeps_glue() {
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..5).map(|i| m.new_var(format!("v{i}"))).collect();
+        let mut e = Engine::new(&m);
+        // Stack four decision levels so clause PLBDs differ at creation;
+        // v4 rides level 1 so a 3-literal glue clause exists.
+        e.assign_decision(vars[0], true);
+        e.assign(vars[4], true);
+        e.assign_decision(vars[1], true);
+        e.assign_decision(vars[2], true);
+        e.assign_decision(vars[3], true);
+        // Glue: 3 literals over 2 distinct levels (PLBD 2) — exempt.
+        let glue = e.add_learned_clause(vec![vars[4].neg(), vars[0].neg(), vars[1].neg()], 0);
+        // Deletable, PLBD 3.
+        let mid = e.add_learned_clause(vec![vars[0].neg(), vars[1].neg(), vars[2].neg()], 0);
+        // Deletable, PLBD 4 — the worst, deleted first.
+        let worst = e.add_learned_clause(
+            vec![vars[0].neg(), vars[1].neg(), vars[2].neg(), vars[3].neg()],
+            0,
+        );
+        assert_eq!(e.learned_plbd(glue), 2);
+        assert_eq!(e.learned_plbd(mid), 3);
+        assert_eq!(e.learned_plbd(worst), 4);
+        e.backjump_to(0);
+        let (kept, deleted, outcome) = e.reduce_learned();
+        assert_eq!(outcome, PropOutcome::Consistent);
+        assert_eq!((kept, deleted), (2, 1), "worst half of 2 candidates");
+        assert_eq!(e.num_learned(), 2);
+        // Survivors keep their ids (the deleted clause was last) and PLBDs.
+        assert_eq!(e.learned_plbd(glue), 2);
+        assert_eq!(e.learned_plbd(mid), 3);
+        // Surviving clauses still propagate via the rebuilt watches.
+        e.assign_decision(vars[0], true);
+        e.assign_decision(vars[1], true);
+        assert_eq!(e.propagate(), PropOutcome::Consistent);
+        assert_eq!(e.value(vars[4]), Value::False, "glue clause fired");
+        assert_eq!(e.value(vars[2]), Value::False, "mid clause fired");
+    }
+
+    #[test]
+    fn reduce_learned_reasserts_root_units_and_detects_root_conflicts() {
+        let mut m = Model::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let c = m.new_var("c");
+        let mut e = Engine::new(&m);
+        e.add_learned_clause(vec![a.pos(), b.pos(), c.pos()], 0);
+        assert!(e.assign(a, false) && e.assign(b, false));
+        let before = e.propagations;
+        let (kept, deleted, outcome) = e.reduce_learned();
+        assert_eq!((kept, deleted), (1, 0));
+        assert_eq!(outcome, PropOutcome::Consistent);
+        assert_eq!(e.value(c), Value::True, "rebuild asserted the root unit");
+        assert_eq!(e.propagations, before + 1);
+
+        let mut e = Engine::new(&m);
+        e.add_learned_clause(vec![a.pos(), b.pos(), c.pos()], 0);
+        assert!(e.assign(a, false) && e.assign(b, false) && e.assign(c, false));
+        let (_, _, outcome) = e.reduce_learned();
+        assert!(
+            matches!(outcome, PropOutcome::Conflict(_)),
+            "all-false clause is a root conflict"
+        );
+    }
+
+    #[test]
+    fn propagation_is_interrupted_by_the_cancel_flag() {
+        // 200-variable implication chain: assigning v0 true forces the
+        // whole chain one propagation at a time.
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..200).map(|i| m.new_var(format!("v{i}"))).collect();
+        for w in vars.windows(2) {
+            m.add_ge([(1, w[1]), (-1, w[0])], 0); // v_{i+1} >= v_i
+        }
+        let mut e = Engine::new(&m);
+        assert_eq!(e.propagate_all(), PropOutcome::Consistent);
+        let flag = Arc::new(AtomicBool::new(true)); // cancelled before start
+        e.set_cancel(Arc::clone(&flag));
+        assert!(e.assign(vars[0], true));
+        assert_eq!(e.propagate(), PropOutcome::Consistent);
+        assert!(e.interrupted(), "poll observed the flag mid-drain");
+        assert!(
+            e.num_assigned() < 150,
+            "stopped well before the chain finished ({} assigned)",
+            e.num_assigned()
+        );
+
+        // Without the flag the same chain runs to fixpoint.
+        let mut e = Engine::new(&m);
+        e.propagate_all();
+        e.set_cancel(Arc::new(AtomicBool::new(false)));
+        assert!(e.assign(vars[0], true));
+        assert_eq!(e.propagate(), PropOutcome::Consistent);
+        assert!(!e.interrupted());
+        assert_eq!(e.num_assigned(), 200);
     }
 
     #[test]

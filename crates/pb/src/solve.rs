@@ -6,9 +6,10 @@ use std::sync::Arc;
 
 use crate::branch::{pick, BranchHeuristic, StaticScores};
 use crate::budget::Budget;
+use crate::heap::ActivityHeap;
 use crate::model::{Model, Var};
 use crate::portfolio::SharedIncumbent;
-use crate::propagate::{Engine, PropOutcome};
+use crate::propagate::{Engine, PropOutcome, Value};
 use crate::theory::ClassCounts;
 
 /// A custom branching strategy: returns the next decision
@@ -30,8 +31,42 @@ pub enum SearchStrategy {
     #[default]
     Cbj,
     /// Conflict-driven clause learning with decision-set clauses and a
-    /// 2-watched-literal store. Kept for the solver ablation bench.
+    /// 2-watched-literal store. By default the modern engine core runs
+    /// on top: EVSIDS activity branching, Luby restarts with phase
+    /// saving, and PLBD-scored learned-database reduction (see the
+    /// [`SolverConfig::evsids`] family of knobs; `--classic-search`
+    /// turns them all off).
     Cdcl,
+}
+
+/// Conflicts per Luby-sequence unit: a restart fires after
+/// `luby(i) * LUBY_UNIT` conflicts since the previous one.
+const LUBY_UNIT: u64 = 64;
+
+/// Learned-database size that triggers the first reduction; each
+/// reduction re-arms at `kept + REDUCE_STEP`.
+const REDUCE_STEP: u64 = 256;
+
+/// Activity decay factor for EVSIDS branching.
+const EVSIDS_DECAY: f64 = 0.95;
+
+/// Value of the Luby restart sequence (1, 1, 2, 1, 1, 2, 4, 1, 1, 2,
+/// ...) at 0-based `index`.
+pub fn luby(mut index: u64) -> u64 {
+    // Size of the smallest complete subsequence (2^seq − 1 entries)
+    // containing `index`, then recurse into it; the last entry of a
+    // complete subsequence is its power-of-two peak.
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < index + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != index {
+        size = (size - 1) / 2;
+        seq -= 1;
+        index %= size;
+    }
+    1u64 << seq
 }
 
 /// Solver configuration.
@@ -69,6 +104,36 @@ pub struct SolverConfig {
     /// slack path; results and stats are identical either way, only
     /// speed changes.
     pub use_theories: bool,
+    /// EVSIDS activity branching for [`SearchStrategy::Cdcl`] (default
+    /// true): variables visited by conflict analysis accumulate
+    /// exponentially-decayed activities in a heap, replacing the
+    /// per-node [`BranchHeuristic::DynamicScore`] rescan whenever the
+    /// problem-specific brancher passes. Off under `--classic-search`.
+    pub evsids: bool,
+    /// Luby-schedule restarts for [`SearchStrategy::Cdcl`] (default
+    /// true): back the search up to the root after `luby(i) · 64`
+    /// conflicts, keeping learned clauses, incumbents, and saved
+    /// phases. Off under `--classic-search`.
+    pub restarts: bool,
+    /// PLBD-scored learned-database reduction for
+    /// [`SearchStrategy::Cdcl`] (default true): at restart boundaries,
+    /// once the database outgrows its allowance, delete the worst half
+    /// of the deletable learned clauses (glue and locked clauses are
+    /// exempt). Off under `--classic-search`.
+    pub reduce_db: bool,
+}
+
+impl SolverConfig {
+    /// Disables the modern CDCL components (activity branching,
+    /// restarts, database reduction) — the `--classic-search` escape
+    /// hatch. Proved-optimal objective values are identical either way;
+    /// only the path the search takes to them changes.
+    pub fn classic(mut self) -> Self {
+        self.evsids = false;
+        self.restarts = false;
+        self.reduce_db = false;
+        self
+    }
 }
 
 impl Default for SolverConfig {
@@ -82,6 +147,9 @@ impl Default for SolverConfig {
             presolve: false,
             incumbent: None,
             use_theories: true,
+            evsids: true,
+            restarts: true,
+            reduce_db: true,
         }
     }
 }
@@ -97,6 +165,9 @@ impl std::fmt::Debug for SolverConfig {
             .field("presolve", &self.presolve)
             .field("incumbent", &self.incumbent.is_some())
             .field("use_theories", &self.use_theories)
+            .field("evsids", &self.evsids)
+            .field("restarts", &self.restarts)
+            .field("reduce_db", &self.reduce_db)
             .finish()
     }
 }
@@ -148,6 +219,17 @@ pub struct SolveStats {
     pub incumbents: Vec<(Duration, i64)>,
     /// True if optimality was proved (search exhausted).
     pub proved_optimal: bool,
+    /// Luby-schedule restarts performed (modern CDCL engine only).
+    pub restarts: u64,
+    /// Learned clauses still in the database when the search ended.
+    pub learned_kept: u64,
+    /// Learned clauses deleted by PLBD database reductions.
+    pub learned_deleted: u64,
+    /// Histogram of learned-clause pseudo-LBDs at creation: bucket `i`
+    /// counts clauses with PLBD `i + 1` (the last bucket absorbs
+    /// everything deeper). Empty when no clause was scored — classic
+    /// search and CBJ leave it empty.
+    pub plbd_hist: Vec<u64>,
     /// Propagations attributed to the theory class of the forcing
     /// constraint (learned clauses count as clause-theory).
     pub props_by_class: ClassCounts,
@@ -300,6 +382,12 @@ impl<'a> Solver<'a> {
         let start = Instant::now();
         let mut stats = SolveStats::default();
         let mut engine = Engine::with_theories(self.model, self.config.use_theories);
+        // Portfolio cancellation reaches inside the propagation drain:
+        // a loser stops mid-batch instead of finishing a long
+        // implication chain before noticing.
+        if let Some(inc) = &self.config.incumbent {
+            engine.set_cancel(inc.cancel_flag());
+        }
         let scores = StaticScores::new(self.model);
         let mut best: Option<Solution> = None;
 
@@ -326,10 +414,15 @@ impl<'a> Solver<'a> {
                 self.search_cbj(&mut engine, &scores, &mut best, &mut stats, start)
             }
             SearchStrategy::Cdcl => {
-                self.search_cdcl(&mut engine, &scores, &mut best, &mut stats, start)
+                if self.config.evsids || self.config.restarts || self.config.reduce_db {
+                    self.search_cdcl_modern(&mut engine, &scores, &mut best, &mut stats, start)
+                } else {
+                    self.search_cdcl(&mut engine, &scores, &mut best, &mut stats, start)
+                }
             }
         }
 
+        stats.learned_kept = engine.num_learned() as u64;
         stats.propagations = engine.propagations;
         stats.props_by_class = engine.props_by_class();
         stats.duration = start.elapsed();
@@ -425,6 +518,12 @@ impl<'a> Solver<'a> {
         };
 
         'outer: loop {
+            // A cancelled propagation round leaves the queue half-drained;
+            // nothing downstream may trust the engine state.
+            if engine.interrupted() {
+                limit_hit = true;
+                break;
+            }
             if ticks.is_multiple_of(64)
                 && self.tick_check(
                     deadline,
@@ -550,6 +649,12 @@ impl<'a> Solver<'a> {
         };
 
         loop {
+            // A cancelled propagation round leaves the queue half-drained;
+            // nothing downstream may trust the engine state.
+            if engine.interrupted() {
+                limit_hit = true;
+                break;
+            }
             // Limits, paced on a local counter (nodes+conflicts can step
             // over every multiple of 64 and defer the check indefinitely).
             if ticks.is_multiple_of(64)
@@ -622,6 +727,198 @@ impl<'a> Solver<'a> {
                     .and_then(|b| b(self.model, engine))
                     .or_else(|| pick(self.config.heuristic, self.model, engine, scores))
                     .expect("unassigned variable exists");
+                stats.nodes += 1;
+                engine.assign_decision(var, first_value);
+                if let PropOutcome::Conflict(c) = engine.propagate() {
+                    conflict = Some(c);
+                }
+            }
+        }
+
+        let _ = pool.settle(stats.nodes);
+        stats.proved_optimal = !limit_hit;
+    }
+
+    /// The modern CDCL engine core: [`Self::search_cdcl`]'s clause
+    /// learning plus EVSIDS activity branching, Luby restarts with
+    /// phase saving, and PLBD-scored database reduction, each gated by
+    /// its [`SolverConfig`] knob.
+    ///
+    /// Restarts and activity ordering reshape the search tree, so this
+    /// loop does not reproduce the classic search node-for-node; it is
+    /// pinned to *result* equality instead — proved-optimal objective
+    /// values match `--classic-search` exactly, and a fixed config is
+    /// byte-reproducible run-to-run (the heap breaks activity ties by
+    /// variable index; no pointer or iteration order leaks in).
+    fn search_cdcl_modern(
+        &self,
+        engine: &mut Engine,
+        scores: &StaticScores,
+        best: &mut Option<Solution>,
+        stats: &mut SolveStats,
+        start: Instant,
+    ) {
+        let n = self.model.num_vars();
+        let mut limit_hit = false;
+        let deadline = self.config.budget.deadline();
+        let mut pool = NodePool::new(&self.config.budget);
+        let mut bound_obj: Option<i64> = best.as_ref().map(|b| b.objective);
+        let mut ticks: u64 = 0;
+
+        let mut heap = ActivityHeap::new(n, EVSIDS_DECAY);
+        // Saved phases: branch each variable at its last assigned
+        // polarity first. A feasible warm start seeds them.
+        let mut saved: Vec<bool> = match &self.config.warm_start {
+            Some(ws) if ws.len() == n => ws.clone(),
+            _ => vec![false; n],
+        };
+        let mut visited: Vec<Var> = Vec::new();
+        let mut restart_idx: u64 = 0;
+        let mut conflicts_since_restart: u64 = 0;
+        let mut next_reduce: u64 = REDUCE_STEP;
+
+        // Phase-saving + heap unwind: record polarities and re-queue the
+        // variables a backjump is about to unassign.
+        fn unwind(engine: &mut Engine, heap: &mut ActivityHeap, saved: &mut [bool], target: u32) {
+            let mark = engine.trail_mark_of_level(target);
+            for &v in &engine.trail()[mark..] {
+                saved[v.index()] = engine.value(v) == Value::True;
+                heap.push(v.index());
+            }
+            engine.backjump_to(target);
+        }
+
+        let mut conflict = match engine.propagate_all() {
+            PropOutcome::Conflict(ci) => Some(ci),
+            PropOutcome::Consistent => None,
+        };
+
+        loop {
+            // A cancelled propagation round leaves the queue half-drained;
+            // nothing downstream may trust the engine state.
+            if engine.interrupted() {
+                limit_hit = true;
+                break;
+            }
+            if ticks.is_multiple_of(64)
+                && self.tick_check(
+                    deadline,
+                    &mut pool,
+                    engine,
+                    &mut conflict,
+                    &mut bound_obj,
+                    stats,
+                )
+            {
+                limit_hit = true;
+                break;
+            }
+            ticks += 1;
+            if pool.drained(stats.nodes) {
+                limit_hit = true;
+                break;
+            }
+
+            if let Some(ci) = conflict.take() {
+                stats.conflicts += 1;
+                stats.conflicts_by_class.add(engine.class_of_conflict(ci));
+                conflicts_since_restart += 1;
+                visited.clear();
+                match engine.analyze_collecting(ci, &mut visited) {
+                    None => break, // conflict at the root: search exhausted
+                    Some(lc) => {
+                        if self.config.evsids {
+                            // Bump everything the reason walk visited;
+                            // one decay step per conflict.
+                            for &v in &visited {
+                                heap.bump(v.index());
+                            }
+                            heap.decay();
+                        }
+                        let tag = engine.add_learned_clause(lc.lits, lc.assert_index);
+                        stats.learned += 1;
+                        if stats.plbd_hist.is_empty() {
+                            stats.plbd_hist = vec![0; 8];
+                        }
+                        let bucket = (engine.learned_plbd(tag).clamp(1, 8) - 1) as usize;
+                        stats.plbd_hist[bucket] += 1;
+                        unwind(engine, &mut heap, &mut saved, lc.backjump);
+                        if !engine.assert_learned(tag) {
+                            break; // asserting literal already false at root
+                        }
+                        if let PropOutcome::Conflict(c) = engine.propagate() {
+                            conflict = Some(c);
+                        }
+                    }
+                }
+            } else if engine.num_assigned() == n {
+                // Complete assignment: record the incumbent and continue by
+                // tightening the objective bound (the bound constraint is
+                // now violated, driving the next conflict analysis).
+                let values: Vec<bool> = engine
+                    .values()
+                    .iter()
+                    .map(|v| v.as_bool().expect("complete assignment"))
+                    .collect();
+                debug_assert!(self.model.is_feasible(&values));
+                let objective = self.model.objective().eval(&values);
+                let improved = best.as_ref().is_none_or(|b| objective < b.objective);
+                if improved {
+                    stats.incumbents.push((start.elapsed(), objective));
+                    engine.set_objective_bound(objective - 1 - self.model.objective().base);
+                    bound_obj = Some(objective);
+                    *best = Some(Solution { values, objective });
+                    if let (Some(inc), Some(b)) = (&self.config.incumbent, best.as_ref()) {
+                        inc.offer(b);
+                    }
+                }
+                match engine.objective_index() {
+                    Some(oi) => conflict = Some(oi),
+                    None => break, // feasibility problem: first solution is optimal
+                }
+            } else if self.config.restarts
+                && conflicts_since_restart >= luby(restart_idx) * LUBY_UNIT
+            {
+                // Restart: back to the root, keeping learned clauses,
+                // the incumbent bound, activities, and saved phases.
+                stats.restarts += 1;
+                restart_idx += 1;
+                conflicts_since_restart = 0;
+                unwind(engine, &mut heap, &mut saved, 0);
+                // Reduce the learned database at restart boundaries once
+                // it outgrows its allowance.
+                if self.config.reduce_db && engine.num_learned() as u64 >= next_reduce {
+                    let (kept, deleted, outcome) = engine.reduce_learned();
+                    stats.learned_deleted += deleted;
+                    next_reduce = kept + REDUCE_STEP;
+                    if matches!(outcome, PropOutcome::Conflict(_)) {
+                        break; // a kept clause is false at the root: exhausted
+                    }
+                }
+                if let PropOutcome::Conflict(c) = engine.propagate() {
+                    conflict = Some(c);
+                }
+            } else {
+                // Branch: problem-specific strategy, then the activity
+                // heap (at the saved phase), then the generic fallback.
+                let choice = self
+                    .config
+                    .brancher
+                    .as_ref()
+                    .and_then(|b| b(self.model, engine));
+                let (var, first_value) = if let Some(c) = choice {
+                    c
+                } else if self.config.evsids {
+                    loop {
+                        let v = heap.pop().expect("unassigned variable exists");
+                        if engine.value(Var(v as u32)) == Value::Unassigned {
+                            break (Var(v as u32), saved[v]);
+                        }
+                    }
+                } else {
+                    pick(self.config.heuristic, self.model, engine, scores)
+                        .expect("unassigned variable exists")
+                };
                 stats.nodes += 1;
                 engine.assign_decision(var, first_value);
                 if let PropOutcome::Conflict(c) = engine.propagate() {
@@ -910,6 +1207,10 @@ mod tests {
                 assert_eq!(a.conflicts, b.conflicts, "trial {trial} {strategy:?}");
                 assert_eq!(a.learned, b.learned, "trial {trial} {strategy:?}");
                 assert_eq!(a.proved_optimal, b.proved_optimal);
+                assert_eq!(a.restarts, b.restarts, "trial {trial} {strategy:?}");
+                assert_eq!(a.learned_kept, b.learned_kept, "trial {trial} {strategy:?}");
+                assert_eq!(a.learned_deleted, b.learned_deleted);
+                assert_eq!(a.plbd_hist, b.plbd_hist, "trial {trial} {strategy:?}");
                 assert_eq!(a.props_by_class, b.props_by_class);
                 assert_eq!(a.conflicts_by_class, b.conflicts_by_class);
                 assert_eq!(a.props_by_class.total(), a.propagations);
@@ -920,6 +1221,86 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn luby_sequence_values() {
+        let first: Vec<u64> = (0..15).map(luby).collect();
+        assert_eq!(first, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+        // Complete subsequences end at their power-of-two peak.
+        assert_eq!(luby(30), 16);
+        assert_eq!(luby(62), 32);
+        assert_eq!(luby(63), 1, "a new subsequence starts after the peak");
+    }
+
+    #[test]
+    fn classic_config_disables_the_modern_knobs() {
+        let c = SolverConfig::default();
+        assert!(
+            c.evsids && c.restarts && c.reduce_db,
+            "modern is the default"
+        );
+        let c = c.classic();
+        assert!(!c.evsids && !c.restarts && !c.reduce_db);
+        assert!(c.use_theories, "classic() leaves theory routing alone");
+    }
+
+    #[test]
+    fn modern_and_classic_cdcl_prove_the_same_optimum() {
+        // Deterministic spot check (the broad differential lives in
+        // tests/proptest_search.rs): an assignment problem with enough
+        // conflicts to exercise learning on both paths.
+        let costs = [[3, 1, 4], [1, 5, 9], [2, 6, 5]];
+        let mut m = Model::new();
+        let mut grid = Vec::new();
+        for i in 0..3 {
+            let row: Vec<Var> = (0..3).map(|j| m.new_var(format!("a{i}{j}"))).collect();
+            grid.push(row);
+        }
+        for (i, row) in grid.iter().enumerate() {
+            encode::exactly_one(&mut m, row);
+            let col: Vec<Var> = (0..3).map(|j| grid[j][i]).collect();
+            encode::exactly_one(&mut m, &col);
+        }
+        let mut obj = Vec::new();
+        for (cost_row, var_row) in costs.iter().zip(&grid) {
+            for (&c, &v) in cost_row.iter().zip(var_row) {
+                obj.push((c, v));
+            }
+        }
+        m.minimize(obj.iter().copied());
+
+        let cdcl = |classic: bool| {
+            let mut config = SolverConfig {
+                strategy: SearchStrategy::Cdcl,
+                ..Default::default()
+            };
+            if classic {
+                config = config.classic();
+            }
+            Solver::with_config(&m, config).run()
+        };
+        let (modern, classic) = (cdcl(false), cdcl(true));
+        assert!(modern.is_optimal() && classic.is_optimal());
+        assert_eq!(
+            modern.best().unwrap().objective,
+            classic.best().unwrap().objective
+        );
+        // The modern run scores every learned clause.
+        let st = modern.stats();
+        assert_eq!(st.plbd_hist.iter().sum::<u64>(), st.learned);
+        assert_eq!(st.learned_kept + st.learned_deleted, st.learned);
+        // A repeat of the same config is byte-reproducible.
+        let again = cdcl(false);
+        assert_eq!(
+            modern.best().unwrap().values(),
+            again.best().unwrap().values()
+        );
+        let (a, b) = (modern.stats(), again.stats());
+        assert_eq!(
+            (a.nodes, a.conflicts, a.learned, a.restarts, &a.plbd_hist),
+            (b.nodes, b.conflicts, b.learned, b.restarts, &b.plbd_hist)
+        );
     }
 
     /// Randomized differential test against brute force.

@@ -36,6 +36,7 @@ struct SynthArgs {
     critical: Vec<String>,
     profile: Option<String>,
     no_theories: bool,
+    classic_search: bool,
     quiet: bool,
 }
 
@@ -57,6 +58,7 @@ impl Default for SynthArgs {
             critical: Vec::new(),
             profile: None,
             no_theories: false,
+            classic_search: false,
             quiet: false,
         }
     }
@@ -107,7 +109,7 @@ fn usage() {
         "usage:\n  clip cells\n  clip synth (--cell NAME | --expr FORMULA | --spice FILE) \
          [--rows N|auto] [--stacking] [--height]\n             [--limit SECS] [--fold K] \
          [--jobs N] [--critical NET]... [--profile FILE]\n             [--svg FILE] \
-         [--json FILE] [--cif FILE] [--trace FILE] [--no-theories] [--quiet]\n  clip tune INPUT.jsonl \
+         [--json FILE] [--cif FILE] [--trace FILE] [--no-theories] [--classic-search] [--quiet]\n  clip tune INPUT.jsonl \
          [-o FILE]     learn a tuning profile from bench JSONL\n  clip bench --corpus \
          --checkpoint FILE [--seed N] [--cells N] [--shards N]\n             [--budget SECS] \
          [--summary FILE] [--quiet]   sharded, resumable corpus run"
@@ -182,6 +184,7 @@ fn parse_synth(args: &[String]) -> Result<SynthArgs, String> {
             "--stacking" => out.stacking = true,
             "--height" => out.height = true,
             "--no-theories" => out.no_theories = true,
+            "--classic-search" => out.classic_search = true,
             "--quiet" => out.quiet = true,
             "--critical" => out.critical.push(take(&mut i)?),
             "--svg" => out.svg = Some(take(&mut i)?),
@@ -258,6 +261,12 @@ fn synth(args: SynthArgs) -> ExitCode {
         // Escape hatch for bisecting the typed constraint-theory engines:
         // identical placements and traces, generic slack propagation only.
         request = request.no_theories();
+    }
+    if args.classic_search {
+        // Escape hatch for bisecting the modern CDCL engine core (EVSIDS
+        // branching, Luby restarts, learned-DB deletion): identical
+        // placements and proved optima, classic search loop only.
+        request = request.classic_search();
     }
     if !args.critical.is_empty() {
         request = request.critical_nets(args.critical);
