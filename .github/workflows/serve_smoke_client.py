@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""CI smoke client for the `clip serve` daemon.
+
+Drives one running daemon with concurrent clients — three well-formed
+synthesis requests, one connection that interleaves malformed lines with
+a valid request, and one request carrying an injected solver panic —
+then checks the memo-cache replay and the stats counters.
+
+The well-formed answers must match the offline `clip synth --json`
+output exactly: both sides are normalized through the same JSON
+serializer, so equality means an identical token stream (the Rust test
+suites additionally pin raw byte identity).
+
+Usage: serve_smoke_client.py HOST:PORT OFFLINE_LAYOUT.json
+"""
+
+import json
+import socket
+import sys
+import threading
+
+NAND4 = '{"op":"synth","id":"%s","cell":"nand4","rows":2}'
+
+
+def norm(value):
+    return json.dumps(value, separators=(",", ":"))
+
+
+def rpc(host, port, lines, expect):
+    """Sends request lines on one connection, reads `expect` responses."""
+    with socket.create_connection((host, port), timeout=120) as sock:
+        stream = sock.makefile("rwb")
+        for line in lines:
+            stream.write(line.encode() + b"\n")
+        stream.flush()
+        replies = []
+        for _ in range(expect):
+            raw = stream.readline()
+            assert raw, "daemon closed the connection early"
+            replies.append(json.loads(raw))
+        return replies
+
+
+def main():
+    addr, offline_path = sys.argv[1], sys.argv[2]
+    host, port_text = addr.rsplit(":", 1)
+    port = int(port_text)
+    with open(offline_path) as f:
+        offline = norm(json.load(f))
+    errors = []
+
+    def check(tag, fn):
+        try:
+            fn()
+        except Exception as exc:  # noqa: BLE001 - collect, report, fail once
+            errors.append(f"{tag}: {exc!r}")
+
+    def well_formed(tag):
+        (reply,) = rpc(host, port, [NAND4 % tag], expect=1)
+        assert reply["status"] == "ok", reply
+        assert norm(reply["result"]["layout"]) == offline, "layout diverged from offline CLI"
+
+    def malformed():
+        # Two garbage lines and a valid request share one connection; the
+        # errors must be structured and the valid request must still be
+        # answered. Responses may interleave, so classify by status.
+        replies = rpc(
+            host,
+            port,
+            [
+                '{"op":"nope"}',
+                "definitely not json",
+                '{"op":"synth","id":"after","cell":"nand2","rows":1}',
+            ],
+            expect=3,
+        )
+        bad = [r for r in replies if r.get("status") == "error"]
+        ok = [r for r in replies if r.get("status") == "ok"]
+        assert len(bad) == 2 and all(r["code"] == "bad_request" for r in bad), replies
+        assert len(ok) == 1 and ok[0]["id"] == "after", replies
+
+    def panicker():
+        # The injected panic is contained to this one request: the worker
+        # reports internal_panic and the daemon keeps serving everyone else.
+        (reply,) = rpc(
+            host,
+            port,
+            ['{"op":"synth","id":"boom","cell":"xor2","rows":1,"faults":["solve.panic"]}'],
+            expect=1,
+        )
+        assert reply["status"] == "error" and reply["code"] == "internal_panic", reply
+
+    threads = [
+        threading.Thread(target=check, args=(f"client{i}", lambda i=i: well_formed(f"c{i}")))
+        for i in range(3)
+    ]
+    threads.append(threading.Thread(target=check, args=("malformed", malformed)))
+    threads.append(threading.Thread(target=check, args=("panic", panicker)))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        sys.exit("serve smoke FAILED: " + "; ".join(errors))
+
+    # The proved nand4 answer was memoized: the same request replays as a
+    # cache hit with an identical payload.
+    (hit,) = rpc(host, port, [NAND4 % "hit"], expect=1)
+    assert hit["status"] == "ok" and hit["cached"] is True, hit
+    assert norm(hit["result"]["layout"]) == offline, "cache hit diverged"
+
+    # Stats saw the traffic: completions, the cache hit, and the panic.
+    (stats,) = rpc(host, port, ['{"op":"stats","id":"st"}'], expect=1)
+    counters = stats["stats"]
+    assert counters["completed"] >= 4, counters
+    assert counters["cache_hits"] >= 1, counters
+    assert counters["panics"] >= 1, counters
+    assert counters["errors"] >= 1, counters
+    print("serve smoke: concurrent, malformed, panicking, and cached clients all verified")
+
+
+if __name__ == "__main__":
+    main()

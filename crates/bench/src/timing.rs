@@ -565,6 +565,56 @@ pub fn smoke() -> Report {
         }
     }
 
+    // bench_serve: the daemon's memo-cache path, driven through the same
+    // `exec::execute` the workers call. One cold solve primes a fresh
+    // on-disk cache; the measured run must hit it on every iteration, so
+    // a key-canonicalization or replay regression fails the run outright
+    // and a hit-latency regression trips the gate like any solver slip.
+    // The extras line carries cold-vs-hit so the speedup is greppable.
+    {
+        use clip_serve::cache::MemoCache;
+        use clip_serve::exec;
+        use clip_serve::protocol::{self, Request};
+        use std::sync::Mutex;
+
+        let envelope = protocol::parse_line(r#"{"op":"synth","cell":"nand4","rows":2}"#)
+            .expect("valid request line");
+        let Request::Synth(spec) = envelope.request else {
+            unreachable!("synth request")
+        };
+        let path = std::env::temp_dir().join(format!(
+            "clip_bench_serve_cache_{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let cache = Mutex::new(MemoCache::open(&path).expect("cache opens"));
+        let start = Instant::now();
+        let cold = exec::execute(&spec, Some(&cache)).expect("cold solve");
+        let cold_ns = start.elapsed().as_nanos() as i64;
+        assert!(!cold.cached, "first solve must miss the cache");
+        report.run("serve/nand4_cached", opts, || {
+            let hit = exec::execute(&spec, Some(&cache)).expect("cache hit");
+            assert!(hit.cached, "primed entry must replay as a hit");
+            hit.result.to_compact().len()
+        });
+        let hit_ns = report
+            .measurements
+            .last()
+            .expect("just recorded")
+            .median
+            .as_nanos() as i64;
+        report.extras.push(Json::obj([
+            ("name", Json::Str("serve/nand4_cache".into())),
+            ("cold_ns", Json::Int(cold_ns)),
+            ("hit_median_ns", Json::Int(hit_ns)),
+            (
+                "speedup",
+                Json::Float(cold_ns as f64 / hit_ns.max(1) as f64),
+            ),
+        ]));
+        let _ = std::fs::remove_file(&path);
+    }
+
     report
 }
 

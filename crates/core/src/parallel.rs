@@ -6,6 +6,8 @@
 //! into the output, which is what lets the best-area sweep and the
 //! hierarchical sub-cell solver stay deterministic under parallelism.
 
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -13,8 +15,18 @@ use std::sync::Mutex;
 /// the results in index order. `workers <= 1` degenerates to a plain
 /// in-order loop on the calling thread (no spawn overhead).
 ///
-/// Every slot is `Some` on normal return; a panicking worker propagates
-/// its panic out of the scope, so callers may `expect` the slots.
+/// Every slot is `Some` on normal return, so callers may `expect` them.
+///
+/// # Panic containment
+///
+/// Each call to `f` runs under its own `catch_unwind`: a panicking index
+/// does not take its worker thread down, so every *other* index still
+/// completes, and the slot mutexes are never poisoned mid-store. After
+/// the scope joins, the panic of the **lowest** panicking index is
+/// re-raised on the calling thread — deterministic regardless of thread
+/// scheduling, and a single clean unwind that an outer firewall (the
+/// serve daemon's per-request `catch_unwind`) can contain without the
+/// process aborting on a double panic.
 pub(crate) fn fan_out<T, F>(count: usize, workers: usize, f: F) -> Vec<Option<T>>
 where
     T: Send,
@@ -25,19 +37,30 @@ where
     }
     let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>> = Mutex::new(Vec::new());
     std::thread::scope(|s| {
         for _ in 0..workers.min(count) {
-            let (f, next, slots) = (&f, &next, &slots);
+            let (f, next, slots, panics) = (&f, &next, &slots, &panics);
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= slots.len() {
                     break;
                 }
-                let out = f(i);
-                *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                    Ok(out) => *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out),
+                    Err(payload) => panics
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((i, payload)),
+                }
             });
         }
     });
+    let mut panics = panics.into_inner().unwrap_or_else(|e| e.into_inner());
+    if !panics.is_empty() {
+        panics.sort_by_key(|&(i, _)| i);
+        resume_unwind(panics.swap_remove(0).1);
+    }
     slots
         .into_iter()
         .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()))
@@ -57,5 +80,28 @@ mod tests {
             assert_eq!(got, want, "workers={workers}");
         }
         assert!(fan_out(0, 4, |i| i).is_empty());
+    }
+
+    /// A panicking index must not stop its worker from finishing the
+    /// remaining indices, and the caller must observe exactly one panic
+    /// — the lowest panicking index's payload — after the scope joins.
+    #[test]
+    fn panicking_index_is_contained_and_the_rest_complete() {
+        let done = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            fan_out(16, 4, |i| {
+                if i == 3 || i == 9 {
+                    panic!("boom at {i}");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        let payload = caught.expect_err("the panic must resurface on the caller");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is the formatted message");
+        assert_eq!(msg, "boom at 3", "lowest index wins deterministically");
+        assert_eq!(done.load(Ordering::Relaxed), 14, "all other indices ran");
     }
 }

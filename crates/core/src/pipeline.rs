@@ -18,7 +18,7 @@
 
 use std::time::{Duration, Instant};
 
-pub use clip_pb::{Budget, ClassCounts, ConstraintClass, SolveStats};
+pub use clip_pb::{Budget, ClassCounts, ConstraintClass, SolveStats, StopReason};
 
 /// Identity of a pipeline stage, in execution order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -219,18 +219,35 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// A parse failure with byte offset and message.
+/// Maximum container nesting the parser accepts. The recursive-descent
+/// parser uses one stack frame per `[`/`{` level, so untrusted input —
+/// the serve daemon feeds client bytes straight into [`parse`] — could
+/// otherwise overflow the thread stack with a few thousand open
+/// brackets; overflow aborts the whole process, which no `catch_unwind`
+/// can contain. Every document this workspace writes nests single-digit
+/// deep, so 128 is generous headroom, not a real ceiling.
+pub const MAX_DEPTH: usize = 128;
+
+/// A parse failure with byte offset, line/column context, and message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JsonError {
     /// Byte offset into the input where parsing failed.
     pub offset: usize,
+    /// 1-based line of the failure (lines split on `\n`).
+    pub line: usize,
+    /// 1-based column of the failure, in bytes from the line start.
+    pub column: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSON error at byte {} (line {}, column {}): {}",
+            self.offset, self.line, self.column, self.message
+        )
     }
 }
 
@@ -241,6 +258,7 @@ pub fn parse(text: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -254,14 +272,32 @@ pub fn parse(text: &str) -> Result<Json, JsonError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Open `[`/`{` containers on the parse stack (see [`MAX_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser<'_> {
     fn err(&self, message: impl Into<String>) -> JsonError {
+        let consumed = &self.bytes[..self.pos.min(self.bytes.len())];
+        let line = 1 + consumed.iter().filter(|&&b| b == b'\n').count();
+        let line_start = consumed
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |i| i + 1);
         JsonError {
             offset: self.pos,
+            line,
+            column: 1 + self.pos - line_start,
             message: message.into(),
         }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -308,10 +344,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -322,6 +360,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
@@ -331,11 +370,13 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut pairs = Vec::new();
         let mut seen: BTreeMap<String, ()> = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
@@ -354,6 +395,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
@@ -613,6 +655,38 @@ mod tests {
         let err = parse("[1, x]").unwrap_err();
         assert_eq!(err.offset, 4);
         assert!(err.to_string().contains("byte 4"));
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let err = parse("{\n  \"a\": [1,\n  x]\n}").unwrap_err();
+        assert_eq!((err.line, err.column), (3, 3));
+        assert!(err.to_string().contains("line 3, column 3"), "{err}");
+        // Single-line input: column is offset + 1.
+        let err = parse("[1, x]").unwrap_err();
+        assert_eq!((err.line, err.column), (1, 5));
+    }
+
+    /// The untrusted-input guard: pathological nesting must fail with a
+    /// structured error before the recursive parser can overflow the
+    /// stack (a stack overflow aborts the process — `catch_unwind` in
+    /// the serve daemon cannot contain it).
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let deep = format!("{}null{}", open.repeat(100_000), close.repeat(100_000));
+            let err = parse(&deep).unwrap_err();
+            assert!(err.message.contains("nesting"), "{err}");
+        }
+        // The limit itself is reachable: MAX_DEPTH levels parse fine.
+        let ok = format!("{}null{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        parse(&ok).unwrap();
+        let over = format!(
+            "{}null{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&over).is_err());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Schema (optional fields omitted when absent):
 //!
 //! ```json
-//! {"schema": 4,
+//! {"schema": 5,
 //!  "stages": [
 //!   {"stage": "solve", "rows": 2, "wall_ns": 1234,
 //!    "model_vars": 56, "model_constraints": 78,
@@ -12,6 +12,7 @@
 //!              "learned": 0, "restarts": 0, "learned_kept": 0,
 //!              "learned_deleted": 0, "shared_prunes": 0,
 //!              "duration_ns": 1200, "proved_optimal": true,
+//!              "stop_reason": "deadline",
 //!              "props_by_class": {"clause": 7, "amo": 2, "card": 1, "linear": 0},
 //!              "conflicts_by_class": {"clause": 1, "amo": 0, "card": 0, "linear": 0},
 //!              "plbd_hist": [3, 1, 0, 0, 0, 0, 0, 0],
@@ -39,10 +40,14 @@
 //! solver stats: `restarts`, `learned_kept`, `learned_deleted`, and the
 //! `plbd_hist` array (learned constraints by PLBD bucket 1..=8, last
 //! bucket absorbing deeper; omitted when the engine recorded none);
-//! all default to zero/empty on parse. The parser accepts versions 1
-//! (with or without an explicit `schema` key, since version 1 predates
-//! the key) through the current version and rejects any other rather
-//! than misreading a future layout.
+//! all default to zero/empty on parse. Version 5 added the optional
+//! `stop_reason` string inside solver stats (`"deadline"`,
+//! `"node_budget"`, `"cancelled"`, or `"panicked"` — why an unproved
+//! search stopped; omitted when the search ran to completion, `None` on
+//! parse when absent). The parser accepts versions 1 (with or without
+//! an explicit `schema` key, since version 1 predates the key) through
+//! the current version and rejects any other rather than misreading a
+//! future layout.
 //!
 //! Durations are integral nanoseconds, so emit → parse → emit is exact.
 //! `clip synth --trace FILE` writes this document, and the bench harness
@@ -52,18 +57,19 @@ use std::fmt;
 use std::time::Duration;
 
 use clip_core::pipeline::{
-    ClassCounts, ConstraintClass, PipelineTrace, SolveStats, Stage, StageRecord,
+    ClassCounts, ConstraintClass, PipelineTrace, SolveStats, Stage, StageRecord, StopReason,
 };
 
 use crate::jsonio::{self, Json, JsonError};
 
-/// The trace schema version this crate writes. Version 4 added the
-/// modern-CDCL engine counters (`restarts`, `learned_kept`,
+/// The trace schema version this crate writes. Version 5 added the
+/// optional `stop_reason` string inside solver stats; version 4 added
+/// the modern-CDCL engine counters (`restarts`, `learned_kept`,
 /// `learned_deleted`, `plbd_hist`); version 3 added the
 /// constraint-theory fields (`classes`, `props_by_class`,
 /// `conflicts_by_class`); version 2 added the per-stage `tuning` stamp;
-/// versions 1 (no `schema` key) through 4 are all accepted by [`parse`].
-pub const TRACE_SCHEMA: i64 = 4;
+/// versions 1 (no `schema` key) through 5 are all accepted by [`parse`].
+pub const TRACE_SCHEMA: i64 = 5;
 
 /// A trace deserialization failure.
 #[derive(Clone, Debug, PartialEq)]
@@ -137,6 +143,9 @@ fn stats_to_value(s: &SolveStats) -> Json {
         ("duration_ns", dur_to_json(s.duration)),
         ("proved_optimal", Json::Bool(s.proved_optimal)),
     ];
+    if let Some(r) = s.stop_reason {
+        pairs.push(("stop_reason", Json::Str(r.name().into())));
+    }
     if !s.props_by_class.is_empty() {
         pairs.push(("props_by_class", classes_to_value(&s.props_by_class)));
     }
@@ -287,6 +296,19 @@ fn stats_from_value(v: &Json) -> Result<SolveStats, TraceError> {
             Some(f) => classes_from_value(f, key),
         }
     };
+    // Absent in schema ≤ 4 traces and on completed searches: stays `None`.
+    let stop_reason = match v.get("stop_reason") {
+        None => None,
+        Some(r) => {
+            let name = r
+                .as_str()
+                .ok_or_else(|| schema("`stop_reason` must be a string"))?;
+            Some(
+                StopReason::from_name(name)
+                    .ok_or_else(|| schema(format!("unknown stop reason `{name}`")))?,
+            )
+        }
+    };
     Ok(SolveStats {
         nodes: count("nodes")?,
         propagations: count("propagations")?,
@@ -303,6 +325,7 @@ fn stats_from_value(v: &Json) -> Result<SolveStats, TraceError> {
             .ok_or_else(|| schema("`proved_optimal` must be a boolean"))?,
         props_by_class: by_class("props_by_class")?,
         conflicts_by_class: by_class("conflicts_by_class")?,
+        stop_reason,
         incumbents,
     })
 }
@@ -517,7 +540,7 @@ mod tests {
         // Writers stamp the current version as the first key.
         let text = to_json(&PipelineTrace::default());
         assert!(
-            text.trim_start().starts_with("{\n  \"schema\": 4"),
+            text.trim_start().starts_with("{\n  \"schema\": 5"),
             "{text}"
         );
         // Version 1 parses with or without an explicit schema key.
@@ -526,6 +549,7 @@ mod tests {
         parse(r#"{"schema":2,"stages":[]}"#).unwrap();
         parse(r#"{"schema":3,"stages":[]}"#).unwrap();
         parse(r#"{"schema":4,"stages":[]}"#).unwrap();
+        parse(r#"{"schema":5,"stages":[]}"#).unwrap();
         // Unknown versions are rejected, not misread.
         let err = parse(r#"{"schema":99,"stages":[]}"#).unwrap_err();
         assert!(
@@ -553,6 +577,34 @@ mod tests {
         // Unknown class names are rejected, not silently dropped.
         let bad =
             r#"{"schema":3,"stages":[{"stage":"model_build","wall_ns":1,"classes":{"frob":1}}]}"#;
+        assert!(matches!(parse(bad), Err(TraceError::Schema(_))));
+    }
+
+    /// Schema-5 field: an unproved stage's stop reason survives the
+    /// round trip, is omitted when absent, and unknown names are
+    /// rejected rather than silently dropped.
+    #[test]
+    fn stop_reasons_round_trip_and_reject_unknown_names() {
+        let mut rec = StageRecord::new(Stage::Solve, Some(2));
+        rec.solve = Some(SolveStats {
+            stop_reason: Some(StopReason::Deadline),
+            ..Default::default()
+        });
+        let trace = PipelineTrace { stages: vec![rec] };
+        let text = to_json(&trace);
+        assert!(text.contains("\"stop_reason\": \"deadline\""), "{text}");
+        assert_eq!(parse(&text).unwrap(), trace);
+        assert_eq!(to_json(&parse(&text).unwrap()), text);
+        // Completed searches omit the key entirely.
+        let mut rec = StageRecord::new(Stage::Solve, None);
+        rec.solve = Some(SolveStats::default());
+        let text = to_json(&PipelineTrace { stages: vec![rec] });
+        assert!(!text.contains("stop_reason"), "{text}");
+        // Unknown reasons are a schema error.
+        let bad = r#"{"schema":5,"stages":[{"stage":"solve","wall_ns":1,
+            "solve":{"nodes":0,"propagations":0,"conflicts":0,"learned":0,
+                     "duration_ns":0,"proved_optimal":false,
+                     "stop_reason":"warp","incumbents":[]}}]}"#;
         assert!(matches!(parse(bad), Err(TraceError::Schema(_))));
     }
 

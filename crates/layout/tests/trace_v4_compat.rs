@@ -1,0 +1,42 @@
+//! Backward compatibility: a committed schema-4 trace document (written
+//! before the `stop_reason` field existed) must keep parsing, with the
+//! reason defaulting to `None` even on an unproved solve, and
+//! re-emitting must upgrade it to the current schema version without
+//! losing a field.
+
+use clip_layout::trace;
+
+const V4_FIXTURE: &str = include_str!("fixtures/trace_v4.json");
+
+#[test]
+fn v4_fixture_parses_and_upgrades_to_current_schema() {
+    let parsed = trace::parse(V4_FIXTURE).expect("schema-4 fixture parses");
+    assert_eq!(parsed.stages.len(), 4);
+
+    // Fields schema 4 already carried survive.
+    let solve = &parsed.stages[2];
+    assert_eq!(solve.stage.name(), "solve");
+    assert_eq!(solve.winner_strategy.as_deref(), Some("evsids"));
+    let stats = solve.solve.as_ref().unwrap();
+    assert_eq!(stats.nodes, 91);
+    assert_eq!(stats.restarts, 2);
+    assert_eq!(stats.learned_kept, 7);
+    assert_eq!(stats.learned_deleted, 3);
+    assert_eq!(stats.plbd_hist, vec![4, 3, 2, 1, 0, 0, 0, 0]);
+
+    // Schema 5's field defaults cleanly: even an unproved schema-4
+    // solve has no stop reason — the writer predates the vocabulary.
+    assert!(!stats.proved_optimal);
+    assert_eq!(stats.stop_reason, None);
+
+    // Re-emitting stamps the current schema version; the round trip is
+    // lossless from there on.
+    let reemitted = trace::to_json(&parsed);
+    assert!(
+        reemitted.contains(&format!("\"schema\": {}", trace::TRACE_SCHEMA)),
+        "{reemitted}"
+    );
+    let back = trace::parse(&reemitted).expect("re-emitted trace parses");
+    assert_eq!(back, parsed);
+    assert_eq!(trace::to_json(&back), reemitted);
+}

@@ -58,6 +58,7 @@ impl Expr {
         let mut p = Parser {
             bytes: input.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         let e = p.expr()?;
         p.skip_ws();
@@ -319,9 +320,18 @@ impl fmt::Display for CompileExprError {
 
 impl Error for CompileExprError {}
 
+/// Maximum parenthesis nesting [`Expr::parse`] accepts. The parser is
+/// recursive descent (one stack frame per `(`), so untrusted input with
+/// tens of thousands of open parens would overflow the thread stack —
+/// an abort no error handling can catch. Real formulas nest a handful
+/// of levels; 256 is headroom, not a constraint.
+pub const MAX_EXPR_DEPTH: usize = 256;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Open parentheses on the parse stack (see [`MAX_EXPR_DEPTH`]).
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -365,6 +375,13 @@ impl<'a> Parser<'a> {
     fn atom(&mut self) -> Result<Expr, ParseExprError> {
         let mut e = match self.peek() {
             Some(b'(') => {
+                if self.depth >= MAX_EXPR_DEPTH {
+                    return Err(ParseExprError {
+                        pos: self.pos,
+                        message: format!("nesting deeper than {MAX_EXPR_DEPTH}"),
+                    });
+                }
+                self.depth += 1;
                 self.pos += 1;
                 let inner = self.expr()?;
                 if self.peek() != Some(b')') {
@@ -374,6 +391,7 @@ impl<'a> Parser<'a> {
                     });
                 }
                 self.pos += 1;
+                self.depth -= 1;
                 inner
             }
             Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
@@ -420,6 +438,22 @@ mod tests {
         let e = Expr::parse("(a'&(e|f)'|d)'").unwrap();
         assert_eq!(e.variables(), vec!["a", "e", "f", "d"]);
         assert_eq!(format!("{e}"), "(a'&(e|f)'|d)'");
+    }
+
+    /// Untrusted-input guard: pathological paren nesting must yield a
+    /// structured error, not a stack-overflow abort.
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing() {
+        let deep = format!("{}a{}", "(".repeat(100_000), ")".repeat(100_000));
+        let err = Expr::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // The limit itself parses.
+        let ok = format!(
+            "{}a{}",
+            "(".repeat(MAX_EXPR_DEPTH),
+            ")".repeat(MAX_EXPR_DEPTH)
+        );
+        Expr::parse(&ok).unwrap();
     }
 
     #[test]

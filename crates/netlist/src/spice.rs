@@ -43,15 +43,24 @@ impl fmt::Display for ParseSpiceError {
 
 impl Error for ParseSpiceError {}
 
+/// Maximum number of `M` cards [`parse`] accepts. The layout model's
+/// size is polynomial in the device count, so an untrusted deck with
+/// millions of cards would tie up a solver worker long before any
+/// budget check fires; cells are tens of devices, so the cap costs
+/// nothing real.
+pub const MAX_DEVICES: usize = 1 << 16;
+
 /// Parses a flat SPICE transistor deck into a [`Circuit`].
 ///
 /// # Errors
 ///
 /// Returns [`ParseSpiceError`] for malformed `M` cards or unknown model
 /// polarities. Unknown card types (anything not starting with `M`, `*`,
-/// `.`) are errors too — this is deliberately a strict subset.
+/// `.`) are errors too — this is deliberately a strict subset. Decks
+/// with more than [`MAX_DEVICES`] transistors are rejected.
 pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseSpiceError> {
     let mut b = Circuit::builder(name);
+    let mut devices = 0usize;
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         let lineno = i + 1;
@@ -82,6 +91,13 @@ pub fn parse(name: &str, text: &str) -> Result<Circuit, ParseSpiceError> {
             line: lineno,
             message: format!("unknown model polarity: {model}"),
         })?;
+        devices += 1;
+        if devices > MAX_DEVICES {
+            return Err(ParseSpiceError {
+                line: lineno,
+                message: format!("more than {MAX_DEVICES} devices"),
+            });
+        }
         let g = b.net(gate);
         let s = b.net(source);
         let d = b.net(drain);
@@ -175,6 +191,19 @@ mod tests {
     fn rejects_unknown_model() {
         let err = parse("bad", "M1 z a GND GND JFET\n").unwrap_err();
         assert!(err.message.contains("polarity"));
+    }
+
+    /// Untrusted-input guard: a deck past the device cap fails with a
+    /// structured error instead of building an enormous circuit.
+    #[test]
+    fn rejects_oversized_decks() {
+        let mut deck = String::new();
+        for i in 0..=MAX_DEVICES {
+            deck.push_str(&format!("M{i} z a GND GND NMOS\n"));
+        }
+        let err = parse("huge", &deck).unwrap_err();
+        assert_eq!(err.line, MAX_DEVICES + 1);
+        assert!(err.message.contains("devices"), "{err}");
     }
 
     #[test]

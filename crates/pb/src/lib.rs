@@ -60,5 +60,7 @@ pub use branch::BranchHeuristic;
 pub use budget::Budget;
 pub use model::{Constraint, LinTerm, Model, Var};
 pub use portfolio::{solve_portfolio, solve_portfolio_with, PortfolioOutcome, SharedIncumbent};
-pub use solve::{Brancher, Outcome, SearchStrategy, Solution, SolveStats, Solver, SolverConfig};
+pub use solve::{
+    Brancher, Outcome, SearchStrategy, Solution, SolveStats, Solver, SolverConfig, StopReason,
+};
 pub use theory::{classify, ClassCounts, ConstraintClass};

@@ -83,12 +83,31 @@ impl fmt::Display for ParseOpbError {
 
 impl Error for ParseOpbError {}
 
+/// Highest variable index [`parse`] accepts. Variables are materialized
+/// densely up to the highest index mentioned, so an untrusted document
+/// saying `x999999999999` would otherwise allocate a billion-entry
+/// model (memory exhaustion, not a parse error) before any constraint
+/// is even read.
+pub const MAX_VAR_INDEX: usize = 1 << 20;
+
+/// Largest coefficient/bound magnitude [`parse`] accepts. Caps the
+/// worst-case `Σ|coeff|` the solver's slack arithmetic can see well
+/// below `i64` overflow (which would panic under debug assertions and
+/// silently wrap in release).
+pub const MAX_MAGNITUDE: i64 = 1 << 40;
+
 /// Parses an OPB document (the `>=` / `min:` subset).
+///
+/// Untrusted-input limits: variable indices above [`MAX_VAR_INDEX`] and
+/// coefficients/bounds beyond ±[`MAX_MAGNITUDE`] are rejected with a
+/// [`ParseOpbError`] rather than exhausting memory or overflowing the
+/// solver's arithmetic. Every model this workspace writes is orders of
+/// magnitude below both limits.
 ///
 /// # Errors
 ///
-/// Returns [`ParseOpbError`] on malformed terms, unknown relations, or
-/// missing terminators.
+/// Returns [`ParseOpbError`] on malformed terms, unknown relations,
+/// missing terminators, or out-of-range indices/magnitudes.
 pub fn parse(text: &str) -> Result<Model, ParseOpbError> {
     let mut model = Model::new();
     let mut created = 0usize;
@@ -119,20 +138,24 @@ pub fn parse(text: &str) -> Result<Model, ParseOpbError> {
         let mut tokens = body.split_whitespace().peekable();
         while let Some(tok) = tokens.next() {
             if tok == ">=" {
-                let bound: i64 =
-                    tokens
-                        .next()
-                        .and_then(|b| b.parse().ok())
-                        .ok_or(ParseOpbError {
-                            line: n,
-                            message: "missing bound after >=".into(),
-                        })?;
+                let bound: i64 = tokens
+                    .next()
+                    .and_then(|b| b.parse().ok())
+                    .filter(|b: &i64| b.unsigned_abs() <= MAX_MAGNITUDE as u64)
+                    .ok_or(ParseOpbError {
+                        line: n,
+                        message: "missing or out-of-range bound after >=".into(),
+                    })?;
                 relation = Some(bound);
             } else {
-                let coeff: i64 = tok.parse().map_err(|_| ParseOpbError {
-                    line: n,
-                    message: format!("bad coefficient {tok}"),
-                })?;
+                let coeff: i64 = tok
+                    .parse()
+                    .ok()
+                    .filter(|c: &i64| c.unsigned_abs() <= MAX_MAGNITUDE as u64)
+                    .ok_or(ParseOpbError {
+                        line: n,
+                        message: format!("bad or out-of-range coefficient {tok}"),
+                    })?;
                 let var_tok = tokens.next().ok_or(ParseOpbError {
                     line: n,
                     message: "coefficient without variable".into(),
@@ -145,6 +168,12 @@ pub fn parse(text: &str) -> Result<Model, ParseOpbError> {
                         line: n,
                         message: format!("bad variable {var_tok}"),
                     })?;
+                if idx > MAX_VAR_INDEX {
+                    return Err(ParseOpbError {
+                        line: n,
+                        message: format!("variable index {idx} exceeds limit {MAX_VAR_INDEX}"),
+                    });
+                }
                 terms.push((coeff, idx));
             }
         }
@@ -217,6 +246,25 @@ mod tests {
         assert!(parse("frob x1 >= 1 ;").is_err()); // bad coefficient
         assert!(parse("+1 x1 ;").is_err()); // no relation
         assert!(parse("+1 x1 >= ;").is_err()); // no bound
+    }
+
+    /// Untrusted-input limits: an absurd variable index must fail fast
+    /// instead of materializing a billion variables, and coefficients or
+    /// bounds past the magnitude cap must fail instead of setting up
+    /// overflow inside the solver.
+    #[test]
+    fn parse_rejects_resource_exhaustion_vectors() {
+        let err = parse("+1 x999999999999 >= 1 ;").unwrap_err();
+        assert!(err.message.contains("exceeds limit"), "{err}");
+        assert!(parse(&format!("+1 x{} >= 1 ;", MAX_VAR_INDEX + 1)).is_err());
+        // The cap itself is usable.
+        let m = parse(&format!("+1 x{MAX_VAR_INDEX} >= 1 ;")).unwrap();
+        assert_eq!(m.num_vars(), MAX_VAR_INDEX);
+        // Magnitude caps on coefficients and bounds, both signs.
+        assert!(parse("+9223372036854775807 x1 >= 1 ;").is_err());
+        assert!(parse(&format!("{} x1 >= 1 ;", -(MAX_MAGNITUDE + 1))).is_err());
+        assert!(parse(&format!("+1 x1 >= {} ;", MAX_MAGNITUDE + 1)).is_err());
+        assert!(parse(&format!("+{MAX_MAGNITUDE} x1 >= -{MAX_MAGNITUDE} ;")).is_ok());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! objective `<= B` — every incumbent is published before the bound it
 //! implies can be adopted — so on a proof the shared solution is optimal.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -24,7 +25,9 @@ use std::time::Duration;
 use crate::branch::BranchHeuristic;
 use crate::budget::Budget;
 use crate::model::Model;
-use crate::solve::{Outcome, SearchStrategy, Solution, SolveStats, Solver, SolverConfig};
+use crate::solve::{
+    Outcome, SearchStrategy, Solution, SolveStats, Solver, SolverConfig, StopReason,
+};
 
 /// Objective value marking an empty [`SharedIncumbent`].
 const UNSET: i64 = i64::MAX;
@@ -275,14 +278,21 @@ pub fn solve_portfolio_with(
 
     let outcomes: Vec<Outcome> = if configs.len() == 1 {
         let (_, config) = configs.into_iter().next().expect("one config");
-        vec![run_one(model, config, budget, &incumbent, 0, &first_proof)]
+        vec![run_contained(
+            model,
+            config,
+            budget,
+            &incumbent,
+            0,
+            &first_proof,
+        )]
     } else {
         let slots: Vec<Mutex<Option<Outcome>>> = configs.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
             for (i, (_, config)) in configs.into_iter().enumerate() {
                 let (incumbent, first_proof, slots) = (&incumbent, &first_proof, &slots);
                 s.spawn(move || {
-                    let out = run_one(model, config, budget, incumbent, i, first_proof);
+                    let out = run_contained(model, config, budget, incumbent, i, first_proof);
                     *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
                 });
             }
@@ -290,9 +300,12 @@ pub fn solve_portfolio_with(
         slots
             .into_iter()
             .map(|m| {
+                // A slot can only be empty if its thread died before
+                // storing — treat that like a contained panic rather
+                // than cascading the abort to the whole portfolio.
                 m.into_inner()
                     .unwrap_or_else(|e| e.into_inner())
-                    .expect("every run reports an outcome")
+                    .unwrap_or_else(|| Outcome::Unknown(panicked_stats()))
             })
             .collect()
     };
@@ -303,6 +316,35 @@ pub fn solve_portfolio_with(
         &incumbent,
         first_proof.load(Ordering::Acquire),
     )
+}
+
+/// Stats marking a run whose panic was contained by the portfolio.
+fn panicked_stats() -> SolveStats {
+    SolveStats {
+        stop_reason: Some(StopReason::Panicked),
+        ..Default::default()
+    }
+}
+
+/// Runs one portfolio entry with the panic firewall: a run that panics
+/// (a solver bug, a fault injection, a poisoned lock observed mid-run)
+/// is demoted to `Outcome::Unknown` with [`StopReason::Panicked`]
+/// instead of unwinding across the thread scope and aborting every
+/// sibling. The `SharedIncumbent` stays usable — its witness mutex is
+/// recovered with `into_inner` on poison — so surviving strategies keep
+/// racing and can still finish the proof.
+fn run_contained(
+    model: &Model,
+    config: SolverConfig,
+    budget: &Budget,
+    incumbent: &SharedIncumbent,
+    index: usize,
+    first_proof: &AtomicUsize,
+) -> Outcome {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_one(model, config, budget, incumbent, index, first_proof)
+    }))
+    .unwrap_or_else(|_| Outcome::Unknown(panicked_stats()))
 }
 
 fn run_one(
@@ -376,6 +418,14 @@ fn combine(
         }
     }
     stats.proved_optimal = proved;
+    // Unproved portfolios surface why: the first run that stopped on a
+    // limit names the reason (in configuration order, so it is
+    // deterministic for a given schedule of limits).
+    stats.stop_reason = if proved {
+        None
+    } else {
+        runs.iter().find_map(|(_, s)| s.stop_reason)
+    };
 
     let winner_index = if proved {
         first_proof
@@ -635,6 +685,63 @@ mod tests {
         assert!(!modern_of_classic.evsids && !modern_of_classic.restarts);
     }
 
+    /// The containment firewall: a portfolio entry whose brancher panics
+    /// mid-solve is demoted to an unproved `Unknown` run stamped
+    /// [`StopReason::Panicked`], while the surviving strategies finish
+    /// the proof on the shared (and briefly poisoned) incumbent mailbox.
+    #[test]
+    fn panicking_run_is_contained_and_siblings_finish_the_proof() {
+        let m = assignment_model();
+        let brute = crate::brute::solve(&m).unwrap().1;
+        let bomb: crate::solve::Brancher = Arc::new(|_, _| panic!("injected brancher fault"));
+        let configs = vec![
+            (
+                "bomb".to_string(),
+                SolverConfig {
+                    brancher: Some(bomb),
+                    ..Default::default()
+                },
+            ),
+            (
+                "cdcl".to_string(),
+                SolverConfig {
+                    strategy: SearchStrategy::Cdcl,
+                    ..Default::default()
+                },
+            ),
+        ];
+        let p = solve_portfolio(&m, configs, &Budget::unlimited());
+        assert!(p.outcome.is_optimal(), "siblings must still prove");
+        assert_eq!(p.outcome.best().unwrap().objective, brute);
+        assert_eq!(p.winner, "cdcl");
+        let (_, bomb_stats) = &p.runs[0];
+        assert_eq!(bomb_stats.stop_reason, Some(StopReason::Panicked));
+        assert!(!bomb_stats.proved_optimal);
+        // Proved portfolios carry no stop reason on the combined stats.
+        assert_eq!(p.outcome.stats().stop_reason, None);
+    }
+
+    /// Same firewall on the inline single-entry path: the panic becomes
+    /// `Outcome::Unknown`, never an unwind into the caller.
+    #[test]
+    fn single_entry_panic_degrades_to_unknown() {
+        let m = assignment_model();
+        let bomb: crate::solve::Brancher = Arc::new(|_, _| panic!("injected brancher fault"));
+        let p = solve_portfolio(
+            &m,
+            vec![(
+                "bomb".to_string(),
+                SolverConfig {
+                    brancher: Some(bomb),
+                    ..Default::default()
+                },
+            )],
+            &Budget::unlimited(),
+        );
+        assert!(matches!(p.outcome, Outcome::Unknown(_)));
+        assert_eq!(p.outcome.stats().stop_reason, Some(StopReason::Panicked));
+    }
+
     #[test]
     fn cancellation_stops_a_run_unproved() {
         let mut m = Model::new();
@@ -654,6 +761,7 @@ mod tests {
         )
         .run();
         assert!(!out.stats().proved_optimal);
+        assert_eq!(out.stats().stop_reason, Some(StopReason::Cancelled));
     }
 
     /// The satellite scenario: a run cancelled *mid-propagation* stops

@@ -198,6 +198,56 @@ impl Solution {
     }
 }
 
+/// Why a search stopped before proving optimality.
+///
+/// `None` on [`SolveStats::stop_reason`] means the search ran to
+/// completion (exhausted, hence proved); a `Some` explains which limit
+/// fired. Downstream consumers (the serve daemon, the trace schema, the
+/// bench JSONL) use this to distinguish a *degraded* anytime result —
+/// best incumbent returned, proof abandoned — from a genuine failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The wall-clock deadline expired.
+    Deadline,
+    /// The shared node pool ran dry.
+    NodeBudget,
+    /// A portfolio sibling (or the caller) cancelled the run.
+    Cancelled,
+    /// The run panicked and was contained by the portfolio layer.
+    Panicked,
+}
+
+impl StopReason {
+    /// Every reason, in serialization order.
+    pub const ALL: [StopReason; 4] = [
+        StopReason::Deadline,
+        StopReason::NodeBudget,
+        StopReason::Cancelled,
+        StopReason::Panicked,
+    ];
+
+    /// The stable wire name (trace schema 5, bench JSONL, serve responses).
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::Deadline => "deadline",
+            StopReason::NodeBudget => "node_budget",
+            StopReason::Cancelled => "cancelled",
+            StopReason::Panicked => "panicked",
+        }
+    }
+
+    /// Inverse of [`StopReason::name`].
+    pub fn from_name(name: &str) -> Option<StopReason> {
+        StopReason::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Search statistics.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct SolveStats {
@@ -236,6 +286,10 @@ pub struct SolveStats {
     /// Conflicts attributed to the theory class of the conflicting
     /// constraint (the objective-bound row counts as general-linear).
     pub conflicts_by_class: ClassCounts,
+    /// Why the search stopped before exhausting, if it did. `None` when
+    /// `proved_optimal` (the search ran to completion) or when the stop
+    /// cause predates this field (traces from schema <= 4).
+    pub stop_reason: Option<StopReason>,
 }
 
 impl SolveStats {
@@ -450,13 +504,16 @@ impl<'a> Solver<'a> {
         stats: &mut SolveStats,
     ) -> bool {
         if deadline.is_some_and(|dl| Instant::now() >= dl) {
+            stats.stop_reason = Some(StopReason::Deadline);
             return true;
         }
         if pool.settle(stats.nodes) {
+            stats.stop_reason = Some(StopReason::NodeBudget);
             return true;
         }
         if let Some(inc) = &self.config.incumbent {
             if inc.cancelled() {
+                stats.stop_reason = Some(StopReason::Cancelled);
                 return true;
             }
             if let Some(gb) = inc.bound() {
@@ -521,6 +578,7 @@ impl<'a> Solver<'a> {
             // A cancelled propagation round leaves the queue half-drained;
             // nothing downstream may trust the engine state.
             if engine.interrupted() {
+                stats.stop_reason = Some(StopReason::Cancelled);
                 limit_hit = true;
                 break;
             }
@@ -539,6 +597,7 @@ impl<'a> Solver<'a> {
             }
             ticks += 1;
             if pool.drained(stats.nodes) {
+                stats.stop_reason = Some(StopReason::NodeBudget);
                 limit_hit = true;
                 break;
             }
@@ -624,6 +683,10 @@ impl<'a> Solver<'a> {
 
         let _ = pool.settle(stats.nodes);
         stats.proved_optimal = !limit_hit;
+        if stats.proved_optimal {
+            // Invariant: a completed search carries no stop reason.
+            stats.stop_reason = None;
+        }
     }
 
     /// Conflict-driven search: decision-set clause learning with
@@ -652,6 +715,7 @@ impl<'a> Solver<'a> {
             // A cancelled propagation round leaves the queue half-drained;
             // nothing downstream may trust the engine state.
             if engine.interrupted() {
+                stats.stop_reason = Some(StopReason::Cancelled);
                 limit_hit = true;
                 break;
             }
@@ -672,6 +736,7 @@ impl<'a> Solver<'a> {
             }
             ticks += 1;
             if pool.drained(stats.nodes) {
+                stats.stop_reason = Some(StopReason::NodeBudget);
                 limit_hit = true;
                 break;
             }
@@ -737,6 +802,10 @@ impl<'a> Solver<'a> {
 
         let _ = pool.settle(stats.nodes);
         stats.proved_optimal = !limit_hit;
+        if stats.proved_optimal {
+            // Invariant: a completed search carries no stop reason.
+            stats.stop_reason = None;
+        }
     }
 
     /// The modern CDCL engine core: [`Self::search_cdcl`]'s clause
@@ -797,6 +866,7 @@ impl<'a> Solver<'a> {
             // A cancelled propagation round leaves the queue half-drained;
             // nothing downstream may trust the engine state.
             if engine.interrupted() {
+                stats.stop_reason = Some(StopReason::Cancelled);
                 limit_hit = true;
                 break;
             }
@@ -815,6 +885,7 @@ impl<'a> Solver<'a> {
             }
             ticks += 1;
             if pool.drained(stats.nodes) {
+                stats.stop_reason = Some(StopReason::NodeBudget);
                 limit_hit = true;
                 break;
             }
@@ -929,6 +1000,10 @@ impl<'a> Solver<'a> {
 
         let _ = pool.settle(stats.nodes);
         stats.proved_optimal = !limit_hit;
+        if stats.proved_optimal {
+            // Invariant: a completed search carries no stop reason.
+            stats.stop_reason = None;
+        }
     }
 }
 
@@ -1102,6 +1177,50 @@ mod tests {
         // Either it got lucky and proved within 3 nodes, or it reports a
         // feasible-but-unproved outcome; both must expose stats.
         assert!(out.stats().nodes <= 4);
+        if !out.stats().proved_optimal {
+            assert_eq!(out.stats().stop_reason, Some(StopReason::NodeBudget));
+        }
+    }
+
+    /// The anytime-degradation contract the serve daemon leans on: an
+    /// already-expired deadline with a feasible warm start returns the
+    /// incumbent as `Feasible` stamped [`StopReason::Deadline`] — never
+    /// an error, never a proof.
+    #[test]
+    fn expired_deadline_returns_warm_start_with_deadline_reason() {
+        let mut m = Model::new();
+        let vars: Vec<Var> = (0..30).map(|i| m.new_var(format!("v{i}"))).collect();
+        for w in vars.windows(2) {
+            m.add_ge([(1, w[0]), (1, w[1])], 1);
+        }
+        m.minimize(vars.iter().map(|&v| (1, v)));
+        for strategy in [SearchStrategy::Cbj, SearchStrategy::Cdcl] {
+            let out = Solver::with_config(
+                &m,
+                SolverConfig {
+                    strategy,
+                    budget: Budget::timeout(Duration::ZERO),
+                    warm_start: Some(vec![true; 30]),
+                    ..Default::default()
+                },
+            )
+            .run();
+            let Outcome::Feasible(s, stats) = out else {
+                panic!("expected a degraded feasible outcome, got {out:?}");
+            };
+            assert_eq!(s.objective, 30);
+            assert!(!stats.proved_optimal);
+            assert_eq!(stats.stop_reason, Some(StopReason::Deadline));
+        }
+    }
+
+    #[test]
+    fn stop_reason_names_round_trip() {
+        for r in StopReason::ALL {
+            assert_eq!(StopReason::from_name(r.name()), Some(r));
+            assert_eq!(r.to_string(), r.name());
+        }
+        assert_eq!(StopReason::from_name("warp"), None);
     }
 
     #[test]

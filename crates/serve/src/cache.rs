@@ -1,0 +1,279 @@
+//! The memo cache: canonical-netlist-hash → finished result payload.
+//!
+//! Same durability protocol as the corpus checkpoint
+//! (`crates/bench/src/corpus.rs`): a JSONL file opened in append mode,
+//! one `sync_data` per line, and a torn-tail repair on open — if the
+//! process died mid-append (SIGKILL, power loss, the `cache.torn`
+//! fault), the last line has no trailing newline; open detects that,
+//! terminates it, and the parse pass skips the mangled record. Every
+//! entry that *was* fully appended survives any crash, so a restarted
+//! daemon serves byte-identical cache hits.
+//!
+//! ## What is cached
+//!
+//! Only **proved-optimal** results. A proved placement is a pure
+//! function of the canonical netlist and the result-shaping options —
+//! independent of the deadline, job count, and engine-bisection flags —
+//! so the key deliberately excludes those speed-only knobs. Degraded
+//! (deadline-expired) and hierarchical results depend on the budget
+//! that produced them and are never cached.
+//!
+//! ## Key
+//!
+//! FNV-1a 64 over the canonical SPICE rendering of the parsed circuit
+//! (`spice::write`, which normalizes whitespace, card order, and net
+//! spelling) concatenated with the result-shaping options. 16 hex
+//! digits, same shape as `clip_corpus::work_hash`.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use clip_layout::jsonio::{self, Json};
+
+use crate::protocol::SynthSpec;
+
+/// Hashes the canonical deck + result-shaping options into a 16-hex-digit
+/// cache key.
+pub fn canonical_key(canonical_deck: &str, spec: &SynthSpec) -> String {
+    let opts = format!(
+        "|rows={};auto={};max_rows={};stacking={};height={}",
+        spec.rows, spec.auto_rows, spec.max_rows, spec.stacking, spec.height
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for bytes in [canonical_deck.as_bytes(), opts.as_bytes()] {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+/// A durable memo cache: in-memory map plus its append-only JSONL file.
+#[derive(Debug)]
+pub struct MemoCache {
+    path: PathBuf,
+    file: File,
+    entries: HashMap<String, Json>,
+    /// True when open found and repaired a torn final line.
+    repaired_torn_tail: bool,
+}
+
+impl MemoCache {
+    /// Opens (creating if absent) the cache at `path`, repairing a torn
+    /// tail and loading every intact record.
+    ///
+    /// Records are one JSON object per line: `{"hash":"…","result":{…}}`.
+    /// Unparseable lines are skipped, not fatal — a torn or corrupt
+    /// record costs one cache miss, never the daemon.
+    ///
+    /// # Errors
+    ///
+    /// Only real I/O failures (permissions, disk). A missing file is
+    /// created; a mangled file is loaded best-effort.
+    pub fn open(path: &Path) -> io::Result<MemoCache> {
+        let mut text = String::new();
+        match File::open(path) {
+            Ok(mut f) => {
+                f.read_to_string(&mut text)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        let mut repaired = false;
+        if !text.is_empty() && !text.ends_with('\n') {
+            // Torn tail: the writer died mid-append. Terminate the line
+            // so future appends start clean; the parse below skips it.
+            file.write_all(b"\n")?;
+            file.sync_data()?;
+            repaired = true;
+        }
+        let mut entries = HashMap::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(v) = jsonio::parse(line) else { continue };
+            let (Some(hash), Some(result)) = (
+                v.get("hash").and_then(Json::as_str).map(str::to_owned),
+                v.get("result"),
+            ) else {
+                continue;
+            };
+            entries.insert(hash, result.clone());
+        }
+        Ok(MemoCache {
+            path: path.to_owned(),
+            file,
+            entries,
+            repaired_torn_tail: repaired,
+        })
+    }
+
+    /// The cached result payload for `hash`, if present.
+    pub fn get(&self, hash: &str) -> Option<&Json> {
+        self.entries.get(hash)
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when [`MemoCache::open`] repaired a torn final line.
+    pub fn repaired_torn_tail(&self) -> bool {
+        self.repaired_torn_tail
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends `result` under `hash`: one JSONL line, synced to disk
+    /// before the insert is visible in memory — a crash after `insert`
+    /// returns can never lose the entry.
+    ///
+    /// `torn` simulates the crash *during* the append (the `cache.torn`
+    /// fault site): half the line is written with no newline and the
+    /// entry is **not** inserted in memory, exactly the state a real
+    /// mid-write SIGKILL leaves behind.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing or syncing the backing file.
+    pub fn insert(&mut self, hash: &str, result: &Json, torn: bool) -> io::Result<()> {
+        let line = format!(
+            "{}\n",
+            Json::obj([
+                ("hash", Json::Str(hash.to_owned())),
+                ("result", result.clone()),
+            ])
+            .to_compact()
+        );
+        if torn {
+            let half = &line.as_bytes()[..line.len() / 2];
+            self.file.write_all(half)?;
+            self.file.sync_data()?;
+            return Ok(());
+        }
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()?;
+        self.entries.insert(hash.to_owned(), result.clone());
+        Ok(())
+    }
+
+    /// Flushes the backing file (shutdown path; appends are already
+    /// synced per line, so this is belt and braces).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures syncing the backing file.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Source;
+
+    fn spec() -> SynthSpec {
+        SynthSpec {
+            source: Source::Cell("nand2".into()),
+            rows: 2,
+            auto_rows: false,
+            max_rows: 4,
+            hier: false,
+            stacking: false,
+            height: false,
+            limit_ms: 60_000,
+            jobs: None,
+            no_theories: false,
+            classic_search: false,
+            no_cache: false,
+            faults: Vec::new(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("clip_serve_cache_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn key_depends_on_deck_and_shaping_options_only() {
+        let base = spec();
+        let k = canonical_key("* deck\n", &base);
+        assert_eq!(k.len(), 16);
+        assert_eq!(k, canonical_key("* deck\n", &base));
+        // Speed-only knobs don't move the key…
+        let mut speedy = base.clone();
+        speedy.no_theories = true;
+        speedy.classic_search = true;
+        speedy.jobs = Some(8);
+        speedy.limit_ms = 1;
+        assert_eq!(k, canonical_key("* deck\n", &speedy));
+        // …result-shaping ones do.
+        let mut taller = base.clone();
+        taller.rows = 3;
+        assert_ne!(k, canonical_key("* deck\n", &taller));
+        assert_ne!(k, canonical_key("* other deck\n", &base));
+    }
+
+    #[test]
+    fn round_trips_across_reopen() {
+        let path = tmp("roundtrip");
+        let payload = Json::obj([("width", Json::Int(4)), ("cell", Json::Str("x".into()))]);
+        {
+            let mut c = MemoCache::open(&path).unwrap();
+            assert!(c.is_empty());
+            c.insert("abc123", &payload, false).unwrap();
+            assert_eq!(c.get("abc123"), Some(&payload));
+        }
+        let c = MemoCache::open(&path).unwrap();
+        assert!(!c.repaired_torn_tail());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("abc123"), Some(&payload));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_and_intact_entries_survive() {
+        let path = tmp("torn");
+        let payload = Json::obj([("width", Json::Int(7))]);
+        {
+            let mut c = MemoCache::open(&path).unwrap();
+            c.insert("good", &payload, false).unwrap();
+            // Simulated mid-append crash: half a line, no newline, and
+            // the entry never becomes visible.
+            c.insert("lost", &payload, true).unwrap();
+            assert!(c.get("lost").is_none());
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.ends_with('\n'), "fixture must end torn");
+        {
+            let mut c = MemoCache::open(&path).unwrap();
+            assert!(c.repaired_torn_tail());
+            assert_eq!(c.len(), 1, "only the intact entry loads");
+            assert_eq!(c.get("good"), Some(&payload));
+            // Appends after repair land on a clean newline boundary.
+            c.insert("next", &payload, false).unwrap();
+        }
+        let c = MemoCache::open(&path).unwrap();
+        assert!(!c.repaired_torn_tail());
+        assert_eq!(c.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

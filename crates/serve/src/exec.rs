@@ -1,0 +1,398 @@
+//! Request execution: one [`SynthSpec`] in, one result payload out.
+//!
+//! This is the daemon's per-request core, factored out of the socket
+//! machinery so tests and the bench harness can drive it directly. The
+//! contract the daemon's robustness story rests on:
+//!
+//! - **Nothing escapes.** The solve runs under `catch_unwind`; a panic
+//!   (real or injected via the `solve.panic` fault site) becomes
+//!   [`ExecError::Panic`], an error record for *this* request only.
+//! - **Deadlines degrade, they don't fail.** An expired [`Budget`]
+//!   returns the best incumbent with `proved: false` and a `degraded`
+//!   reason (the solver's [`StopReason`]) instead of an error.
+//! - **Cache hits are byte-identical.** The payload embeds the same
+//!   layout document value `clip synth --json` pretty-prints, and only
+//!   proved-optimal results are memoized, so a hit replays the exact
+//!   bytes a cold solve produced.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use clip_core::pipeline::{Budget, StopReason};
+use clip_core::request::SynthRequest;
+use clip_layout::jsonio::Json;
+use clip_layout::{json as layout_json, trace, CellLayout};
+use clip_netlist::{library, spice, Circuit, Expr};
+
+use crate::cache::{canonical_key, MemoCache};
+use crate::faultpoint;
+use crate::protocol::{Source, SynthSpec};
+
+/// How a request failed. Each variant maps to a stable wire `code`.
+#[derive(Debug)]
+pub enum ExecError {
+    /// The request referenced something that doesn't exist or failed to
+    /// parse (unknown cell, malformed deck/expr).
+    BadRequest(String),
+    /// The solver reported a structured failure ([`clip_core::GenError`]).
+    Solve(String),
+    /// The solve panicked; contained, message recovered best-effort.
+    Panic(String),
+}
+
+impl ExecError {
+    /// The stable machine-readable response code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ExecError::BadRequest(_) => "bad_request",
+            ExecError::Solve(_) => "solve_failed",
+            ExecError::Panic(_) => "internal_panic",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            ExecError::BadRequest(m) | ExecError::Solve(m) | ExecError::Panic(m) => m,
+        }
+    }
+}
+
+/// A finished request.
+#[derive(Debug)]
+pub struct SynthReply {
+    /// The result payload (`cell`, `rows`, `width`, `height`, `proved`,
+    /// `layout`, `trace`).
+    pub result: Json,
+    /// True when the payload came from the memo cache.
+    pub cached: bool,
+    /// The stop reason's wire name when the solve hit a limit and
+    /// returned an unproved incumbent.
+    pub degraded: Option<&'static str>,
+}
+
+/// Runs one request against an optional shared memo cache.
+///
+/// # Errors
+///
+/// [`ExecError`] — see each variant. A panicking solve is contained
+/// here and surfaces as an error value like any other.
+pub fn execute(
+    spec: &SynthSpec,
+    cache: Option<&Mutex<MemoCache>>,
+) -> Result<SynthReply, ExecError> {
+    let circuit = build_circuit(spec)?;
+    // Canonical rendering: whitespace, card order, and net spelling all
+    // normalize, so equivalent decks share one cache entry.
+    let canonical = spice::write(&circuit);
+    let key = canonical_key(&canonical, spec);
+
+    if !spec.no_cache && !spec.hier {
+        if let Some(cache) = cache {
+            let guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(result) = guard.get(&key) {
+                return Ok(SynthReply {
+                    result: result.clone(),
+                    cached: true,
+                    degraded: None,
+                });
+            }
+        }
+    }
+
+    let request = build_request(spec, circuit);
+    // The containment boundary. SynthRequest owns all its state and is
+    // consumed here; on panic everything it touched is dropped with the
+    // unwound stack (shared solver state recovers from poisoning on its
+    // own — see SharedIncumbent), so observing the result is safe.
+    let solved = catch_unwind(AssertUnwindSafe(move || {
+        if faultpoint::fires("solve.panic", &spec.faults) {
+            panic!("fault injected: solve.panic");
+        }
+        if faultpoint::fires("solve.stall", &spec.faults) {
+            std::thread::sleep(faultpoint::STALL);
+        }
+        request.build().map(|r| {
+            let cell = r.cell;
+            let layout = CellLayout::build(&cell);
+            (cell, layout)
+        })
+    }));
+    let (cell, layout) = match solved {
+        Ok(Ok(pair)) => pair,
+        Ok(Err(gen_err)) => return Err(ExecError::Solve(gen_err.to_string())),
+        Err(payload) => return Err(ExecError::Panic(panic_message(payload.as_ref()))),
+    };
+
+    let degraded = if cell.optimal {
+        None
+    } else {
+        stop_reason(&cell).map(StopReason::name)
+    };
+    let result = Json::obj([
+        ("cell", Json::Str(layout.name.clone())),
+        ("rows", Json::Int(cell.placement.rows.len() as i64)),
+        ("width", Json::Int(cell.width as i64)),
+        ("height", Json::Int(cell.height as i64)),
+        ("proved", Json::Bool(cell.optimal)),
+        ("layout", layout_json::document(&layout).to_value()),
+        ("trace", trace::to_value(&cell.trace)),
+    ]);
+
+    // Memoize proved results only: a proved placement is deadline- and
+    // thread-count-independent, so the speed-only knobs excluded from
+    // the key can never make a hit diverge from a cold solve.
+    if cell.optimal && !spec.no_cache {
+        if let Some(cache) = cache {
+            let torn = faultpoint::fires("cache.torn", &spec.faults);
+            let mut guard = cache.lock().unwrap_or_else(|e| e.into_inner());
+            if guard.get(&key).is_none() {
+                if let Err(e) = guard.insert(&key, &result, torn) {
+                    // A dead cache disk costs durability, not requests.
+                    eprintln!("clip-serve: memo cache append failed: {e}");
+                }
+            }
+        }
+    }
+
+    Ok(SynthReply {
+        result,
+        cached: false,
+        degraded,
+    })
+}
+
+fn build_circuit(spec: &SynthSpec) -> Result<Circuit, ExecError> {
+    match &spec.source {
+        Source::Cell(name) => library::evaluation_suite()
+            .into_iter()
+            .chain(library::extended_suite())
+            .find(|c| c.name() == name.as_str())
+            .ok_or_else(|| ExecError::BadRequest(format!("unknown cell {name:?}"))),
+        Source::Deck(text) => {
+            spice::parse("imported", text).map_err(|e| ExecError::BadRequest(e.to_string()))
+        }
+        Source::Expr(formula) => {
+            let expr = Expr::parse(formula).map_err(|e| ExecError::BadRequest(e.to_string()))?;
+            expr.compile("custom", "z")
+                .map_err(|e| ExecError::BadRequest(e.to_string()))
+        }
+    }
+}
+
+fn build_request(spec: &SynthSpec, circuit: Circuit) -> SynthRequest {
+    let mut request = SynthRequest::new(circuit)
+        .rows(spec.rows)
+        .time_limit(Duration::from_millis(spec.limit_ms));
+    if spec.auto_rows {
+        request = request.best_area(spec.max_rows);
+    }
+    if spec.hier {
+        request = request.hierarchical();
+    }
+    if spec.stacking {
+        request = request.stacking();
+    }
+    if spec.height {
+        request = request.height();
+    }
+    if spec.no_theories {
+        request = request.no_theories();
+    }
+    if spec.classic_search {
+        request = request.classic_search();
+    }
+    if let Some(jobs) = spec.jobs.and_then(std::num::NonZeroUsize::new) {
+        request = request.jobs(jobs);
+    }
+    if faultpoint::fires("budget.expire", &spec.faults) {
+        // An already-expired budget: the pipeline still seeds a greedy
+        // incumbent, so the reply degrades instead of erroring.
+        request = request.budget(Budget::timeout(Duration::ZERO));
+    }
+    request
+}
+
+/// The final solve's stop reason, falling back to any stage that
+/// recorded one (a best-area sweep's accepted row count may have
+/// finished while a later, better one hit the deadline).
+fn stop_reason(cell: &clip_core::generator::GeneratedCell) -> Option<StopReason> {
+    cell.stats.stop_reason.or_else(|| {
+        cell.trace
+            .stages
+            .iter()
+            .rev()
+            .find_map(|s| s.solve.as_ref().and_then(|st| st.stop_reason))
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::DEFAULT_LIMIT_MS;
+    use std::path::PathBuf;
+
+    fn spec(cell: &str) -> SynthSpec {
+        SynthSpec {
+            source: Source::Cell(cell.into()),
+            rows: 1,
+            auto_rows: false,
+            max_rows: 4,
+            hier: false,
+            stacking: false,
+            height: false,
+            limit_ms: DEFAULT_LIMIT_MS,
+            jobs: Some(1),
+            no_theories: false,
+            classic_search: false,
+            no_cache: false,
+            faults: Vec::new(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("clip_serve_exec_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    /// The headline byte-identity contract: the payload's `layout`
+    /// value pretty-prints to exactly what `clip synth --json` writes.
+    #[test]
+    fn layout_payload_matches_the_offline_export() {
+        let reply = execute(&spec("nand2"), None).unwrap();
+        assert!(!reply.cached);
+        assert_eq!(reply.degraded, None);
+        assert_eq!(reply.result.get("proved"), Some(&Json::Bool(true)));
+
+        let cell = SynthRequest::new(library::nand2())
+            .jobs(std::num::NonZeroUsize::MIN)
+            .build()
+            .unwrap()
+            .cell;
+        let offline = CellLayout::build(&cell).to_json();
+        let served = reply.result.get("layout").unwrap().to_pretty();
+        assert_eq!(served, offline);
+    }
+
+    #[test]
+    fn cache_hit_replays_identical_bytes() {
+        let path = tmp("hit");
+        let cache = Mutex::new(MemoCache::open(&path).unwrap());
+        let cold = execute(&spec("nand2"), Some(&cache)).unwrap();
+        assert!(!cold.cached);
+        let hit = execute(&spec("nand2"), Some(&cache)).unwrap();
+        assert!(hit.cached);
+        assert_eq!(hit.result.to_compact(), cold.result.to_compact());
+        // A different shaping option is a different entry.
+        let mut two_rows = spec("nand2");
+        two_rows.rows = 2;
+        let other = execute(&two_rows, Some(&cache)).unwrap();
+        assert!(!other.cached);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn no_cache_bypasses_both_directions() {
+        let path = tmp("bypass");
+        let cache = Mutex::new(MemoCache::open(&path).unwrap());
+        let mut s = spec("nand2");
+        s.no_cache = true;
+        let first = execute(&s, Some(&cache)).unwrap();
+        assert!(!first.cached);
+        assert_eq!(cache.lock().unwrap().len(), 0, "no_cache must not store");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unknown_cell_is_a_bad_request() {
+        let err = execute(&spec("nandzilla"), None).unwrap_err();
+        assert_eq!(err.code(), "bad_request");
+        assert!(err.message().contains("nandzilla"));
+    }
+
+    #[test]
+    fn malformed_deck_is_a_bad_request_with_line_context() {
+        let mut s = spec("x");
+        s.source = Source::Deck("M1 z a GND\n".into());
+        let err = execute(&s, None).unwrap_err();
+        assert_eq!(err.code(), "bad_request");
+        assert!(err.message().contains("line 1"), "{}", err.message());
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn injected_panic_is_contained_as_an_error_value() {
+        let mut s = spec("nand2");
+        s.faults = vec!["solve.panic".into()];
+        let err = execute(&s, None).unwrap_err();
+        assert_eq!(err.code(), "internal_panic");
+        assert!(err.message().contains("solve.panic"));
+        // The next request on this thread is unaffected.
+        assert!(execute(&spec("nand2"), None).is_ok());
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn expired_budget_degrades_to_an_unproved_incumbent() {
+        let mut s = spec("nand4");
+        s.rows = 2;
+        s.faults = vec!["budget.expire".into()];
+        let reply = execute(&s, None).unwrap();
+        assert!(!reply.cached);
+        assert_eq!(reply.degraded, Some("deadline"));
+        assert_eq!(reply.result.get("proved"), Some(&Json::Bool(false)));
+        assert!(
+            reply.result.get("layout").is_some(),
+            "incumbent still ships"
+        );
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn degraded_results_are_never_cached() {
+        let path = tmp("degraded");
+        let cache = Mutex::new(MemoCache::open(&path).unwrap());
+        let mut s = spec("nand4");
+        s.rows = 2;
+        s.faults = vec!["budget.expire".into()];
+        let reply = execute(&s, Some(&cache)).unwrap();
+        assert_eq!(reply.degraded, Some("deadline"));
+        assert_eq!(cache.lock().unwrap().len(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn torn_cache_write_loses_the_entry_not_the_request() {
+        let path = tmp("torn");
+        let cache = Mutex::new(MemoCache::open(&path).unwrap());
+        let mut s = spec("nand2");
+        s.faults = vec!["cache.torn".into()];
+        let reply = execute(&s, Some(&cache)).unwrap();
+        assert!(!reply.cached, "request itself succeeds");
+        assert_eq!(cache.lock().unwrap().len(), 0, "torn entry never lands");
+        // Reopen repairs the tail; a clean solve then caches normally.
+        drop(cache);
+        let reopened = Mutex::new(MemoCache::open(&path).unwrap());
+        assert!(reopened.lock().unwrap().repaired_torn_tail());
+        let clean = execute(&spec("nand2"), Some(&reopened)).unwrap();
+        assert!(!clean.cached);
+        let hit = execute(&spec("nand2"), Some(&reopened)).unwrap();
+        assert!(hit.cached);
+        assert_eq!(hit.result.to_compact(), clean.result.to_compact());
+        let _ = std::fs::remove_file(&path);
+    }
+}

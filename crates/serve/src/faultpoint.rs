@@ -1,0 +1,108 @@
+//! Named fault-injection sites.
+//!
+//! The daemon's robustness claims ("a panicking worker degrades one
+//! request, never the process") are only testable if faults can be
+//! fired deterministically. Each dangerous spot in the serve path is a
+//! named *site*; a request can arm a site for itself (its `"faults"`
+//! array), or the environment can arm sites process-wide
+//! (`CLIP_SERVE_FAULTS=site1,site2`).
+//!
+//! Unless the crate is built with the `fault-injection` feature,
+//! [`fires`] is a constant `false` and the optimizer deletes every
+//! check — production builds carry no fault code at all. Site *names*
+//! are still validated in either build, so a test suite that forgets
+//! the feature flag fails loudly on the protocol level rather than
+//! silently running without faults.
+
+/// Every site the serve path can fire. Kept in one place so protocol
+/// validation, tests, and docs can't drift apart.
+///
+/// | site | what it simulates |
+/// |------|-------------------|
+/// | `solve.panic` | a worker thread panicking mid-solve |
+/// | `solve.stall` | a slow solve parking its worker (300 ms) |
+/// | `budget.expire` | the request deadline expiring immediately |
+/// | `cache.torn` | the process dying mid-append to the memo cache |
+/// | `respond.disconnect` | the client vanishing before the response |
+pub const SITES: [&str; 5] = [
+    "solve.panic",
+    "solve.stall",
+    "budget.expire",
+    "cache.torn",
+    "respond.disconnect",
+];
+
+/// How long the `solve.stall` site parks a worker. Long enough that a
+/// test can deterministically fill the admission queue behind it, short
+/// enough to keep the fault suite fast.
+pub const STALL: std::time::Duration = std::time::Duration::from_millis(300);
+
+/// True when `name` is a known fault site.
+pub fn is_site(name: &str) -> bool {
+    SITES.contains(&name)
+}
+
+/// Should `site` fire for a request that armed `request_faults`?
+///
+/// With the `fault-injection` feature on: true when the request armed
+/// the site, or the `CLIP_SERVE_FAULTS` environment variable (read
+/// once, comma-separated) arms it process-wide. Without the feature:
+/// always false.
+#[cfg(feature = "fault-injection")]
+pub fn fires(site: &str, request_faults: &[String]) -> bool {
+    debug_assert!(is_site(site), "unknown fault site {site}");
+    request_faults.iter().any(|f| f == site) || env_armed(site)
+}
+
+/// Feature off: every site is dead code.
+#[cfg(not(feature = "fault-injection"))]
+pub fn fires(_site: &str, _request_faults: &[String]) -> bool {
+    false
+}
+
+#[cfg(feature = "fault-injection")]
+fn env_armed(site: &str) -> bool {
+    use std::sync::OnceLock;
+    static ARMED: OnceLock<Vec<String>> = OnceLock::new();
+    ARMED
+        .get_or_init(|| {
+            std::env::var("CLIP_SERVE_FAULTS")
+                .map(|v| {
+                    v.split(',')
+                        .map(|s| s.trim().to_owned())
+                        .filter(|s| !s.is_empty())
+                        .collect()
+                })
+                .unwrap_or_default()
+        })
+        .iter()
+        .any(|f| f == site)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_names_validate() {
+        for site in SITES {
+            assert!(is_site(site));
+        }
+        assert!(!is_site("solve.explode"));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn request_scoped_faults_fire() {
+        let armed = vec!["solve.panic".to_owned()];
+        assert!(fires("solve.panic", &armed));
+        assert!(!fires("cache.torn", &armed));
+    }
+
+    #[cfg(not(feature = "fault-injection"))]
+    #[test]
+    fn without_the_feature_nothing_fires() {
+        let armed = vec!["solve.panic".to_owned()];
+        assert!(!fires("solve.panic", &armed));
+    }
+}

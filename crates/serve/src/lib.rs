@@ -1,0 +1,43 @@
+//! `clip-serve` — a fault-isolated batch synthesis daemon.
+//!
+//! The CLIP pipeline as a long-running service: concurrent clients
+//! speak line-delimited JSON (the workspace's own
+//! [`clip_layout::jsonio`]) over a TCP or Unix socket, one shared
+//! worker pool solves, and a durable memo cache replays proved results
+//! byte-identically. The design center is robustness — a daemon is
+//! only viable if no single request can take it down:
+//!
+//! - **Panic containment** ([`exec`]): every solve runs under
+//!   `catch_unwind`; a panicking worker degrades one request to an
+//!   `internal_panic` error record.
+//! - **Anytime degradation** ([`exec`]): an expired per-request
+//!   deadline returns the best incumbent, `proved: false`, with a
+//!   `degraded` reason from the solver's stop-reason vocabulary.
+//! - **Backpressure** ([`daemon`]): a bounded admission queue sheds
+//!   load with a fast `overloaded` rejection; graceful shutdown drains
+//!   every admitted request and fsyncs the cache.
+//! - **Durability** ([`cache`]): append-only JSONL, one `sync_data` per
+//!   entry, torn-tail repair on open — the corpus checkpoint protocol.
+//! - **Fault injection** ([`faultpoint`]): every failure mode above is
+//!   firable by name in tests; compiled out without the
+//!   `fault-injection` feature.
+//!
+//! See `DESIGN.md` section 12 for the architecture and failure-mode
+//! table, and the README for client examples.
+
+// `deny`, not the workspace's usual `forbid`: signals.rs carries the
+// one narrowly-scoped `#[allow]` for the SIGTERM handler FFI.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod daemon;
+pub mod exec;
+pub mod faultpoint;
+pub mod protocol;
+pub mod signals;
+
+pub use cache::MemoCache;
+pub use daemon::{Bind, ServeConfig, Server, ServerHandle};
+pub use exec::{execute, ExecError, SynthReply};
+pub use protocol::{Envelope, Request, Source, SynthSpec};

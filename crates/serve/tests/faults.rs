@@ -1,0 +1,300 @@
+//! The fault matrix: every named fault site fired against a live
+//! daemon, asserting the blast radius is exactly one request — the
+//! faulted request degrades to an error or unproved record, every
+//! other request completes byte-identically to the offline path, and
+//! the daemon keeps serving afterwards.
+//!
+//! Compiled only with the `fault-injection` feature; without it the
+//! sites are constant `false` and there is nothing to fire.
+#![cfg(feature = "fault-injection")]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use clip_core::request::SynthRequest;
+use clip_layout::jsonio::{self, Json};
+use clip_layout::CellLayout;
+use clip_netlist::library;
+use clip_serve::daemon::{Bind, ServeConfig, Server, ServerHandle};
+
+struct TestServer {
+    addr: String,
+    handle: ServerHandle,
+    runner: thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(config: ServeConfig) -> TestServer {
+    let server = Server::start(config).expect("bind loopback");
+    let addr = server.local_display();
+    let handle = server.handle();
+    let runner = thread::spawn(move || server.run());
+    TestServer {
+        addr,
+        handle,
+        runner,
+    }
+}
+
+impl TestServer {
+    fn stop(self) {
+        self.handle.shutdown();
+        self.runner
+            .join()
+            .expect("server thread")
+            .expect("clean run");
+    }
+}
+
+fn quiet_config() -> ServeConfig {
+    ServeConfig {
+        bind: Bind::Tcp("127.0.0.1:0".into()),
+        quiet: true,
+        ..ServeConfig::default()
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "server closed the connection unexpectedly");
+        jsonio::parse(&line).expect("response is valid JSON")
+    }
+
+    /// Reads until EOF or timeout; for connections the fault kills.
+    fn recv_eof(&mut self) -> bool {
+        let mut line = String::new();
+        matches!(self.reader.read_line(&mut line), Ok(0))
+    }
+}
+
+fn offline_nand2_layout() -> String {
+    let cell = SynthRequest::new(library::nand2())
+        .build()
+        .expect("offline solve")
+        .cell;
+    CellLayout::build(&cell).to_json()
+}
+
+/// The headline matrix: one client fires each fault while clean
+/// requests run concurrently on other connections. Every clean request
+/// must come back proved and byte-identical; the daemon must survive
+/// all of it and keep answering.
+#[test]
+fn fault_matrix_blast_radius_is_one_request() {
+    let server = start(quiet_config());
+    let addr = server.addr.clone();
+    let expected = offline_nand2_layout();
+
+    thread::scope(|scope| {
+        // Clean traffic, concurrent with every fault below.
+        for i in 0..3 {
+            let addr = &addr;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr);
+                for j in 0..4 {
+                    let id = format!("clean-{i}-{j}");
+                    client.send(&format!(
+                        r#"{{"op":"synth","id":"{id}","cell":"nand2","no_cache":true}}"#
+                    ));
+                    let reply = client.recv();
+                    assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"), "{id}");
+                    let result = reply.get("result").unwrap();
+                    assert_eq!(result.get("proved"), Some(&Json::Bool(true)), "{id}");
+                    assert_eq!(
+                        result.get("layout").unwrap().to_pretty(),
+                        *expected,
+                        "{id}: clean request diverged while faults were firing"
+                    );
+                }
+            });
+        }
+
+        // solve.panic: contained, surfaces as internal_panic for this
+        // request only.
+        {
+            let mut client = Client::connect(&addr);
+            client.send(r#"{"op":"synth","id":"boom","cell":"nand2","faults":["solve.panic"]}"#);
+            let reply = client.recv();
+            assert_eq!(reply.get("status").unwrap().as_str(), Some("error"));
+            assert_eq!(reply.get("code").unwrap().as_str(), Some("internal_panic"));
+            assert!(reply
+                .get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("solve.panic"));
+        }
+
+        // budget.expire: anytime degradation — unproved incumbent with
+        // a deadline reason, not an error.
+        {
+            let mut client = Client::connect(&addr);
+            client.send(
+                r#"{"op":"synth","id":"late","cell":"nand4","rows":2,"faults":["budget.expire"]}"#,
+            );
+            let reply = client.recv();
+            assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"));
+            assert_eq!(reply.get("degraded").unwrap().as_str(), Some("deadline"));
+            let result = reply.get("result").unwrap();
+            assert_eq!(result.get("proved"), Some(&Json::Bool(false)));
+            assert!(result.get("layout").is_some(), "best incumbent still ships");
+        }
+
+        // respond.disconnect: the client's connection dies instead of
+        // receiving the response; the daemon logs and moves on.
+        {
+            let mut client = Client::connect(&addr);
+            client.send(
+                r#"{"op":"synth","id":"gone","cell":"nand2","faults":["respond.disconnect"]}"#,
+            );
+            assert!(client.recv_eof(), "faulted connection is dropped");
+        }
+    });
+
+    // After the whole matrix the daemon still serves and its counters
+    // reflect the carnage.
+    let mut client = Client::connect(&addr);
+    client.send(r#"{"op":"synth","id":"after","cell":"nand2","no_cache":true}"#);
+    let reply = client.recv();
+    assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"));
+    client.send(r#"{"op":"stats"}"#);
+    let stats = client.recv();
+    let stats = stats.get("stats").unwrap();
+    assert!(stats.get("panics").unwrap().as_u64().unwrap() >= 1);
+    assert!(stats.get("degraded").unwrap().as_u64().unwrap() >= 1);
+    server.stop();
+}
+
+/// cache.torn while a cache is attached: the faulted request succeeds,
+/// the entry is lost (as a real mid-write crash would lose it), the
+/// repaired cache still serves byte-identical hits afterwards.
+#[test]
+fn torn_cache_write_is_contained_and_repaired_on_restart() {
+    let mut cache_path = std::env::temp_dir();
+    cache_path.push(format!(
+        "clip_serve_faults_cache_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache_path);
+    let config = ServeConfig {
+        cache_path: Some(cache_path.clone()),
+        ..quiet_config()
+    };
+
+    let server = start(config.clone());
+    let mut client = Client::connect(&server.addr);
+    client.send(r#"{"op":"synth","id":"t1","cell":"nand2","faults":["cache.torn"]}"#);
+    let torn = client.recv();
+    assert_eq!(torn.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(torn.get("cached").unwrap().as_bool(), Some(false));
+    server.stop();
+
+    let bytes = std::fs::read(&cache_path).unwrap();
+    assert!(
+        !bytes.is_empty() && bytes.last() != Some(&b'\n'),
+        "fixture: the file must end mid-record"
+    );
+
+    // Restart on the torn file: open repairs the tail, the mangled
+    // record is skipped, and a fresh solve + hit are byte-identical.
+    let server = start(config);
+    let mut client = Client::connect(&server.addr);
+    client.send(r#"{"op":"synth","id":"t2","cell":"nand2"}"#);
+    let cold = client.recv();
+    assert_eq!(
+        cold.get("cached").unwrap().as_bool(),
+        Some(false),
+        "torn entry lost"
+    );
+    client.send(r#"{"op":"synth","id":"t3","cell":"nand2"}"#);
+    let warm = client.recv();
+    assert_eq!(warm.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        warm.get("result").unwrap().to_compact(),
+        cold.get("result").unwrap().to_compact()
+    );
+    server.stop();
+    let _ = std::fs::remove_file(&cache_path);
+}
+
+/// Deterministic backpressure: one worker parked on `solve.stall`, a
+/// queue of one — the second request queues, the third is shed with
+/// the fast `overloaded` rejection, and the rejection arrives *before*
+/// the stalled solve finishes (it never waits in line).
+#[test]
+fn overload_sheds_fast_with_a_rejected_response() {
+    let server = start(ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..quiet_config()
+    });
+    let mut client = Client::connect(&server.addr);
+    let t0 = Instant::now();
+    client.send(
+        r#"{"op":"synth","id":"stalled","cell":"nand2","no_cache":true,"faults":["solve.stall"]}"#,
+    );
+    // Give the worker a beat to pick up the stalled job, so the queue
+    // slot is truly free for the second request.
+    thread::sleep(Duration::from_millis(50));
+    client.send(r#"{"op":"synth","id":"queued","cell":"nand2","no_cache":true}"#);
+    thread::sleep(Duration::from_millis(50));
+    client.send(r#"{"op":"synth","id":"shed","cell":"nand2","no_cache":true}"#);
+
+    // First response must be the rejection, and it must beat the stall.
+    let first = client.recv();
+    let elapsed = t0.elapsed();
+    assert_eq!(first.get("id").unwrap().as_str(), Some("shed"));
+    assert_eq!(first.get("status").unwrap().as_str(), Some("rejected"));
+    assert_eq!(first.get("code").unwrap().as_str(), Some("overloaded"));
+    assert!(
+        elapsed < clip_serve::faultpoint::STALL,
+        "load shedding must not wait for the stalled worker (took {elapsed:?})"
+    );
+
+    // The stalled and queued requests both still complete.
+    let mut ids = vec![
+        client
+            .recv()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned(),
+        client
+            .recv()
+            .get("id")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_owned(),
+    ];
+    ids.sort();
+    assert_eq!(ids, ["queued", "stalled"]);
+    server.stop();
+}

@@ -1,0 +1,88 @@
+//! Property-based fuzz of the serve wire protocol: arbitrary bytes and
+//! random mutations of valid request lines must always produce a
+//! structured outcome — `Ok(envelope)` or `Err(message)` — never a
+//! panic, never unbounded recursion, never a hang. The parser is pure,
+//! so parse-level coverage here is exactly what the daemon's reader
+//! thread sees; the socket-level error *response* path is covered
+//! deterministically in `tests/daemon.rs`.
+
+use clip_proptest::{gens, proptest_lite, Gen};
+use clip_serve::protocol;
+
+/// Seed corpus: every op and option the protocol knows, so mutations
+/// explore the interesting neighborhoods.
+const VALID_LINES: [&str; 6] = [
+    r#"{"op":"synth","id":"r1","cell":"nand2","rows":2,"limit_ms":500}"#,
+    r#"{"op":"synth","deck":"M1 z a VDD VDD PMOS\nM2 z a GND GND NMOS\n","rows":1}"#,
+    r#"{"op":"synth","expr":"(a&b)'","rows":"auto","max_rows":3,"stacking":true}"#,
+    r#"{"op":"synth","cell":"xor2","height":true,"jobs":2,"no_cache":true,"faults":["solve.panic"]}"#,
+    r#"{"op":"stats","id":"s"}"#,
+    r#"{"op":"shutdown"}"#,
+];
+
+fn mutated_line() -> Gen<String> {
+    gens::int(0..VALID_LINES.len()).flat_map(|which| {
+        let base = VALID_LINES[which].as_bytes().to_vec();
+        let len = base.len();
+        gens::int(0..len)
+            .flat_map(|pos| gens::int(0u8..=255).map(move |byte| (pos, byte)))
+            .vec(1..=4)
+            .map(move |edits| {
+                let mut bytes = base.clone();
+                for (pos, byte) in edits {
+                    bytes[pos] = byte;
+                }
+                String::from_utf8_lossy(&bytes).into_owned()
+            })
+    })
+}
+
+fn random_bytes() -> Gen<String> {
+    gens::int(0u8..=255)
+        .vec(0..=200)
+        .map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest_lite! {
+    cases: 512;
+
+    /// Byte-level mutations of valid lines: parse must classify, not die.
+    fn mutated_valid_lines_never_panic(line in mutated_line()) {
+        let _ = protocol::parse_line(&line);
+    }
+
+    /// Pure noise: same contract.
+    fn arbitrary_bytes_never_panic(line in random_bytes()) {
+        let _ = protocol::parse_line(&line);
+    }
+
+    /// Whatever parses as a synth spec respects the validated bounds —
+    /// the daemon trusts these invariants downstream.
+    fn accepted_specs_respect_their_bounds(line in mutated_line()) {
+        if let Ok(envelope) = protocol::parse_line(&line) {
+            if let protocol::Request::Synth(spec) = envelope.request {
+                assert!(spec.rows >= 1);
+                assert!(spec.max_rows >= 1);
+                assert!(spec.limit_ms <= protocol::MAX_LIMIT_MS);
+                assert!(spec.jobs.is_none_or(|j| j >= 1));
+                for fault in &spec.faults {
+                    assert!(clip_serve::faultpoint::is_site(fault));
+                }
+            }
+        }
+    }
+}
+
+/// Deep-nesting and long-line hostility, deterministic: the depth cap
+/// in `jsonio` and the line cap in `protocol` both hold.
+#[test]
+fn hostile_shapes_error_structurally() {
+    let deep = format!("{}1{}", "[".repeat(100_000), "]".repeat(100_000));
+    assert!(protocol::parse_line(&deep).is_err());
+    let long = format!(
+        "{{\"op\":\"synth\",\"cell\":\"{}\"}}",
+        "a".repeat(protocol::MAX_LINE_BYTES)
+    );
+    let err = protocol::parse_line(&long).unwrap_err();
+    assert!(err.contains("exceeds"), "{err}");
+}

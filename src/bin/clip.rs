@@ -18,6 +18,7 @@ use clip::core::tuning::TuningPlan;
 use clip::layout::CellLayout;
 use clip::netlist::fold::fold_uniform;
 use clip::netlist::{library, spice, Circuit, Expr};
+use clip::serve::daemon::{Bind, ServeConfig, Server};
 use clip::tune::{learn, CircuitFeatures, TuningProfile};
 
 struct SynthArgs {
@@ -92,6 +93,14 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some("serve") => match parse_serve(&args[1..]) {
+            Ok((config, port_file)) => serve(config, port_file.as_deref()),
+            Err(e) => {
+                eprintln!("error: {e}");
+                usage();
+                ExitCode::from(2)
+            }
+        },
         Some("help") | None => {
             usage();
             ExitCode::SUCCESS
@@ -112,13 +121,18 @@ fn usage() {
          [--json FILE] [--cif FILE] [--trace FILE] [--no-theories] [--classic-search] [--quiet]\n  clip tune INPUT.jsonl \
          [-o FILE]     learn a tuning profile from bench JSONL\n  clip bench --corpus \
          --checkpoint FILE [--seed N] [--cells N] [--shards N]\n             [--budget SECS] \
-         [--summary FILE] [--quiet]   sharded, resumable corpus run"
+         [--summary FILE] [--quiet]   sharded, resumable corpus run\n  clip serve \
+         [--listen HOST:PORT | --unix PATH] [--workers N] [--queue N]\n             \
+         [--cache FILE] [--port-file FILE] [--quiet]    batch synthesis daemon"
     );
 }
 
 fn cells() -> ExitCode {
     println!("{:<14} {:>6} {:>6}  inputs", "cell", "trans", "pairs");
-    for c in library::evaluation_suite() {
+    for c in library::evaluation_suite()
+        .into_iter()
+        .chain(library::extended_suite())
+    {
         let name = c.name().to_owned();
         let trans = c.devices().len();
         let inputs: Vec<String> = c
@@ -147,6 +161,7 @@ fn parse_synth(args: &[String]) -> Result<SynthArgs, String> {
                 let name = take(&mut i)?;
                 let circuit = library::evaluation_suite()
                     .into_iter()
+                    .chain(library::extended_suite())
                     .find(|c| c.name() == name)
                     .ok_or_else(|| format!("unknown cell {name} (see `clip cells`)"))?;
                 out.circuit = Some(circuit);
@@ -415,6 +430,89 @@ fn bench_corpus(opts: &clip::bench::corpus::CorpusOptions, summary_path: Option<
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn parse_serve(args: &[String]) -> Result<(ServeConfig, Option<String>), String> {
+    let mut config = ServeConfig {
+        quiet: false,
+        ..ServeConfig::default()
+    };
+    let mut listen: Option<String> = None;
+    let mut unix: Option<String> = None;
+    let mut port_file: Option<String> = None;
+    let mut i = 0;
+    let take = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => listen = Some(take(&mut i)?),
+            "--unix" => unix = Some(take(&mut i)?),
+            "--workers" => {
+                config.workers = take(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --workers (need N >= 1)")?
+            }
+            "--queue" => {
+                config.queue_cap = take(&mut i)?.parse().map_err(|_| "bad --queue")?;
+                if config.queue_cap == 0 {
+                    return Err("--queue must be positive".into());
+                }
+            }
+            "--cache" => config.cache_path = Some(take(&mut i)?.into()),
+            "--port-file" => port_file = Some(take(&mut i)?),
+            "--quiet" => config.quiet = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    config.bind = match (listen, unix) {
+        (Some(_), Some(_)) => return Err("give --listen or --unix, not both".into()),
+        (None, Some(path)) => Bind::Unix(path.into()),
+        (Some(addr), None) => Bind::Tcp(addr),
+        // Loopback with an OS-assigned port: safe default for a daemon
+        // (never exposed beyond the host unless asked).
+        (None, None) => Bind::Tcp("127.0.0.1:0".into()),
+    };
+    Ok((config, port_file))
+}
+
+fn serve(config: ServeConfig, port_file: Option<&str>) -> ExitCode {
+    let quiet = config.quiet;
+    clip::serve::signals::install();
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: serve failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_display();
+    // Scripts (CI, tests) discover the bound address either from this
+    // line or from the port file; both land before the first accept.
+    println!("clip-serve listening on {addr}");
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+            eprintln!("error: cannot write --port-file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            if !quiet {
+                println!("clip-serve drained and stopped");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: serve terminated: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -42,5 +42,7 @@ pub use clip_netlist as netlist;
 pub use clip_pb as pb;
 /// Track density, net spans, channel routing.
 pub use clip_route as route;
+/// The batch synthesis daemon: wire protocol, memo cache, fault sites.
+pub use clip_serve as serve;
 /// Trace-driven autotuning: circuit features, learned profiles, plans.
 pub use clip_tune as tune;

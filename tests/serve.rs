@@ -1,0 +1,228 @@
+//! Integration tests of the `clip serve` daemon as a real OS process:
+//! byte-identity against offline `clip synth --json`, graceful SIGTERM
+//! drain, and the kill-resume contract — SIGKILL mid-request, restart,
+//! and the memo cache reloads cleanly with byte-identical hits.
+//!
+//! In-process daemon behavior (concurrency, malformed input, fault
+//! matrix) is covered in `crates/serve/tests/`; these tests exercise
+//! what only a separate process can: signals and hard kills.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use clip::layout::jsonio::{self, Json};
+
+fn clip() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_clip"))
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("clip_serve_it_{tag}_{}", std::process::id()))
+}
+
+/// Spawns the daemon and waits for its port file.
+fn spawn_daemon(port_file: &Path, cache: Option<&Path>) -> (Child, String) {
+    let _ = std::fs::remove_file(port_file);
+    let mut cmd = clip();
+    cmd.args(["serve", "--quiet", "--port-file"])
+        .arg(port_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if let Some(cache) = cache {
+        cmd.arg("--cache").arg(cache);
+    }
+    let child = cmd.spawn().expect("spawn clip serve");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(port_file) {
+            if text.ends_with('\n') {
+                break text.trim().to_owned();
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never wrote its port file"
+        );
+        thread::sleep(Duration::from_millis(20));
+    };
+    (child, addr)
+}
+
+fn signal(child: &Child, sig: &str) {
+    let status = Command::new("kill")
+        .args([sig, &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(status.success(), "kill {sig} failed");
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply).expect("read response");
+        assert!(n > 0, "daemon closed the connection");
+        jsonio::parse(&reply).expect("valid response JSON")
+    }
+}
+
+/// `clip synth --cell nand4 --rows 2 --json` — the offline reference
+/// bytes the daemon must reproduce.
+fn offline_nand4_json() -> String {
+    let json_path = temp_path("offline.json");
+    let out = clip()
+        .args([
+            "synth", "--cell", "nand4", "--rows", "2", "--quiet", "--json",
+        ])
+        .arg(&json_path)
+        .output()
+        .expect("offline synth runs");
+    assert!(
+        out.status.success(),
+        "offline synth failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bytes = std::fs::read_to_string(&json_path).expect("offline json written");
+    let _ = std::fs::remove_file(&json_path);
+    bytes
+}
+
+const NAND4: &str = r#"{"op":"synth","id":"n4","cell":"nand4","rows":2}"#;
+
+#[test]
+fn concurrent_clients_match_offline_json_and_sigterm_drains() {
+    let offline = offline_nand4_json();
+    let port_file = temp_path("term.port");
+    let (mut child, addr) = spawn_daemon(&port_file, None);
+
+    thread::scope(|scope| {
+        for _ in 0..3 {
+            let addr = &addr;
+            let offline = &offline;
+            scope.spawn(move || {
+                let reply = Client::connect(addr).request(NAND4);
+                assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"));
+                let layout = reply
+                    .get("result")
+                    .unwrap()
+                    .get("layout")
+                    .unwrap()
+                    .to_pretty();
+                assert_eq!(layout, *offline, "served layout diverged from offline CLI");
+            });
+        }
+    });
+
+    // SIGTERM: clean drain, exit code 0.
+    signal(&child, "-TERM");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "daemon ignored SIGTERM");
+        thread::sleep(Duration::from_millis(20));
+    };
+    assert!(
+        status.success(),
+        "SIGTERM drain must exit cleanly: {status:?}"
+    );
+    let _ = std::fs::remove_file(&port_file);
+}
+
+#[test]
+fn sigkill_mid_request_leaves_a_cleanly_reloadable_cache() {
+    let cache = temp_path("kill.cache.jsonl");
+    let _ = std::fs::remove_file(&cache);
+    let port_file = temp_path("kill.port");
+
+    // Round 1: prime the cache with a proved solve, then die hard with
+    // a request in flight.
+    let (mut child, addr) = spawn_daemon(&port_file, Some(&cache));
+    let mut client = Client::connect(&addr);
+    let cold = client.request(NAND4);
+    assert_eq!(cold.get("cached").unwrap().as_bool(), Some(false));
+    let cold_result = cold.get("result").unwrap().to_compact();
+    // In flight at kill time; no response will ever come.
+    client
+        .writer
+        .write_all(b"{\"op\":\"synth\",\"id\":\"doomed\",\"cell\":\"xor3\",\"rows\":2}\n")
+        .unwrap();
+    client.writer.flush().unwrap();
+    signal(&child, "-KILL");
+    let status = child.wait().expect("wait");
+    assert!(!status.success(), "SIGKILL is not a clean exit");
+
+    // Simulate the worst case the protocol must absorb: the kill landed
+    // mid-append, leaving a torn, newline-less record at the tail.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&cache)
+            .expect("cache file exists after round 1");
+        f.write_all(b"{\"hash\":\"deadbeef\",\"result\":{\"tru")
+            .unwrap();
+    }
+
+    // Round 2: restart on the same cache. The torn tail is repaired,
+    // the primed entry replays byte-identically as a hit.
+    let (mut child, addr) = spawn_daemon(&port_file, Some(&cache));
+    let mut client = Client::connect(&addr);
+    let warm = client.request(NAND4);
+    assert_eq!(
+        warm.get("cached").unwrap().as_bool(),
+        Some(true),
+        "primed entry must survive the SIGKILL"
+    );
+    assert_eq!(
+        warm.get("result").unwrap().to_compact(),
+        cold_result,
+        "cache hit after kill+restart must be byte-identical"
+    );
+    // The repaired file now ends on a newline and keeps accepting
+    // appends (a different request caches cleanly).
+    let reply = client.request(r#"{"op":"synth","id":"x2","cell":"xor2","rows":1}"#);
+    assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"));
+    let text = std::fs::read_to_string(&cache).unwrap();
+    assert!(text.ends_with('\n'), "torn tail repaired");
+    signal(&child, "-TERM");
+    assert!(child.wait().expect("wait").success());
+    let _ = std::fs::remove_file(&cache);
+    let _ = std::fs::remove_file(&port_file);
+}
+
+#[test]
+fn serve_rejects_bad_flags_fast() {
+    let out = clip()
+        .args(["serve", "--listen", "x", "--unix", "y"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not both"), "{err}");
+}
