@@ -390,6 +390,49 @@ fn solve_cell(cell: &CorpusCell, budget: Duration, _slot: usize) -> Outcome {
         }
     }
 
+    // Pareto frontier self-check on a deterministic small subset of the
+    // flat cells: the default objective sweep must emit a mutually
+    // non-dominated frontier whose base point agrees with this plain
+    // single-objective solve (both are width-optimal when proved).
+    let mut pareto_frontier: Option<(usize, u64)> = None;
+    if cell.mode == Mode::Flat && cell.index.is_multiple_of(7) && cell.features.pairs <= 6 {
+        let sweep = SynthRequest::new(cell.circuit.clone())
+            .rows(cell.rows)
+            .time_limit(budget)
+            .jobs(NonZeroUsize::MIN)
+            .pareto(Vec::new())
+            .build();
+        match sweep.as_ref().map(|r| r.pareto.as_ref()) {
+            Ok(Some(front)) => {
+                if !front.mutually_non_dominated() {
+                    violations.push(format!(
+                        "{}/{name}: pareto frontier points dominate each other",
+                        cell.hash
+                    ));
+                }
+                let base = &front.points[0];
+                if !base.on_frontier {
+                    violations.push(format!(
+                        "{}/{name}: pareto base point missing from its own frontier",
+                        cell.hash
+                    ));
+                }
+                if base.proved && gen.optimal && base.width != Some(gen.width) {
+                    violations.push(format!(
+                        "{}/{name}: pareto base width {:?} disagrees with plain solve {}",
+                        cell.hash, base.width, gen.width
+                    ));
+                }
+                pareto_frontier = Some((front.frontier.len(), front.prunes));
+            }
+            Ok(None) => violations.push(format!(
+                "{}/{name}: pareto request returned no frontier",
+                cell.hash
+            )),
+            Err(e) => violations.push(format!("{}/{name}: pareto sweep failed: {e}", cell.hash)),
+        }
+    }
+
     // The checkpoint record doubles as a tune/* training record.
     let stage_ns = |stage: Stage| {
         gen.trace
@@ -445,6 +488,10 @@ fn solve_cell(cell: &CorpusCell, budget: Duration, _slot: usize) -> Outcome {
     }
     if let Some(e) = euler {
         fields.push(("euler_w".to_owned(), Json::Int(e as i64)));
+    }
+    if let Some((frontier, prunes)) = pareto_frontier {
+        fields.push(("pareto_frontier".to_owned(), Json::Int(frontier as i64)));
+        fields.push(("pareto_prunes".to_owned(), Json::Int(prunes as i64)));
     }
     if !violations.is_empty() {
         fields.push((

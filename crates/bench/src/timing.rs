@@ -615,6 +615,59 @@ pub fn smoke() -> Report {
         let _ = std::fs::remove_file(&path);
     }
 
+    // bench_pareto: the full default objective sweep over nand4 at two
+    // rows — five parameterizations raced inside one budget with
+    // cross-point dominance pruning. The timing record holds the sweep
+    // to the regression gate; the extras line re-emits the frontier in
+    // the schema-6 trace vocabulary plus its invariants (mutual
+    // non-domination, the reuse-prune count) so the CI smoke check can
+    // grep them.
+    {
+        use clip_core::request::SynthRequest;
+        use std::num::NonZeroUsize;
+
+        let run = || {
+            SynthRequest::new(library::nand4())
+                .rows(2)
+                .time_limit(limit)
+                .jobs(NonZeroUsize::new(2).expect("non-zero"))
+                .pareto(Vec::new())
+                .build()
+                .expect("pareto sweep")
+        };
+        let kept = std::cell::RefCell::new(None);
+        report.run("pareto/nand4x2", opts, || {
+            let result = run();
+            let width = result.cell.width;
+            *kept.borrow_mut() = Some(result);
+            width
+        });
+        let result = kept.into_inner().expect("just recorded");
+        let pareto = result
+            .pareto
+            .as_ref()
+            .expect("pareto mode returns a frontier");
+        assert!(
+            pareto.mutually_non_dominated(),
+            "emitted frontier points must not dominate each other"
+        );
+        assert!(
+            pareto.prunes >= 1,
+            "the default sweep's reporting-only variant is always reused"
+        );
+        report.extras.push(Json::obj([
+            ("name", Json::Str("pareto/nand4x2".into())),
+            ("points", Json::Int(pareto.points.len() as i64)),
+            ("frontier_size", Json::Int(pareto.frontier.len() as i64)),
+            ("shared_prunes", Json::Int(pareto.prunes as i64)),
+            ("threads", Json::Int(pareto.threads as i64)),
+            (
+                "pareto",
+                Json::arr(&pareto.records(), clip_layout::trace::pareto_point_to_value),
+            ),
+        ]));
+    }
+
     report
 }
 

@@ -11,20 +11,20 @@
 use std::error::Error;
 use std::fmt;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use clip_netlist::{Circuit, PairCircuitError};
 use clip_pb::{
-    solve_portfolio_with, BranchHeuristic, SharedIncumbent, SolveStats, Solver, SolverConfig,
+    solve_portfolio_with, BranchHeuristic, PruneBoard, SharedIncumbent, SolveStats, Solver,
+    SolverConfig,
 };
-use clip_route::density::{cell_height, CellRouting, HeightParams};
+use clip_route::density::CellRouting;
 
 use crate::bounds;
 use crate::cliph::{ClipWH, ClipWHError, ClipWHOptions};
 use crate::clipw::{ClipW, ClipWError, ClipWOptions};
 use crate::cluster;
+use crate::objective::ObjectiveSpec;
 use crate::orient::Orient;
 use crate::pipeline::{Budget, Pipeline, PipelineTrace, Stage, StageRecord};
 use crate::share::ShareArray;
@@ -49,8 +49,10 @@ pub enum Objective {
 pub struct GenOptions {
     /// Number of P/N rows.
     pub rows: usize,
-    /// Optimization objective.
-    pub objective: Objective,
+    /// The consolidated optimization objective: kind, CLIP-WH ordering,
+    /// the geometric height parameters, inter-row weight, and critical
+    /// nets all live on one typed [`ObjectiveSpec`].
+    pub objective: ObjectiveSpec,
     /// Enable HCLIP and-stack clustering.
     pub stacking: bool,
     /// Total wall-clock budget for the request, shared by every pipeline
@@ -58,14 +60,6 @@ pub struct GenOptions {
     /// row counts. On expiry the best incumbent is returned with
     /// `optimal = false`.
     pub time_limit: Option<Duration>,
-    /// Weight on inter-row nets in the width objective (Table 3 uses 0).
-    pub interrow_weight: i64,
-    /// Geometric height parameters for the reported height.
-    pub height_params: HeightParams,
-    /// Names of timing-critical nets (performance-directed synthesis):
-    /// with the width+height objective, their routed span length is
-    /// additionally minimized.
-    pub critical_nets: Vec<String>,
     /// Worker threads for parallel search. [`CellGenerator::generate`]
     /// races a CBJ/CDCL portfolio of this width over the model;
     /// [`CellGenerator::generate_best_area`] fans its row counts out over
@@ -114,18 +108,23 @@ impl GenOptions {
     pub fn rows(rows: usize) -> Self {
         GenOptions {
             rows,
-            objective: Objective::Width,
+            objective: ObjectiveSpec::width(),
             stacking: false,
             time_limit: None,
-            interrow_weight: 0,
-            height_params: HeightParams::default(),
-            critical_nets: Vec::new(),
             jobs: default_jobs(),
             jobs_explicit: false,
             tuning: TuningPlan::default(),
             use_theories: true,
             classic_search: false,
         }
+    }
+
+    /// Installs a fully-built [`ObjectiveSpec`] — the consolidated way to
+    /// shape the objective; the `with_height`/`with_critical_nets` shims
+    /// below mutate the same spec field-by-field.
+    pub fn with_objective(mut self, spec: ObjectiveSpec) -> Self {
+        self.objective = spec;
+        self
     }
 
     /// Disables the typed constraint-theory engines (all rows ride the
@@ -168,8 +167,12 @@ impl GenOptions {
     }
 
     /// Switches to the width+height objective.
+    ///
+    /// Deprecated shim over [`GenOptions::with_objective`] (it mutates
+    /// [`ObjectiveSpec::kind`]); kept byte-identical for existing
+    /// callers.
     pub fn with_height(mut self) -> Self {
-        self.objective = Objective::WidthThenHeight;
+        self.objective.kind = Objective::WidthThenHeight;
         self
     }
 
@@ -181,8 +184,12 @@ impl GenOptions {
 
     /// Marks nets (by name) as timing-critical for the width+height
     /// objective.
+    ///
+    /// Deprecated shim over [`GenOptions::with_objective`] (it mutates
+    /// [`ObjectiveSpec::critical_nets`]); kept byte-identical for
+    /// existing callers.
     pub fn with_critical_nets(mut self, nets: Vec<String>) -> Self {
-        self.critical_nets = nets;
+        self.objective.critical_nets = nets;
         self
     }
 
@@ -374,7 +381,8 @@ impl CellGenerator {
     ) -> Result<GeneratedCell, GenError> {
         let share = ShareArray::new(&units);
         let rows = self.options.rows;
-        let use_wh = self.options.objective == Objective::WidthThenHeight && units.is_flat();
+        let spec = &self.options.objective;
+        let use_wh = spec.kind == Objective::WidthThenHeight && units.is_flat();
 
         // A warm hint from a neighbouring row count (best-area sweep):
         // replay its unit order, re-split for this row count.
@@ -382,13 +390,14 @@ impl CellGenerator {
 
         if use_wh {
             let table = units.paired().circuit().nets();
-            let critical: Vec<clip_netlist::NetId> = self
-                .options
+            let critical: Vec<clip_netlist::NetId> = spec
                 .critical_nets
                 .iter()
                 .filter_map(|name| table.lookup(name))
                 .collect();
-            let wh_opts = ClipWHOptions::new(rows).with_critical_nets(critical);
+            let mut wh_opts = ClipWHOptions::new(rows).with_critical_nets(critical);
+            wh_opts.objective = spec.ordering;
+            wh_opts.critical_weight = spec.critical_weight;
             let seed = pipeline.stage(Stage::GreedySeed, |_, _| {
                 [replayed, greedy_placement(&units, &share, rows)]
                     .into_iter()
@@ -431,7 +440,7 @@ impl CellGenerator {
             })
         } else {
             let mut wopts = ClipWOptions::new(rows);
-            wopts.interrow_weight = self.options.interrow_weight;
+            wopts.interrow_weight = self.options.objective.interrow_weight;
             let greedy_seed = pipeline.stage(Stage::GreedySeed, |_, _| {
                 greedy_placement(&units, &share, rows)
             });
@@ -558,7 +567,13 @@ impl CellGenerator {
         // independent of its siblings.
         let prep = self.sweep_prep(&circuit)?;
 
-        let shared = SweepShared::new();
+        // The scalar instantiation of the generic prune board: a row's
+        // floor is its area lower bound, dominated once it strictly
+        // exceeds any published area. The *strict* comparison keeps ties
+        // alive, so the fewest-rows tie-break over completed rows is
+        // unaffected and the final selection matches a sequential sweep
+        // exactly.
+        let shared: PruneBoard<u64> = PruneBoard::new(|best, lb| lb > best);
         // Fanning a tiny sweep across threads costs more than it saves:
         // spawn and coordination overhead dominates sub-millisecond row
         // solves (the nand4 `jobs_sweep` regression, where jobs=4 ran
@@ -574,9 +589,13 @@ impl CellGenerator {
             1
         };
         let run_row = |rows: usize| -> RowOutcome {
-            let cancel = match shared
-                .register(rows, self.area_lower_bound(&prep.units, &prep.share, rows))
-            {
+            // An infeasible row count (no lower bound) is skipped without
+            // counting a prune, exactly as before the board existed.
+            let lb = match self.area_lower_bound(&prep.units, &prep.share, rows) {
+                Some(lb) => lb,
+                None => return RowOutcome::Skipped,
+            };
+            let cancel = match shared.register(rows, lb) {
                 Some(cancel) => cancel,
                 None => return RowOutcome::Skipped,
             };
@@ -642,7 +661,7 @@ impl CellGenerator {
     /// One-time sweep preparation: pair (and optionally cluster) the
     /// circuit and compute the greedy single-row chain used as every row
     /// count's warm hint.
-    fn sweep_prep(&self, circuit: &Circuit) -> Result<SweepPrep, GenError> {
+    pub(crate) fn sweep_prep(&self, circuit: &Circuit) -> Result<SweepPrep, GenError> {
         let paired = circuit.clone().into_paired()?;
         let units = if self.options.stacking {
             cluster::cluster_and_stacks(paired)
@@ -660,8 +679,7 @@ impl CellGenerator {
     /// row count is infeasible or unbounded below.
     fn area_lower_bound(&self, units: &UnitSet, share: &ShareArray, rows: usize) -> Option<u64> {
         let width = bounds::width_lower_bound(units, share, rows)? as u64;
-        let height = (rows * self.options.height_params.row_overhead
-            + self.options.height_params.rail_overhead) as u64;
+        let height = self.options.objective.height_units(0, rows) as u64;
         Some(width * height)
     }
 
@@ -784,7 +802,10 @@ impl CellGenerator {
         let rows = placement.rows.len();
         let mut tracks: Vec<usize> = (0..rows).map(|r| routing.intra_tracks(r)).collect();
         tracks.extend((0..rows.saturating_sub(1)).map(|c| routing.inter_tracks(c)));
-        let height = cell_height(&routing, self.options.height_params);
+        let height = self
+            .options
+            .objective
+            .height_units(tracks.iter().sum(), rows);
         Ok(GeneratedCell {
             width,
             tracks,
@@ -802,12 +823,13 @@ impl CellGenerator {
     }
 }
 
-/// One-time preparation shared by every row count of a best-area sweep.
-struct SweepPrep {
-    units: UnitSet,
-    share: ShareArray,
+/// One-time preparation shared by every row count of a best-area sweep
+/// (and by every point of a Pareto frontier race).
+pub(crate) struct SweepPrep {
+    pub(crate) units: UnitSet,
+    pub(crate) share: ShareArray,
     /// Greedy single-row chain placement, replayed per row count.
-    hint: Option<Placement>,
+    pub(crate) hint: Option<Placement>,
 }
 
 /// What one row count of a best-area sweep produced. Boxed because a
@@ -820,99 +842,11 @@ enum RowOutcome {
     Done(Box<Result<GeneratedCell, GenError>>, PipelineTrace),
 }
 
-/// Cross-row coordination for a parallel best-area sweep: the best
-/// published area, cancel handles for in-flight rows, and a prune
-/// counter.
-///
-/// Correctness of the pruning rests on the *strict* comparison `lb >
-/// best`: a row is only skipped or cancelled when its area lower bound
-/// proves it cannot beat — or even tie — an area some other row already
-/// achieved. Ties survive, so the fewest-rows tie-break over completed
-/// rows is unaffected, and the final selection matches a sequential
-/// sweep exactly.
-struct SweepShared {
-    /// Best published area so far; `u64::MAX` until a row finishes.
-    best_area: AtomicU64,
-    /// Rows skipped before starting or cancelled mid-solve by the bound.
-    prunes: AtomicU64,
-    /// In-flight rows: `(rows, area lower bound, cancel handle)`.
-    watchers: Mutex<Vec<(usize, u64, SharedIncumbent)>>,
-}
-
-impl SweepShared {
-    fn new() -> Self {
-        SweepShared {
-            best_area: AtomicU64::new(u64::MAX),
-            prunes: AtomicU64::new(0),
-            watchers: Mutex::new(Vec::new()),
-        }
-    }
-
-    /// Admits row count `rows` with area lower bound `lb` into the sweep.
-    /// Returns the cancel handle to attach to its solves, or `None` when
-    /// the row is infeasible (`lb` is `None`) or provably cannot beat the
-    /// best published area (counted as a prune).
-    fn register(&self, rows: usize, lb: Option<u64>) -> Option<SharedIncumbent> {
-        let lb = lb?;
-        if lb > self.best_area.load(Ordering::Acquire) {
-            self.prunes.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        let handle = SharedIncumbent::new();
-        self.watchers
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push((rows, lb, handle.clone()));
-        Some(handle)
-    }
-
-    /// Removes `rows` from the watcher list (its solve is over).
-    fn unregister(&self, rows: usize) {
-        self.watchers
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .retain(|&(r, _, _)| r != rows);
-    }
-
-    /// Publishes a finished row's area and cancels every in-flight row
-    /// whose lower bound now strictly exceeds the best.
-    fn publish(&self, area: u64) {
-        let mut cur = self.best_area.load(Ordering::Acquire);
-        while area < cur {
-            match self.best_area.compare_exchange_weak(
-                cur,
-                area,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
-                Ok(_) => break,
-                Err(seen) => cur = seen,
-            }
-        }
-        let best = self.best_area.load(Ordering::Acquire);
-        for (_, lb, handle) in self
-            .watchers
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .iter()
-        {
-            if *lb > best && !handle.cancelled() {
-                handle.cancel();
-                self.prunes.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
-
-    fn prunes(&self) -> u64 {
-        self.prunes.load(Ordering::Relaxed)
-    }
-}
-
 /// Records a sweep error, keeping the first *informative* one: the slot
 /// only moves off an uninformative bare `NoSolution`, never off a real
 /// diagnosis — so neither a later `NoSolution` nor the `TooManyRows`
 /// break that ends a sweep can mask the error worth reporting.
-fn note(slot: &mut Option<GenError>, e: GenError) {
+pub(crate) fn note(slot: &mut Option<GenError>, e: GenError) {
     match slot {
         None => *slot = Some(e),
         Some(GenError::NoSolution) if !matches!(e, GenError::NoSolution) => *slot = Some(e),

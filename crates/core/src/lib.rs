@@ -17,6 +17,11 @@
 //! * [`pipeline`] — the staged solve pipeline: shared [`pipeline::Budget`]
 //!   deadlines and the per-stage [`pipeline::PipelineTrace`];
 //! * [`generator`] — the top-level [`generator::CellGenerator`] API;
+//! * [`objective`] — the typed [`objective::ObjectiveSpec`] every
+//!   objective knob (kind, CLIP-WH ordering, height geometry, inter-row
+//!   weight, critical nets) consolidates into;
+//! * [`pareto`] — the frontier mode: one cell solved across a sweep of
+//!   objective parameterizations, with dominance pruning;
 //! * [`request`] — the consolidated [`request::SynthRequest`] builder
 //!   every synthesis mode funnels through;
 //! * [`tuning`] — the stage-boundary [`tuning::TuningPlan`] consumed
@@ -48,8 +53,10 @@ pub mod cluster;
 pub mod exhaustive;
 pub mod generator;
 pub mod hier;
+pub mod objective;
 pub mod orient;
 pub(crate) mod parallel;
+pub mod pareto;
 pub mod pipeline;
 pub mod request;
 pub mod share;
@@ -61,8 +68,10 @@ pub mod verify;
 pub use cliph::{ClipWH, ClipWHError, ClipWHOptions, WhObjective};
 pub use clipw::{ClipW, ClipWError, ClipWOptions};
 pub use generator::{CellGenerator, GenError, GenOptions, GeneratedCell, Objective};
+pub use objective::ObjectiveSpec;
 pub use orient::Orient;
-pub use pipeline::{Budget, Pipeline, PipelineTrace, Stage, StageRecord};
+pub use pareto::{ParetoPoint, ParetoResult};
+pub use pipeline::{Budget, ParetoPointRecord, Pipeline, PipelineTrace, Stage, StageRecord};
 pub use request::{AppliedTuning, SynthRequest, SynthResult};
 pub use share::{ShareArray, ShareEntry};
 pub use solution::{PlacedUnit, Placement};

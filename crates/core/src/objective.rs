@@ -1,0 +1,334 @@
+//! The parameterized objective: one typed [`ObjectiveSpec`] owns every
+//! knob that shapes *what* a synthesis run optimizes and how the result's
+//! height is measured.
+//!
+//! Historically these knobs were scattered across
+//! [`GenOptions`](crate::generator::GenOptions) (`objective`,
+//! `interrow_weight`, `height_params`, `critical_nets`); the spec
+//! consolidates them and adds the geometric parameters a DTCO-style
+//! sweep varies — track pitch and per-row diffusion overhead — so the
+//! *same* cell can be evaluated across height-model regimes and the
+//! results compared on a Pareto frontier (see [`crate::pareto`]).
+//!
+//! Two kinds of parameter live here, and the distinction carries the
+//! whole pareto-mode pruning design:
+//!
+//! * **Solver-visible** parameters change the ILP the solver sees: the
+//!   objective kind and ordering, `interrow_weight`, the critical-net
+//!   set and its weight. Two specs that agree on all of them produce
+//!   byte-identical deterministic solves — [`ObjectiveSpec::solver_key`]
+//!   names the equivalence class, and a pareto sweep solves each class
+//!   once.
+//! * **Reporting-only** parameters (`track_pitch`, `diffusion_overhead`,
+//!   `rail_overhead`) only rescale the measured height
+//!   ([`ObjectiveSpec::height_units`]); they never reach the solver.
+
+use crate::cliph::WhObjective;
+use crate::generator::Objective;
+
+/// A fully parameterized synthesis objective.
+///
+/// The default spec reproduces the classic CLIP behavior exactly:
+/// width-only optimization, unit track pitch, the paper's diffusion and
+/// rail overheads, no inter-row weight, no critical nets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectiveSpec {
+    /// What the solver optimizes: width only (CLIP-W) or width+height
+    /// (CLIP-WH, when the unit set is flat).
+    pub kind: Objective,
+    /// How CLIP-WH combines width and tracks (ignored for
+    /// [`Objective::Width`] and for stacked unit sets, which fall back
+    /// to the width model).
+    pub ordering: WhObjective,
+    /// Height contributed by each routing track, in height units
+    /// (reporting-only; the solver minimizes track *counts*).
+    pub track_pitch: usize,
+    /// Height contributed by each P/N row independent of routing — the
+    /// two diffusion strips (reporting-only).
+    pub diffusion_overhead: usize,
+    /// Height of the supply rails at the top and bottom of the cell
+    /// (reporting-only).
+    pub rail_overhead: usize,
+    /// Weight on inter-row nets in the width objective (Table 3 uses 0).
+    pub interrow_weight: i64,
+    /// Names of timing-critical nets: with the width+height objective,
+    /// their routed span length is additionally minimized.
+    pub critical_nets: Vec<String>,
+    /// Objective weight per spanned column of a critical net.
+    pub critical_weight: i64,
+}
+
+impl Default for ObjectiveSpec {
+    fn default() -> Self {
+        ObjectiveSpec {
+            kind: Objective::Width,
+            ordering: WhObjective::WidthThenHeight,
+            track_pitch: 1,
+            diffusion_overhead: 2,
+            rail_overhead: 2,
+            interrow_weight: 0,
+            critical_nets: Vec::new(),
+            critical_weight: 1,
+        }
+    }
+}
+
+impl ObjectiveSpec {
+    /// The classic width-only objective (CLIP-W).
+    pub fn width() -> Self {
+        ObjectiveSpec::default()
+    }
+
+    /// The width-then-height objective (CLIP-WH, the paper's Table 4
+    /// mode).
+    pub fn width_height() -> Self {
+        ObjectiveSpec {
+            kind: Objective::WidthThenHeight,
+            ..ObjectiveSpec::default()
+        }
+    }
+
+    /// Sets the CLIP-WH ordering (and switches the kind to width+height).
+    pub fn with_ordering(mut self, ordering: WhObjective) -> Self {
+        self.kind = Objective::WidthThenHeight;
+        self.ordering = ordering;
+        self
+    }
+
+    /// Sets the track pitch (reporting-only height scale).
+    pub fn with_track_pitch(mut self, pitch: usize) -> Self {
+        self.track_pitch = pitch;
+        self
+    }
+
+    /// Sets the per-row diffusion overhead (reporting-only).
+    pub fn with_diffusion_overhead(mut self, overhead: usize) -> Self {
+        self.diffusion_overhead = overhead;
+        self
+    }
+
+    /// Sets the rail overhead (reporting-only).
+    pub fn with_rail_overhead(mut self, overhead: usize) -> Self {
+        self.rail_overhead = overhead;
+        self
+    }
+
+    /// Sets the inter-row net weight of the width objective.
+    pub fn with_interrow_weight(mut self, weight: i64) -> Self {
+        self.interrow_weight = weight;
+        self
+    }
+
+    /// Marks nets (by name) as timing-critical.
+    pub fn with_critical_nets(mut self, nets: Vec<String>) -> Self {
+        self.critical_nets = nets;
+        self
+    }
+
+    /// The measured cell height, in height units, for a placement with
+    /// `tracks` total routing tracks over `rows` P/N rows:
+    /// `track_pitch·tracks + rows·diffusion_overhead + rail_overhead`.
+    ///
+    /// With the default spec this is exactly the classic
+    /// `clip_route::density::cell_height` formula.
+    pub fn height_units(&self, tracks: usize, rows: usize) -> usize {
+        self.track_pitch * tracks + rows * self.diffusion_overhead + self.rail_overhead
+    }
+
+    /// The canonical short name of the objective ordering, shared by the
+    /// CLI, the serve protocol, traces, and the memo-cache key:
+    /// `width`, `width-height`, `height-width`, or `weighted:W:H`.
+    pub fn ordering_name(&self) -> String {
+        match self.kind {
+            Objective::Width => "width".into(),
+            Objective::WidthThenHeight => match self.ordering {
+                WhObjective::WidthThenHeight => "width-height".into(),
+                WhObjective::HeightThenWidth => "height-width".into(),
+                WhObjective::Weighted {
+                    width_weight,
+                    height_weight,
+                } => format!("weighted:{width_weight}:{height_weight}"),
+            },
+        }
+    }
+
+    /// Parses an [`ObjectiveSpec::ordering_name`] back into the spec's
+    /// kind and ordering. Returns `None` for unknown names or
+    /// non-positive weighted weights.
+    pub fn parse_ordering(name: &str) -> Option<(Objective, WhObjective)> {
+        match name {
+            "width" => Some((Objective::Width, WhObjective::WidthThenHeight)),
+            "width-height" => Some((Objective::WidthThenHeight, WhObjective::WidthThenHeight)),
+            "height-width" => Some((Objective::WidthThenHeight, WhObjective::HeightThenWidth)),
+            _ => {
+                let rest = name.strip_prefix("weighted:")?;
+                let (w, h) = rest.split_once(':')?;
+                let width_weight: i64 = w.parse().ok()?;
+                let height_weight: i64 = h.parse().ok()?;
+                if width_weight <= 0 || height_weight <= 0 {
+                    return None;
+                }
+                Some((
+                    Objective::WidthThenHeight,
+                    WhObjective::Weighted {
+                        width_weight,
+                        height_weight,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// Installs a parsed ordering name. Returns `None` for unknown
+    /// names.
+    pub fn with_ordering_name(mut self, name: &str) -> Option<Self> {
+        let (kind, ordering) = ObjectiveSpec::parse_ordering(name)?;
+        self.kind = kind;
+        self.ordering = ordering;
+        Some(self)
+    }
+
+    /// The solver-equivalence class of this spec: two specs with equal
+    /// keys put the *identical* model in front of the deterministic
+    /// solver and therefore produce the identical placement. A pareto
+    /// sweep solves each class once and reuses the result for the other
+    /// members (reporting-only parameters rescale the measured height).
+    ///
+    /// `flat` says whether the unit set is flat: stacked unit sets fall
+    /// back to the width model, collapsing every width+height ordering
+    /// into the width class.
+    pub fn solver_key(&self, flat: bool) -> String {
+        match self.kind {
+            Objective::WidthThenHeight if flat => format!(
+                "wh|{}|cw={}|crit={}",
+                match self.ordering {
+                    WhObjective::WidthThenHeight => "wh".to_string(),
+                    WhObjective::HeightThenWidth => "hw".to_string(),
+                    WhObjective::Weighted {
+                        width_weight,
+                        height_weight,
+                    } => format!("x{width_weight}:{height_weight}"),
+                },
+                self.critical_weight,
+                self.critical_nets.join(",")
+            ),
+            _ => format!("w|ir={}", self.interrow_weight),
+        }
+    }
+
+    /// The default pareto sweep derived from a base spec: the base point
+    /// itself (forced to the width+height kind so the sweep explores the
+    /// width/height trade-off), a reporting-only geometry variant of it
+    /// (same solver class — always reused, and always dominated, so
+    /// every default sweep exercises both prune mechanisms), the
+    /// height-first ordering, and two weighted blends.
+    pub fn default_sweep(base: &ObjectiveSpec) -> Vec<ObjectiveSpec> {
+        let base = ObjectiveSpec {
+            kind: Objective::WidthThenHeight,
+            ..base.clone()
+        };
+        vec![
+            base.clone(),
+            ObjectiveSpec {
+                track_pitch: base.track_pitch * 2,
+                diffusion_overhead: base.diffusion_overhead + 1,
+                ..base.clone()
+            },
+            ObjectiveSpec {
+                ordering: WhObjective::HeightThenWidth,
+                ..base.clone()
+            },
+            ObjectiveSpec {
+                ordering: WhObjective::Weighted {
+                    width_weight: 1,
+                    height_weight: 1,
+                },
+                ..base.clone()
+            },
+            ObjectiveSpec {
+                ordering: WhObjective::Weighted {
+                    width_weight: 1,
+                    height_weight: 2,
+                },
+                ..base
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_reproduces_the_classic_height_formula() {
+        let spec = ObjectiveSpec::default();
+        // tracks + rows*2 + 2: the clip_route cell_height defaults.
+        assert_eq!(spec.height_units(1, 2), 7);
+        assert_eq!(spec.height_units(0, 1), 4);
+        let wide = spec
+            .clone()
+            .with_track_pitch(2)
+            .with_diffusion_overhead(3)
+            .with_rail_overhead(1);
+        assert_eq!(wide.height_units(2, 2), 4 + 6 + 1);
+    }
+
+    #[test]
+    fn ordering_names_round_trip() {
+        for name in ["width", "width-height", "height-width", "weighted:2:3"] {
+            let spec = ObjectiveSpec::default().with_ordering_name(name).unwrap();
+            assert_eq!(spec.ordering_name(), name);
+        }
+        assert!(ObjectiveSpec::parse_ordering("area").is_none());
+        assert!(ObjectiveSpec::parse_ordering("weighted:0:1").is_none());
+        assert!(ObjectiveSpec::parse_ordering("weighted:1:-2").is_none());
+        assert!(ObjectiveSpec::parse_ordering("weighted:a:b").is_none());
+    }
+
+    #[test]
+    fn solver_key_ignores_reporting_only_parameters() {
+        let base = ObjectiveSpec::width_height();
+        let scaled = base
+            .clone()
+            .with_track_pitch(4)
+            .with_diffusion_overhead(7)
+            .with_rail_overhead(0);
+        assert_eq!(base.solver_key(true), scaled.solver_key(true));
+        // Solver-visible parameters split the class.
+        let hw = base.clone().with_ordering(WhObjective::HeightThenWidth);
+        assert_ne!(base.solver_key(true), hw.solver_key(true));
+        let crit = base.clone().with_critical_nets(vec!["z".into()]);
+        assert_ne!(base.solver_key(true), crit.solver_key(true));
+        // Stacked sets collapse every ordering into the width class...
+        assert_eq!(base.solver_key(false), hw.solver_key(false));
+        // ...where only the inter-row weight matters.
+        let ir = base.clone().with_interrow_weight(3);
+        assert_ne!(base.solver_key(false), ir.solver_key(false));
+        assert_eq!(
+            ObjectiveSpec::width().solver_key(true),
+            ObjectiveSpec::width().solver_key(false)
+        );
+    }
+
+    #[test]
+    fn default_sweep_contains_a_reused_and_dominated_variant() {
+        let sweep = ObjectiveSpec::default_sweep(&ObjectiveSpec::width());
+        assert_eq!(sweep.len(), 5);
+        // Point 0 is the base forced to width+height.
+        assert_eq!(sweep[0].kind, Objective::WidthThenHeight);
+        // Point 1 shares point 0's solver class (reporting-only delta)
+        // and measures strictly taller for every placement.
+        assert_eq!(sweep[0].solver_key(true), sweep[1].solver_key(true));
+        for tracks in 0..4 {
+            for rows in 1..4 {
+                assert!(sweep[1].height_units(tracks, rows) > sweep[0].height_units(tracks, rows));
+            }
+        }
+        // The remaining points are distinct solver classes.
+        let keys: Vec<String> = sweep.iter().map(|s| s.solver_key(true)).collect();
+        assert_ne!(keys[2], keys[0]);
+        assert_ne!(keys[3], keys[0]);
+        assert_ne!(keys[4], keys[3]);
+    }
+}

@@ -1,0 +1,454 @@
+//! The Pareto frontier mode: one cell solved across a sweep of
+//! [`ObjectiveSpec`] parameterizations inside a single shared budget.
+//!
+//! The classic CLIP-WH story optimizes one fixed objective ordering. This
+//! module generalizes that into a *frontier*: the caller supplies a list
+//! of objective specs (or takes [`ObjectiveSpec::default_sweep`]) and the
+//! race solves the same circuit once per *solver-visible equivalence
+//! class*, publishing each proved `(width, height)` outcome on a shared
+//! [`PruneBoard`] so that a finished point can dominance-prune a
+//! still-running one whose optimistic floor it already dominates.
+//!
+//! # Determinism
+//!
+//! The emitted frontier is byte-identical across worker counts and runs:
+//!
+//! * every point solve is a single-strategy deterministic solve seeded by
+//!   one shared greedy hint, so a point that runs to completion always
+//!   produces the same cell;
+//! * the cancel rule is *sound* — a published value `p` prunes a pending
+//!   floor `f` only when `p` strictly dominates `f`, which means any
+//!   feasible outcome of the pruned point (necessarily `>= f` in both
+//!   coordinates) would itself be strictly dominated by `p`. A pruned
+//!   point therefore can never sit on the non-dominated frontier, in any
+//!   schedule, so which points get pruned cannot change the frontier;
+//! * dominance edges and frontier membership are computed *after* the
+//!   join, scanning points in spec order — completion order never leaks.
+//!
+//! Only the prune/reuse *counters* and degraded incumbent values of
+//! cancelled points vary with scheduling; both are reported as
+//! diagnostics (trace schema 6), not as frontier content.
+
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+use clip_netlist::Circuit;
+use clip_pb::{PruneBoard, SharedIncumbent};
+
+use crate::bounds;
+use crate::generator::{CellGenerator, GenError, GenOptions, GeneratedCell};
+use crate::objective::ObjectiveSpec;
+use crate::pipeline::{Budget, ParetoPointRecord, Pipeline, PipelineTrace, Stage, StageRecord};
+
+/// One objective parameterization's outcome in a frontier race.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParetoPoint {
+    /// The spec this point solved under.
+    pub spec: ObjectiveSpec,
+    /// Final cell width in columns (`None` if the point failed or was
+    /// pruned before producing any placement).
+    pub width: Option<usize>,
+    /// Total routing tracks of the final placement.
+    pub tracks: Option<usize>,
+    /// Cell height in this spec's height units.
+    pub height: Option<usize>,
+    /// Whether the solve ran to proved optimality.
+    pub proved: bool,
+    /// Whether this point reused another point's solve because their
+    /// solver-visible parameterizations are identical.
+    pub reused: bool,
+    /// Whether this point was dominance-pruned (refused at registration,
+    /// or cancelled mid-solve by a published dominating value).
+    pub pruned: bool,
+    /// Index of the lowest-numbered point whose value strictly dominates
+    /// this one (or equals it, for an earlier index).
+    pub dominated_by: Option<usize>,
+    /// Whether the point sits on the emitted non-dominated frontier.
+    pub on_frontier: bool,
+}
+
+impl ParetoPoint {
+    /// The point's `(width, height)` value, when it produced one.
+    pub fn value(&self) -> Option<(u64, u64)> {
+        Some((self.width? as u64, self.height? as u64))
+    }
+}
+
+/// The outcome of a Pareto frontier race: every point in spec order, the
+/// frontier as indices into it, and race-level diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParetoResult {
+    /// All points, in the order the specs were supplied.
+    pub points: Vec<ParetoPoint>,
+    /// Indices of the mutually non-dominated points, ascending.
+    pub frontier: Vec<usize>,
+    /// Dominance-prune events: reused solver classes, registrations
+    /// refused, and mid-solve cancellations. Schedule-dependent (a
+    /// diagnostic, not frontier content), but always at least the
+    /// schedule-independent reuse count.
+    pub prunes: u64,
+    /// Worker threads the race fanned out on.
+    pub threads: usize,
+}
+
+/// Strict Pareto dominance on `(width, height)` pairs: no worse in both
+/// coordinates and strictly better in at least one. This is also the
+/// prune board's cancel rule — see the module docs for why that is
+/// sound. Public so out-of-process frontier assemblers (the serve
+/// daemon's `pareto` op) apply the identical rule.
+pub fn dominates(p: &(u64, u64), f: &(u64, u64)) -> bool {
+    (p.0 <= f.0 && p.1 < f.1) || (p.0 < f.0 && p.1 <= f.1)
+}
+
+impl ParetoResult {
+    /// A deterministic human-readable frontier table. Only frontier
+    /// points are printed, so the bytes are stable across worker counts
+    /// and runs (given an unexpired budget).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "pareto frontier: {} of {} points non-dominated",
+            self.frontier.len(),
+            self.points.len()
+        );
+        let _ = writeln!(
+            out,
+            "  idx  objective        pitch  diff  rail  width  tracks  height  status"
+        );
+        for &i in &self.frontier {
+            let p = &self.points[i];
+            let _ = writeln!(
+                out,
+                "  [{}]  {:<15} {:>6} {:>5} {:>5} {:>6} {:>7} {:>7}  {}",
+                i,
+                p.spec.ordering_name(),
+                p.spec.track_pitch,
+                p.spec.diffusion_overhead,
+                p.spec.rail_overhead,
+                p.width.map_or(String::from("-"), |v| v.to_string()),
+                p.tracks.map_or(String::from("-"), |v| v.to_string()),
+                p.height.map_or(String::from("-"), |v| v.to_string()),
+                if p.proved { "proved" } else { "degraded" },
+            );
+        }
+        out
+    }
+
+    /// The per-point records stamped onto the [`Stage::Pareto`] trace
+    /// record (trace schema 6).
+    pub fn records(&self) -> Vec<ParetoPointRecord> {
+        self.points
+            .iter()
+            .map(|p| ParetoPointRecord {
+                objective: p.spec.ordering_name(),
+                track_pitch: p.spec.track_pitch,
+                diffusion_overhead: p.spec.diffusion_overhead,
+                rail_overhead: p.spec.rail_overhead,
+                interrow_weight: p.spec.interrow_weight,
+                width: p.width,
+                tracks: p.tracks,
+                height: p.height,
+                proved: p.proved,
+                reused: p.reused,
+                pruned: p.pruned,
+                on_frontier: p.on_frontier,
+                dominated_by: p.dominated_by,
+            })
+            .collect()
+    }
+
+    /// Whether every emitted frontier point is non-dominated against
+    /// every other (the invariant the corpus self-check enforces).
+    pub fn mutually_non_dominated(&self) -> bool {
+        for (pos, &a) in self.frontier.iter().enumerate() {
+            let Some(va) = self.points[a].value() else {
+                return false;
+            };
+            for &b in &self.frontier[pos + 1..] {
+                let Some(vb) = self.points[b].value() else {
+                    return false;
+                };
+                if va == vb || dominates(&va, &vb) || dominates(&vb, &va) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// What one solver-class representative produced.
+enum RepOutcome {
+    /// The representative's floor was already dominated at registration.
+    Pruned,
+    /// The representative ran (possibly cancelled mid-solve).
+    Done {
+        result: Box<Result<GeneratedCell, GenError>>,
+        trace: PipelineTrace,
+        cancelled: bool,
+    },
+}
+
+/// Compact per-representative summary kept after the join (the full cell
+/// is retained only for the base point).
+struct RepVal {
+    width: usize,
+    tracks: usize,
+    rows: usize,
+    proved: bool,
+}
+
+/// Runs the frontier race: solves `circuit` once per solver-visible
+/// equivalence class of `specs` on a shared fan-out pool, computes
+/// dominance edges and the non-dominated frontier, and returns the base
+/// point's cell (spec 0, always solved to completion) with the merged
+/// trace attached, alongside the [`ParetoResult`].
+///
+/// # Errors
+///
+/// Propagates the base point's error; other points' failures are
+/// recorded as valueless points rather than failing the race.
+pub(crate) fn generate(
+    options: &GenOptions,
+    circuit: &Circuit,
+    specs: &[ObjectiveSpec],
+    budget: &Budget,
+) -> Result<(GeneratedCell, ParetoResult), GenError> {
+    assert!(!specs.is_empty(), "pareto race needs at least one spec");
+    let start = Instant::now();
+    let generator = CellGenerator::new(options.clone());
+    let prep = generator.sweep_prep(circuit)?;
+    let flat = prep.units.is_flat();
+    let rows = options.rows;
+
+    // Solver-class dedup: specs differing only in reporting-only
+    // parameters (track pitch, overheads) share one deterministic solve.
+    // The lowest index of each class is its representative; the rest are
+    // counted as schedule-independent prunes up front.
+    let keys: Vec<String> = specs.iter().map(|s| s.solver_key(flat)).collect();
+    let class_rep: Vec<usize> = (0..specs.len())
+        .map(|i| keys[..i].iter().position(|k| *k == keys[i]).unwrap_or(i))
+        .collect();
+    let reps: Vec<usize> = (0..specs.len()).filter(|&i| class_rep[i] == i).collect();
+
+    let board: PruneBoard<(u64, u64)> = PruneBoard::new(dominates);
+    board.count_prunes((specs.len() - reps.len()) as u64);
+
+    let width_lb = bounds::width_lower_bound(&prep.units, &prep.share, rows);
+
+    let run_rep = |k: usize| -> RepOutcome {
+        let idx = reps[k];
+        let spec = &specs[idx];
+        // A point's optimistic floor: the combinatorial width bound and
+        // the routing-free height (zero tracks) under its own spec.
+        let floor = (
+            width_lb.unwrap_or(0) as u64,
+            spec.height_units(0, rows) as u64,
+        );
+        // The base point is exempt from pruning: its cell is the
+        // request's result and must always be produced.
+        let cancel = if idx == 0 {
+            SharedIncumbent::default()
+        } else {
+            match board.register(idx, floor) {
+                Some(cancel) => cancel,
+                None => return RepOutcome::Pruned,
+            }
+        };
+        let mut point_opts = options.clone();
+        point_opts.objective = spec.clone();
+        // The race spends its parallelism on points; each point's solve
+        // stays a single deterministic strategy.
+        point_opts.jobs = NonZeroUsize::MIN;
+        let mut pipeline = Pipeline::new(budget.clone());
+        pipeline.set_rows(Some(rows));
+        let result = CellGenerator::new(point_opts).generate_staged(
+            circuit.clone(),
+            &mut pipeline,
+            prep.hint.as_ref(),
+            Some(&cancel),
+        );
+        board.unregister(idx);
+        // The winning strategy self-cancels its own incumbent on proof
+        // (the portfolio's stop-the-losers convention), so a raised flag
+        // on a *proved* outcome is not a dominance prune; only an
+        // unproved outcome was genuinely cut short by a published
+        // dominating value.
+        let proved = result.as_ref().is_ok_and(|cell| cell.optimal);
+        let cancelled = cancel.cancelled() && !proved;
+        if let Ok(cell) = &result {
+            // Only proved outcomes publish: the optimum value is unique
+            // for the point's objective regardless of schedule, so
+            // pruning stays sound in every interleaving.
+            if cell.optimal {
+                board.publish((cell.width as u64, cell.height as u64));
+            }
+        }
+        RepOutcome::Done {
+            result: Box::new(result),
+            trace: pipeline.into_trace(),
+            cancelled,
+        }
+    };
+
+    let workers = options.jobs.get().min(reps.len().max(1));
+    let slots = crate::parallel::fan_out(reps.len(), workers, run_rep);
+
+    // Post-join assembly, strictly in spec order: traces, per-class
+    // values, and the base cell.
+    let mut by_idx: Vec<Option<RepOutcome>> = (0..specs.len()).map(|_| None).collect();
+    for (k, slot) in slots.into_iter().enumerate() {
+        by_idx[reps[k]] = slot;
+    }
+    let mut trace = PipelineTrace::default();
+    let mut first_err: Option<GenError> = None;
+    let mut vals: Vec<Option<RepVal>> = (0..specs.len()).map(|_| None).collect();
+    let mut pruned = vec![false; specs.len()];
+    let mut base_cell: Option<GeneratedCell> = None;
+    for &idx in &reps {
+        match by_idx[idx].take() {
+            None => {}
+            Some(RepOutcome::Pruned) => pruned[idx] = true,
+            Some(RepOutcome::Done {
+                result,
+                trace: t,
+                cancelled,
+            }) => {
+                trace.stages.extend(t.stages);
+                pruned[idx] = cancelled;
+                match *result {
+                    Ok(cell) => {
+                        vals[idx] = Some(RepVal {
+                            width: cell.width,
+                            tracks: cell.tracks.iter().sum(),
+                            rows: cell.placement.rows.len(),
+                            proved: cell.optimal,
+                        });
+                        if idx == 0 {
+                            base_cell = Some(cell);
+                        }
+                    }
+                    Err(e) => crate::generator::note(&mut first_err, e),
+                }
+            }
+        }
+    }
+
+    // Each point takes its class representative's solve, re-measured
+    // under its *own* height geometry.
+    let mut points: Vec<ParetoPoint> = (0..specs.len())
+        .map(|i| {
+            let rep = class_rep[i];
+            let v = vals[rep].as_ref();
+            ParetoPoint {
+                spec: specs[i].clone(),
+                width: v.map(|v| v.width),
+                tracks: v.map(|v| v.tracks),
+                height: v.map(|v| specs[i].height_units(v.tracks, v.rows)),
+                proved: v.is_some_and(|v| v.proved),
+                reused: rep != i,
+                pruned: pruned[rep],
+                dominated_by: None,
+                on_frontier: false,
+            }
+        })
+        .collect();
+
+    // Dominance edges: the lowest j that strictly dominates i, with
+    // exact-value ties collapsing onto the earliest index.
+    for i in 0..points.len() {
+        let Some(vi) = points[i].value() else {
+            continue;
+        };
+        points[i].dominated_by = (0..points.len()).find(|&j| {
+            j != i
+                && points[j]
+                    .value()
+                    .is_some_and(|vj| dominates(&vj, &vi) || (vj == vi && j < i))
+        });
+    }
+    let frontier: Vec<usize> = (0..points.len())
+        .filter(|&i| points[i].value().is_some() && points[i].dominated_by.is_none())
+        .collect();
+    for &i in &frontier {
+        points[i].on_frontier = true;
+    }
+
+    let result = ParetoResult {
+        points,
+        frontier,
+        prunes: board.prunes(),
+        threads: workers,
+    };
+
+    let mut cell = match base_cell {
+        Some(cell) => cell,
+        None => return Err(first_err.unwrap_or(GenError::NoSolution)),
+    };
+    let mut rec = StageRecord::new(Stage::Pareto, None);
+    rec.wall = start.elapsed();
+    rec.threads = Some(workers);
+    rec.shared_prunes = Some(result.prunes);
+    rec.pareto = Some(result.records());
+    trace.stages.push(rec);
+    cell.trace = trace;
+    Ok((cell, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clip_netlist::library;
+
+    fn race(circuit: Circuit, specs: Vec<ObjectiveSpec>) -> (GeneratedCell, ParetoResult) {
+        let opts = GenOptions::rows(2);
+        generate(&opts, &circuit, &specs, &Budget::unlimited()).expect("race succeeds")
+    }
+
+    #[test]
+    fn default_sweep_frontier_is_non_dominated_and_contains_the_base_point() {
+        let specs = ObjectiveSpec::default_sweep(&ObjectiveSpec::width());
+        let (cell, result) = race(library::nand2(), specs);
+        assert!(result.mutually_non_dominated());
+        assert!(
+            result.points[0].on_frontier,
+            "the width-first optimum can never be strictly dominated"
+        );
+        assert_eq!(result.points[0].width, Some(cell.width));
+        assert_eq!(result.points[0].height, Some(cell.height));
+        // The sweep's pitch/diffusion variant shares point 0's solver
+        // class: reused, strictly taller, dominated by point 0.
+        let variant = &result.points[1];
+        assert!(variant.reused);
+        assert_eq!(variant.dominated_by, Some(0));
+        assert!(result.prunes >= 1, "class reuse counts as a prune");
+    }
+
+    #[test]
+    fn frontier_bytes_are_identical_across_worker_counts() {
+        let specs = ObjectiveSpec::default_sweep(&ObjectiveSpec::width());
+        let mut renders = Vec::new();
+        for jobs in [1usize, 2, 8] {
+            let mut opts = GenOptions::rows(2);
+            opts.jobs = NonZeroUsize::new(jobs).unwrap();
+            opts.jobs_explicit = true;
+            let (_, result) = generate(&opts, &library::nand3(), &specs, &Budget::unlimited())
+                .expect("race succeeds");
+            renders.push(result.render());
+        }
+        assert_eq!(renders[0], renders[1]);
+        assert_eq!(renders[1], renders[2]);
+    }
+
+    #[test]
+    fn identical_specs_collapse_to_one_solve() {
+        let spec = ObjectiveSpec::width_height();
+        let (_, result) = race(library::nand2(), vec![spec.clone(), spec.clone(), spec]);
+        assert!(!result.points[0].reused);
+        assert!(result.points[1].reused && result.points[2].reused);
+        assert_eq!(result.frontier, vec![0], "exact ties collapse to index 0");
+        assert!(result.prunes >= 2);
+    }
+}

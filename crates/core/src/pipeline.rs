@@ -42,6 +42,9 @@ pub enum Stage {
     /// Summary record for a hierarchical generation request (partition,
     /// sub-cell solves, composition).
     Hier,
+    /// Summary record for a Pareto frontier race: one cell solved across a
+    /// sweep of objective parameterizations with dominance pruning.
+    Pareto,
 }
 
 impl Stage {
@@ -57,6 +60,7 @@ impl Stage {
             Stage::Route => "route",
             Stage::Sweep => "sweep",
             Stage::Hier => "hier",
+            Stage::Pareto => "pareto",
         }
     }
 
@@ -72,9 +76,47 @@ impl Stage {
             "route" => Stage::Route,
             "sweep" => Stage::Sweep,
             "hier" => Stage::Hier,
+            "pareto" => Stage::Pareto,
             _ => return None,
         })
     }
+}
+
+/// One point of a Pareto frontier race, as recorded on the
+/// [`Stage::Pareto`] summary record. Every field is a plain scalar so the
+/// record serializes without reference to the in-memory
+/// [`crate::objective::ObjectiveSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParetoPointRecord {
+    /// Canonical objective-ordering name (`"width"`, `"width-height"`,
+    /// `"height-width"`, `"weighted:W:H"`).
+    pub objective: String,
+    /// Height units per routing track for this point's spec.
+    pub track_pitch: usize,
+    /// Height units of diffusion overhead per row.
+    pub diffusion_overhead: usize,
+    /// Fixed supply-rail overhead in height units.
+    pub rail_overhead: usize,
+    /// Inter-row wiring weight used by the single-row objective.
+    pub interrow_weight: i64,
+    /// Final cell width in columns (`None` if the point failed or was
+    /// pruned before producing a placement).
+    pub width: Option<usize>,
+    /// Total routing tracks of the final placement.
+    pub tracks: Option<usize>,
+    /// Cell height in this spec's height units.
+    pub height: Option<usize>,
+    /// Whether the point's solve ran to proved optimality.
+    pub proved: bool,
+    /// Whether the point reused another point's solve (identical
+    /// solver-visible parameterization).
+    pub reused: bool,
+    /// Whether the point was dominance-pruned before or during its solve.
+    pub pruned: bool,
+    /// Whether the point sits on the emitted non-dominated frontier.
+    pub on_frontier: bool,
+    /// Index of the lowest-numbered point that dominates this one.
+    pub dominated_by: Option<usize>,
 }
 
 /// One timed pipeline stage: what ran, for how long, over which model, and
@@ -113,6 +155,9 @@ pub struct StageRecord {
     /// `TuningPlan` display form. `None` when the stage ran on the
     /// hardcoded defaults (no profile, or an empty plan).
     pub tuning: Option<String>,
+    /// Per-point outcomes of a Pareto frontier race (only on
+    /// [`Stage::Pareto`] records), in spec order.
+    pub pareto: Option<Vec<ParetoPointRecord>>,
 }
 
 impl StageRecord {
@@ -131,6 +176,7 @@ impl StageRecord {
             shared_prunes: None,
             thread_solves: Vec::new(),
             tuning: None,
+            pareto: None,
         }
     }
 }
@@ -253,6 +299,7 @@ mod tests {
             Stage::Route,
             Stage::Sweep,
             Stage::Hier,
+            Stage::Pareto,
         ] {
             assert_eq!(Stage::from_name(s.name()), Some(s));
         }

@@ -37,6 +37,7 @@ use clip_pb::SolveStats;
 use crate::cluster;
 use crate::generator::{CellGenerator, GenError, GenOptions, GeneratedCell};
 use crate::hier::{HierCell, HierOptions};
+use crate::objective::ObjectiveSpec;
 use crate::pipeline::{Budget, Pipeline, Stage};
 use crate::tuning::TuningPlan;
 use crate::unit::UnitSet;
@@ -54,6 +55,9 @@ enum Mode {
     /// Hierarchical generation: partition by gates, solve sub-cells,
     /// compose.
     Hier,
+    /// A Pareto frontier race over a sweep of objective specs (the specs
+    /// ride in [`SynthRequest::pareto_specs`] to keep `Mode` copyable).
+    Pareto,
 }
 
 /// A builder-style synthesis request: circuit, options, budget, mode,
@@ -67,6 +71,10 @@ pub struct SynthRequest {
     options: GenOptions,
     budget: Option<Budget>,
     mode: Mode,
+    /// The objective sweep of a [`Mode::Pareto`] request. An empty list
+    /// means "use [`ObjectiveSpec::default_sweep`] over the request's
+    /// base objective", resolved at build time.
+    pareto_specs: Vec<ObjectiveSpec>,
     /// True once the caller set a job count explicitly — a profile's
     /// `jobs` advice then never overrides it.
     explicit_jobs: bool,
@@ -81,6 +89,7 @@ impl SynthRequest {
             options: GenOptions::rows(1),
             budget: None,
             mode: Mode::Fixed,
+            pareto_specs: Vec::new(),
             explicit_jobs: false,
         }
     }
@@ -95,6 +104,7 @@ impl SynthRequest {
             options,
             budget: None,
             mode: Mode::Fixed,
+            pareto_specs: Vec::new(),
             explicit_jobs: true,
         }
     }
@@ -119,15 +129,39 @@ impl SynthRequest {
         self
     }
 
+    /// Switches to a Pareto frontier race over `specs` (fixed-row mode
+    /// per point, one shared budget across the race). An empty list asks
+    /// for [`ObjectiveSpec::default_sweep`] over the request's base
+    /// objective. Point 0's cell becomes [`SynthResult::cell`]; the
+    /// frontier arrives on [`SynthResult::pareto`].
+    pub fn pareto(mut self, specs: Vec<ObjectiveSpec>) -> Self {
+        self.mode = Mode::Pareto;
+        self.pareto_specs = specs;
+        self
+    }
+
     /// Enables HCLIP and-stack clustering.
     pub fn stacking(mut self) -> Self {
         self.options.stacking = true;
         self
     }
 
+    /// Installs a fully-built [`ObjectiveSpec`]: objective kind and
+    /// ordering, height-model geometry, inter-row weight, and critical
+    /// nets in one typed value. The `height`/`critical_nets`/
+    /// `interrow_weight` builders below are thin shims mutating the same
+    /// spec.
+    pub fn objective(mut self, spec: ObjectiveSpec) -> Self {
+        self.options.objective = spec;
+        self
+    }
+
     /// Switches to the width+height objective (fixed-row mode).
+    ///
+    /// Deprecated shim over [`SynthRequest::objective`]; kept
+    /// byte-identical for existing callers.
     pub fn height(mut self) -> Self {
-        self.options.objective = crate::generator::Objective::WidthThenHeight;
+        self.options.objective.kind = crate::generator::Objective::WidthThenHeight;
         self
     }
 
@@ -139,14 +173,20 @@ impl SynthRequest {
 
     /// Marks nets (by name) as timing-critical for the width+height
     /// objective.
+    ///
+    /// Deprecated shim over [`SynthRequest::objective`]; kept
+    /// byte-identical for existing callers.
     pub fn critical_nets(mut self, nets: Vec<String>) -> Self {
-        self.options.critical_nets = nets;
+        self.options.objective.critical_nets = nets;
         self
     }
 
     /// Sets the weight on inter-row nets in the width objective.
+    ///
+    /// Deprecated shim over [`SynthRequest::objective`]; kept
+    /// byte-identical for existing callers.
     pub fn interrow_weight(mut self, weight: i64) -> Self {
-        self.options.interrow_weight = weight;
+        self.options.objective.interrow_weight = weight;
         self
     }
 
@@ -233,6 +273,7 @@ impl SynthRequest {
                 Ok(SynthResult {
                     cell,
                     hier: None,
+                    pareto: None,
                     applied,
                 })
             }
@@ -242,6 +283,22 @@ impl SynthRequest {
                 Ok(SynthResult {
                     cell,
                     hier: None,
+                    pareto: None,
+                    applied,
+                })
+            }
+            Mode::Pareto => {
+                let specs = if self.pareto_specs.is_empty() {
+                    ObjectiveSpec::default_sweep(&self.options.objective)
+                } else {
+                    std::mem::take(&mut self.pareto_specs)
+                };
+                let (cell, pareto) =
+                    crate::pareto::generate(&self.options, &self.circuit, &specs, &budget)?;
+                Ok(SynthResult {
+                    cell,
+                    hier: None,
+                    pareto: Some(pareto),
                     applied,
                 })
             }
@@ -297,6 +354,7 @@ impl SynthRequest {
                 Ok(SynthResult {
                     cell,
                     hier: Some(hier),
+                    pareto: None,
                     applied,
                 })
             }
@@ -325,6 +383,9 @@ pub struct SynthResult {
     /// Hierarchical composition details, for requests built with
     /// [`SynthRequest::hierarchical`].
     pub hier: Option<HierCell>,
+    /// The objective frontier, for requests built with
+    /// [`SynthRequest::pareto`].
+    pub pareto: Option<crate::pareto::ParetoResult>,
     /// The tuning decisions the request ran with.
     pub applied: AppliedTuning,
 }

@@ -44,10 +44,16 @@
 //! `stop_reason` string inside solver stats (`"deadline"`,
 //! `"node_budget"`, `"cancelled"`, or `"panicked"` — why an unproved
 //! search stopped; omitted when the search ran to completion, `None` on
-//! parse when absent). The parser accepts versions 1 (with or without
-//! an explicit `schema` key, since version 1 predates the key) through
-//! the current version and rejects any other rather than misreading a
-//! future layout.
+//! parse when absent). Version 6 added the `"pareto"` stage and its
+//! per-point `pareto` array on the stage record: each entry carries the
+//! point's objective parameterization (`objective`, `track_pitch`,
+//! `diffusion_overhead`, `rail_overhead`, `interrow_weight`), its
+//! outcome (`width`/`tracks`/`height`, omitted when the point produced
+//! none), and the race flags (`proved`, `reused`, `pruned`,
+//! `on_frontier`, optional `dominated_by` index). The parser accepts
+//! versions 1 (with or without an explicit `schema` key, since version 1
+//! predates the key) through the current version and rejects any other
+//! rather than misreading a future layout.
 //!
 //! Durations are integral nanoseconds, so emit → parse → emit is exact.
 //! `clip synth --trace FILE` writes this document, and the bench harness
@@ -57,19 +63,22 @@ use std::fmt;
 use std::time::Duration;
 
 use clip_core::pipeline::{
-    ClassCounts, ConstraintClass, PipelineTrace, SolveStats, Stage, StageRecord, StopReason,
+    ClassCounts, ConstraintClass, ParetoPointRecord, PipelineTrace, SolveStats, Stage, StageRecord,
+    StopReason,
 };
 
 use crate::jsonio::{self, Json, JsonError};
 
-/// The trace schema version this crate writes. Version 5 added the
-/// optional `stop_reason` string inside solver stats; version 4 added
-/// the modern-CDCL engine counters (`restarts`, `learned_kept`,
-/// `learned_deleted`, `plbd_hist`); version 3 added the
-/// constraint-theory fields (`classes`, `props_by_class`,
-/// `conflicts_by_class`); version 2 added the per-stage `tuning` stamp;
-/// versions 1 (no `schema` key) through 5 are all accepted by [`parse`].
-pub const TRACE_SCHEMA: i64 = 5;
+/// The trace schema version this crate writes. Version 6 added the
+/// Pareto frontier fields (the `"pareto"` stage and its per-point
+/// `pareto` array); version 5 added the optional `stop_reason` string
+/// inside solver stats; version 4 added the modern-CDCL engine counters
+/// (`restarts`, `learned_kept`, `learned_deleted`, `plbd_hist`);
+/// version 3 added the constraint-theory fields (`classes`,
+/// `props_by_class`, `conflicts_by_class`); version 2 added the
+/// per-stage `tuning` stamp; versions 1 (no `schema` key) through 6 are
+/// all accepted by [`parse`].
+pub const TRACE_SCHEMA: i64 = 6;
 
 /// A trace deserialization failure.
 #[derive(Clone, Debug, PartialEq)]
@@ -170,6 +179,79 @@ fn stats_to_value(s: &SolveStats) -> Json {
     Json::obj(pairs)
 }
 
+/// Serializes one Pareto point record (schema-6 `pareto` array entry).
+/// Public so the serve daemon's `pareto` op emits frontier points in
+/// exactly the trace vocabulary.
+pub fn pareto_point_to_value(p: &ParetoPointRecord) -> Json {
+    let mut pairs: Vec<(&'static str, Json)> = vec![
+        ("objective", Json::Str(p.objective.clone())),
+        ("track_pitch", Json::Int(p.track_pitch as i64)),
+        ("diffusion_overhead", Json::Int(p.diffusion_overhead as i64)),
+        ("rail_overhead", Json::Int(p.rail_overhead as i64)),
+        ("interrow_weight", Json::Int(p.interrow_weight)),
+    ];
+    if let Some(w) = p.width {
+        pairs.push(("width", Json::Int(w as i64)));
+    }
+    if let Some(t) = p.tracks {
+        pairs.push(("tracks", Json::Int(t as i64)));
+    }
+    if let Some(h) = p.height {
+        pairs.push(("height", Json::Int(h as i64)));
+    }
+    pairs.push(("proved", Json::Bool(p.proved)));
+    pairs.push(("reused", Json::Bool(p.reused)));
+    pairs.push(("pruned", Json::Bool(p.pruned)));
+    pairs.push(("on_frontier", Json::Bool(p.on_frontier)));
+    if let Some(d) = p.dominated_by {
+        pairs.push(("dominated_by", Json::Int(d as i64)));
+    }
+    Json::obj(pairs)
+}
+
+/// Parses one Pareto point record.
+fn pareto_point_from_value(v: &Json) -> Result<ParetoPointRecord, TraceError> {
+    let count = |key: &str| -> Result<usize, TraceError> {
+        req(v, key)?
+            .as_usize()
+            .ok_or_else(|| schema(format!("`{key}` must be a non-negative integer")))
+    };
+    let opt_usize = |key: &str| -> Result<Option<usize>, TraceError> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(f) => f
+                .as_usize()
+                .map(Some)
+                .ok_or_else(|| schema(format!("`{key}` must be a non-negative integer"))),
+        }
+    };
+    let flag = |key: &str| -> Result<bool, TraceError> {
+        req(v, key)?
+            .as_bool()
+            .ok_or_else(|| schema(format!("`{key}` must be a boolean")))
+    };
+    Ok(ParetoPointRecord {
+        objective: req(v, "objective")?
+            .as_str()
+            .ok_or_else(|| schema("`objective` must be a string"))?
+            .to_string(),
+        track_pitch: count("track_pitch")?,
+        diffusion_overhead: count("diffusion_overhead")?,
+        rail_overhead: count("rail_overhead")?,
+        interrow_weight: req(v, "interrow_weight")?
+            .as_i64()
+            .ok_or_else(|| schema("`interrow_weight` must be an integer"))?,
+        width: opt_usize("width")?,
+        tracks: opt_usize("tracks")?,
+        height: opt_usize("height")?,
+        proved: flag("proved")?,
+        reused: flag("reused")?,
+        pruned: flag("pruned")?,
+        on_frontier: flag("on_frontier")?,
+        dominated_by: opt_usize("dominated_by")?,
+    })
+}
+
 /// Serializes one stage record as a JSON object. Reused by the bench
 /// harness to embed per-stage fields in its JSONL lines.
 pub fn stage_to_value(rec: &StageRecord) -> Json {
@@ -212,6 +294,9 @@ pub fn stage_to_value(rec: &StageRecord) -> Json {
             "thread_solves".into(),
             Json::arr(&rec.thread_solves, stats_to_value),
         ));
+    }
+    if let Some(points) = &rec.pareto {
+        pairs.push(("pareto".into(), Json::arr(points, pareto_point_to_value)));
     }
     Json::Obj(pairs)
 }
@@ -377,6 +462,17 @@ fn stage_from_value(v: &Json) -> Result<StageRecord, TraceError> {
                 .to_string(),
         ),
     };
+    // Absent before schema 6 (and on non-pareto stages): stays `None`.
+    let pareto = match v.get("pareto") {
+        None => None,
+        Some(arr) => Some(
+            arr.as_arr()
+                .ok_or_else(|| schema("`pareto` must be an array"))?
+                .iter()
+                .map(pareto_point_from_value)
+                .collect::<Result<Vec<_>, TraceError>>()?,
+        ),
+    };
     Ok(StageRecord {
         stage,
         rows: opt_usize("rows")?,
@@ -393,6 +489,7 @@ fn stage_from_value(v: &Json) -> Result<StageRecord, TraceError> {
         shared_prunes,
         thread_solves,
         tuning,
+        pareto,
     })
 }
 
@@ -540,7 +637,7 @@ mod tests {
         // Writers stamp the current version as the first key.
         let text = to_json(&PipelineTrace::default());
         assert!(
-            text.trim_start().starts_with("{\n  \"schema\": 5"),
+            text.trim_start().starts_with("{\n  \"schema\": 6"),
             "{text}"
         );
         // Version 1 parses with or without an explicit schema key.
@@ -550,6 +647,7 @@ mod tests {
         parse(r#"{"schema":3,"stages":[]}"#).unwrap();
         parse(r#"{"schema":4,"stages":[]}"#).unwrap();
         parse(r#"{"schema":5,"stages":[]}"#).unwrap();
+        parse(r#"{"schema":6,"stages":[]}"#).unwrap();
         // Unknown versions are rejected, not misread.
         let err = parse(r#"{"schema":99,"stages":[]}"#).unwrap_err();
         assert!(
@@ -605,6 +703,61 @@ mod tests {
             "solve":{"nodes":0,"propagations":0,"conflicts":0,"learned":0,
                      "duration_ns":0,"proved_optimal":false,
                      "stop_reason":"warp","incumbents":[]}}]}"#;
+        assert!(matches!(parse(bad), Err(TraceError::Schema(_))));
+    }
+
+    /// Schema-6 fields: a frontier race's per-point records survive the
+    /// round trip, optional outcome fields are omitted when the point
+    /// produced none, and malformed entries are rejected.
+    #[test]
+    fn pareto_records_round_trip() {
+        let mut rec = StageRecord::new(Stage::Pareto, None);
+        rec.threads = Some(2);
+        rec.shared_prunes = Some(3);
+        rec.pareto = Some(vec![
+            ParetoPointRecord {
+                objective: "width-height".into(),
+                track_pitch: 1,
+                diffusion_overhead: 2,
+                rail_overhead: 2,
+                interrow_weight: 0,
+                width: Some(4),
+                tracks: Some(1),
+                height: Some(7),
+                proved: true,
+                reused: false,
+                pruned: false,
+                on_frontier: true,
+                dominated_by: None,
+            },
+            ParetoPointRecord {
+                objective: "height-width".into(),
+                track_pitch: 2,
+                diffusion_overhead: 1,
+                rail_overhead: 2,
+                interrow_weight: 0,
+                width: None,
+                tracks: None,
+                height: None,
+                proved: false,
+                reused: true,
+                pruned: true,
+                on_frontier: false,
+                dominated_by: Some(0),
+            },
+        ]);
+        let trace = PipelineTrace { stages: vec![rec] };
+        let text = to_json(&trace);
+        assert!(text.contains("\"pareto\""), "{text}");
+        assert!(text.contains("\"on_frontier\""), "{text}");
+        assert!(text.contains("\"dominated_by\": 0"), "{text}");
+        assert_eq!(parse(&text).unwrap(), trace);
+        assert_eq!(to_json(&parse(&text).unwrap()), text);
+        // A valueless point omits its outcome keys entirely.
+        assert!(!text.contains("\"width\": null"), "{text}");
+        // Malformed point entries are a schema error, not a silent drop.
+        let bad = r#"{"schema":6,"stages":[{"stage":"pareto","wall_ns":1,
+            "pareto":[{"objective":7}]}]}"#;
         assert!(matches!(parse(bad), Err(TraceError::Schema(_))));
     }
 

@@ -1,0 +1,45 @@
+//! Backward compatibility: a committed schema-5 trace document (written
+//! before the Pareto frontier fields existed) must keep parsing, with
+//! the stage's `pareto` array defaulting to `None`, and re-emitting
+//! must upgrade it to the current schema version without losing a
+//! field.
+
+use clip_layout::trace;
+
+const V5_FIXTURE: &str = include_str!("fixtures/trace_v5.json");
+
+#[test]
+fn v5_fixture_parses_and_upgrades_to_current_schema() {
+    let parsed = trace::parse(V5_FIXTURE).expect("schema-5 fixture parses");
+    assert_eq!(parsed.stages.len(), 4);
+
+    // Fields schema 5 already carried survive, including the stop
+    // reason it introduced.
+    let solve = &parsed.stages[2];
+    assert_eq!(solve.stage.name(), "solve");
+    assert_eq!(solve.winner_strategy.as_deref(), Some("evsids"));
+    let stats = solve.solve.as_ref().unwrap();
+    assert_eq!(stats.nodes, 91);
+    assert_eq!(
+        stats.stop_reason,
+        Some(clip_core::pipeline::StopReason::Deadline)
+    );
+
+    // Schema 6's field defaults cleanly: no stage of a schema-5 trace
+    // carries Pareto points — the writer predates the vocabulary.
+    assert!(parsed.stages.iter().all(|s| s.pareto.is_none()));
+    let sweep = &parsed.stages[3];
+    assert_eq!(sweep.stage.name(), "sweep");
+    assert_eq!(sweep.shared_prunes, Some(1));
+
+    // Re-emitting stamps the current schema version; the round trip is
+    // lossless from there on.
+    let reemitted = trace::to_json(&parsed);
+    assert!(
+        reemitted.contains(&format!("\"schema\": {}", trace::TRACE_SCHEMA)),
+        "{reemitted}"
+    );
+    let back = trace::parse(&reemitted).expect("re-emitted trace parses");
+    assert_eq!(back, parsed);
+    assert_eq!(trace::to_json(&back), reemitted);
+}

@@ -59,7 +59,9 @@ pub mod theory;
 pub use branch::BranchHeuristic;
 pub use budget::Budget;
 pub use model::{Constraint, LinTerm, Model, Var};
-pub use portfolio::{solve_portfolio, solve_portfolio_with, PortfolioOutcome, SharedIncumbent};
+pub use portfolio::{
+    solve_portfolio, solve_portfolio_with, PortfolioOutcome, PruneBoard, SharedIncumbent,
+};
 pub use solve::{
     Brancher, Outcome, SearchStrategy, Solution, SolveStats, Solver, SolverConfig, StopReason,
 };

@@ -18,7 +18,7 @@
 //! implies can be adopted — so on a proof the shared solution is optimal.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -138,6 +138,106 @@ impl SharedIncumbent {
     /// engine's mid-batch poll ([`crate::propagate::Engine::set_cancel`]).
     pub fn cancel_flag(&self) -> Arc<AtomicBool> {
         Arc::clone(&self.inner.cancelled)
+    }
+}
+
+/// A generic cross-solve prune board, the [`SharedIncumbent`]
+/// generalization behind both the best-area row sweep and the pareto
+/// objective sweep: concurrent solves *register* a floor (a proved lower
+/// bound on any value they can still produce) and receive a cancel
+/// mailbox; finished solves *publish* their achieved values; and a
+/// caller-supplied dominance predicate `dominates(published, floor)`
+/// cancels every in-flight solve whose floor is already dominated.
+///
+/// Soundness is the caller's contract on `dominates`: it must only
+/// return `true` when *every* value reachable above `floor` is strictly
+/// worse than (or redundant with) `published` — then a prune can never
+/// remove a would-have-won result, and the final selection is identical
+/// under any prune schedule. The scalar area sweep instantiates
+/// `V = u64` with `dominates = floor > published`; the pareto sweep
+/// instantiates `V = (width, height)` with strict Pareto dominance of
+/// the floor.
+pub struct PruneBoard<V> {
+    /// Values of every finished solve so far.
+    published: Mutex<Vec<V>>,
+    /// In-flight solves: `(id, floor, cancel handle)`.
+    watchers: Mutex<Vec<(usize, V, SharedIncumbent)>>,
+    /// Solves skipped before starting or cancelled mid-run by the board.
+    prunes: AtomicU64,
+    dominates: fn(&V, &V) -> bool,
+}
+
+impl<V> PruneBoard<V> {
+    /// An empty board with the given dominance predicate
+    /// (`dominates(published, floor)`).
+    pub fn new(dominates: fn(&V, &V) -> bool) -> Self {
+        PruneBoard {
+            published: Mutex::new(Vec::new()),
+            watchers: Mutex::new(Vec::new()),
+            prunes: AtomicU64::new(0),
+            dominates,
+        }
+    }
+
+    /// Admits solve `id` with lower-bound `floor`. Returns the cancel
+    /// mailbox to attach to its runs, or `None` (counted as a prune)
+    /// when some already-published value dominates the floor — the solve
+    /// provably cannot contribute and must not start.
+    pub fn register(&self, id: usize, floor: V) -> Option<SharedIncumbent> {
+        {
+            let published = self.published.lock().unwrap_or_else(|e| e.into_inner());
+            if published.iter().any(|p| (self.dominates)(p, &floor)) {
+                self.prunes.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        }
+        let handle = SharedIncumbent::new();
+        self.watchers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((id, floor, handle.clone()));
+        Some(handle)
+    }
+
+    /// Removes `id` from the watcher list (its solve is over).
+    pub fn unregister(&self, id: usize) {
+        self.watchers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|&(i, _, _)| i != id);
+    }
+
+    /// Publishes a finished solve's value and cancels every in-flight
+    /// solve whose floor it dominates (each counted as a prune).
+    pub fn publish(&self, value: V) {
+        for (_, floor, handle) in self
+            .watchers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            if (self.dominates)(&value, floor) && !handle.cancelled() {
+                handle.cancel();
+                self.prunes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.published
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(value);
+    }
+
+    /// Records `count` prunes decided outside the board (e.g. solver-
+    /// class reuse in a pareto sweep, where duplicate parameterizations
+    /// never solve at all).
+    pub fn count_prunes(&self, count: u64) {
+        self.prunes.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Total solves pruned: skipped at registration, cancelled by a
+    /// publish, or counted via [`PruneBoard::count_prunes`].
+    pub fn prunes(&self) -> u64 {
+        self.prunes.load(Ordering::Relaxed)
     }
 }
 
@@ -485,6 +585,57 @@ mod tests {
         }
         m.minimize(obj.iter().copied());
         m
+    }
+
+    /// Strict Pareto dominance of a floor: the published pair beats the
+    /// floor in one coordinate and at least ties the other.
+    fn pair_dominates(p: &(u64, u64), f: &(u64, u64)) -> bool {
+        (p.0 <= f.0 && p.1 < f.1) || (p.0 < f.0 && p.1 <= f.1)
+    }
+
+    #[test]
+    fn prune_board_skips_dominated_registrations() {
+        let board: PruneBoard<(u64, u64)> = PruneBoard::new(pair_dominates);
+        let a = board.register(0, (4, 4)).expect("empty board admits");
+        board.publish((4, 5));
+        // A floor strictly dominated by the published value is refused...
+        assert!(board.register(1, (5, 6)).is_none());
+        assert_eq!(board.prunes(), 1);
+        // ...a tying floor survives (ties never dominate)...
+        assert!(board.register(2, (4, 5)).is_some());
+        // ...and so does an incomparable one.
+        assert!(board.register(3, (3, 9)).is_some());
+        assert_eq!(board.prunes(), 1);
+        assert!(!a.cancelled());
+        board.unregister(0);
+        board.unregister(2);
+        board.unregister(3);
+    }
+
+    #[test]
+    fn prune_board_cancels_dominated_watchers_on_publish() {
+        let board: PruneBoard<(u64, u64)> = PruneBoard::new(pair_dominates);
+        let doomed = board.register(0, (5, 5)).unwrap();
+        let tied = board.register(1, (4, 4)).unwrap();
+        board.publish((4, 4));
+        assert!(doomed.cancelled(), "dominated floor must be cancelled");
+        assert!(!tied.cancelled(), "a tying floor must keep running");
+        assert_eq!(board.prunes(), 1);
+        // Externally-decided prunes (solver-class reuse) are countable.
+        board.count_prunes(2);
+        assert_eq!(board.prunes(), 3);
+    }
+
+    #[test]
+    fn prune_board_models_the_scalar_area_sweep() {
+        // The best-area instantiation: V = area, floor dominated when it
+        // strictly exceeds a published area.
+        let board: PruneBoard<u64> = PruneBoard::new(|best, lb| lb > best);
+        let h = board.register(1, 20).unwrap();
+        board.publish(20);
+        assert!(!h.cancelled(), "ties survive for the fewest-rows break");
+        assert!(board.register(2, 21).is_none());
+        assert_eq!(board.prunes(), 1);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
@@ -60,8 +60,16 @@ pub struct ServeConfig {
     /// Admission queue capacity; requests beyond it are shed with a
     /// fast `overloaded` rejection.
     pub queue_cap: usize,
+    /// Fairness cap: how many of one connection's requests may be
+    /// queued or in flight at once (0 → unlimited). Keeps one greedy
+    /// client from filling the whole admission queue and starving the
+    /// rest.
+    pub per_conn_cap: usize,
     /// Memo cache file (None → caching off).
     pub cache_path: Option<PathBuf>,
+    /// Memo cache entry cap (None → unbounded); oldest entries are
+    /// evicted first and the backing file is compacted.
+    pub cache_cap: Option<usize>,
     /// Suppress per-connection log lines.
     pub quiet: bool,
 }
@@ -72,7 +80,9 @@ impl Default for ServeConfig {
             bind: Bind::Tcp("127.0.0.1:0".into()),
             workers: 0,
             queue_cap: 64,
+            per_conn_cap: 16,
             cache_path: None,
+            cache_cap: None,
             quiet: false,
         }
     }
@@ -86,6 +96,7 @@ pub struct Stats {
     cache_hits: AtomicU64,
     degraded: AtomicU64,
     rejected: AtomicU64,
+    throttled: AtomicU64,
     errors: AtomicU64,
     panics: AtomicU64,
 }
@@ -96,13 +107,14 @@ impl Stats {
     }
 
     /// A consistent-enough snapshot for the stats response.
-    pub fn snapshot(&self) -> [(&'static str, u64); 7] {
+    pub fn snapshot(&self) -> [(&'static str, u64); 8] {
         [
             ("received", self.received.load(Ordering::Relaxed)),
             ("completed", self.completed.load(Ordering::Relaxed)),
             ("cache_hits", self.cache_hits.load(Ordering::Relaxed)),
             ("degraded", self.degraded.load(Ordering::Relaxed)),
             ("rejected", self.rejected.load(Ordering::Relaxed)),
+            ("throttled", self.throttled.load(Ordering::Relaxed)),
             ("errors", self.errors.load(Ordering::Relaxed)),
             ("panics", self.panics.load(Ordering::Relaxed)),
         ]
@@ -114,12 +126,17 @@ struct Job {
     id: Option<String>,
     spec: Box<SynthSpec>,
     writer: Arc<Mutex<Conn>>,
+    /// The owning connection's outstanding-request counter; decremented
+    /// after the response is written so the fairness cap tracks queued
+    /// *plus* in-flight work.
+    inflight: Arc<AtomicUsize>,
 }
 
 struct State {
     tx: SyncSender<Job>,
     shutdown: AtomicBool,
     queue_cap: usize,
+    per_conn_cap: usize,
     stats: Stats,
     cache: Option<Mutex<MemoCache>>,
     quiet: bool,
@@ -186,7 +203,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let cache = match &config.cache_path {
             Some(path) => {
-                let cache = MemoCache::open(path)?;
+                let cache = MemoCache::open_capped(path, config.cache_cap)?;
                 if cache.repaired_torn_tail() && !config.quiet {
                     eprintln!(
                         "clip-serve: repaired torn tail in memo cache {}",
@@ -209,6 +226,7 @@ impl Server {
             tx,
             shutdown: AtomicBool::new(false),
             queue_cap: config.queue_cap.max(1),
+            per_conn_cap: config.per_conn_cap,
             stats: Stats::default(),
             cache,
             quiet: config.quiet,
@@ -344,7 +362,12 @@ fn worker_loop(state: &State, rx: &Mutex<Receiver<Job>>) {
 
 fn handle_job(state: &State, job: Job) {
     let stats = &state.stats;
-    let line = match exec::execute(&job.spec, state.cache.as_ref()) {
+    let executed = if job.spec.pareto {
+        exec::execute_pareto(&job.spec, state.cache.as_ref())
+    } else {
+        exec::execute(&job.spec, state.cache.as_ref())
+    };
+    let line = match executed {
         Ok(reply) => {
             Stats::bump(&stats.completed);
             if reply.cached {
@@ -375,6 +398,7 @@ fn handle_job(state: &State, job: Job) {
         let _ = conn.shutdown_both();
     }
     respond(state, &job.writer, &line);
+    job.inflight.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Writes one response line under the connection's write mutex. A dead
@@ -402,19 +426,22 @@ fn reader_loop(state: &Arc<State>, conn: Conn) {
     };
     let mut reader = BufReader::new(conn);
     let mut buf: Vec<u8> = Vec::new();
+    // This connection's queued-plus-in-flight request count, shared
+    // with the workers that retire its jobs.
+    let inflight = Arc::new(AtomicUsize::new(0));
     loop {
         match reader.read_until(b'\n', &mut buf) {
             // EOF: the client closed its half; handle a final
             // unterminated line, then wind the connection down.
             Ok(0) => {
                 if !buf.is_empty() {
-                    handle_line(state, &writer, &buf);
+                    handle_line(state, &writer, &inflight, &buf);
                 }
                 return;
             }
             Ok(_) => {
                 if buf.last() == Some(&b'\n') {
-                    handle_line(state, &writer, &buf);
+                    handle_line(state, &writer, &inflight, &buf);
                     buf.clear();
                 } else if over_limit(state, &writer, &buf) {
                     return;
@@ -457,7 +484,12 @@ fn over_limit(state: &State, writer: &Mutex<Conn>, buf: &[u8]) -> bool {
     true
 }
 
-fn handle_line(state: &Arc<State>, writer: &Arc<Mutex<Conn>>, raw: &[u8]) {
+fn handle_line(
+    state: &Arc<State>,
+    writer: &Arc<Mutex<Conn>>,
+    inflight: &Arc<AtomicUsize>,
+    raw: &[u8],
+) {
     let text = String::from_utf8_lossy(raw);
     let line = text.trim_end_matches(['\n', '\r']);
     if line.trim().is_empty() {
@@ -491,15 +523,33 @@ fn handle_line(state: &Arc<State>, writer: &Arc<Mutex<Conn>>, raw: &[u8]) {
                 );
                 return;
             }
+            // The fairness gate: a connection already holding its quota
+            // of queued/in-flight requests is throttled *before* it can
+            // consume admission-queue slots other clients need.
+            if state.per_conn_cap > 0 && inflight.load(Ordering::SeqCst) >= state.per_conn_cap {
+                Stats::bump(&state.stats.throttled);
+                respond(
+                    state,
+                    writer,
+                    &protocol::throttled_response(id.as_deref(), state.per_conn_cap),
+                );
+                return;
+            }
             let job = Job {
                 id,
                 spec,
                 writer: Arc::clone(writer),
+                inflight: Arc::clone(inflight),
             };
+            // Count the request before enqueueing so a worker retiring
+            // it can never race the counter below zero; un-count on the
+            // paths where it never reaches a worker.
+            inflight.fetch_add(1, Ordering::SeqCst);
             match state.tx.try_send(job) {
                 Ok(()) => {}
                 Err(TrySendError::Full(job)) => {
                     // The 429 path: constant-time shed, no queueing.
+                    job.inflight.fetch_sub(1, Ordering::SeqCst);
                     Stats::bump(&state.stats.rejected);
                     respond(
                         state,
@@ -508,6 +558,7 @@ fn handle_line(state: &Arc<State>, writer: &Arc<Mutex<Conn>>, raw: &[u8]) {
                     );
                 }
                 Err(TrySendError::Disconnected(job)) => {
+                    job.inflight.fetch_sub(1, Ordering::SeqCst);
                     respond(
                         state,
                         &job.writer,

@@ -19,8 +19,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Duration;
 
-use clip_core::pipeline::{Budget, StopReason};
+use clip_core::pipeline::{Budget, ParetoPointRecord, StopReason};
 use clip_core::request::SynthRequest;
+use clip_core::ObjectiveSpec;
 use clip_layout::jsonio::Json;
 use clip_layout::{json as layout_json, trace, CellLayout};
 use clip_netlist::{library, spice, Circuit, Expr};
@@ -82,6 +83,16 @@ pub fn execute(
     spec: &SynthSpec,
     cache: Option<&Mutex<MemoCache>>,
 ) -> Result<SynthReply, ExecError> {
+    execute_budgeted(spec, cache, None)
+}
+
+/// [`execute`] with an optional externally-owned budget, so the `pareto`
+/// op's points share one deadline instead of each getting `limit_ms`.
+fn execute_budgeted(
+    spec: &SynthSpec,
+    cache: Option<&Mutex<MemoCache>>,
+    budget: Option<&Budget>,
+) -> Result<SynthReply, ExecError> {
     let circuit = build_circuit(spec)?;
     // Canonical rendering: whitespace, card order, and net spelling all
     // normalize, so equivalent decks share one cache entry.
@@ -101,7 +112,10 @@ pub fn execute(
         }
     }
 
-    let request = build_request(spec, circuit);
+    let mut request = build_request(spec, circuit)?;
+    if let Some(budget) = budget {
+        request = request.budget(budget.clone());
+    }
     // The containment boundary. SynthRequest owns all its state and is
     // consumed here; on panic everything it touched is dropped with the
     // unwound stack (shared solver state recovers from poisoning on its
@@ -163,6 +177,189 @@ pub fn execute(
     })
 }
 
+/// A solved (or reused) sweep point's measurable outcome.
+struct PointVal {
+    width: usize,
+    height: usize,
+    rows: usize,
+    proved: bool,
+}
+
+impl PointVal {
+    /// Routing tracks recovered from the height formula under `spec` —
+    /// exact, because the solver computed `height` with the same
+    /// parameters.
+    fn tracks(&self, spec: &ObjectiveSpec) -> usize {
+        self.height
+            .saturating_sub(self.rows * spec.diffusion_overhead + spec.rail_overhead)
+            / spec.track_pitch.max(1)
+    }
+}
+
+/// True when two sweep specs put the identical model in front of the
+/// solver regardless of unit-set flatness — the serve-side (unit-set
+/// blind) reuse rule. Conservative: a pair that is only equivalent for
+/// stacked sets is re-solved, which costs time, never correctness.
+fn same_solver_class(a: &ObjectiveSpec, b: &ObjectiveSpec) -> bool {
+    a.solver_key(true) == b.solver_key(true) && a.solver_key(false) == b.solver_key(false)
+}
+
+/// The per-point request a sweep spec expands to: the parent request
+/// with the point's objective parameters spelled out. Its cache key is
+/// exactly the key a plain `synth` with the same objective computes, so
+/// sweep points and single-objective requests share memo entries.
+fn point_spec(parent: &SynthSpec, objective: &ObjectiveSpec) -> SynthSpec {
+    let mut spec = parent.clone();
+    spec.pareto = false;
+    spec.height = false;
+    spec.objective = Some(objective.ordering_name());
+    spec.track_pitch = Some(objective.track_pitch);
+    spec.diffusion_overhead = Some(objective.diffusion_overhead);
+    spec.rail_overhead = Some(objective.rail_overhead);
+    spec.interrow_weight = Some(objective.interrow_weight);
+    spec.critical = objective.critical_nets.clone();
+    spec
+}
+
+/// Runs the `pareto` op: solves the default objective sweep derived
+/// from the request's base objective, one memo-cached single-objective
+/// solve per solver class, and answers with the frontier.
+///
+/// The points share one [`Budget`], so `limit_ms` bounds the whole
+/// sweep. Reporting-only sweep variants reuse their class
+/// representative's placement with the height re-measured under their
+/// own geometry — the same rule the in-process generator applies
+/// (`clip_core::pareto`) — and dominance uses the identical
+/// [`clip_core::pareto::dominates`] predicate, so a served frontier
+/// never disagrees with `clip synth --pareto`.
+///
+/// # Errors
+///
+/// [`ExecError`] when the *base* point fails; later points that fail
+/// are reported as valueless, off-frontier points instead, because a
+/// partial frontier is still useful.
+pub fn execute_pareto(
+    spec: &SynthSpec,
+    cache: Option<&Mutex<MemoCache>>,
+) -> Result<SynthReply, ExecError> {
+    let base = objective_of(spec)?;
+    let specs = ObjectiveSpec::default_sweep(&base);
+    let budget = if faultpoint::fires("budget.expire", &spec.faults) {
+        Budget::timeout(Duration::ZERO)
+    } else {
+        Budget::timeout(Duration::from_millis(spec.limit_ms))
+    };
+
+    let mut vals: Vec<Option<PointVal>> = Vec::new();
+    let mut reused_from: Vec<Option<usize>> = Vec::new();
+    let mut cell_name = String::new();
+    let mut all_cached = true;
+    let mut degraded = None;
+    let mut base_err = None;
+    for (i, point) in specs.iter().enumerate() {
+        if let Some(rep) = (0..i).find(|&j| same_solver_class(&specs[j], point)) {
+            // Reporting-only variant: reuse the representative's
+            // placement, re-measure the height under this point's
+            // geometry.
+            vals.push(vals[rep].as_ref().map(|v| PointVal {
+                width: v.width,
+                height: point.height_units(v.tracks(&specs[rep]), v.rows),
+                rows: v.rows,
+                proved: v.proved,
+            }));
+            reused_from.push(Some(rep));
+            continue;
+        }
+        reused_from.push(None);
+        match execute_budgeted(&point_spec(spec, point), cache, Some(&budget)) {
+            Ok(reply) => {
+                all_cached &= reply.cached;
+                if degraded.is_none() {
+                    degraded = reply.degraded;
+                }
+                if cell_name.is_empty() {
+                    if let Some(name) = reply.result.get("cell").and_then(Json::as_str) {
+                        cell_name = name.to_owned();
+                    }
+                }
+                let field = |k: &str| reply.result.get(k).and_then(Json::as_usize);
+                vals.push(match (field("width"), field("height"), field("rows")) {
+                    (Some(width), Some(height), Some(rows)) => Some(PointVal {
+                        width,
+                        height,
+                        rows,
+                        proved: reply.result.get("proved").and_then(Json::as_bool) == Some(true),
+                    }),
+                    _ => None,
+                });
+            }
+            Err(e) if i == 0 => {
+                base_err = Some(e);
+                vals.push(None);
+            }
+            Err(_) => {
+                all_cached = false;
+                vals.push(None);
+            }
+        }
+    }
+    if let Some(e) = base_err {
+        return Err(e);
+    }
+
+    // Dominance, by the in-process generator's exact rule: the lowest
+    // strictly-dominating index, with exact ties resolved to the
+    // earlier point.
+    let value = |v: &Option<PointVal>| v.as_ref().map(|v| (v.width as u64, v.height as u64));
+    let dominated_by: Vec<Option<usize>> = (0..specs.len())
+        .map(|i| {
+            let vi = value(&vals[i])?;
+            (0..specs.len()).find(|&j| {
+                j != i
+                    && value(&vals[j]).is_some_and(|vj| {
+                        clip_core::pareto::dominates(&vj, &vi) || (vj == vi && j < i)
+                    })
+            })
+        })
+        .collect();
+
+    let records: Vec<Json> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, point)| {
+            let v = vals[i].as_ref();
+            trace::pareto_point_to_value(&ParetoPointRecord {
+                objective: point.ordering_name(),
+                track_pitch: point.track_pitch,
+                diffusion_overhead: point.diffusion_overhead,
+                rail_overhead: point.rail_overhead,
+                interrow_weight: point.interrow_weight,
+                width: v.map(|v| v.width),
+                tracks: v.map(|v| v.tracks(point)),
+                height: v.map(|v| v.height),
+                proved: v.is_some_and(|v| v.proved),
+                reused: reused_from[i].is_some(),
+                pruned: false,
+                on_frontier: v.is_some() && dominated_by[i].is_none(),
+                dominated_by: dominated_by[i],
+            })
+        })
+        .collect();
+    let frontier_size = (0..specs.len())
+        .filter(|&i| vals[i].is_some() && dominated_by[i].is_none())
+        .count();
+    let result = Json::obj([
+        ("cell", Json::Str(cell_name)),
+        ("pareto", Json::Arr(records)),
+        ("frontier_size", Json::Int(frontier_size as i64)),
+    ]);
+    Ok(SynthReply {
+        result,
+        cached: all_cached,
+        degraded,
+    })
+}
+
 fn build_circuit(spec: &SynthSpec) -> Result<Circuit, ExecError> {
     match &spec.source {
         Source::Cell(name) => library::evaluation_suite()
@@ -181,10 +378,48 @@ fn build_circuit(spec: &SynthSpec) -> Result<Circuit, ExecError> {
     }
 }
 
-fn build_request(spec: &SynthSpec, circuit: Circuit) -> SynthRequest {
+/// The effective [`ObjectiveSpec`] a request asks for: the legacy
+/// `height` flag, the named ordering, and the geometry overrides folded
+/// into one typed value.
+///
+/// # Errors
+///
+/// [`ExecError::BadRequest`] on an unknown objective name — possible
+/// only for specs built in code; the wire parser validates the name.
+pub fn objective_of(spec: &SynthSpec) -> Result<ObjectiveSpec, ExecError> {
+    let mut objective = if spec.height {
+        ObjectiveSpec::width_height()
+    } else {
+        ObjectiveSpec::default()
+    };
+    if let Some(name) = &spec.objective {
+        objective = objective
+            .with_ordering_name(name)
+            .ok_or_else(|| ExecError::BadRequest(format!("unknown objective {name:?}")))?;
+    }
+    if let Some(pitch) = spec.track_pitch {
+        objective.track_pitch = pitch;
+    }
+    if let Some(overhead) = spec.diffusion_overhead {
+        objective.diffusion_overhead = overhead;
+    }
+    if let Some(overhead) = spec.rail_overhead {
+        objective.rail_overhead = overhead;
+    }
+    if let Some(weight) = spec.interrow_weight {
+        objective.interrow_weight = weight;
+    }
+    if !spec.critical.is_empty() {
+        objective.critical_nets = spec.critical.clone();
+    }
+    Ok(objective)
+}
+
+fn build_request(spec: &SynthSpec, circuit: Circuit) -> Result<SynthRequest, ExecError> {
     let mut request = SynthRequest::new(circuit)
         .rows(spec.rows)
-        .time_limit(Duration::from_millis(spec.limit_ms));
+        .time_limit(Duration::from_millis(spec.limit_ms))
+        .objective(objective_of(spec)?);
     if spec.auto_rows {
         request = request.best_area(spec.max_rows);
     }
@@ -193,9 +428,6 @@ fn build_request(spec: &SynthSpec, circuit: Circuit) -> SynthRequest {
     }
     if spec.stacking {
         request = request.stacking();
-    }
-    if spec.height {
-        request = request.height();
     }
     if spec.no_theories {
         request = request.no_theories();
@@ -211,7 +443,7 @@ fn build_request(spec: &SynthSpec, circuit: Circuit) -> SynthRequest {
         // incumbent, so the reply degrades instead of erroring.
         request = request.budget(Budget::timeout(Duration::ZERO));
     }
-    request
+    Ok(request)
 }
 
 /// The final solve's stop reason, falling back to any stage that
@@ -252,6 +484,13 @@ mod tests {
             hier: false,
             stacking: false,
             height: false,
+            objective: None,
+            track_pitch: None,
+            diffusion_overhead: None,
+            rail_overhead: None,
+            interrow_weight: None,
+            critical: Vec::new(),
+            pareto: false,
             limit_ms: DEFAULT_LIMIT_MS,
             jobs: Some(1),
             no_theories: false,
@@ -313,6 +552,95 @@ mod tests {
         let first = execute(&s, Some(&cache)).unwrap();
         assert!(!first.cached);
         assert_eq!(cache.lock().unwrap().len(), 0, "no_cache must not store");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn objective_requests_change_the_solve_and_the_cache_entry() {
+        let path = tmp("objective");
+        let cache = Mutex::new(MemoCache::open(&path).unwrap());
+        let mut wh = spec("nand2");
+        wh.rows = 2;
+        wh.objective = Some("width-height".into());
+        let cold = execute(&wh, Some(&cache)).unwrap();
+        assert!(!cold.cached);
+        // The legacy `height` flag is the same request: it must hit the
+        // entry the named spelling wrote.
+        let mut legacy = spec("nand2");
+        legacy.rows = 2;
+        legacy.height = true;
+        let hit = execute(&legacy, Some(&cache)).unwrap();
+        assert!(hit.cached);
+        assert_eq!(hit.result.to_compact(), cold.result.to_compact());
+        // A reporting-only geometry change is a different entry with a
+        // rescaled height.
+        let mut pitched = wh.clone();
+        pitched.track_pitch = Some(2);
+        pitched.diffusion_overhead = Some(3);
+        let other = execute(&pitched, Some(&cache)).unwrap();
+        assert!(!other.cached);
+        let h = |r: &Json| r.get("height").and_then(Json::as_usize).unwrap();
+        assert!(h(&other.result) > h(&cold.result));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pareto_reply_is_a_mutually_non_dominated_frontier() {
+        let path = tmp("pareto");
+        let cache = Mutex::new(MemoCache::open(&path).unwrap());
+        let mut s = spec("nand2");
+        s.rows = 2;
+        s.pareto = true;
+        let reply = execute_pareto(&s, Some(&cache)).unwrap();
+        assert!(!reply.cached);
+        let points = reply.result.get("pareto").unwrap().as_arr().unwrap();
+        assert_eq!(points.len(), 5, "default sweep has five points");
+        let field = |p: &Json, k: &str| p.get(k).and_then(Json::as_usize);
+        let on_frontier = |p: &Json| p.get("on_frontier").and_then(Json::as_bool) == Some(true);
+        // Point 1 is the reporting-only geometry variant: reused, never
+        // solved twice, and strictly dominated by point 0.
+        assert_eq!(points[1].get("reused").and_then(Json::as_bool), Some(true));
+        assert!(!on_frontier(&points[1]));
+        assert_eq!(field(&points[1], "dominated_by"), Some(0));
+        // The base point survives on its own frontier.
+        assert!(on_frontier(&points[0]));
+        // Mutual non-domination across the emitted frontier.
+        let frontier: Vec<(u64, u64)> = points
+            .iter()
+            .filter(|p| on_frontier(p))
+            .map(|p| {
+                (
+                    field(p, "width").unwrap() as u64,
+                    field(p, "height").unwrap() as u64,
+                )
+            })
+            .collect();
+        assert!(!frontier.is_empty());
+        assert_eq!(
+            frontier.len(),
+            reply
+                .result
+                .get("frontier_size")
+                .and_then(Json::as_usize)
+                .unwrap()
+        );
+        for a in &frontier {
+            for b in &frontier {
+                assert!(
+                    !clip_core::pareto::dominates(a, b),
+                    "frontier point {b:?} dominated by {a:?}"
+                );
+            }
+        }
+        // A re-run is answered entirely from the memo cache, and a plain
+        // synth at the base objective hits the sweep's entry.
+        let warm = execute_pareto(&s, Some(&cache)).unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.result.to_compact(), reply.result.to_compact());
+        let mut single = spec("nand2");
+        single.rows = 2;
+        single.objective = Some("width-height".into());
+        assert!(execute(&single, Some(&cache)).unwrap().cached);
         let _ = std::fs::remove_file(&path);
     }
 

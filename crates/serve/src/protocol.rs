@@ -13,9 +13,15 @@
 //! ```json
 //! {"op":"synth","id":"r1","cell":"nand4","rows":2,"limit_ms":60000}
 //! {"op":"synth","deck":"M1 z a VDD VDD PMOS\n...","rows":"auto","max_rows":3}
+//! {"op":"synth","cell":"xor2","rows":2,"objective":"height-width","track_pitch":2}
+//! {"op":"pareto","id":"p1","cell":"nand4","rows":2}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! The `pareto` op accepts the same fields as `synth` (minus
+//! `"rows":"auto"` and `hier`, which have no frontier semantics) and
+//! answers with the objective frontier instead of a single layout.
 //!
 //! ## Responses
 //!
@@ -75,8 +81,26 @@ pub struct SynthSpec {
     pub hier: bool,
     /// HCLIP and-stack clustering.
     pub stacking: bool,
-    /// Width-then-height objective.
+    /// Width-then-height objective (legacy shorthand for
+    /// `"objective":"width-height"`; mutually exclusive with
+    /// `objective`).
     pub height: bool,
+    /// Objective ordering by canonical name (`width`, `width-height`,
+    /// `height-width`, `weighted:W:H`), validated at parse time.
+    pub objective: Option<String>,
+    /// Reporting-only height units per routing track.
+    pub track_pitch: Option<usize>,
+    /// Reporting-only height units per P/N row.
+    pub diffusion_overhead: Option<usize>,
+    /// Reporting-only height units for the supply rails.
+    pub rail_overhead: Option<usize>,
+    /// Weight on inter-row nets in the width objective.
+    pub interrow_weight: Option<i64>,
+    /// Timing-critical net names (span-minimized under width+height).
+    pub critical: Vec<String>,
+    /// True for the `pareto` op: solve the default objective sweep and
+    /// answer with the frontier instead of a single layout.
+    pub pareto: bool,
     /// Per-request deadline in milliseconds.
     pub limit_ms: u64,
     /// Worker threads for this request's internal fan-out.
@@ -149,6 +173,20 @@ pub fn parse_line(line: &str) -> Result<Envelope, String> {
                 request: Request::Synth(Box::new(spec)),
             })
         }
+        "pareto" => {
+            let mut spec = parse_synth(pairs)?;
+            if spec.auto_rows {
+                return Err("\"pareto\" runs at a fixed row count; drop \"rows\": \"auto\"".into());
+            }
+            if spec.hier {
+                return Err("\"pareto\" and \"hier\" are mutually exclusive".into());
+            }
+            spec.pareto = true;
+            Ok(Envelope {
+                id,
+                request: Request::Synth(Box::new(spec)),
+            })
+        }
         "stats" | "shutdown" => {
             for (k, _) in pairs {
                 if k != "op" && k != "id" {
@@ -165,7 +203,7 @@ pub fn parse_line(line: &str) -> Result<Envelope, String> {
             })
         }
         other => Err(format!(
-            "unknown op {other:?} (expected \"synth\", \"stats\", or \"shutdown\")"
+            "unknown op {other:?} (expected \"synth\", \"pareto\", \"stats\", or \"shutdown\")"
         )),
     }
 }
@@ -179,6 +217,12 @@ fn parse_synth(pairs: &[(String, Json)]) -> Result<SynthSpec, String> {
     let mut hier = false;
     let mut stacking = false;
     let mut height = false;
+    let mut objective = None;
+    let mut track_pitch = None;
+    let mut diffusion_overhead = None;
+    let mut rail_overhead = None;
+    let mut interrow_weight = None;
+    let mut critical = Vec::new();
     let mut limit_ms = DEFAULT_LIMIT_MS;
     let mut jobs = None;
     let mut no_theories = false;
@@ -231,6 +275,42 @@ fn parse_synth(pairs: &[(String, Json)]) -> Result<SynthSpec, String> {
             "hier" => hier = bool_field(v, key)?,
             "stacking" => stacking = bool_field(v, key)?,
             "height" => height = bool_field(v, key)?,
+            "objective" => {
+                let name = str_field(v, key)?;
+                if clip_core::ObjectiveSpec::parse_ordering(&name).is_none() {
+                    return Err(format!(
+                        "unknown objective {name:?} (expected \"width\", \"width-height\", \
+                         \"height-width\", or \"weighted:W:H\" with positive weights)"
+                    ));
+                }
+                objective = Some(name);
+            }
+            "track_pitch" => {
+                let p = usize_field(v, key)?;
+                if p == 0 {
+                    return Err("\"track_pitch\" must be >= 1".into());
+                }
+                track_pitch = Some(p);
+            }
+            "diffusion_overhead" => diffusion_overhead = Some(usize_field(v, key)?),
+            "rail_overhead" => rail_overhead = Some(usize_field(v, key)?),
+            "interrow_weight" => {
+                interrow_weight = Some(
+                    v.as_i64()
+                        .ok_or_else(|| format!("{key:?} must be an integer"))?,
+                );
+            }
+            "critical" => {
+                let items = v
+                    .as_arr()
+                    .ok_or_else(|| "\"critical\" must be an array of net names".to_owned())?;
+                for item in items {
+                    let name = item
+                        .as_str()
+                        .ok_or_else(|| "\"critical\" must be an array of net names".to_owned())?;
+                    critical.push(name.to_owned());
+                }
+            }
             "no_theories" => no_theories = bool_field(v, key)?,
             "classic_search" => classic_search = bool_field(v, key)?,
             "no_cache" => no_cache = bool_field(v, key)?,
@@ -261,6 +341,9 @@ fn parse_synth(pairs: &[(String, Json)]) -> Result<SynthSpec, String> {
     if hier && auto_rows {
         return Err("\"hier\" and \"rows\": \"auto\" are mutually exclusive".into());
     }
+    if height && objective.is_some() {
+        return Err("give \"height\" or \"objective\", not both".into());
+    }
     Ok(SynthSpec {
         source,
         rows,
@@ -269,6 +352,13 @@ fn parse_synth(pairs: &[(String, Json)]) -> Result<SynthSpec, String> {
         hier,
         stacking,
         height,
+        objective,
+        track_pitch,
+        diffusion_overhead,
+        rail_overhead,
+        interrow_weight,
+        critical,
+        pareto: false,
         limit_ms,
         jobs,
         no_theories,
@@ -352,6 +442,24 @@ pub fn rejected_response(id: Option<&str>, queue_cap: usize) -> String {
     ]))
 }
 
+/// Renders the per-connection fairness rejection: this connection holds
+/// its full quota of queued/in-flight requests and must wait for
+/// responses before sending more.
+pub fn throttled_response(id: Option<&str>, per_conn_cap: usize) -> String {
+    line(Json::obj([
+        ("id", id_value(id)),
+        ("status", Json::Str("rejected".into())),
+        ("code", Json::Str("throttled".into())),
+        (
+            "error",
+            Json::Str(format!(
+                "connection holds {per_conn_cap} outstanding requests (the per-connection cap); \
+                 await responses before sending more"
+            )),
+        ),
+    ]))
+}
+
 /// Renders the stats response from counter snapshots.
 pub fn stats_response(id: Option<&str>, counters: &[(&'static str, u64)]) -> String {
     let stats = Json::Obj(
@@ -404,6 +512,8 @@ mod tests {
         let env = parse_line(
             r#"{"op":"synth","id":"r9","expr":"(a&b)'","rows":"auto","max_rows":3,
                 "stacking":true,"height":true,"limit_ms":1500,"jobs":2,
+                "track_pitch":2,"diffusion_overhead":1,"rail_overhead":0,
+                "interrow_weight":-1,"critical":["z","n1"],
                 "no_theories":true,"classic_search":true,"no_cache":true,
                 "faults":["solve.panic","cache.torn"]}"#,
         )
@@ -417,7 +527,32 @@ mod tests {
         assert_eq!(spec.max_rows, 3);
         assert_eq!(spec.limit_ms, 1500);
         assert_eq!(spec.jobs, Some(2));
+        assert_eq!(spec.track_pitch, Some(2));
+        assert_eq!(spec.diffusion_overhead, Some(1));
+        assert_eq!(spec.rail_overhead, Some(0));
+        assert_eq!(spec.interrow_weight, Some(-1));
+        assert_eq!(spec.critical, vec!["z", "n1"]);
+        assert!(!spec.pareto);
         assert_eq!(spec.faults, vec!["solve.panic", "cache.torn"]);
+    }
+
+    #[test]
+    fn objective_names_parse_and_the_pareto_op_sets_the_flag() {
+        for name in ["width", "width-height", "height-width", "weighted:2:3"] {
+            let line = format!(r#"{{"op":"synth","cell":"nand2","objective":"{name}"}}"#);
+            let Request::Synth(spec) = parse_line(&line).unwrap().request else {
+                panic!("expected synth")
+            };
+            assert_eq!(spec.objective.as_deref(), Some(name));
+            assert!(!spec.pareto);
+        }
+        let env = parse_line(r#"{"op":"pareto","id":"p1","cell":"nand4","rows":2}"#).unwrap();
+        assert_eq!(env.id.as_deref(), Some("p1"));
+        let Request::Synth(spec) = env.request else {
+            panic!("expected synth")
+        };
+        assert!(spec.pareto);
+        assert_eq!(spec.rows, 2);
     }
 
     #[test]
@@ -459,6 +594,32 @@ mod tests {
             (r#"{"op":"synth","cell":"a","id":7}"#, "string"),
             (r#"{"op":"stats","rows":2}"#, "unknown key"),
             (r#"{"op":"synth","cell":"a""#, "JSON error"),
+            (
+                r#"{"op":"synth","cell":"a","objective":"area"}"#,
+                "unknown objective",
+            ),
+            (
+                r#"{"op":"synth","cell":"a","objective":"weighted:0:1"}"#,
+                "unknown objective",
+            ),
+            (
+                r#"{"op":"synth","cell":"a","height":true,"objective":"width"}"#,
+                "not both",
+            ),
+            (r#"{"op":"synth","cell":"a","track_pitch":0}"#, ">= 1"),
+            (
+                r#"{"op":"synth","cell":"a","interrow_weight":"x"}"#,
+                "integer",
+            ),
+            (r#"{"op":"synth","cell":"a","critical":"z"}"#, "array"),
+            (
+                r#"{"op":"pareto","cell":"a","rows":"auto"}"#,
+                "fixed row count",
+            ),
+            (
+                r#"{"op":"pareto","cell":"a","hier":true}"#,
+                "mutually exclusive",
+            ),
         ];
         for (input, needle) in cases {
             let err = parse_line(input).unwrap_err();
@@ -484,9 +645,10 @@ mod tests {
         let ok = synth_response(Some("r1"), true, Some("deadline"), &Json::obj([]));
         let err = error_response(None, "bad_request", "nope");
         let rej = rejected_response(Some("r2"), 64);
+        let thr = throttled_response(Some("r3"), 16);
         let stats = stats_response(None, &[("received", 3), ("panics", 1)]);
         let bye = shutdown_response(None);
-        for line in [&ok, &err, &rej, &stats, &bye] {
+        for line in [&ok, &err, &rej, &thr, &stats, &bye] {
             assert!(line.ends_with('\n') && !line[..line.len() - 1].contains('\n'));
             jsonio::parse(line).unwrap();
         }
@@ -496,5 +658,8 @@ mod tests {
         assert_eq!(v.get("degraded").unwrap().as_str(), Some("deadline"));
         let v = jsonio::parse(&rej).unwrap();
         assert_eq!(v.get("code").unwrap().as_str(), Some("overloaded"));
+        let v = jsonio::parse(&thr).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("rejected"));
+        assert_eq!(v.get("code").unwrap().as_str(), Some("throttled"));
     }
 }

@@ -360,6 +360,9 @@ fn unix_socket_transport_works_end_to_end() {
 fn response_lines_are_atomic_under_contention() {
     let server = start(ServeConfig {
         workers: 4,
+        // Atomicity is the point here, not fairness: lift the
+        // per-connection cap so all 24 requests ride one connection.
+        per_conn_cap: 0,
         ..quiet_config()
     });
     let mut client = Client::connect(&server.addr);
@@ -390,10 +393,117 @@ fn stats_report_all_counters() {
         "cache_hits",
         "degraded",
         "rejected",
+        "throttled",
         "errors",
         "panics",
     ] {
         assert!(stats.get(key).is_some(), "missing counter {key}");
     }
     server.stop();
+}
+
+/// The fairness guarantee (ROADMAP admission-queue item): one greedy
+/// client flooding requests without reading responses cannot fill the
+/// shared admission queue; its overflow is rejected with `throttled`
+/// while a second client's request is admitted and answered promptly.
+#[test]
+fn a_greedy_client_cannot_starve_a_polite_one() {
+    let server = start(ServeConfig {
+        workers: 1,
+        queue_cap: 64,
+        per_conn_cap: 2,
+        ..quiet_config()
+    });
+    let mut greedy = Client::connect(&server.addr);
+    const FLOOD: usize = 16;
+    for i in 0..FLOOD {
+        greedy.send(&format!(
+            r#"{{"op":"synth","id":"g{i}","cell":"nand3","rows":2}}"#
+        ));
+    }
+    // With the old shared-queue-only admission, these 16 would all be
+    // queued ahead of the polite client. Now at most 2 of them occupy
+    // the queue at a time, so the polite request lands near the front.
+    let mut polite = Client::connect(&server.addr);
+    polite.send(r#"{"op":"synth","id":"p","cell":"inv"}"#);
+    let reply = polite.recv();
+    assert_eq!(reply.get("id").unwrap().as_str(), Some("p"));
+    assert_eq!(reply.get("status").unwrap().as_str(), Some("ok"));
+
+    // Every greedy line still gets exactly one answer: the admitted
+    // ones complete, the overflow is throttled (never silently dropped).
+    let mut ok = 0usize;
+    let mut throttled = 0usize;
+    for _ in 0..FLOOD {
+        let reply = greedy.recv();
+        match reply.get("status").unwrap().as_str() {
+            Some("ok") => ok += 1,
+            Some("rejected") => {
+                assert_eq!(reply.get("code").unwrap().as_str(), Some("throttled"));
+                throttled += 1;
+            }
+            other => panic!("unexpected status {other:?}"),
+        }
+    }
+    assert_eq!(ok + throttled, FLOOD);
+    assert!(ok >= 2, "admitted requests complete (ok = {ok})");
+    assert!(throttled >= 1, "the flood's overflow is throttled");
+    greedy.send(r#"{"op":"stats","id":"s"}"#);
+    let stats = greedy.recv();
+    let counted = stats
+        .get("stats")
+        .unwrap()
+        .get("throttled")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    assert!(counted >= throttled as u64);
+    server.stop();
+}
+
+/// The `pareto` op end to end: a frontier document with the sweep's
+/// five points, base point on the frontier, and a warm re-run answered
+/// entirely from the memo cache.
+#[test]
+fn pareto_op_serves_a_frontier_and_reuses_the_cache() {
+    let mut cache_path = std::env::temp_dir();
+    cache_path.push(format!(
+        "clip_serve_daemon_pareto_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache_path);
+    let server = start(ServeConfig {
+        cache_path: Some(cache_path.clone()),
+        cache_cap: Some(64),
+        ..quiet_config()
+    });
+    let mut client = Client::connect(&server.addr);
+    let request = r#"{"op":"pareto","id":"f","cell":"nand2","rows":2}"#;
+    client.send(request);
+    let cold = client.recv();
+    assert_eq!(cold.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(cold.get("cached").unwrap().as_bool(), Some(false));
+    let result = cold.get("result").unwrap();
+    let points = result.get("pareto").unwrap().as_arr().unwrap();
+    assert_eq!(points.len(), 5);
+    assert_eq!(
+        points[0].get("on_frontier").and_then(Json::as_bool),
+        Some(true),
+        "the base objective's point survives on its own frontier"
+    );
+    assert_eq!(
+        points[1].get("reused").and_then(Json::as_bool),
+        Some(true),
+        "the reporting-only geometry variant reuses the base solve"
+    );
+    client.send(request);
+    let warm = client.recv();
+    assert_eq!(warm.get("cached").unwrap().as_bool(), Some(true));
+    assert_eq!(
+        warm.get("result").unwrap().to_compact(),
+        result.to_compact(),
+        "a warm frontier replays identical bytes"
+    );
+    server.stop();
+    let _ = std::fs::remove_file(&cache_path);
 }

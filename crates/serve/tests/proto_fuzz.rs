@@ -11,11 +11,14 @@ use clip_serve::protocol;
 
 /// Seed corpus: every op and option the protocol knows, so mutations
 /// explore the interesting neighborhoods.
-const VALID_LINES: [&str; 6] = [
+const VALID_LINES: [&str; 9] = [
     r#"{"op":"synth","id":"r1","cell":"nand2","rows":2,"limit_ms":500}"#,
     r#"{"op":"synth","deck":"M1 z a VDD VDD PMOS\nM2 z a GND GND NMOS\n","rows":1}"#,
     r#"{"op":"synth","expr":"(a&b)'","rows":"auto","max_rows":3,"stacking":true}"#,
     r#"{"op":"synth","cell":"xor2","height":true,"jobs":2,"no_cache":true,"faults":["solve.panic"]}"#,
+    r#"{"op":"synth","cell":"xor2","objective":"weighted:2:3","track_pitch":2,"rail_overhead":0}"#,
+    r#"{"op":"synth","cell":"mux21","objective":"height-width","interrow_weight":-2,"critical":["z"]}"#,
+    r#"{"op":"pareto","id":"p1","cell":"nand4","rows":2,"diffusion_overhead":3}"#,
     r#"{"op":"stats","id":"s"}"#,
     r#"{"op":"shutdown"}"#,
 ];
@@ -65,6 +68,19 @@ proptest_lite! {
                 assert!(spec.max_rows >= 1);
                 assert!(spec.limit_ms <= protocol::MAX_LIMIT_MS);
                 assert!(spec.jobs.is_none_or(|j| j >= 1));
+                assert!(spec.track_pitch.is_none_or(|p| p >= 1));
+                assert!(spec
+                    .objective
+                    .as_deref()
+                    .is_none_or(|name| clip_core::ObjectiveSpec::parse_ordering(name).is_some()));
+                assert!(
+                    !(spec.height && spec.objective.is_some()),
+                    "legacy flag and named objective are mutually exclusive"
+                );
+                assert!(
+                    !(spec.pareto && (spec.auto_rows || spec.hier)),
+                    "pareto excludes auto rows and hier"
+                );
                 for fault in &spec.faults {
                     assert!(clip_serve::faultpoint::is_site(fault));
                 }

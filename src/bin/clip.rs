@@ -4,6 +4,7 @@
 //! clip cells                              list the built-in library
 //! clip synth --cell mux21 --rows 3        synthesize a library cell
 //! clip synth --expr "(a&b|c)'" --rows 2 --height --svg out.svg
+//! clip synth --cell nand4 --rows 2 --pareto    emit the objective frontier
 //! clip synth --spice cell.sp --stacking --json out.json
 //! clip tune results/bench.jsonl -o profile.json   learn a tuning profile
 //! clip synth --cell xor2 --profile profile.json   synthesize with it
@@ -15,6 +16,7 @@ use std::time::Duration;
 
 use clip::core::request::SynthRequest;
 use clip::core::tuning::TuningPlan;
+use clip::core::ObjectiveSpec;
 use clip::layout::CellLayout;
 use clip::netlist::fold::fold_uniform;
 use clip::netlist::{library, spice, Circuit, Expr};
@@ -27,6 +29,12 @@ struct SynthArgs {
     auto_rows: bool,
     stacking: bool,
     height: bool,
+    pareto: bool,
+    objective: Option<String>,
+    track_pitch: Option<usize>,
+    diffusion_overhead: Option<usize>,
+    rail_overhead: Option<usize>,
+    interrow_weight: Option<i64>,
     limit: Duration,
     fold: usize,
     jobs: Option<NonZeroUsize>,
@@ -49,6 +57,12 @@ impl Default for SynthArgs {
             auto_rows: false,
             stacking: false,
             height: false,
+            pareto: false,
+            objective: None,
+            track_pitch: None,
+            diffusion_overhead: None,
+            rail_overhead: None,
+            interrow_weight: None,
             limit: Duration::from_secs(60),
             fold: 1,
             jobs: None,
@@ -116,14 +130,19 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage:\n  clip cells\n  clip synth (--cell NAME | --expr FORMULA | --spice FILE) \
-         [--rows N|auto] [--stacking] [--height]\n             [--limit SECS] [--fold K] \
-         [--jobs N] [--critical NET]... [--profile FILE]\n             [--svg FILE] \
-         [--json FILE] [--cif FILE] [--trace FILE] [--no-theories] [--classic-search] [--quiet]\n  clip tune INPUT.jsonl \
+         [--rows N|auto] [--stacking]\n             [--limit SECS] [--fold K] \
+         [--jobs N] [--profile FILE]\n             [--svg FILE] \
+         [--json FILE] [--cif FILE] [--trace FILE] [--no-theories] [--classic-search] [--quiet]\n    \
+         objective options:\n             [--height] [--objective \
+         width|width-height|height-width|weighted:W:H]\n             [--track-pitch N] \
+         [--diffusion-overhead N] [--rail-overhead N]\n             [--interrow-weight W] \
+         [--critical NET]... [--pareto]\n  clip tune INPUT.jsonl \
          [-o FILE]     learn a tuning profile from bench JSONL\n  clip bench --corpus \
          --checkpoint FILE [--seed N] [--cells N] [--shards N]\n             [--budget SECS] \
          [--summary FILE] [--quiet]   sharded, resumable corpus run\n  clip serve \
          [--listen HOST:PORT | --unix PATH] [--workers N] [--queue N]\n             \
-         [--cache FILE] [--port-file FILE] [--quiet]    batch synthesis daemon"
+         [--per-conn N] [--cache FILE] [--cache-cap N] [--port-file FILE] [--quiet]    \
+         batch synthesis daemon"
     );
 }
 
@@ -198,6 +217,34 @@ fn parse_synth(args: &[String]) -> Result<SynthArgs, String> {
             }
             "--stacking" => out.stacking = true,
             "--height" => out.height = true,
+            "--pareto" => out.pareto = true,
+            "--objective" => {
+                let name = take(&mut i)?;
+                if ObjectiveSpec::parse_ordering(&name).is_none() {
+                    return Err(format!(
+                        "bad --objective {name} (want width, width-height, \
+                         height-width, or weighted:W:H)"
+                    ));
+                }
+                out.objective = Some(name);
+            }
+            "--track-pitch" => {
+                out.track_pitch = Some(take(&mut i)?.parse().map_err(|_| "bad --track-pitch")?)
+            }
+            "--diffusion-overhead" => {
+                out.diffusion_overhead = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|_| "bad --diffusion-overhead")?,
+                )
+            }
+            "--rail-overhead" => {
+                out.rail_overhead = Some(take(&mut i)?.parse().map_err(|_| "bad --rail-overhead")?)
+            }
+            "--interrow-weight" => {
+                out.interrow_weight =
+                    Some(take(&mut i)?.parse().map_err(|_| "bad --interrow-weight")?)
+            }
             "--no-theories" => out.no_theories = true,
             "--classic-search" => out.classic_search = true,
             "--quiet" => out.quiet = true,
@@ -217,11 +264,44 @@ fn parse_synth(args: &[String]) -> Result<SynthArgs, String> {
     if out.fold == 0 {
         return Err("--fold must be positive".into());
     }
+    if out.pareto && out.auto_rows {
+        return Err("--pareto runs at a fixed row count; drop --rows auto".into());
+    }
     Ok(out)
 }
 
-fn synth(args: SynthArgs) -> ExitCode {
-    let mut circuit = args.circuit.expect("validated");
+/// Consolidates the CLI's objective flags into one [`ObjectiveSpec`].
+/// With no objective flags given this is exactly the default spec, so
+/// pre-existing invocations keep their behavior bit-for-bit.
+fn objective_from_args(args: &SynthArgs) -> ObjectiveSpec {
+    let mut spec = if args.height {
+        ObjectiveSpec::width_height()
+    } else {
+        ObjectiveSpec::width()
+    };
+    if let Some(name) = &args.objective {
+        spec = spec
+            .with_ordering_name(name)
+            .expect("validated in parse_synth");
+    }
+    if let Some(p) = args.track_pitch {
+        spec.track_pitch = p;
+    }
+    if let Some(d) = args.diffusion_overhead {
+        spec.diffusion_overhead = d;
+    }
+    if let Some(r) = args.rail_overhead {
+        spec.rail_overhead = r;
+    }
+    if let Some(w) = args.interrow_weight {
+        spec.interrow_weight = w;
+    }
+    spec.critical_nets = args.critical.clone();
+    spec
+}
+
+fn synth(mut args: SynthArgs) -> ExitCode {
+    let mut circuit = args.circuit.take().expect("validated");
     if args.fold > 1 {
         match circuit.into_paired() {
             Ok(paired) => match fold_uniform(&paired, args.fold) {
@@ -265,12 +345,10 @@ fn synth(args: SynthArgs) -> ExitCode {
     let mut request = SynthRequest::new(circuit)
         .rows(args.rows)
         .time_limit(args.limit)
-        .profile(plan);
+        .profile(plan)
+        .objective(objective_from_args(&args));
     if args.stacking {
         request = request.stacking();
-    }
-    if args.height {
-        request = request.height();
     }
     if args.no_theories {
         // Escape hatch for bisecting the typed constraint-theory engines:
@@ -283,14 +361,16 @@ fn synth(args: SynthArgs) -> ExitCode {
         // placements and proved optima, classic search loop only.
         request = request.classic_search();
     }
-    if !args.critical.is_empty() {
-        request = request.critical_nets(args.critical);
-    }
     if let Some(jobs) = args.jobs {
         request = request.jobs(jobs);
     }
     if args.auto_rows {
         request = request.best_area(args.rows);
+    }
+    if args.pareto {
+        // An empty spec list asks for the default sweep over the base
+        // objective built from the flags above.
+        request = request.pareto(Vec::new());
     }
     let result = match request.build() {
         Ok(r) => r,
@@ -305,6 +385,12 @@ fn synth(args: SynthArgs) -> ExitCode {
     let cell = result.cell;
     let layout = CellLayout::build(&cell);
 
+    if let Some(pareto) = &result.pareto {
+        // The frontier table prints even under --quiet: it is the whole
+        // point of a --pareto run, and its bytes are deterministic
+        // across worker counts (unlike the timing chatter below).
+        println!("{}", pareto.render());
+    }
     if !args.quiet {
         println!(
             "{}: width {} pitches, height {} units ({} tracks), {} inter-row nets",
@@ -463,7 +549,22 @@ fn parse_serve(args: &[String]) -> Result<(ServeConfig, Option<String>), String>
                     return Err("--queue must be positive".into());
                 }
             }
+            "--per-conn" => {
+                // 0 is legal: it disables the fairness cap explicitly.
+                config.per_conn_cap = take(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --per-conn (need N >= 0)")?;
+            }
             "--cache" => config.cache_path = Some(take(&mut i)?.into()),
+            "--cache-cap" => {
+                let cap: usize = take(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --cache-cap (need N >= 1)")?;
+                if cap == 0 {
+                    return Err("--cache-cap must be positive".into());
+                }
+                config.cache_cap = Some(cap);
+            }
             "--port-file" => port_file = Some(take(&mut i)?),
             "--quiet" => config.quiet = true,
             other => return Err(format!("unknown flag {other}")),

@@ -1,0 +1,129 @@
+//! Integration pins for the Pareto frontier mode (`SynthRequest::
+//! pareto`, `clip synth --pareto`): the emitted frontier is
+//! byte-identical across worker counts and runs, the sweep's base point
+//! agrees with a plain single-objective solve, the schema-6 trace
+//! carries the race record, and — property-tested over random objective
+//! sweeps — frontier points never dominate each other.
+
+use std::num::NonZeroUsize;
+
+use clip::core::pipeline::Stage;
+use clip::core::{ObjectiveSpec, SynthRequest};
+use clip::netlist::library;
+use clip_proptest::{gens, proptest_lite, Gen};
+
+fn frontier_render(jobs: usize) -> String {
+    let result = SynthRequest::new(library::nand3())
+        .rows(2)
+        .jobs(NonZeroUsize::new(jobs).expect("non-zero"))
+        .pareto(Vec::new())
+        .build()
+        .expect("sweep solves");
+    result
+        .pareto
+        .expect("pareto mode returns a frontier")
+        .render()
+}
+
+#[test]
+fn frontier_bytes_are_identical_across_jobs_and_runs() {
+    let baseline = frontier_render(1);
+    assert_eq!(baseline, frontier_render(1), "run-to-run determinism");
+    for jobs in [2, 8] {
+        assert_eq!(baseline, frontier_render(jobs), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn the_default_spec_point_matches_the_plain_single_objective_solve() {
+    let sweep = SynthRequest::new(library::nand2())
+        .rows(2)
+        .pareto(Vec::new())
+        .build()
+        .expect("sweep solves");
+    let pareto = sweep.pareto.as_ref().expect("frontier present");
+    // The default sweep's base spec is the width-then-height objective;
+    // a plain solve under that same spec must land exactly on point 0.
+    let plain = SynthRequest::new(library::nand2())
+        .rows(2)
+        .objective(ObjectiveSpec::width_height())
+        .build()
+        .expect("plain solve");
+    let base = &pareto.points[0];
+    assert!(base.on_frontier, "the base optimum is never dominated");
+    assert!(base.proved && plain.cell.optimal);
+    assert_eq!(base.width, Some(plain.cell.width));
+    assert_eq!(base.height, Some(plain.cell.height));
+    // The sweep's returned cell *is* the base point's cell.
+    assert_eq!(sweep.cell.width, plain.cell.width);
+    assert_eq!(sweep.cell.height, plain.cell.height);
+    assert!(pareto.mutually_non_dominated());
+
+    // Trace schema 6: the race stage carries the per-point records and
+    // at least the schedule-independent reuse prune (the default
+    // sweep's reporting-only variant always shares point 0's solve).
+    let stage = sweep
+        .cell
+        .trace
+        .stages
+        .iter()
+        .find(|s| s.stage == Stage::Pareto)
+        .expect("pareto stage recorded");
+    assert!(stage.shared_prunes.unwrap_or(0) >= 1);
+    let records = stage.pareto.as_ref().expect("per-point records");
+    assert_eq!(records.len(), pareto.points.len());
+    assert!(records[0].on_frontier);
+}
+
+/// Random objective sweeps: orderings, pitches, and overheads drawn
+/// freely, 1..=4 points per sweep.
+fn sweep_specs() -> Gen<Vec<ObjectiveSpec>> {
+    const NAMES: [&str; 4] = ["width", "width-height", "height-width", "weighted:1:2"];
+    gens::int(0..NAMES.len())
+        .flat_map(|which| {
+            gens::int(1usize..=3).flat_map(move |pitch| {
+                gens::int(0usize..=3).map(move |diff| {
+                    ObjectiveSpec::default()
+                        .with_ordering_name(NAMES[which])
+                        .expect("known ordering")
+                        .with_track_pitch(pitch)
+                        .with_diffusion_overhead(diff)
+                })
+            })
+        })
+        .vec(1..=4)
+}
+
+proptest_lite! {
+    cases: 8;
+
+    /// Whatever the sweep, the emitted frontier is mutually
+    /// non-dominated, non-empty, and consistent with the dominance
+    /// edges stamped on the points.
+    fn random_sweeps_emit_sound_frontiers(specs in sweep_specs()) {
+        let result = SynthRequest::new(library::nand2())
+            .rows(2)
+            .pareto(specs.clone())
+            .build()
+            .expect("sweep solves");
+        let pareto = result.pareto.expect("frontier present");
+        assert_eq!(pareto.points.len(), specs.len());
+        assert!(!pareto.frontier.is_empty(), "a solved sweep has a frontier");
+        assert!(pareto.mutually_non_dominated());
+        for (i, point) in pareto.points.iter().enumerate() {
+            let Some(value) = point.value() else { continue };
+            match point.dominated_by {
+                // Off-frontier points name an earlier-or-dominating peer.
+                Some(j) => {
+                    assert!(!point.on_frontier);
+                    let peer = pareto.points[j].value().expect("edge target has a value");
+                    assert!(
+                        clip::core::pareto::dominates(&peer, &value) || (peer == value && j < i),
+                        "edge {j} -> {i} must dominate or be an earlier tie"
+                    );
+                }
+                None => assert!(point.on_frontier),
+            }
+        }
+    }
+}
